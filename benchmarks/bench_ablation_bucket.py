@@ -1,0 +1,117 @@
+"""Ablation — leaf bucket size and split strategy.
+
+The bucket size ``Bs`` governs the trade-off between tree depth (routing
+cost) and per-leaf scan cost; the paper's complexity analysis is expressed
+directly in terms of ``Bs`` (``N = 2K/Bs`` nodes).  This ablation sweeps the
+bucket size and the split strategy on a fixed workload and reports build
+time, tree depth, and k-NN cost, confirming that
+
+* larger buckets make shallower trees but examine more points per query;
+* the median and max-spread strategies produce comparable trees, while the
+  degenerate first-point strategy is much deeper on sorted input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KDTree, LabeledPoint, SplitStrategy
+from repro.core.stats import sequential_stats
+from repro.evaluation import Experiment, measure
+from repro.workloads import perturbed_queries, sorted_points, uniform_points
+
+from .conftest import write_report
+
+DIMENSIONS = 4
+POINTS = 6_000
+QUERIES = 40
+K = 3
+BUCKET_SIZES = (4, 16, 64, 256)
+
+
+def _knn_cost(tree: KDTree, points) -> dict:
+    workload = perturbed_queries(points, QUERIES, k=K, seed=6)
+    nodes = 0
+    examined = 0
+
+    def run():
+        nonlocal nodes, examined
+        nodes = 0
+        examined = 0
+        for query in workload:
+            state = tree.k_nearest_state(query, K)
+            nodes += state.nodes_visited
+            examined += state.points_examined
+
+    sample = measure(run)
+    return {
+        "knn_wall_ms_per_query": sample.wall_ms / QUERIES,
+        "nodes_per_query": nodes / QUERIES,
+        "points_examined_per_query": examined / QUERIES,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-bucket")
+def test_report_ablation_bucket_size(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        points = uniform_points(POINTS, DIMENSIONS, seed=2)
+        experiment = Experiment(
+            experiment_id="ablation_bucket_size",
+            description="Bucket size Bs vs build cost, depth and k-NN cost",
+            swept_parameter="bucket_size",
+        )
+        for bucket_size in BUCKET_SIZES:
+            tree = KDTree(DIMENSIONS, bucket_size=bucket_size)
+            build = measure(lambda: tree.insert_all(points))
+            stats = sequential_stats(tree)
+            metrics = {
+                "build_wall_ms": build.wall_ms,
+                "depth": float(stats.depth),
+                "leaves": float(stats.leaves),
+                **_knn_cost(tree, points),
+            }
+            experiment.record("dynamic insertion (median split)", bucket_size, **metrics)
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    series = experiment.series["dynamic insertion (median split)"]
+    # Larger buckets → shallower trees but more points examined per query.
+    assert series.is_non_increasing("depth", tolerance=1e-9)
+    assert series.values("points_examined_per_query")[-1] > series.values(
+        "points_examined_per_query")[0]
+    write_report(results_dir, experiment,
+                 ["build_wall_ms", "depth", "leaves", "nodes_per_query",
+                  "points_examined_per_query", "knn_wall_ms_per_query"])
+
+
+@pytest.mark.benchmark(group="ablation-split-strategy")
+def test_report_ablation_split_strategy(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        uniform = uniform_points(POINTS // 2, DIMENSIONS, seed=2)
+        ordered = sorted_points(POINTS // 2, DIMENSIONS, seed=2)
+        experiment = Experiment(
+            experiment_id="ablation_split_strategy",
+            description="Split strategy vs tree depth and balance on uniform and sorted input",
+            swept_parameter="strategy_index",
+        )
+        strategies = (SplitStrategy.MEDIAN, SplitStrategy.MIDPOINT,
+                      SplitStrategy.MAX_SPREAD, SplitStrategy.FIRST_POINT)
+        for position, strategy in enumerate(strategies):
+            for label, workload in (("uniform input", uniform), ("sorted input", ordered)):
+                tree = KDTree(DIMENSIONS, bucket_size=8, split_strategy=strategy)
+                # FIRST_POINT on sorted input is quadratic; cap its size.
+                data = workload if strategy is not SplitStrategy.FIRST_POINT else workload[:1500]
+                tree.insert_all(data)
+                stats = sequential_stats(tree)
+                experiment.record(f"{strategy.value} / {label}", position,
+                                  depth=float(stats.depth),
+                                  balance_ratio=stats.balance_ratio,
+                                  points=float(stats.points))
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    median_sorted = experiment.series["median / sorted input"].values("balance_ratio")[0]
+    first_sorted = experiment.series["first-point / sorted input"].values("balance_ratio")[0]
+    # The degenerate strategy is much worse balanced than the median split on sorted input.
+    assert first_sorted > 4 * median_sorted
+    write_report(results_dir, experiment, ["depth", "balance_ratio", "points"])

@@ -1,0 +1,98 @@
+"""Ablation — FastMap dimensionality.
+
+The paper maps triples into "a vectorial space" without fixing its
+dimensionality.  This ablation sweeps the number of FastMap dimensions and
+reports (a) the embedding quality (Kruskal stress and k-NN overlap against
+the raw semantic distance) and (b) the end-task effectiveness at K = 3, so
+the dimensionality/fidelity trade-off is explicit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.embedding import FastMap, neighbourhood_overlap, stress
+from repro.evaluation import Experiment, average_precision_recall, evaluate_retrieval
+from repro.requirements import (
+    GeneratorConfig,
+    GroundTruthOracle,
+    RequirementsGenerator,
+    build_requirement_distance,
+    build_requirement_vocabularies,
+)
+
+from .conftest import write_report
+
+K = 3
+QUERY_CASES = 40
+DIMENSIONS_SWEEP = (1, 2, 4, 8)
+
+
+def _setup():
+    config = GeneratorConfig(
+        documents=10, requirements_per_document=8, sentences_per_requirement=3,
+        actors=25, inconsistency_rate=0.3, seed=33,
+    )
+    corpus = RequirementsGenerator(config).generate()
+    vocabularies = build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values
+    )
+    distance = build_requirement_distance(vocabularies)
+    oracle = GroundTruthOracle(corpus.all_triples(), vocabularies["Fun"])
+    cases = oracle.build_cases(QUERY_CASES, seed=3)
+    distinct = list(dict.fromkeys(corpus.all_triples()))
+    return corpus, distance, cases, distinct
+
+
+@pytest.mark.benchmark(group="ablation-fastmap")
+def test_report_ablation_fastmap_dimensions(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        corpus, distance, cases, distinct = _setup()
+        experiment = Experiment(
+            experiment_id="ablation_fastmap_dimensions",
+            description="FastMap dimensionality vs embedding quality and effectiveness",
+            swept_parameter="dimensions",
+        )
+        for dimensions in DIMENSIONS_SWEEP:
+            space = FastMap(distance, dimensions=dimensions, seed=0).fit(distinct)
+            embedding_stress = stress(space, distance, max_pairs=1500, seed=1)
+            overlap = neighbourhood_overlap(space, distance, k=5, sample_size=30, seed=1)
+
+            index = SemTreeIndex(distance, SemTreeConfig(
+                dimensions=dimensions, bucket_size=16, max_partitions=3,
+                partition_capacity=96,
+            ))
+            for document in corpus.documents:
+                index.add_document(document.to_rdf_document())
+            index.build()
+            per_query = [
+                evaluate_retrieval(
+                    [match.triple for match in index.k_nearest(case.target_triple, K)],
+                    case.expected,
+                )
+                for case in cases
+            ]
+            effectiveness = average_precision_recall(per_query)
+            experiment.record("fastmap", dimensions,
+                              stress=embedding_stress,
+                              knn_overlap=overlap,
+                              precision=effectiveness.precision,
+                              recall=effectiveness.recall,
+                              f1=effectiveness.f1,
+                              produced_dimensions=float(space.dimensions))
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    series = experiment.series["fastmap"]
+
+    # More dimensions never hurt the embedding fidelity (stress shrinks,
+    # overlap grows), modulo a small tolerance for pivot randomness.
+    assert series.values("stress")[-1] <= series.values("stress")[0] + 1e-6
+    assert series.values("knn_overlap")[-1] >= series.values("knn_overlap")[0] - 0.05
+    # A single dimension is measurably worse for the end task than the default 4.
+    f1_by_dims = dict(zip(series.xs(), series.values("f1")))
+    assert f1_by_dims[4] >= f1_by_dims[1] - 0.02
+
+    write_report(results_dir, experiment,
+                 ["stress", "knn_overlap", "precision", "recall", "f1"])

@@ -1,0 +1,151 @@
+"""Figure 3 — Index building time.
+
+The paper plots the running time of index building while varying the number
+of points, for five configurations: 1 partition (balanced), 3, 5 and 9
+partitions, and 1 partition totally unbalanced.
+
+The reproduction sweeps the same configurations over a synthetic uniform
+point workload and reports, for each, the wall-clock build time (dynamic
+insertion of every point) and — for the distributed configurations — the
+simulated parallel cost (critical path) and message count.  Expected shape
+(asserted by the report test):
+
+* every curve grows with the number of points;
+* the totally unbalanced single partition is by far the most expensive
+  configuration at the largest size (insertion cost degenerates to O(N²));
+* the simulated parallel cost decreases as partitions are added.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.baselines import SequentialKDTreeBaseline
+from repro.cluster import SimulatedCluster
+from repro.core import DistributedSemTree, SemTreeConfig, SplitStrategy
+from repro.evaluation import Experiment, measure
+from repro.workloads import sorted_points, uniform_points
+
+from .conftest import write_report
+
+DIMENSIONS = 4
+BUCKET_SIZE = 16
+POINT_COUNTS = (500, 1_000, 2_000, 4_000)
+PARTITION_COUNTS = (3, 5, 9)
+BENCH_POINTS = 2_000
+
+
+def _config(partitions: int) -> SemTreeConfig:
+    return SemTreeConfig(
+        dimensions=DIMENSIONS, bucket_size=BUCKET_SIZE, max_partitions=partitions,
+        partition_capacity=max(64, BUCKET_SIZE * partitions),
+    )
+
+
+def _chain_config() -> SemTreeConfig:
+    return _config(1).with_updates(split_strategy=SplitStrategy.FIRST_POINT, bucket_size=1)
+
+
+def _build_distributed(count: int, partitions: int) -> Dict[str, float]:
+    points = uniform_points(count, DIMENSIONS, seed=1)
+    cluster = SimulatedCluster(node_count=max(partitions, 1))
+    tree = DistributedSemTree(_config(partitions), cluster=cluster)
+    sample = measure(lambda: tree.insert_all(points), cluster=cluster)
+    return {
+        "wall_ms": sample.wall_ms,
+        "simulated_cost": sample.simulated_critical_path or 0.0,
+        "messages": float(sample.messages or 0),
+    }
+
+
+def _build_sequential(count: int, *, unbalanced: bool) -> Dict[str, float]:
+    if unbalanced:
+        points = sorted_points(count, DIMENSIONS, seed=1)
+        config = _chain_config()
+    else:
+        points = uniform_points(count, DIMENSIONS, seed=1)
+        config = _config(1)
+    baseline = SequentialKDTreeBaseline(config)
+    sample = measure(lambda: baseline.insert_all(points))
+    return {
+        "wall_ms": sample.wall_ms,
+        "messages": 0.0,
+        "tree_depth": float(baseline.tree.depth()),
+    }
+
+
+# -- pytest-benchmark cases (representative size) -----------------------------------------
+
+@pytest.mark.benchmark(group="fig3-index-building")
+def test_build_single_partition_balanced(benchmark):
+    points = uniform_points(BENCH_POINTS, DIMENSIONS, seed=1)
+
+    def run():
+        baseline = SequentialKDTreeBaseline(_config(1))
+        baseline.insert_all(points)
+        return len(baseline)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == BENCH_POINTS
+
+
+@pytest.mark.benchmark(group="fig3-index-building")
+def test_build_single_partition_unbalanced_chain(benchmark):
+    points = sorted_points(BENCH_POINTS, DIMENSIONS, seed=1)
+
+    def run():
+        baseline = SequentialKDTreeBaseline(_chain_config())
+        baseline.insert_all(points)
+        return len(baseline)
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) == BENCH_POINTS
+
+
+@pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+@pytest.mark.benchmark(group="fig3-index-building")
+def test_build_distributed(benchmark, partitions):
+    points = uniform_points(BENCH_POINTS, DIMENSIONS, seed=1)
+
+    def run():
+        tree = DistributedSemTree(_config(partitions))
+        tree.insert_all(points)
+        return len(tree)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == BENCH_POINTS
+
+
+# -- the figure itself ------------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="fig3-index-building")
+def test_report_fig3(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        experiment = Experiment(
+            experiment_id="fig3_index_building_time",
+            description="Index building time vs number of points (Fig. 3)",
+            swept_parameter="points",
+        )
+        for count in POINT_COUNTS:
+            experiment.record("1 partition (balanced)", count,
+                              **_build_sequential(count, unbalanced=False))
+            experiment.record("1 partition (totally unbalanced)", count,
+                              **_build_sequential(count, unbalanced=True))
+            for partitions in PARTITION_COUNTS:
+                experiment.record(f"{partitions} partitions", count,
+                                  **_build_distributed(count, partitions))
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # Shape assertions (see module docstring).
+    for series in experiment.series.values():
+        values = series.values("wall_ms")
+        assert series.is_non_decreasing("wall_ms", tolerance=max(values) * 0.25)
+    unbalanced_wall = experiment.series["1 partition (totally unbalanced)"].values("wall_ms")[-1]
+    balanced_wall = experiment.series["1 partition (balanced)"].values("wall_ms")[-1]
+    assert unbalanced_wall > balanced_wall
+    sim_3 = experiment.series["3 partitions"].values("simulated_cost")[-1]
+    sim_9 = experiment.series["9 partitions"].values("simulated_cost")[-1]
+    assert sim_9 < sim_3
+
+    write_report(results_dir, experiment, ["wall_ms", "simulated_cost", "messages"])

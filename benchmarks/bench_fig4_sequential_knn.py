@@ -1,0 +1,115 @@
+"""Figure 4 — Sequential k-nearest running time (K = 3).
+
+The paper plots the running time of the sequential k-nearest algorithm while
+varying the size of the tree, for a balanced tree and for a "totally
+unbalanced (chain)" tree.  Expected shape: the balanced curve stays almost
+flat (logarithmic search), the chain curve grows roughly linearly and is
+always above the balanced one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core import KDTree
+from repro.evaluation import Experiment, measure
+from repro.workloads import perturbed_queries, uniform_points
+
+from .conftest import write_report
+
+DIMENSIONS = 4
+BUCKET_SIZE = 16
+K = 3
+POINT_COUNTS = (1_000, 2_000, 4_000, 8_000, 16_000)
+QUERIES = 50
+BENCH_POINTS = 8_000
+
+
+def _trees(count: int):
+    points = uniform_points(count, DIMENSIONS, seed=1)
+    balanced = KDTree.build_balanced(points, bucket_size=BUCKET_SIZE)
+    chain = KDTree.build_chain(points)
+    return points, balanced, chain
+
+
+def _query_batch(tree: KDTree, points, *, seed: int = 2) -> Dict[str, float]:
+    workload = perturbed_queries(points, QUERIES, k=K, seed=seed)
+    nodes_visited = 0
+
+    def run():
+        nonlocal nodes_visited
+        nodes_visited = 0
+        for query in workload:
+            state = tree.k_nearest_state(query, K)
+            nodes_visited += state.nodes_visited
+
+    sample = measure(run)
+    return {
+        "wall_ms_per_query": sample.wall_ms / QUERIES,
+        "nodes_visited_per_query": nodes_visited / QUERIES,
+    }
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
+
+@pytest.mark.benchmark(group="fig4-sequential-knn")
+def test_knn_balanced_tree(benchmark):
+    points, balanced, _ = _trees(BENCH_POINTS)
+    workload = perturbed_queries(points, QUERIES, k=K, seed=2)
+
+    def run():
+        return sum(len(balanced.k_nearest(query, K)) for query in workload)
+
+    assert benchmark(run) == QUERIES * K
+
+
+@pytest.mark.benchmark(group="fig4-sequential-knn")
+def test_knn_unbalanced_chain_tree(benchmark):
+    points, _, chain = _trees(BENCH_POINTS)
+    workload = perturbed_queries(points, QUERIES, k=K, seed=2)
+
+    def run():
+        return sum(len(chain.k_nearest(query, K)) for query in workload)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == QUERIES * K
+
+
+# -- the figure itself ----------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="fig4-sequential-knn")
+def test_report_fig4(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        experiment = Experiment(
+            experiment_id="fig4_sequential_knn_time",
+            description="Sequential k-nearest time (K=3) vs number of points (Fig. 4)",
+            swept_parameter="points",
+        )
+        for count in POINT_COUNTS:
+            points, balanced, chain = _trees(count)
+            experiment.record("balanced", count, **_query_batch(balanced, points))
+            experiment.record("totally unbalanced (chain)", count, **_query_batch(chain, points))
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    balanced = experiment.series["balanced"]
+    chain = experiment.series["totally unbalanced (chain)"]
+    # The chain visits more nodes than the balanced tree at every size, and
+    # the gap widens with the number of points.
+    for balanced_point, chain_point in zip(balanced.points, chain.points):
+        assert (chain_point.metric("nodes_visited_per_query")
+                > balanced_point.metric("nodes_visited_per_query"))
+    assert chain.is_non_decreasing("nodes_visited_per_query",
+                                   tolerance=chain.values("nodes_visited_per_query")[-1] * 0.1)
+    ratio_small = (chain.values("nodes_visited_per_query")[0]
+                   / balanced.values("nodes_visited_per_query")[0])
+    ratio_large = (chain.values("nodes_visited_per_query")[-1]
+                   / balanced.values("nodes_visited_per_query")[-1])
+    assert ratio_large > ratio_small
+    # Wall-clock: the chain is slower at the largest size.
+    assert (chain.values("wall_ms_per_query")[-1]
+            > balanced.values("wall_ms_per_query")[-1])
+
+    write_report(results_dir, experiment, ["wall_ms_per_query", "nodes_visited_per_query"])

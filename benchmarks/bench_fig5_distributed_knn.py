@@ -1,0 +1,110 @@
+"""Figure 5 — Distributed k-nearest running time (K = 3).
+
+The paper plots the running time of the distributed k-nearest algorithm
+while varying the size of the tree, for 1, 3, 5 and 9 partitions on its
+8-node cluster.  The reproduction runs a *batch* of queries (throughput
+regime) against the simulated cluster and reports wall-clock time, the
+simulated parallel cost (critical path) and the message count.  Expected
+shape: the simulated cost grows with the number of points and decreases as
+partitions are added (with diminishing returns), while messages grow with
+the partition count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core import DistributedSemTree, SemTreeConfig
+from repro.evaluation import Experiment, measure
+from repro.workloads import perturbed_queries, uniform_points
+
+from .conftest import write_report
+
+DIMENSIONS = 4
+BUCKET_SIZE = 16
+K = 3
+POINT_COUNTS = (1_000, 2_000, 4_000, 8_000)
+PARTITION_COUNTS = (1, 3, 5, 9)
+QUERIES = 50
+BENCH_POINTS = 4_000
+
+
+def _build(count: int, partitions: int):
+    points = uniform_points(count, DIMENSIONS, seed=1)
+    cluster = SimulatedCluster(node_count=max(partitions, 1))
+    config = SemTreeConfig(
+        dimensions=DIMENSIONS, bucket_size=BUCKET_SIZE, max_partitions=partitions,
+        partition_capacity=max(64, BUCKET_SIZE * partitions),
+    )
+    tree = DistributedSemTree(config, cluster=cluster)
+    tree.insert_all(points)
+    return points, tree, cluster
+
+
+def _knn_batch(tree: DistributedSemTree, cluster: SimulatedCluster, points) -> Dict[str, float]:
+    workload = perturbed_queries(points, QUERIES, k=K, seed=4)
+    sample = measure(lambda: [tree.k_nearest(query, K) for query in workload],
+                     cluster=cluster)
+    return {
+        "wall_ms_per_query": sample.wall_ms / QUERIES,
+        "simulated_cost": (sample.simulated_critical_path or 0.0),
+        "messages": float(sample.messages or 0),
+    }
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
+
+@pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+@pytest.mark.benchmark(group="fig5-distributed-knn")
+def test_distributed_knn_batch(benchmark, partitions):
+    points, tree, _ = _build(BENCH_POINTS, partitions)
+    workload = perturbed_queries(points, QUERIES, k=K, seed=4)
+
+    def run():
+        return sum(len(tree.k_nearest(query, K)) for query in workload)
+
+    assert benchmark(run) == QUERIES * K
+
+
+# -- the figure itself ----------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="fig5-distributed-knn")
+def test_report_fig5(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        experiment = Experiment(
+            experiment_id="fig5_distributed_knn_time",
+            description="Distributed k-nearest time (K=3) vs number of points (Fig. 5)",
+            swept_parameter="points",
+        )
+        for count in POINT_COUNTS:
+            for partitions in PARTITION_COUNTS:
+                points, tree, cluster = _build(count, partitions)
+                label = "1 partition" if partitions == 1 else f"{partitions} partitions"
+                experiment.record(label, count, **_knn_batch(tree, cluster, points))
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # Simulated k-NN cost grows only logarithmically with N, so the clean
+    # monotonicity check is applied to the single-partition configuration
+    # (multi-partition layouts add partition-shape noise of the same order).
+    single = experiment.series["1 partition"]
+    assert single.is_non_decreasing(
+        "simulated_cost", tolerance=max(single.values("simulated_cost")) * 0.15
+    )
+    # At the largest size, adding partitions reduces the simulated parallel cost.
+    largest_costs = {
+        name: series.values("simulated_cost")[-1]
+        for name, series in experiment.series.items()
+    }
+    assert largest_costs["9 partitions"] < largest_costs["1 partition"]
+    assert largest_costs["5 partitions"] < largest_costs["1 partition"]
+    # Partitioning pays a communication price: messages increase with partitions.
+    assert (experiment.series["9 partitions"].values("messages")[-1]
+            > experiment.series["3 partitions"].values("messages")[-1])
+    assert experiment.series["1 partition"].values("messages")[-1] == 0
+
+    write_report(results_dir, experiment, ["simulated_cost", "wall_ms_per_query", "messages"])

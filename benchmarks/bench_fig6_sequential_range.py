@@ -1,0 +1,114 @@
+"""Figure 6 — Sequential range-query running time.
+
+The paper plots the running time of the sequential range query while varying
+the size of the tree, for a balanced and an unbalanced tree.  Expected
+shape: both curves grow with the number of points (more points fall inside a
+fixed radius), and the unbalanced tree is consistently more expensive
+because its depth makes the descent linear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core import KDTree
+from repro.evaluation import Experiment, measure
+from repro.workloads import perturbed_queries, uniform_points
+
+from .conftest import write_report
+
+DIMENSIONS = 4
+BUCKET_SIZE = 16
+RADIUS = 0.15
+POINT_COUNTS = (1_000, 2_000, 4_000, 8_000, 16_000)
+QUERIES = 50
+BENCH_POINTS = 8_000
+
+
+def _trees(count: int):
+    points = uniform_points(count, DIMENSIONS, seed=1)
+    balanced = KDTree.build_balanced(points, bucket_size=BUCKET_SIZE)
+    chain = KDTree.build_chain(points)
+    return points, balanced, chain
+
+
+def _query_batch(tree: KDTree, points) -> Dict[str, float]:
+    workload = perturbed_queries(points, QUERIES, radius=RADIUS, seed=3)
+    nodes_visited = 0
+    found = 0
+
+    def run():
+        nonlocal nodes_visited, found
+        nodes_visited = 0
+        found = 0
+        for query in workload:
+            results, visited = tree.range_query_state(query, RADIUS)
+            nodes_visited += visited
+            found += len(results)
+
+    sample = measure(run)
+    return {
+        "wall_ms_per_query": sample.wall_ms / QUERIES,
+        "nodes_visited_per_query": nodes_visited / QUERIES,
+        "results_per_query": found / QUERIES,
+    }
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
+
+@pytest.mark.benchmark(group="fig6-sequential-range")
+def test_range_balanced_tree(benchmark):
+    points, balanced, _ = _trees(BENCH_POINTS)
+    workload = perturbed_queries(points, QUERIES, radius=RADIUS, seed=3)
+
+    def run():
+        return sum(len(balanced.range_query(query, RADIUS)) for query in workload)
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="fig6-sequential-range")
+def test_range_unbalanced_chain_tree(benchmark):
+    points, _, chain = _trees(BENCH_POINTS)
+    workload = perturbed_queries(points, QUERIES, radius=RADIUS, seed=3)
+
+    def run():
+        return sum(len(chain.range_query(query, RADIUS)) for query in workload)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0
+
+
+# -- the figure itself ----------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="fig6-sequential-range")
+def test_report_fig6(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        experiment = Experiment(
+            experiment_id="fig6_sequential_range_time",
+            description="Sequential range-query time vs number of points (Fig. 6)",
+            swept_parameter="points",
+        )
+        for count in POINT_COUNTS:
+            points, balanced, chain = _trees(count)
+            experiment.record("balanced", count, **_query_batch(balanced, points))
+            experiment.record("unbalanced", count, **_query_batch(chain, points))
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    balanced = experiment.series["balanced"]
+    unbalanced = experiment.series["unbalanced"]
+    # Both configurations return the same answers (sanity: same result counts).
+    assert balanced.values("results_per_query") == pytest.approx(
+        unbalanced.values("results_per_query"))
+    # The unbalanced tree visits more nodes at every size and grows faster.
+    for balanced_point, unbalanced_point in zip(balanced.points, unbalanced.points):
+        assert (unbalanced_point.metric("nodes_visited_per_query")
+                >= balanced_point.metric("nodes_visited_per_query"))
+    assert (unbalanced.values("wall_ms_per_query")[-1]
+            > balanced.values("wall_ms_per_query")[-1])
+
+    write_report(results_dir, experiment,
+                 ["wall_ms_per_query", "nodes_visited_per_query", "results_per_query"])

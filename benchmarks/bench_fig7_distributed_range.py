@@ -1,0 +1,115 @@
+"""Figure 7 — Distributed range-query running time.
+
+The paper plots the running time of the distributed range query while
+varying the size of the tree, for 1, 3, 5 and 9 partitions.  As for Fig. 5,
+the reproduction runs a batch of range queries against the simulated
+cluster; the range search navigates both children (in parallel across
+partitions) whenever the query ball straddles a splitting plane, which is
+where the partitioned layouts gain most.  Expected shape: simulated cost
+grows with the number of points and decreases as partitions are added.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core import DistributedSemTree, SemTreeConfig
+from repro.evaluation import Experiment, measure
+from repro.workloads import perturbed_queries, uniform_points
+
+from .conftest import write_report
+
+DIMENSIONS = 4
+BUCKET_SIZE = 16
+RADIUS = 0.15
+POINT_COUNTS = (1_000, 2_000, 4_000, 8_000)
+PARTITION_COUNTS = (1, 3, 5, 9)
+QUERIES = 50
+BENCH_POINTS = 4_000
+
+
+def _build(count: int, partitions: int):
+    points = uniform_points(count, DIMENSIONS, seed=1)
+    cluster = SimulatedCluster(node_count=max(partitions, 1))
+    config = SemTreeConfig(
+        dimensions=DIMENSIONS, bucket_size=BUCKET_SIZE, max_partitions=partitions,
+        partition_capacity=max(64, BUCKET_SIZE * partitions),
+    )
+    tree = DistributedSemTree(config, cluster=cluster)
+    tree.insert_all(points)
+    return points, tree, cluster
+
+
+def _range_batch(tree: DistributedSemTree, cluster: SimulatedCluster,
+                 points) -> Dict[str, float]:
+    workload = perturbed_queries(points, QUERIES, radius=RADIUS, seed=5)
+    found = 0
+
+    def run():
+        nonlocal found
+        found = 0
+        for query in workload:
+            found += len(tree.range_query(query, RADIUS))
+
+    sample = measure(run, cluster=cluster)
+    return {
+        "wall_ms_per_query": sample.wall_ms / QUERIES,
+        "simulated_cost": sample.simulated_critical_path or 0.0,
+        "messages": float(sample.messages or 0),
+        "results_per_query": found / QUERIES,
+    }
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
+
+@pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+@pytest.mark.benchmark(group="fig7-distributed-range")
+def test_distributed_range_batch(benchmark, partitions):
+    points, tree, _ = _build(BENCH_POINTS, partitions)
+    workload = perturbed_queries(points, QUERIES, radius=RADIUS, seed=5)
+
+    def run():
+        return sum(len(tree.range_query(query, RADIUS)) for query in workload)
+
+    assert benchmark(run) > 0
+
+
+# -- the figure itself ----------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="fig7-distributed-range")
+def test_report_fig7(benchmark, results_dir):
+    def run_sweep() -> Experiment:
+        experiment = Experiment(
+            experiment_id="fig7_distributed_range_time",
+            description="Distributed range-query time vs number of points (Fig. 7)",
+            swept_parameter="points",
+        )
+        for count in POINT_COUNTS:
+            for partitions in PARTITION_COUNTS:
+                points, tree, cluster = _build(count, partitions)
+                label = "1 partition" if partitions == 1 else f"{partitions} partitions"
+                experiment.record(label, count, **_range_batch(tree, cluster, points))
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # Every configuration returns the same number of results (correctness sanity).
+    reference = experiment.series["1 partition"].values("results_per_query")
+    for series in experiment.series.values():
+        assert series.values("results_per_query") == pytest.approx(reference)
+    # Simulated cost grows with N and shrinks with partitions at the largest size.
+    for series in experiment.series.values():
+        values = series.values("simulated_cost")
+        assert series.is_non_decreasing("simulated_cost", tolerance=max(values) * 0.15)
+    largest_costs = {
+        name: series.values("simulated_cost")[-1]
+        for name, series in experiment.series.items()
+    }
+    assert largest_costs["9 partitions"] < largest_costs["1 partition"]
+    assert largest_costs["5 partitions"] < largest_costs["1 partition"]
+
+    write_report(results_dir, experiment,
+                 ["simulated_cost", "wall_ms_per_query", "messages", "results_per_query"])

@@ -1,0 +1,99 @@
+"""Table I — input parameters of the distributed k-search.
+
+Table I of the paper is definitional (it lists the state carried by the
+k-nearest search: node status S, number of points K, distance D, result set
+Rs, point P).  This bench documents the reproduction of that state
+(:class:`repro.core.knn.KSearchState`) and measures the cost of its two hot
+operations: feeding candidate points into the bounded result set ``Rs`` and
+evaluating the backward-visit condition.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import KSearchState, LabeledPoint, NodeStatus, ResultSet
+from repro.evaluation import Experiment
+
+from .conftest import write_report
+
+CANDIDATES = 5_000
+DIMENSIONS = 4
+
+
+def _candidate_points(count: int) -> list[LabeledPoint]:
+    rng = random.Random(0)
+    return [
+        LabeledPoint.of([rng.random() for _ in range(DIMENSIONS)], label=index)
+        for index in range(count)
+    ]
+
+
+@pytest.mark.benchmark(group="table1-ksearch-state")
+def test_result_set_offer_throughput(benchmark):
+    """Time filling Rs (K = 3) with a stream of candidate points."""
+    points = _candidate_points(CANDIDATES)
+    query = LabeledPoint.of([0.5] * DIMENSIONS)
+
+    def run():
+        state = KSearchState(query=query, k=3)
+        state.examine_bucket(points)
+        return state.results.current_radius
+
+    radius = benchmark(run)
+    assert radius < 1.0
+
+
+@pytest.mark.benchmark(group="table1-ksearch-state")
+def test_backward_visit_condition_throughput(benchmark):
+    """Time the paper's disjunction (distance comparison OR |Rs| < K)."""
+    points = _candidate_points(64)
+    query = LabeledPoint.of([0.5] * DIMENSIONS)
+    state = KSearchState(query=query, k=3)
+    state.examine_bucket(points)
+
+    def run():
+        visits = 0
+        for split_value in (0.1, 0.3, 0.5, 0.7, 0.9):
+            for split_index in range(DIMENSIONS):
+                if state.must_visit_other_side(split_index, split_value):
+                    visits += 1
+        return visits
+
+    assert benchmark(run) >= 0
+
+
+@pytest.mark.benchmark(group="table1-ksearch-state")
+def test_report_table1(benchmark, results_dir):
+    """Document Table I: the state fields and their reproduction counterparts."""
+
+    def run_sweep() -> Experiment:
+        experiment = Experiment(
+            experiment_id="table1_ksearch_parameters",
+            description="Input parameters of K-search (Table I) exercised on a sample stream",
+            swept_parameter="K",
+        )
+        points = _candidate_points(1_000)
+        query = LabeledPoint.of([0.5] * DIMENSIONS)
+        for k in (1, 3, 5, 10, 20):
+            state = KSearchState(query=query, k=k)
+            state.examine_bucket(points)
+            experiment.record(
+                "ksearch-state", k,
+                final_radius_D=state.results.current_radius,
+                result_set_size=len(state.results),
+                points_examined=state.points_examined,
+            )
+        return experiment
+
+    experiment = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # Table I invariants: Rs never exceeds K, D grows with K (more points kept).
+    series = experiment.series_named("ksearch-state")
+    assert all(point.metric("result_set_size") <= point.x for point in series.points)
+    assert series.is_non_decreasing("final_radius_D")
+    # the four node-status values of Table I exist
+    assert {status.value for status in NodeStatus} == {"Nv", "Lv", "Rv", "Av"}
+    write_report(results_dir, experiment,
+                 ["final_radius_D", "result_set_size", "points_examined"])

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper's
+evaluation (see DESIGN.md, experiment index).  Each module contains
+
+* pytest-benchmark cases that time a representative configuration of the
+  experiment (so ``pytest benchmarks/ --benchmark-only`` produces a timing
+  table), and
+* one ``test_report_*`` case that runs the full parameter sweep, prints the
+  same series the paper plots, and writes the table to
+  ``benchmarks/results/<experiment>.txt`` so it can be pasted into
+  EXPERIMENTS.md.
+
+Absolute numbers are not expected to match the paper (different hardware,
+simulated cluster); the *shape* assertions of each report test encode what
+must hold.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evaluation import Experiment, format_experiment
+
+#: Where the report tests drop their plain-text tables.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: pathlib.Path, experiment: Experiment,
+                 metrics: list[str]) -> str:
+    """Format an experiment, print it and persist it under ``results/``."""
+    text = format_experiment(experiment, metrics)
+    path = results_dir / f"{experiment.experiment_id}.txt"
+    path.write_text(text + "\n")
+    print("\n" + text)
+    return text

@@ -1,0 +1,70 @@
+"""Distributed scaling: how partitions affect building and query cost.
+
+This example exercises the distributed side of SemTree directly (Figures 3,
+5 and 7 of the paper): it builds the index over the same point workload with
+1, 3, 5 and 9 partitions on a simulated 8-node cluster, and reports
+
+* the simulated parallel building cost (critical path),
+* the simulated cost of a batch of k-nearest queries (K = 3),
+* the simulated cost of a batch of range queries,
+* the number of inter-partition messages,
+
+so the effect of partitioning can be read off a single table.
+
+Run with::
+
+    python examples/distributed_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import SimulatedCluster
+from repro.core import DistributedSemTree, SemTreeConfig
+from repro.core.stats import distributed_stats
+from repro.evaluation import measure
+from repro.workloads import perturbed_queries, uniform_points
+
+POINTS = 8000
+DIMENSIONS = 4
+QUERIES = 50
+PARTITION_COUNTS = (1, 3, 5, 9)
+
+
+def run_configuration(partitions: int):
+    """Build and query a distributed SemTree with the given partition count."""
+    points = uniform_points(POINTS, DIMENSIONS, seed=1)
+    cluster = SimulatedCluster(node_count=8)
+    config = SemTreeConfig(
+        dimensions=DIMENSIONS, bucket_size=16, max_partitions=partitions,
+        partition_capacity=max(64, 16 * partitions),
+    )
+    tree = DistributedSemTree(config, cluster=cluster)
+
+    build = measure(lambda: tree.insert_all(points), cluster=cluster)
+    workload = perturbed_queries(points, QUERIES, k=3, radius=0.05, seed=2)
+    knn = measure(lambda: [tree.k_nearest(q, workload.k) for q in workload], cluster=cluster)
+    rng = measure(lambda: [tree.range_query(q, workload.radius) for q in workload],
+                  cluster=cluster)
+    stats = distributed_stats(tree)
+    return build, knn, rng, stats
+
+
+def main() -> None:
+    print(f"Workload: {POINTS} points, {QUERIES} queries, K=3")
+    header = (f"{'partitions':>10}  {'build (sim)':>12}  {'knn batch (sim)':>15}  "
+              f"{'range batch (sim)':>17}  {'messages':>9}  {'data spread':>11}")
+    print(header)
+    print("-" * len(header))
+    for partitions in PARTITION_COUNTS:
+        build, knn, rng, stats = run_configuration(partitions)
+        spread = stats["data_partition_imbalance"]
+        print(f"{partitions:>10}  {build.simulated_critical_path:>12.0f}  "
+              f"{knn.simulated_critical_path:>15.0f}  "
+              f"{rng.simulated_critical_path:>17.0f}  "
+              f"{stats['messages']:>9}  {spread:>11.2f}")
+    print("\nLower simulated cost with more partitions = the parallel benefit the "
+          "paper reports; the message column shows the communication price paid for it.")
+
+
+if __name__ == "__main__":
+    main()

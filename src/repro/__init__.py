@@ -1,0 +1,39 @@
+"""repro — a reproduction of *SemTree: an index for supporting semantic
+retrieval of documents* (Amato et al., ICDE Workshops 2015).
+
+The package is organised as one subpackage per subsystem:
+
+* :mod:`repro.rdf` — triples, namespaces, Turtle-like parsing, triple store;
+* :mod:`repro.semantics` — taxonomies, similarity measures, the weighted
+  triple distance of Eq. (1);
+* :mod:`repro.embedding` — FastMap and the triple embedder;
+* :mod:`repro.cluster` — the simulated distributed environment;
+* :mod:`repro.core` — the sequential and distributed SemTree index and the
+  :class:`~repro.core.semtree.SemTreeIndex` facade;
+* :mod:`repro.nlp` — controlled-English requirement sentences → triples;
+* :mod:`repro.requirements` — the software-requirements case study
+  (synthetic corpus, antinomy vocabulary, inconsistency detection);
+* :mod:`repro.baselines` — linear-scan and sequential-tree baselines;
+* :mod:`repro.workloads` — synthetic point/query workload generators;
+* :mod:`repro.evaluation` — precision/recall, timing, experiment running.
+"""
+
+from repro.core.config import SemTreeConfig, SplitStrategy
+from repro.core.semtree import SemanticMatch, SemTreeIndex
+from repro.rdf.triple import Triple, TriplePattern
+from repro.semantics.triple_distance import DistanceWeights, TermDistance, TripleDistance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SemTreeIndex",
+    "SemanticMatch",
+    "SemTreeConfig",
+    "SplitStrategy",
+    "Triple",
+    "TriplePattern",
+    "TripleDistance",
+    "TermDistance",
+    "DistanceWeights",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Baselines: exhaustive linear scans (embedded-space and raw semantic) and the
+sequential single-partition KD-tree adapter."""
+
+from repro.baselines.linear_scan import LinearScanIndex, SemanticLinearScan
+from repro.baselines.sequential_adapter import SequentialKDTreeBaseline
+
+__all__ = [
+    "LinearScanIndex",
+    "SemanticLinearScan",
+    "SequentialKDTreeBaseline",
+]

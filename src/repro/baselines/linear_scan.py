@@ -1,0 +1,117 @@
+"""Exhaustive linear-scan baselines.
+
+The paper defers a comparison with other RDF indexing systems to future
+work, but every efficiency and effectiveness figure still needs a ground
+truth and a lower-bound comparator.  Two scanners are provided:
+
+* :class:`LinearScanIndex` — scans the *embedded points* with the Euclidean
+  distance: the exact answer the KD-tree is supposed to return, so it doubles
+  as the correctness oracle in tests.
+* :class:`SemanticLinearScan` — scans the *raw triples* with the semantic
+  distance of Eq. (1), i.e. the answer an un-embedded, un-indexed system
+  would return; comparing it with SemTree quantifies the loss introduced by
+  the FastMap approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.core.knn import Neighbour
+from repro.core.point import LabeledPoint, euclidean_distance
+from repro.errors import QueryError
+from repro.rdf.triple import Triple
+from repro.semantics.triple_distance import TripleDistance
+
+__all__ = ["LinearScanIndex", "SemanticLinearScan"]
+
+
+class LinearScanIndex:
+    """Brute-force k-NN / range search over embedded points (exact answers)."""
+
+    def __init__(self, points: Iterable[LabeledPoint] | None = None):
+        self._points: List[LabeledPoint] = list(points) if points else []
+
+    def insert(self, point: LabeledPoint) -> None:
+        """Add one point."""
+        self._points.append(point)
+
+    def insert_all(self, points: Iterable[LabeledPoint]) -> None:
+        """Add many points."""
+        self._points.extend(points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def k_nearest(self, query: LabeledPoint, k: int) -> List[Neighbour]:
+        """The exact ``k`` nearest points, closest first."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        scored = [
+            Neighbour(point, euclidean_distance(query, point)) for point in self._points
+        ]
+        scored.sort(key=lambda neighbour: neighbour.distance)
+        return scored[:k]
+
+    def range_query(self, query: LabeledPoint, radius: float) -> List[Neighbour]:
+        """Every point within ``radius``, closest first."""
+        if radius < 0:
+            raise QueryError("radius must be non-negative")
+        found = [
+            Neighbour(point, euclidean_distance(query, point))
+            for point in self._points
+            if euclidean_distance(query, point) <= radius
+        ]
+        found.sort(key=lambda neighbour: neighbour.distance)
+        return found
+
+    def points(self) -> List[LabeledPoint]:
+        """The stored points, in insertion order."""
+        return list(self._points)
+
+
+class SemanticLinearScan:
+    """Brute-force retrieval over raw triples with the semantic distance of Eq. (1).
+
+    This is the "no index, no embedding" comparator: exact with respect to
+    the semantic distance, but linear in the corpus size for every query.
+    """
+
+    def __init__(self, distance: TripleDistance, triples: Iterable[Triple] | None = None):
+        self.distance = distance
+        self._triples: List[Triple] = list(triples) if triples else []
+
+    def add(self, triple: Triple) -> None:
+        """Add one triple to the scanned corpus."""
+        self._triples.append(triple)
+
+    def add_all(self, triples: Iterable[Triple]) -> None:
+        """Add many triples."""
+        self._triples.extend(triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def k_nearest(self, query: Triple, k: int) -> List[tuple[Triple, float]]:
+        """The ``k`` semantically closest triples, closest first."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        scored = [(triple, self.distance(query, triple)) for triple in self._triples]
+        scored.sort(key=lambda pair: pair[1])
+        return scored[:k]
+
+    def range_query(self, query: Triple, radius: float) -> List[tuple[Triple, float]]:
+        """Every triple within semantic distance ``radius``, closest first."""
+        if radius < 0:
+            raise QueryError("radius must be non-negative")
+        found = [
+            (triple, self.distance(query, triple))
+            for triple in self._triples
+            if self.distance(query, triple) <= radius
+        ]
+        found.sort(key=lambda pair: pair[1])
+        return found
+
+    def triples(self) -> List[Triple]:
+        """The scanned triples, in insertion order."""
+        return list(self._triples)

@@ -1,0 +1,81 @@
+"""Sequential single-partition baseline.
+
+Wraps the sequential :class:`~repro.core.kdtree.KDTree` behind the same
+query interface as :class:`~repro.core.distributed.DistributedSemTree`, so
+the benchmark harness can sweep "1 partition" and "M partitions"
+configurations with identical code.  It also exposes the balanced /
+unbalanced bulk builders used by Figures 3, 4 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.config import SemTreeConfig, SplitStrategy
+from repro.core.kdtree import KDTree
+from repro.core.knn import Neighbour
+from repro.core.point import LabeledPoint
+
+__all__ = ["SequentialKDTreeBaseline"]
+
+
+class SequentialKDTreeBaseline:
+    """A single-partition KD-tree behind the distributed-tree query interface."""
+
+    def __init__(self, config: SemTreeConfig):
+        self.config = config
+        self._tree = KDTree.from_config(config)
+
+    # -- constructors used by the benchmarks ---------------------------------------------
+
+    @classmethod
+    def balanced(cls, points: Sequence[LabeledPoint], config: SemTreeConfig) -> "SequentialKDTreeBaseline":
+        """Bulk-load a balanced tree (the paper's "1 partition (balanced)")."""
+        baseline = cls(config)
+        baseline._tree = KDTree.build_balanced(points, bucket_size=config.bucket_size)
+        return baseline
+
+    @classmethod
+    def unbalanced_chain(cls, points: Sequence[LabeledPoint],
+                         config: SemTreeConfig) -> "SequentialKDTreeBaseline":
+        """Build the paper's "1 partition (totally unbalanced)" chain tree."""
+        baseline = cls(config.with_updates(split_strategy=SplitStrategy.FIRST_POINT))
+        baseline._tree = KDTree.build_chain(points, bucket_size=1)
+        return baseline
+
+    @classmethod
+    def by_dynamic_insertion(cls, points: Iterable[LabeledPoint],
+                             config: SemTreeConfig) -> "SequentialKDTreeBaseline":
+        """Build the tree by inserting every point one by one."""
+        baseline = cls(config)
+        baseline.insert_all(points)
+        return baseline
+
+    # -- the shared interface --------------------------------------------------------------
+
+    @property
+    def tree(self) -> KDTree:
+        """The wrapped sequential tree."""
+        return self._tree
+
+    def insert(self, point: LabeledPoint) -> None:
+        """Insert one point."""
+        self._tree.insert(point)
+
+    def insert_all(self, points: Iterable[LabeledPoint]) -> None:
+        """Insert many points."""
+        self._tree.insert_all(points)
+
+    def k_nearest(self, query: LabeledPoint, k: int) -> List[Neighbour]:
+        """Sequential k-nearest search."""
+        return self._tree.k_nearest(query, k)
+
+    def range_query(self, query: LabeledPoint, radius: float) -> List[Neighbour]:
+        """Sequential range search."""
+        return self._tree.range_query(query, radius)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __repr__(self) -> str:
+        return f"SequentialKDTreeBaseline({self._tree!r})"

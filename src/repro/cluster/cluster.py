@@ -1,0 +1,135 @@
+"""Cluster orchestration: compute nodes + message bus + simulated clock.
+
+:class:`SimulatedCluster` is the single object the SemTree index talks to.
+It owns the compute nodes, places partitions on them (least-loaded-first, as
+a stand-in for whatever scheduler the paper's cluster used), routes
+messages, and exposes the simulated-cost counters the distributed
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.clock import CostSnapshot, SimulatedClock
+from repro.cluster.message import Message
+from repro.cluster.network import MessageBus, MessageHandler
+from repro.cluster.node import ComputeNode
+from repro.errors import ClusterError
+
+__all__ = ["SimulatedCluster"]
+
+
+class SimulatedCluster:
+    """A simulated cluster of compute nodes hosting SemTree partitions.
+
+    Parameters
+    ----------
+    node_count:
+        Number of compute nodes (the paper's testbed had 8).
+    node_capacity:
+        Storage capacity per node, in points (``None`` = unlimited).
+    remote_latency / local_latency:
+        Network costs charged per message (see :class:`MessageBus`).
+    """
+
+    def __init__(self, node_count: int = 8, *, node_capacity: int | None = None,
+                 remote_latency: float = 5.0, local_latency: float = 0.5):
+        if node_count < 1:
+            raise ClusterError("a cluster needs at least one compute node")
+        self.clock = SimulatedClock()
+        self.bus = MessageBus(self.clock, remote_latency=remote_latency,
+                              local_latency=local_latency)
+        self._nodes: Dict[str, ComputeNode] = {}
+        for index in range(node_count):
+            node = ComputeNode(node_id=f"node-{index}", storage_capacity=node_capacity)
+            self._nodes[node.node_id] = node
+
+    # -- nodes -----------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[ComputeNode]:
+        """The compute nodes, ordered by identifier."""
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+
+    def node(self, node_id: str) -> ComputeNode:
+        """Return one compute node by identifier."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ClusterError(f"unknown compute node {node_id!r}") from None
+
+    def add_node(self, node: ComputeNode) -> None:
+        """Add a compute node to the cluster (e.g. for elasticity experiments)."""
+        if node.node_id in self._nodes:
+            raise ClusterError(f"node {node.node_id!r} already exists")
+        self._nodes[node.node_id] = node
+
+    @property
+    def node_count(self) -> int:
+        """Number of compute nodes."""
+        return len(self._nodes)
+
+    # -- partition placement ------------------------------------------------------------
+
+    def place_partition(self, partition_id: str, handler: MessageHandler,
+                        *, preferred_node: str | None = None) -> str:
+        """Place a new partition on a compute node and register it on the bus.
+
+        The partition goes to ``preferred_node`` when given, otherwise to the
+        node currently hosting the fewest partitions (ties broken by node
+        identifier, so placement is deterministic).
+
+        Returns the identifier of the hosting node.
+        """
+        if preferred_node is not None:
+            node = self.node(preferred_node)
+        else:
+            node = min(
+                self.nodes, key=lambda candidate: (len(candidate.partitions), candidate.node_id)
+            )
+        node.host_partition(partition_id)
+        self.bus.register(partition_id, handler, node.node_id)
+        return node.node_id
+
+    def remove_partition(self, partition_id: str) -> None:
+        """Remove a partition from its node and from the bus."""
+        node_id = self.bus.node_of(partition_id)
+        self.node(node_id).drop_partition(partition_id)
+        self.bus.unregister(partition_id)
+
+    def node_of_partition(self, partition_id: str) -> str:
+        """Identifier of the node hosting a partition."""
+        return self.bus.node_of(partition_id)
+
+    def record_points(self, partition_id: str, delta: int) -> None:
+        """Propagate a point-count change to the hosting node's storage accounting."""
+        node_id = self.bus.node_of(partition_id)
+        self.node(node_id).record_points(partition_id, delta)
+
+    # -- messaging & cost accounting ----------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send a message over the simulated network."""
+        self.bus.send(message)
+
+    def charge_work(self, partition_id: str, cost: float) -> None:
+        """Charge local work to the partition (scaled by its node's processing cost)."""
+        node_id = self.bus.node_of(partition_id)
+        multiplier = self.node(node_id).processing_cost
+        self.clock.charge(partition_id, cost * multiplier)
+
+    def costs(self) -> CostSnapshot:
+        """Snapshot of the accumulated simulated costs."""
+        return self.clock.snapshot()
+
+    def reset_costs(self) -> None:
+        """Zero the simulated clock (e.g. between build and query phases)."""
+        self.clock.reset()
+
+    def __repr__(self) -> str:
+        partitions = sum(len(node.partitions) for node in self.nodes)
+        return (
+            f"SimulatedCluster(nodes={self.node_count}, partitions={partitions}, "
+            f"messages={self.clock.messages})"
+        )

@@ -1,0 +1,68 @@
+"""Messages exchanged between partitions.
+
+The paper's SemTree navigates across partitions "by a proper communication
+protocol (in our implementation based on MPJ libraries)": when the child of
+a routing node lives on another partition, a message carrying the operation
+(insert this point / continue this k-search / continue this range search)
+is sent to the partition hosting that child.  The reproduction models those
+messages explicitly so they can be counted and charged to the simulated
+network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = ["MessageKind", "Message"]
+
+_message_counter = itertools.count()
+
+
+class MessageKind(Enum):
+    """The operation carried by an inter-partition message."""
+
+    INSERT = "insert"
+    KNN_DESCEND = "knn_descend"
+    KNN_RESULT = "knn_result"
+    RANGE_DESCEND = "range_descend"
+    RANGE_RESULT = "range_result"
+    BUILD_PARTITION = "build_partition"
+    MOVE_LEAF = "move_leaf"
+    ACK = "ack"
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message on the simulated network.
+
+    Attributes
+    ----------
+    kind:
+        What the receiving partition should do.
+    source / target:
+        Partition identifiers.
+    payload:
+        Operation-specific data (the point being inserted, the query state, ...).
+    message_id:
+        Monotonic identifier, useful in tests and traces.
+    """
+
+    kind: MessageKind
+    source: str
+    target: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def reply(self, kind: MessageKind, payload: Optional[Dict[str, Any]] = None) -> "Message":
+        """Build a reply message flowing back from target to source."""
+        return Message(kind=kind, source=self.target, target=self.source,
+                       payload=payload or {})
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(id={self.message_id}, kind={self.kind.value}, "
+            f"{self.source} -> {self.target})"
+        )

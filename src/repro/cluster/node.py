@@ -1,0 +1,108 @@
+"""Compute nodes of the simulated cluster.
+
+The paper's condition for spilling a partition "may depend on the percentage
+of the available storage resources of each partition or statically fixed".
+A :class:`ComputeNode` therefore has a storage capacity (measured in points)
+and tracks how much of it is used by the partitions it hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.errors import ClusterError
+
+__all__ = ["ComputeNode"]
+
+
+@dataclass
+class ComputeNode:
+    """A simulated compute node: identity, storage capacity, hosted partitions.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identifier within the cluster.
+    storage_capacity:
+        Maximum number of points this node can store across all the
+        partitions it hosts.  ``None`` means unlimited.
+    processing_cost:
+        Relative cost multiplier for work performed on this node, allowing
+        heterogeneous-cluster experiments (1.0 = baseline speed).
+    """
+
+    node_id: str
+    storage_capacity: int | None = None
+    processing_cost: float = 1.0
+    _partitions: Set[str] = field(default_factory=set, repr=False)
+    _stored_points: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ClusterError("a ComputeNode requires a non-empty identifier")
+        if self.storage_capacity is not None and self.storage_capacity <= 0:
+            raise ClusterError("storage_capacity must be positive (or None for unlimited)")
+        if self.processing_cost <= 0:
+            raise ClusterError("processing_cost must be positive")
+
+    # -- partition hosting ---------------------------------------------------------
+
+    def host_partition(self, partition_id: str) -> None:
+        """Register a partition as hosted on this node."""
+        self._partitions.add(partition_id)
+        self._stored_points.setdefault(partition_id, 0)
+
+    def drop_partition(self, partition_id: str) -> None:
+        """Unregister a partition (its points no longer count against capacity)."""
+        self._partitions.discard(partition_id)
+        self._stored_points.pop(partition_id, None)
+
+    def hosts(self, partition_id: str) -> bool:
+        """True when the partition is hosted on this node."""
+        return partition_id in self._partitions
+
+    @property
+    def partitions(self) -> List[str]:
+        """Identifiers of the partitions hosted here, sorted."""
+        return sorted(self._partitions)
+
+    # -- storage accounting ------------------------------------------------------------
+
+    def record_points(self, partition_id: str, delta: int) -> None:
+        """Adjust the number of points stored by a hosted partition."""
+        if partition_id not in self._partitions:
+            raise ClusterError(
+                f"partition {partition_id!r} is not hosted on node {self.node_id!r}"
+            )
+        new_value = self._stored_points.get(partition_id, 0) + delta
+        if new_value < 0:
+            raise ClusterError(
+                f"partition {partition_id!r} would store a negative number of points"
+            )
+        self._stored_points[partition_id] = new_value
+
+    @property
+    def stored_points(self) -> int:
+        """Total points stored on this node across all hosted partitions."""
+        return sum(self._stored_points.values())
+
+    @property
+    def used_fraction(self) -> float:
+        """Fraction of storage capacity in use (0.0 when capacity is unlimited)."""
+        if self.storage_capacity is None:
+            return 0.0
+        return self.stored_points / self.storage_capacity
+
+    def has_room_for(self, additional_points: int = 1) -> bool:
+        """True when the node can absorb ``additional_points`` more points."""
+        if self.storage_capacity is None:
+            return True
+        return self.stored_points + additional_points <= self.storage_capacity
+
+    def __repr__(self) -> str:
+        capacity = "∞" if self.storage_capacity is None else str(self.storage_capacity)
+        return (
+            f"ComputeNode(id={self.node_id!r}, stored={self.stored_points}/{capacity}, "
+            f"partitions={len(self._partitions)})"
+        )

@@ -1,0 +1,45 @@
+"""SemTree core: the paper's primary contribution.
+
+Sequential bucket KD-tree, the distributed partition machinery, the
+k-nearest / range search state of Table I, and the :class:`SemTreeIndex`
+facade that connects triples, the semantic distance, FastMap and the
+distributed tree."""
+
+from repro.core.config import CapacityPolicy, SemTreeConfig, SplitStrategy
+from repro.core.distributed import DistributedSemTree, RangeSearchState
+from repro.core.kdtree import KDTree
+from repro.core.knn import KSearchState, Neighbour, NodeStatus, ResultSet
+from repro.core.node import Node, RemoteChild
+from repro.core.partition import Partition
+from repro.core.point import LabeledPoint, euclidean_distance, squared_euclidean_distance
+from repro.core.semtree import SemanticMatch, SemTreeIndex
+from repro.core.splitting import SplitDecision, choose_split, partition_bucket
+from repro.core.stats import TreeStats, distributed_stats, expected_nodes, sequential_stats
+
+__all__ = [
+    "SemTreeConfig",
+    "SplitStrategy",
+    "CapacityPolicy",
+    "KDTree",
+    "DistributedSemTree",
+    "RangeSearchState",
+    "Partition",
+    "Node",
+    "RemoteChild",
+    "LabeledPoint",
+    "euclidean_distance",
+    "squared_euclidean_distance",
+    "KSearchState",
+    "ResultSet",
+    "Neighbour",
+    "NodeStatus",
+    "SplitDecision",
+    "choose_split",
+    "partition_bucket",
+    "SemTreeIndex",
+    "SemanticMatch",
+    "TreeStats",
+    "sequential_stats",
+    "distributed_stats",
+    "expected_nodes",
+]

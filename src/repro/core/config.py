@@ -1,0 +1,122 @@
+"""Configuration of the SemTree index.
+
+Collects the knobs the paper mentions — bucket size ``Bs``, number of usable
+partitions ``M``, the capacity condition that triggers the build-partition
+procedure ("dynamically evaluated at run-time ... or statically fixed") —
+plus the reproduction-specific cost-model parameters of the simulated
+cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import IndexError_
+
+__all__ = ["SplitStrategy", "CapacityPolicy", "SemTreeConfig"]
+
+
+class SplitStrategy(Enum):
+    """How a saturated leaf chooses its split dimension and value.
+
+    ``MEDIAN``
+        Cycle the split dimension with the depth and split at the median
+        coordinate (the classic KD-tree rule; default).
+    ``MIDPOINT``
+        Cycle the dimension and split at the midpoint of the bucket's
+        bounding interval.
+    ``MAX_SPREAD``
+        Split the dimension with the largest spread at its median.
+    ``FIRST_POINT``
+        Split at the first point's coordinate on the cycling dimension;
+        with sorted insertions this degenerates into the paper's "totally
+        unbalanced (chain)" tree, so it doubles as the worst-case
+        configuration of Figures 3, 4 and 6.
+    """
+
+    MEDIAN = "median"
+    MIDPOINT = "midpoint"
+    MAX_SPREAD = "max-spread"
+    FIRST_POINT = "first-point"
+
+
+class CapacityPolicy(Enum):
+    """When a partition is considered saturated (triggering build-partition).
+
+    ``STATIC``
+        A statically fixed maximum number of points per partition.
+    ``NODE_FRACTION``
+        A fraction of the hosting compute node's storage capacity — the
+        paper's "percentage of the available storage resources".
+    """
+
+    STATIC = "static"
+    NODE_FRACTION = "node-fraction"
+
+
+@dataclass(frozen=True, slots=True)
+class SemTreeConfig:
+    """All tuning parameters of a SemTree instance.
+
+    Parameters
+    ----------
+    dimensions:
+        Dimensionality of the indexed points (= FastMap output dimensions).
+    bucket_size:
+        The paper's ``Bs``: maximum number of points a leaf holds before it
+        is split.
+    max_partitions:
+        The paper's ``M``: the number of partitions the cluster can host
+        (including the root partition).  1 means a purely sequential tree.
+    partition_capacity:
+        Maximum number of points a partition may store before the
+        build-partition procedure spills its leaves (STATIC policy).
+    capacity_policy:
+        STATIC (use ``partition_capacity``) or NODE_FRACTION (use
+        ``node_capacity_fraction`` of the hosting node's storage).
+    node_capacity_fraction:
+        Fraction of the hosting node's capacity a partition may use under
+        the NODE_FRACTION policy.
+    split_strategy:
+        Leaf split rule (see :class:`SplitStrategy`).
+    point_visit_cost / point_insert_cost:
+        Simulated work units charged per point examined / stored.
+    node_visit_cost:
+        Simulated work units charged per tree node traversed.
+    """
+
+    dimensions: int = 4
+    bucket_size: int = 16
+    max_partitions: int = 1
+    partition_capacity: int = 2048
+    capacity_policy: CapacityPolicy = CapacityPolicy.STATIC
+    node_capacity_fraction: float = 0.8
+    split_strategy: SplitStrategy = SplitStrategy.MEDIAN
+    point_visit_cost: float = 0.1
+    point_insert_cost: float = 0.1
+    node_visit_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise IndexError_("dimensions must be >= 1")
+        if self.bucket_size < 1:
+            raise IndexError_("bucket_size must be >= 1")
+        if self.max_partitions < 1:
+            raise IndexError_("max_partitions must be >= 1")
+        if self.partition_capacity < self.bucket_size:
+            raise IndexError_(
+                "partition_capacity must be at least bucket_size "
+                f"({self.partition_capacity} < {self.bucket_size})"
+            )
+        if not 0.0 < self.node_capacity_fraction <= 1.0:
+            raise IndexError_("node_capacity_fraction must be in (0, 1]")
+        for name in ("point_visit_cost", "point_insert_cost", "node_visit_cost"):
+            if getattr(self, name) < 0:
+                raise IndexError_(f"{name} must be non-negative")
+
+    def with_updates(self, **changes) -> "SemTreeConfig":
+        """Return a copy of the configuration with some fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)

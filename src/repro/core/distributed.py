@@ -1,0 +1,487 @@
+"""The distributed SemTree: a KD-tree whose nodes are spread over partitions.
+
+This module implements the four algorithms of Section III-B of the paper on
+top of the simulated cluster:
+
+1. **Distributed insertion** — the insertion starts at the root node of the
+   root partition; navigation compares ``P[Sr]`` with ``Sv`` at every routing
+   node; when the selected child lives on another partition
+   (``Cp != Childp``), a message carrying the point is sent to that
+   partition, which continues the insertion locally; a saturated leaf is
+   split into two fresh children.
+2. **Build partition** — when a partition exhausts its allowed resources and
+   spare partitions are available, every local leaf is moved into a newly
+   created partition and a direct link (a :class:`RemoteChild` pointer)
+   replaces it, leaving the original partition as a routing-only partition.
+3. **Distributed k-nearest search** — forward descent to a leaf, then a
+   backward visit that explores the sibling subtree only when the splitting
+   plane is closer than the current worst neighbour or the result set is
+   not yet full; partition crossings exchange request/result messages.
+4. **Distributed range search** — when ``|P[SI] - Sv| < D`` both children are
+   navigated (in parallel across partitions when the node is an edge node);
+   otherwise navigation follows the insertion rule; partial result sets are
+   merged on the way back.
+
+Costs are charged to the :class:`~repro.cluster.cluster.SimulatedCluster`:
+local work per visited node / examined point to the owning partition,
+message latencies to the network.  Wall-clock time is measured separately by
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.message import Message, MessageKind
+from repro.core.config import SemTreeConfig
+from repro.core.knn import KSearchState, Neighbour
+from repro.core.node import ChildRef, Node, RemoteChild
+from repro.core.partition import Partition
+from repro.core.point import LabeledPoint, euclidean_distance
+from repro.core.splitting import choose_split
+from repro.errors import IndexError_, PartitionError, QueryError
+
+__all__ = ["DistributedSemTree", "RangeSearchState"]
+
+
+class RangeSearchState:
+    """Mutable state of one distributed range search (results + counters)."""
+
+    def __init__(self, query: LabeledPoint, radius: float):
+        if radius < 0:
+            raise QueryError("the range distance D must be non-negative")
+        self.query = query
+        self.radius = radius
+        self.results: List[Neighbour] = []
+        self.nodes_visited = 0
+        self.points_examined = 0
+        self.partitions_visited = 0
+
+    def sorted_results(self) -> List[Neighbour]:
+        """The collected results, closest first."""
+        return sorted(self.results, key=lambda neighbour: neighbour.distance)
+
+
+class DistributedSemTree:
+    """A KD-tree distributed over the partitions of a simulated cluster.
+
+    Parameters
+    ----------
+    config:
+        Index configuration (dimensions, bucket size, number of partitions,
+        capacity policy, cost model).
+    cluster:
+        The simulated cluster hosting the partitions.  When omitted, a
+        cluster with as many nodes as ``config.max_partitions`` is created.
+    """
+
+    ROOT_PARTITION_ID = "P0"
+
+    def __init__(self, config: SemTreeConfig, cluster: SimulatedCluster | None = None):
+        self.config = config
+        self.cluster = cluster or SimulatedCluster(node_count=max(config.max_partitions, 1))
+        self._partitions: Dict[str, Partition] = {}
+        self._partition_counter = itertools.count(1)
+        self._size = 0
+        root_partition = Partition(self.ROOT_PARTITION_ID, self)
+        self._register_partition(root_partition)
+
+    # -- partition management -----------------------------------------------------------
+
+    def _register_partition(self, partition: Partition,
+                            preferred_node: str | None = None) -> None:
+        self._partitions[partition.partition_id] = partition
+        self.cluster.place_partition(
+            partition.partition_id, partition.handle_message, preferred_node=preferred_node
+        )
+
+    def _new_partition(self, root: Node) -> Partition:
+        partition_id = f"P{next(self._partition_counter)}"
+        partition = Partition(partition_id, self, root=root)
+        self._register_partition(partition)
+        if partition.point_count:
+            self.cluster.record_points(partition_id, partition.point_count)
+        return partition
+
+    @property
+    def root_partition(self) -> Partition:
+        """The root partition (``P0``), where every operation starts."""
+        return self._partitions[self.ROOT_PARTITION_ID]
+
+    def partition(self, partition_id: str) -> Partition:
+        """Return a partition by identifier."""
+        try:
+            return self._partitions[partition_id]
+        except KeyError:
+            raise PartitionError(f"unknown partition {partition_id!r}") from None
+
+    @property
+    def partitions(self) -> List[Partition]:
+        """All partitions, ordered by identifier."""
+        return [self._partitions[pid] for pid in sorted(self._partitions)]
+
+    @property
+    def partition_count(self) -> int:
+        """Number of partitions currently in use."""
+        return len(self._partitions)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion -------------------------------------------------------------------------
+
+    def insert(self, point: LabeledPoint) -> None:
+        """Insert a point, starting "from the root node of the root partition"."""
+        if point.dimensions != self.config.dimensions:
+            raise IndexError_(
+                f"point has {point.dimensions} dimensions, the index expects "
+                f"{self.config.dimensions}"
+            )
+        self._insert_in_partition(self.root_partition, point)
+        self._size += 1
+
+    def insert_all(self, points: Iterable[LabeledPoint]) -> None:
+        """Insert many points one by one."""
+        for point in points:
+            self.insert(point)
+
+    def handle_insert_message(self, partition: Partition, message: Message) -> None:
+        """Bus callback: continue an insertion that crossed into ``partition``."""
+        self._insert_in_partition(partition, message.payload["point"])
+
+    def _insert_in_partition(self, partition: Partition, point: LabeledPoint) -> None:
+        node = partition.root
+        depth = self._depth_hint(partition)
+        while True:
+            self.cluster.charge_work(partition.partition_id, self.config.node_visit_cost)
+            if node.is_leaf:
+                break
+            child = node.child_for(point)
+            if isinstance(child, RemoteChild):
+                # Cp != Childp: delegate the insertion to the partition
+                # hosting the child, via the communication protocol.
+                self.cluster.send(Message(
+                    kind=MessageKind.INSERT,
+                    source=partition.partition_id,
+                    target=child.partition_id,
+                    payload={"point": point},
+                ))
+                return
+            node = child
+            depth += 1
+
+        node.add_to_bucket(point)
+        partition.record_stored(1)
+        self.cluster.record_points(partition.partition_id, 1)
+        self.cluster.charge_work(partition.partition_id, self.config.point_insert_cost)
+        if len(node.bucket) > self.config.bucket_size:
+            self._split_leaf(partition, node, depth)
+        self._maybe_build_partitions(partition)
+
+    def _depth_hint(self, partition: Partition) -> int:
+        # The split dimension only needs to cycle; the exact global depth of a
+        # partition root is not tracked, so local depth 0 is a sound hint.
+        return 0
+
+    def _split_leaf(self, partition: Partition, leaf: Node, depth: int) -> None:
+        try:
+            decision = choose_split(leaf.bucket, depth, self.config.dimensions,
+                                    self.config.split_strategy)
+        except IndexError_:
+            return  # identical points: keep the oversized bucket
+        left = Node(partition_id=partition.partition_id, bucket=list(decision.left_points))
+        right = Node(partition_id=partition.partition_id, bucket=list(decision.right_points))
+        leaf.convert_to_routing(decision.split_index, decision.split_value, left, right)
+        self.cluster.charge_work(
+            partition.partition_id,
+            self.config.point_visit_cost * (len(decision.left_points) + len(decision.right_points)),
+        )
+
+    # -- build partition ----------------------------------------------------------------------
+
+    def _maybe_build_partitions(self, partition: Partition) -> None:
+        node_id = self.cluster.node_of_partition(partition.partition_id)
+        node_capacity = self.cluster.node(node_id).storage_capacity
+        if not partition.is_saturated(self.config, node_capacity):
+            return
+        if self.partition_count >= self.config.max_partitions:
+            return  # no spare compute resources: the partition keeps its data
+        self.build_partition(partition)
+
+    def build_partition(self, partition: Partition) -> List[str]:
+        """The paper's build-partition procedure.
+
+        Starting from the saturated partition's root, the subtrees holding
+        its leaves are moved into newly created partitions and replaced by
+        direct links, so that the original partition "is used just for
+        routing and others for storing data".  When the partition's leaves
+        all hang directly below its root this moves exactly "each leaf node
+        of the current partition into a different newly created partition";
+        when there are more leaves than spare compute nodes the procedure
+        moves the enclosing subtrees instead, which keeps the paper's
+        complexity model (the routing partition retains about ``2M - 1``
+        nodes and the ``M - 1`` data partitions share the points).
+
+        Returns the identifiers of the partitions created.  The procedure is
+        a no-op when the cluster has no spare partitions or the partition's
+        root is still a leaf.
+        """
+        slots = self.config.max_partitions - self.partition_count
+        if slots <= 0 or partition.root.is_leaf:
+            return []
+
+        frontier = self._spill_frontier(partition, slots)
+        created: List[str] = []
+        # Move the heaviest subtrees first so any subtree left behind (when
+        # the frontier is larger than the available slots) is the smallest.
+        frontier.sort(key=lambda entry: -self._subtree_points(entry[2]))
+        for parent, side, subtree_root in frontier[:slots]:
+            moved_points = self._subtree_points(subtree_root)
+            new_partition = self._new_partition(subtree_root)
+            created.append(new_partition.partition_id)
+            pointer = RemoteChild(new_partition.partition_id)
+            if side == "left":
+                parent.left = pointer
+            else:
+                parent.right = pointer
+            partition.record_stored(-moved_points)
+            if moved_points:
+                self.cluster.record_points(partition.partition_id, -moved_points)
+            # One message to ship the subtree, one acknowledgement back.
+            self.cluster.send(Message(
+                kind=MessageKind.MOVE_LEAF,
+                source=partition.partition_id,
+                target=new_partition.partition_id,
+                payload={"points": moved_points},
+            ))
+            self.cluster.send(Message(
+                kind=MessageKind.ACK,
+                source=new_partition.partition_id,
+                target=partition.partition_id,
+            ))
+            self.cluster.charge_work(
+                partition.partition_id, self.config.point_visit_cost * moved_points
+            )
+        return created
+
+    def _spill_frontier(self, partition: Partition,
+                        slots: int) -> List[Tuple[Node, str, Node]]:
+        """Choose the disjoint local subtrees to move out of a saturated partition.
+
+        The frontier starts at the children of the partition root and
+        expands the routing node with the most points until it has ``slots``
+        entries (or only leaves remain), so the moved subtrees cover every
+        local leaf whenever enough compute nodes are available.
+        """
+        frontier: List[Tuple[Node, str, Node]] = []
+        root = partition.root
+        for side in ("left", "right"):
+            child = getattr(root, side)
+            if isinstance(child, Node):
+                frontier.append((root, side, child))
+        while len(frontier) < slots:
+            expandable = [
+                entry for entry in frontier
+                if entry[2].is_routing
+                and isinstance(entry[2].left, Node)
+                and isinstance(entry[2].right, Node)
+            ]
+            if not expandable:
+                break
+            parent_entry = max(expandable, key=lambda entry: self._subtree_points(entry[2]))
+            frontier.remove(parent_entry)
+            _, _, node = parent_entry
+            frontier.append((node, "left", node.left))    # type: ignore[arg-type]
+            frontier.append((node, "right", node.right))  # type: ignore[arg-type]
+        return frontier
+
+    @staticmethod
+    def _subtree_points(root: Node) -> int:
+        """Number of points stored in the local leaves of a subtree."""
+        total = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += len(node.bucket)
+                continue
+            for child in (node.left, node.right):
+                if isinstance(child, Node):
+                    stack.append(child)
+        return total
+
+    # -- k-nearest search -----------------------------------------------------------------------
+
+    def k_nearest(self, query: LabeledPoint, k: int) -> List[Neighbour]:
+        """Return the ``k`` stored points closest to ``query``, closest first."""
+        return self.k_nearest_state(query, k).results.neighbours()
+
+    def k_nearest_state(self, query: LabeledPoint, k: int) -> KSearchState:
+        """Run the distributed k-nearest search and return its full state."""
+        if query.dimensions != self.config.dimensions:
+            raise QueryError(
+                f"query has {query.dimensions} dimensions, the index expects "
+                f"{self.config.dimensions}"
+            )
+        state = KSearchState(query=query, k=k)
+        state.partitions_visited = 1
+        self._knn_traverse(self.root_partition, state)
+        return state
+
+    def handle_knn_message(self, partition: Partition, message: Message) -> None:
+        """Bus callback: continue a k-search in ``partition`` and send the result back."""
+        state: KSearchState = message.payload["state"]
+        state.partitions_visited += 1
+        self._knn_traverse(partition, state)
+        self.cluster.send(Message(
+            kind=MessageKind.KNN_RESULT,
+            source=partition.partition_id,
+            target=message.source,
+            payload={"found": len(state.results)},
+        ))
+
+    def _knn_traverse(self, partition: Partition, state: KSearchState) -> None:
+        """Iterative forward + backward k-search over the nodes of one partition.
+
+        Remote children encountered on the way are delegated to their
+        partitions through the message bus (which re-enters this method via
+        :meth:`handle_knn_message`).
+        """
+        # Stack entries: (node, pending_far_child) — ``None`` means forward phase.
+        stack: List[Tuple[Node, Optional[ChildRef]]] = [(partition.root, None)]
+        while stack:
+            node, pending_far = stack.pop()
+            if pending_far is not None:
+                assert node.split_index is not None and node.split_value is not None
+                if state.must_visit_other_side(node.split_index, node.split_value):
+                    self._knn_expand(partition, pending_far, stack, state)
+                continue
+            state.nodes_visited += 1
+            self.cluster.charge_work(partition.partition_id, self.config.node_visit_cost)
+            if node.is_leaf:
+                examined = len(node.bucket)
+                state.examine_bucket(node.bucket)
+                self.cluster.charge_work(
+                    partition.partition_id, self.config.point_visit_cost * examined
+                )
+                continue
+            near_child = node.child_for(state.query)
+            far_child = node.other_child(near_child)
+            stack.append((node, far_child))
+            self._knn_expand(partition, near_child, stack, state)
+
+    def _knn_expand(self, partition: Partition, child: ChildRef,
+                    stack: List[Tuple[Node, Optional[ChildRef]]],
+                    state: KSearchState) -> None:
+        """Expand a child reference: push local nodes, delegate remote ones."""
+        if isinstance(child, RemoteChild):
+            self.cluster.send(Message(
+                kind=MessageKind.KNN_DESCEND,
+                source=partition.partition_id,
+                target=child.partition_id,
+                payload={"state": state},
+            ))
+            return
+        stack.append((child, None))
+
+    # -- range search -----------------------------------------------------------------------------
+
+    def range_query(self, query: LabeledPoint, radius: float) -> List[Neighbour]:
+        """Return every stored point within ``radius`` of ``query``, closest first."""
+        return self.range_query_state(query, radius).sorted_results()
+
+    def range_query_state(self, query: LabeledPoint, radius: float) -> RangeSearchState:
+        """Run the distributed range search and return its full state."""
+        if query.dimensions != self.config.dimensions:
+            raise QueryError(
+                f"query has {query.dimensions} dimensions, the index expects "
+                f"{self.config.dimensions}"
+            )
+        state = RangeSearchState(query, radius)
+        state.partitions_visited = 1
+        self._range_traverse(self.root_partition, state)
+        return state
+
+    def handle_range_message(self, partition: Partition, message: Message) -> None:
+        """Bus callback: continue a range search in ``partition`` and reply with results."""
+        state: RangeSearchState = message.payload["state"]
+        state.partitions_visited += 1
+        self._range_traverse(partition, state)
+        self.cluster.send(Message(
+            kind=MessageKind.RANGE_RESULT,
+            source=partition.partition_id,
+            target=message.source,
+            payload={"found": len(state.results)},
+        ))
+
+    def _range_traverse(self, partition: Partition, state: RangeSearchState) -> None:
+        stack: List[Node] = [partition.root]
+        while stack:
+            node = stack.pop()
+            state.nodes_visited += 1
+            self.cluster.charge_work(partition.partition_id, self.config.node_visit_cost)
+            if node.is_leaf:
+                for point in node.bucket:
+                    state.points_examined += 1
+                    distance = euclidean_distance(state.query, point)
+                    if distance <= state.radius:
+                        state.results.append(Neighbour(point, distance))
+                self.cluster.charge_work(
+                    partition.partition_id, self.config.point_visit_cost * len(node.bucket)
+                )
+                continue
+            assert node.split_index is not None and node.split_value is not None
+            plane_distance = abs(state.query[node.split_index] - node.split_value)
+            if plane_distance < state.radius:
+                # The query ball straddles the plane: navigate both children
+                # (in parallel across partitions when the node is an edge node).
+                self._range_expand(partition, node.left, stack, state)
+                self._range_expand(partition, node.right, stack, state)
+            else:
+                self._range_expand(partition, node.child_for(state.query), stack, state)
+
+    def _range_expand(self, partition: Partition, child: Optional[ChildRef],
+                      stack: List[Node], state: RangeSearchState) -> None:
+        if child is None:
+            raise IndexError_("routing node with a missing child")
+        if isinstance(child, RemoteChild):
+            self.cluster.send(Message(
+                kind=MessageKind.RANGE_DESCEND,
+                source=partition.partition_id,
+                target=child.partition_id,
+                payload={"state": state},
+            ))
+            return
+        stack.append(child)
+
+    # -- introspection ------------------------------------------------------------------------------
+
+    def points(self) -> List[LabeledPoint]:
+        """Every stored point, partition by partition."""
+        collected: List[LabeledPoint] = []
+        for partition in self.partitions:
+            for node in partition.local_nodes():
+                if node.is_leaf:
+                    collected.extend(node.bucket)
+        return collected
+
+    def statistics(self) -> Dict[str, object]:
+        """Structural statistics used by tests and the benchmark reports."""
+        per_partition = {p.partition_id: p.point_count for p in self.partitions}
+        routing_only = sum(1 for p in self.partitions if p.is_routing_only)
+        return {
+            "points": self._size,
+            "partitions": self.partition_count,
+            "routing_only_partitions": routing_only,
+            "points_per_partition": per_partition,
+            "nodes": sum(sum(1 for _ in p.local_nodes()) for p in self.partitions),
+            "messages": self.cluster.clock.messages,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedSemTree(points={self._size}, partitions={self.partition_count}, "
+            f"bucket_size={self.config.bucket_size})"
+        )

@@ -1,0 +1,176 @@
+"""K-nearest search state — Table I of the paper.
+
+The distributed k-nearest search algorithm is described by the paper through
+its input parameters (Table I):
+
+=============  =====  =======================================================
+Field          Ref.   Possible values
+=============  =====  =======================================================
+Node Status    S      Not Visited (Nv); Left Visited (Lv); Right Visited (Rv);
+                      All Visited (Av)
+Number of      K      the number of points we have to find
+points
+Distance       D      the distance between the interested point and the most
+                      distant one in the result set
+Result-set     Rs     a structure able to store in memory the k points of
+                      interest found
+Point          P      the point of interest
+=============  =====  =======================================================
+
+This module implements those pieces: :class:`NodeStatus`, the bounded
+:class:`ResultSet` (``Rs``), and :class:`KSearchState` which bundles ``K``,
+``P``, ``Rs`` and exposes the two sub-conditions of the backward visit
+(distance comparison and replenishment check).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional, Tuple
+
+from repro.core.point import LabeledPoint, euclidean_distance
+from repro.errors import QueryError
+
+__all__ = ["NodeStatus", "Neighbour", "ResultSet", "KSearchState"]
+
+
+class NodeStatus(Enum):
+    """Visit status of a node during the backward phase of k-search (Table I)."""
+
+    NOT_VISITED = "Nv"
+    LEFT_VISITED = "Lv"
+    RIGHT_VISITED = "Rv"
+    ALL_VISITED = "Av"
+
+
+@dataclass(frozen=True, slots=True)
+class Neighbour:
+    """One entry of the result set: a stored point and its distance to ``P``."""
+
+    point: LabeledPoint
+    distance: float
+
+    @property
+    def label(self) -> Any:
+        """Convenience accessor for the stored point's label."""
+        return self.point.label
+
+
+class ResultSet:
+    """The paper's ``Rs``: a bounded max-heap of the ``k`` closest points found.
+
+    ``D`` (Table I) is the distance between the query point and the most
+    distant point currently in the result set; it is exposed by
+    :attr:`current_radius`.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Max-heap via negated distances; the tie-breaker keeps heap entries
+        # comparable even when distances are equal.
+        self._heap: List[Tuple[float, int, Neighbour]] = []
+        self._counter = itertools.count()
+
+    def offer(self, point: LabeledPoint, distance: float) -> bool:
+        """Offer a candidate; returns True when it enters the result set."""
+        if distance < 0:
+            raise QueryError("distances must be non-negative")
+        neighbour = Neighbour(point, distance)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, next(self._counter), neighbour))
+            return True
+        if distance < self.current_radius:
+            heapq.heapreplace(self._heap, (-distance, next(self._counter), neighbour))
+            return True
+        return False
+
+    @property
+    def current_radius(self) -> float:
+        """``D``: distance to the farthest retained point (∞ while not full)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    @property
+    def is_full(self) -> bool:
+        """True once ``k`` points have been retained (Rs.length() >= K)."""
+        return len(self._heap) >= self.k
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def neighbours(self) -> List[Neighbour]:
+        """The retained neighbours, closest first."""
+        return sorted((entry[2] for entry in self._heap), key=lambda n: n.distance)
+
+    def points(self) -> List[LabeledPoint]:
+        """The retained points, closest first."""
+        return [neighbour.point for neighbour in self.neighbours()]
+
+    def labels(self) -> List[Any]:
+        """The labels of the retained points, closest first."""
+        return [neighbour.label for neighbour in self.neighbours()]
+
+    def merge(self, other: "ResultSet") -> None:
+        """Fold another result set into this one (used when merging partition results)."""
+        for neighbour in other.neighbours():
+            self.offer(neighbour.point, neighbour.distance)
+
+    def __repr__(self) -> str:
+        return f"ResultSet(k={self.k}, found={len(self)}, radius={self.current_radius:.3f})"
+
+
+@dataclass
+class KSearchState:
+    """The bundled state of one k-nearest search (the paper's Table I).
+
+    Attributes
+    ----------
+    query:
+        ``P``, the point of interest.
+    k:
+        ``K``, the number of points to find.
+    results:
+        ``Rs``, the bounded result set.
+    nodes_visited / points_examined / partitions_visited:
+        Reproduction-side counters used by tests and benchmarks.
+    """
+
+    query: LabeledPoint
+    k: int
+    results: ResultSet = field(init=False)
+    nodes_visited: int = 0
+    points_examined: int = 0
+    partitions_visited: int = 0
+
+    def __post_init__(self) -> None:
+        self.results = ResultSet(self.k)
+
+    # -- the two sub-conditions of the backward visit --------------------------------
+
+    def must_visit_other_side(self, split_index: int, split_value: float) -> bool:
+        """The paper's disjunction deciding whether to descend the unvisited subtree.
+
+        The former sub-condition compares distances
+        (``|max(Rs[SI]) - P[SI]| > |P[SI] - Sv|`` — i.e. the splitting plane
+        is closer than the current worst neighbour), the latter checks the
+        replenishment of ``Rs`` against ``k`` (``Rs.length() < K``).
+        """
+        if not self.results.is_full:
+            return True
+        plane_distance = abs(self.query[split_index] - split_value)
+        return plane_distance < self.results.current_radius
+
+    def examine(self, point: LabeledPoint) -> bool:
+        """Offer one stored point to the result set; returns True if retained."""
+        self.points_examined += 1
+        return self.results.offer(point, euclidean_distance(self.query, point))
+
+    def examine_bucket(self, points: List[LabeledPoint]) -> int:
+        """Offer every point of a leaf bucket; returns how many were retained."""
+        return sum(1 for point in points if self.examine(point))

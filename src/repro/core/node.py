@@ -1,0 +1,164 @@
+"""Tree nodes of SemTree.
+
+The paper: "Each tree node can be either a routing or a leaf node" and
+"we assume that our data can be stored only into the leaf nodes".  A routing
+node carries the split index ``Sr`` and split value ``Sv`` used to navigate
+"as in the standard Kd-Tree"; a leaf node carries a bucket of points.
+
+Within a partition, the paper further distinguishes *internal* routing nodes
+(all children on the same partition) from *edge* routing nodes (at least one
+child is the root of a different partition).  Remote children are
+represented by :class:`RemoteChild` pointers carrying the target partition
+identifier, which is exactly the "direct link between different partitions"
+instantiated by the build-partition algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.point import LabeledPoint
+from repro.errors import IndexError_
+
+__all__ = ["Node", "RemoteChild", "ChildRef"]
+
+_node_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteChild:
+    """A pointer to a subtree whose root lives in another partition."""
+
+    partition_id: str
+
+    def __repr__(self) -> str:
+        return f"RemoteChild({self.partition_id!r})"
+
+
+#: A child slot of a routing node: a local node or a remote pointer.
+ChildRef = Union["Node", RemoteChild]
+
+
+@dataclass
+class Node:
+    """A SemTree node: a leaf with a bucket of points, or a routing node.
+
+    Attributes
+    ----------
+    node_id:
+        Monotonic identifier (useful in traces and tests).
+    partition_id:
+        Identifier of the partition hosting this node (``None`` for nodes of
+        a purely sequential tree).
+    split_index:
+        The paper's ``Sr`` — the coordinate compared during navigation
+        (``None`` for leaves).
+    split_value:
+        The paper's ``Sv`` — the threshold on that coordinate (``None`` for
+        leaves).
+    left / right:
+        Child references; points with ``point[Sr] <= Sv`` go left.
+    bucket:
+        The points stored in a leaf (empty for routing nodes).
+    """
+
+    partition_id: Optional[str] = None
+    split_index: Optional[int] = None
+    split_value: Optional[float] = None
+    left: Optional[ChildRef] = None
+    right: Optional[ChildRef] = None
+    bucket: List[LabeledPoint] = field(default_factory=list)
+    node_id: int = field(default_factory=lambda: next(_node_counter))
+
+    # -- kind predicates ---------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for leaf nodes (data-bearing, no split)."""
+        return self.split_index is None
+
+    @property
+    def is_routing(self) -> bool:
+        """True for routing nodes (split-bearing, no data)."""
+        return not self.is_leaf
+
+    def is_edge(self) -> bool:
+        """True when at least one child is the root of a different partition.
+
+        Leaves are always edge nodes per the paper ("each leaf is an edge
+        node"); routing nodes are edge nodes when a child is remote.
+        """
+        if self.is_leaf:
+            return True
+        return isinstance(self.left, RemoteChild) or isinstance(self.right, RemoteChild)
+
+    def is_internal(self) -> bool:
+        """True for routing nodes whose children are both on the same partition."""
+        return self.is_routing and not self.is_edge()
+
+    # -- navigation helpers ---------------------------------------------------------
+
+    def child_for(self, point: LabeledPoint) -> ChildRef:
+        """The child a point should descend into (``point[Sr] <= Sv`` → left)."""
+        if self.is_leaf:
+            raise IndexError_("leaf nodes have no children")
+        assert self.split_index is not None and self.split_value is not None
+        if point[self.split_index] <= self.split_value:
+            child = self.left
+        else:
+            child = self.right
+        if child is None:
+            raise IndexError_("routing node with a missing child")
+        return child
+
+    def other_child(self, child: ChildRef) -> ChildRef:
+        """The sibling of ``child`` (used by the backward visit of k-search)."""
+        if self.is_leaf:
+            raise IndexError_("leaf nodes have no children")
+        if child is self.left:
+            other = self.right
+        elif child is self.right:
+            other = self.left
+        else:
+            raise IndexError_("the given child does not belong to this node")
+        if other is None:
+            raise IndexError_("routing node with a missing child")
+        return other
+
+    # -- leaf mutation ------------------------------------------------------------------
+
+    def add_to_bucket(self, point: LabeledPoint) -> None:
+        """Append a point to a leaf's bucket."""
+        if not self.is_leaf:
+            raise IndexError_("only leaf nodes store points")
+        self.bucket.append(point)
+
+    def convert_to_routing(self, split_index: int, split_value: float,
+                           left: "Node", right: "Node") -> None:
+        """Turn a saturated leaf into a routing node with two fresh children.
+
+        This is the paper's leaf split: "when a leaf node saturates the
+        bucket, two new child nodes are instantiated ... because it is no
+        longer a leaf node, the related points are moved into the new child
+        nodes".
+        """
+        if not self.is_leaf:
+            raise IndexError_("only leaf nodes can be converted to routing nodes")
+        self.split_index = split_index
+        self.split_value = split_value
+        self.left = left
+        self.right = right
+        self.bucket = []
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return (
+                f"Node(leaf, id={self.node_id}, points={len(self.bucket)}, "
+                f"partition={self.partition_id!r})"
+            )
+        return (
+            f"Node(routing, id={self.node_id}, Sr={self.split_index}, "
+            f"Sv={self.split_value:.3f}, partition={self.partition_id!r})"
+        )

@@ -1,0 +1,180 @@
+"""SemTree partitions.
+
+The paper distributes the KD-tree "through different partitions usually
+managed by a single compute node".  A :class:`Partition` owns a subtree of
+:class:`~repro.core.node.Node` objects (its local root plus every descendant
+that is not behind a :class:`~repro.core.node.RemoteChild` pointer), counts
+the points stored in its local leaves, and knows how to decide whether it is
+*saturated* — the condition that triggers the build-partition procedure,
+either statically fixed or derived from the hosting compute node's available
+storage (the paper's two options).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.cluster.message import Message, MessageKind
+from repro.core.config import CapacityPolicy, SemTreeConfig
+from repro.core.node import ChildRef, Node, RemoteChild
+from repro.errors import PartitionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.distributed import DistributedSemTree
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """One partition of the distributed SemTree.
+
+    Parameters
+    ----------
+    partition_id:
+        Unique identifier (``"P0"`` is the root partition).
+    tree:
+        The owning :class:`~repro.core.distributed.DistributedSemTree`;
+        message handling is delegated back to it.
+    root:
+        The partition's local root node.  When omitted an empty leaf is
+        created (the initial state of the root partition).
+    """
+
+    def __init__(self, partition_id: str, tree: "DistributedSemTree",
+                 root: Node | None = None):
+        if not partition_id:
+            raise PartitionError("a Partition requires a non-empty identifier")
+        self.partition_id = partition_id
+        self.tree = tree
+        self.root: Node = root if root is not None else Node(partition_id=partition_id)
+        self.point_count = 0
+        self._adopt_subtree(self.root)
+
+    # -- structure ------------------------------------------------------------------
+
+    def _adopt_subtree(self, node: Node) -> None:
+        """Mark every local node of a subtree as belonging to this partition and
+        recount the points stored in its leaves."""
+        stack = [node]
+        counted = 0
+        while stack:
+            current = stack.pop()
+            current.partition_id = self.partition_id
+            if current.is_leaf:
+                counted += len(current.bucket)
+            else:
+                for child in (current.left, current.right):
+                    if isinstance(child, Node):
+                        stack.append(child)
+        if node is self.root:
+            self.point_count = counted
+
+    def local_nodes(self) -> Iterator[Node]:
+        """Iterate over every node hosted by this partition."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.is_routing:
+                for child in (node.left, node.right):
+                    if isinstance(child, Node):
+                        stack.append(child)
+
+    def local_leaves(self) -> List[Node]:
+        """Every leaf hosted by this partition."""
+        return [node for node in self.local_nodes() if node.is_leaf]
+
+    def leaf_parents(self) -> List[Tuple[Node, str, Node]]:
+        """Return ``(parent, side, leaf)`` for every local leaf that has a local parent.
+
+        ``side`` is ``"left"`` or ``"right"``.  The partition's own root is
+        not included (it has no parent within the partition); the
+        build-partition procedure therefore never empties a partition
+        completely.
+        """
+        found: List[Tuple[Node, str, Node]] = []
+        for node in self.local_nodes():
+            if node.is_leaf:
+                continue
+            if isinstance(node.left, Node) and node.left.is_leaf:
+                found.append((node, "left", node.left))
+            if isinstance(node.right, Node) and node.right.is_leaf:
+                found.append((node, "right", node.right))
+        return found
+
+    def edge_nodes(self) -> List[Node]:
+        """Nodes with at least one remote child, plus every leaf (the paper's edge nodes)."""
+        return [node for node in self.local_nodes() if node.is_edge()]
+
+    def internal_nodes(self) -> List[Node]:
+        """Routing nodes whose children are both local (the paper's internal nodes)."""
+        return [node for node in self.local_nodes() if node.is_internal()]
+
+    def remote_children(self) -> List[RemoteChild]:
+        """Every remote pointer leaving this partition."""
+        pointers: List[RemoteChild] = []
+        for node in self.local_nodes():
+            for child in (node.left, node.right):
+                if isinstance(child, RemoteChild):
+                    pointers.append(child)
+        return pointers
+
+    @property
+    def is_routing_only(self) -> bool:
+        """True when the partition stores no points (it only routes queries)."""
+        return self.point_count == 0
+
+    # -- capacity ---------------------------------------------------------------------
+
+    def is_saturated(self, config: SemTreeConfig, node_capacity: Optional[int]) -> bool:
+        """Evaluate the paper's resource condition for this partition.
+
+        Parameters
+        ----------
+        config:
+            The index configuration (capacity policy and static threshold).
+        node_capacity:
+            Storage capacity of the hosting compute node (``None`` =
+            unlimited), used by the NODE_FRACTION policy.
+        """
+        if config.capacity_policy is CapacityPolicy.STATIC:
+            return self.point_count > config.partition_capacity
+        if node_capacity is None:
+            return self.point_count > config.partition_capacity
+        return self.point_count > config.node_capacity_fraction * node_capacity
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def record_stored(self, delta: int) -> None:
+        """Adjust the partition's stored-point counter."""
+        new_value = self.point_count + delta
+        if new_value < 0:
+            raise PartitionError(
+                f"partition {self.partition_id!r} would store a negative number of points"
+            )
+        self.point_count = new_value
+
+    # -- messaging -------------------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        """Entry point invoked by the message bus; delegates to the owning tree."""
+        if message.kind is MessageKind.INSERT:
+            self.tree.handle_insert_message(self, message)
+        elif message.kind is MessageKind.KNN_DESCEND:
+            self.tree.handle_knn_message(self, message)
+        elif message.kind is MessageKind.RANGE_DESCEND:
+            self.tree.handle_range_message(self, message)
+        elif message.kind in (MessageKind.KNN_RESULT, MessageKind.RANGE_RESULT,
+                              MessageKind.ACK, MessageKind.MOVE_LEAF,
+                              MessageKind.BUILD_PARTITION):
+            # Result/acknowledgement traffic only exists for cost accounting;
+            # the synchronous simulation has nothing further to do.
+            return
+        else:  # pragma: no cover - defensive
+            raise PartitionError(f"partition {self.partition_id!r} cannot handle {message!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(id={self.partition_id!r}, points={self.point_count}, "
+            f"nodes={sum(1 for _ in self.local_nodes())})"
+        )

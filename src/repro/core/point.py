@@ -1,0 +1,84 @@
+"""Points stored in SemTree.
+
+SemTree indexes the FastMap image of each triple: a k-dimensional point.
+:class:`LabeledPoint` couples the coordinates with an arbitrary *label* (in
+the full pipeline, the originating :class:`~repro.rdf.triple.Triple` and its
+document identifier), because queries must return the triples, not raw
+coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+__all__ = ["LabeledPoint", "euclidean_distance", "squared_euclidean_distance"]
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledPoint:
+    """An immutable point in the embedded space, with an attached label.
+
+    Coordinates are stored as a tuple of floats so the point is hashable and
+    safe to share between partitions; :meth:`as_array` returns a NumPy view
+    when vectorised maths is needed.
+    """
+
+    coordinates: Tuple[float, ...]
+    label: Any = None
+
+    def __post_init__(self) -> None:
+        if len(self.coordinates) == 0:
+            raise IndexError_("a point needs at least one coordinate")
+        object.__setattr__(
+            self, "coordinates", tuple(float(value) for value in self.coordinates)
+        )
+
+    @classmethod
+    def of(cls, coordinates: Iterable[float], label: Any = None) -> "LabeledPoint":
+        """Build a point from any iterable of coordinates (list, array, ...)."""
+        return cls(tuple(float(value) for value in coordinates), label)
+
+    @property
+    def dimensions(self) -> int:
+        """Number of coordinates."""
+        return len(self.coordinates)
+
+    def __getitem__(self, index: int) -> float:
+        """Coordinate access — ``point[Sr]`` in the paper's notation."""
+        return self.coordinates[index]
+
+    def as_array(self) -> np.ndarray:
+        """Coordinates as a NumPy array (a fresh copy)."""
+        return np.asarray(self.coordinates, dtype=float)
+
+    def distance_to(self, other: "LabeledPoint") -> float:
+        """Euclidean distance to another point of the same dimensionality."""
+        return euclidean_distance(self, other)
+
+    def __repr__(self) -> str:
+        coords = ", ".join(f"{value:.3f}" for value in self.coordinates)
+        return f"LabeledPoint(({coords}), label={self.label!r})"
+
+
+def squared_euclidean_distance(a: LabeledPoint | Sequence[float],
+                               b: LabeledPoint | Sequence[float]) -> float:
+    """Squared Euclidean distance between two points (or raw coordinate sequences)."""
+    coords_a = a.coordinates if isinstance(a, LabeledPoint) else a
+    coords_b = b.coordinates if isinstance(b, LabeledPoint) else b
+    if len(coords_a) != len(coords_b):
+        raise IndexError_(
+            f"dimension mismatch: {len(coords_a)} vs {len(coords_b)}"
+        )
+    return sum((x - y) * (x - y) for x, y in zip(coords_a, coords_b))
+
+
+def euclidean_distance(a: LabeledPoint | Sequence[float],
+                       b: LabeledPoint | Sequence[float]) -> float:
+    """Euclidean distance between two points (or raw coordinate sequences)."""
+    return math.sqrt(squared_euclidean_distance(a, b))

@@ -1,0 +1,212 @@
+"""The SemTree facade: triples in, semantic k-NN / range retrieval out.
+
+:class:`SemTreeIndex` wires together the full pipeline of Section III:
+
+1. triples (optionally grouped into documents) are collected;
+2. the semantic distance of Eq. (1) compares them;
+3. FastMap maps them into a k-dimensional vector space;
+4. a distributed bucket KD-tree indexes the resulting points;
+5. k-nearest and range queries accept a *query triple*, project it into the
+   same space and return the stored triples closest to it.
+
+The facade has two phases: an accumulation phase (:meth:`add_triple` /
+:meth:`add_document`) and, after :meth:`build`, a query phase.  Incremental
+insertion after the build is supported (:meth:`insert_triple`): new triples
+are projected with the already-fitted FastMap pivots and inserted into the
+distributed tree dynamically, which is exactly the paper's dynamic-insertion
+regime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.config import SemTreeConfig
+from repro.core.distributed import DistributedSemTree
+from repro.core.knn import Neighbour
+from repro.core.point import LabeledPoint
+from repro.embedding.triple_embedder import TripleEmbedder
+from repro.errors import IndexError_, QueryError
+from repro.rdf.document import Document, DocumentCollection
+from repro.rdf.triple import Triple
+from repro.semantics.triple_distance import TripleDistance
+
+__all__ = ["SemTreeIndex", "SemanticMatch"]
+
+
+class SemanticMatch:
+    """One query result: a stored triple, its distance and its source documents."""
+
+    __slots__ = ("triple", "distance", "documents")
+
+    def __init__(self, triple: Triple, distance: float, documents: Tuple[str, ...] = ()):
+        self.triple = triple
+        self.distance = distance
+        self.documents = documents
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticMatch(triple={self.triple}, distance={self.distance:.4f}, "
+            f"documents={list(self.documents)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SemanticMatch):
+            return NotImplemented
+        return (self.triple, self.distance, self.documents) == (
+            other.triple, other.distance, other.documents
+        )
+
+
+class SemTreeIndex:
+    """The end-to-end semantic index over triples.
+
+    Parameters
+    ----------
+    distance:
+        The semantic triple distance (Eq. (1)); wire the domain vocabularies
+        into its term distance before building the index.
+    config:
+        Index configuration (FastMap dimensionality is taken from
+        ``config.dimensions``).
+    cluster:
+        Optional simulated cluster; when omitted one is created with
+        ``config.max_partitions`` compute nodes.
+    """
+
+    def __init__(self, distance: TripleDistance, config: SemTreeConfig | None = None,
+                 cluster: SimulatedCluster | None = None):
+        self.config = config or SemTreeConfig()
+        self.distance = distance
+        self.embedder = TripleEmbedder(distance, dimensions=self.config.dimensions)
+        self.cluster = cluster or SimulatedCluster(node_count=max(self.config.max_partitions, 1))
+        self._tree: Optional[DistributedSemTree] = None
+        self._pending: List[Triple] = []
+        self._documents_of: Dict[Triple, List[str]] = {}
+
+    # -- accumulation phase --------------------------------------------------------------
+
+    def add_triple(self, triple: Triple, *, document_id: str | None = None) -> None:
+        """Register a triple to be indexed by the next :meth:`build`."""
+        self._pending.append(triple)
+        if document_id is not None:
+            self._documents_of.setdefault(triple, []).append(document_id)
+
+    def add_triples(self, triples: Iterable[Triple], *, document_id: str | None = None) -> None:
+        """Register many triples."""
+        for triple in triples:
+            self.add_triple(triple, document_id=document_id)
+
+    def add_document(self, document: Document) -> None:
+        """Register every triple of a document, remembering its provenance."""
+        self.add_triples(document.triples, document_id=document.document_id)
+
+    def add_collection(self, collection: DocumentCollection) -> None:
+        """Register every document of a collection."""
+        for document in collection:
+            self.add_document(document)
+
+    @property
+    def pending_triples(self) -> int:
+        """Number of triples registered but not indexed yet."""
+        return len(self._pending)
+
+    # -- build phase -----------------------------------------------------------------------
+
+    def build(self) -> "SemTreeIndex":
+        """Fit the FastMap space on the registered triples and index them.
+
+        Returns ``self`` so the call can be chained.
+
+        Raises
+        ------
+        IndexError_
+            If fewer than two distinct triples have been registered.
+        """
+        distinct = list(dict.fromkeys(self._pending))
+        if len(distinct) < 2:
+            raise IndexError_("SemTree needs at least two distinct triples to build")
+        self.embedder.fit(distinct)
+        dimensions = self.embedder.output_dimensions
+        tree_config = self.config.with_updates(dimensions=dimensions)
+        self._tree = DistributedSemTree(tree_config, cluster=self.cluster)
+        for triple in distinct:
+            self._tree.insert(self._point_for(triple))
+        self._pending = []
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        """True once :meth:`build` has completed."""
+        return self._tree is not None
+
+    @property
+    def tree(self) -> DistributedSemTree:
+        """The underlying distributed KD-tree.
+
+        Raises
+        ------
+        IndexError_
+            If the index has not been built yet.
+        """
+        if self._tree is None:
+            raise IndexError_("the index has not been built yet; call build() first")
+        return self._tree
+
+    def _point_for(self, triple: Triple) -> LabeledPoint:
+        coordinates = self.embedder.transform(triple)
+        return LabeledPoint.of(coordinates, label=triple)
+
+    # -- incremental insertion ----------------------------------------------------------------
+
+    def insert_triple(self, triple: Triple, *, document_id: str | None = None) -> None:
+        """Insert a triple into an already-built index (dynamic insertion).
+
+        The triple is projected with the existing FastMap pivots; the vector
+        space is *not* refitted, matching the paper's incremental regime.
+        """
+        if document_id is not None:
+            self._documents_of.setdefault(triple, []).append(document_id)
+        self.tree.insert(self._point_for(triple))
+
+    def insert_triples(self, triples: Iterable[Triple]) -> None:
+        """Insert many triples into an already-built index."""
+        for triple in triples:
+            self.insert_triple(triple)
+
+    def __len__(self) -> int:
+        return len(self._tree) if self._tree is not None else 0
+
+    # -- query phase ------------------------------------------------------------------------------
+
+    def k_nearest(self, query: Triple, k: int) -> List[SemanticMatch]:
+        """The ``k`` indexed triples semantically closest to the query triple."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        query_point = self._point_for(query)
+        neighbours = self.tree.k_nearest(query_point, k)
+        return [self._to_match(neighbour) for neighbour in neighbours]
+
+    def range_query(self, query: Triple, radius: float) -> List[SemanticMatch]:
+        """Every indexed triple within embedded distance ``radius`` of the query."""
+        query_point = self._point_for(query)
+        neighbours = self.tree.range_query(query_point, radius)
+        return [self._to_match(neighbour) for neighbour in neighbours]
+
+    def _to_match(self, neighbour: Neighbour) -> SemanticMatch:
+        triple = neighbour.point.label
+        documents = tuple(self._documents_of.get(triple, ()))
+        return SemanticMatch(triple, neighbour.distance, documents)
+
+    # -- introspection -----------------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, object]:
+        """Statistics of the underlying distributed tree plus embedding info."""
+        stats = dict(self.tree.statistics())
+        stats["embedding_dimensions"] = self.embedder.output_dimensions
+        return stats
+
+    def __repr__(self) -> str:
+        size = len(self) if self.is_built else f"pending={len(self._pending)}"
+        return f"SemTreeIndex({size}, dimensions={self.config.dimensions})"

@@ -1,0 +1,114 @@
+"""Leaf-splitting strategies.
+
+When a leaf saturates its bucket, SemTree instantiates two child nodes and
+redistributes the points.  The paper uses the standard KD-tree rule (split
+index ``Sr`` and split value ``Sv``); this module implements several ways of
+choosing ``(Sr, Sv)`` so the benchmarks can reproduce both the balanced and
+the "totally unbalanced (chain)" configurations of Figures 3, 4 and 6, and
+so the ablation bench can compare strategies.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.config import SplitStrategy
+from repro.core.point import LabeledPoint
+from repro.errors import IndexError_
+
+__all__ = ["SplitDecision", "choose_split", "partition_bucket"]
+
+
+@dataclass(frozen=True, slots=True)
+class SplitDecision:
+    """The chosen split: dimension (``Sr``), value (``Sv``) and the two halves."""
+
+    split_index: int
+    split_value: float
+    left_points: Tuple[LabeledPoint, ...]
+    right_points: Tuple[LabeledPoint, ...]
+
+
+def _spread(points: Sequence[LabeledPoint], dimension: int) -> float:
+    values = [point[dimension] for point in points]
+    return max(values) - min(values)
+
+
+def _choose_dimension(points: Sequence[LabeledPoint], depth: int,
+                      strategy: SplitStrategy, dimensions: int) -> int:
+    if strategy is SplitStrategy.MAX_SPREAD:
+        return max(range(dimensions), key=lambda dim: _spread(points, dim))
+    if strategy is SplitStrategy.FIRST_POINT:
+        # Always split on the first dimension: with points inserted in sorted
+        # order this degenerates into the paper's "totally unbalanced (chain)"
+        # tree, which is exactly what the strategy exists to reproduce.
+        return 0
+    # MEDIAN and MIDPOINT cycle the dimension with the depth, as in the
+    # classic KD-tree.
+    return depth % dimensions
+
+
+def _choose_value(points: Sequence[LabeledPoint], dimension: int,
+                  strategy: SplitStrategy) -> float:
+    values = [point[dimension] for point in points]
+    if strategy is SplitStrategy.MIDPOINT:
+        return (max(values) + min(values)) / 2.0
+    if strategy is SplitStrategy.FIRST_POINT:
+        return values[0]
+    # MEDIAN and MAX_SPREAD both split at the median coordinate.
+    return float(statistics.median(values))
+
+
+def partition_bucket(points: Sequence[LabeledPoint], split_index: int,
+                     split_value: float) -> Tuple[List[LabeledPoint], List[LabeledPoint]]:
+    """Split a bucket into (left, right) halves: ``point[Sr] <= Sv`` goes left."""
+    left = [point for point in points if point[split_index] <= split_value]
+    right = [point for point in points if point[split_index] > split_value]
+    return left, right
+
+
+def choose_split(points: Sequence[LabeledPoint], depth: int, dimensions: int,
+                 strategy: SplitStrategy = SplitStrategy.MEDIAN) -> SplitDecision:
+    """Choose ``(Sr, Sv)`` for a saturated bucket and partition its points.
+
+    The function guarantees that neither half is empty whenever that is
+    possible: if the initial choice puts every point on one side (all values
+    equal to the median, or a degenerate FIRST_POINT choice), it retries the
+    other strategies and dimensions and finally falls back to an uneven but
+    legal split below the maximum value.
+
+    Raises
+    ------
+    IndexError_
+        If every point has identical coordinates (no split can separate them).
+    """
+    if len(points) < 2:
+        raise IndexError_("cannot split a bucket with fewer than two points")
+
+    attempted: List[Tuple[int, float]] = []
+    strategies = [strategy] + [s for s in SplitStrategy if s is not strategy]
+    for candidate_strategy in strategies:
+        for offset in range(dimensions):
+            dimension = (_choose_dimension(points, depth + offset, candidate_strategy,
+                                           dimensions))
+            value = _choose_value(points, dimension, candidate_strategy)
+            attempted.append((dimension, value))
+            left, right = partition_bucket(points, dimension, value)
+            if left and right:
+                return SplitDecision(dimension, value, tuple(left), tuple(right))
+
+    # Last resort: any dimension where not all values are identical, split
+    # strictly below the maximum so the right side is non-empty.
+    for dimension in range(dimensions):
+        values = sorted(point[dimension] for point in points)
+        if values[0] != values[-1]:
+            below_max = max(value for value in values if value < values[-1])
+            left, right = partition_bucket(points, dimension, below_max)
+            return SplitDecision(dimension, below_max, tuple(left), tuple(right))
+
+    raise IndexError_(
+        "cannot split a bucket whose points all have identical coordinates; "
+        "increase the bucket size or deduplicate the input"
+    )

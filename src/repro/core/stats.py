@@ -1,0 +1,104 @@
+"""Structural statistics of SemTree instances.
+
+The efficiency experiments of the paper hinge on structural properties of
+the tree: depth, balance (balanced vs "totally unbalanced"), number of nodes
+(its complexity analysis uses ``N = 2K/Bs`` nodes for ``K`` points and bucket
+size ``Bs``), and how points are spread over partitions.  This module
+computes those metrics for both the sequential :class:`~repro.core.kdtree.KDTree`
+and the :class:`~repro.core.distributed.DistributedSemTree`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.distributed import DistributedSemTree
+from repro.core.kdtree import KDTree
+
+__all__ = ["TreeStats", "sequential_stats", "distributed_stats", "expected_nodes"]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStats:
+    """Summary statistics of a tree (sequential or one partition's subtree)."""
+
+    points: int
+    nodes: int
+    leaves: int
+    routing_nodes: int
+    depth: int
+    optimal_depth: int
+    balance_ratio: float
+    mean_bucket_fill: float
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the tree is much deeper than a balanced tree would be."""
+        return self.balance_ratio > 4.0
+
+
+def expected_nodes(points: int, bucket_size: int) -> int:
+    """The paper's node-count estimate ``N = 2K / Bs`` (Section III-C)."""
+    if bucket_size <= 0:
+        raise ValueError("bucket_size must be positive")
+    return max(1, (2 * points) // bucket_size)
+
+
+def _optimal_depth(points: int, bucket_size: int) -> int:
+    leaves_needed = max(1, math.ceil(points / max(bucket_size, 1)))
+    return max(0, math.ceil(math.log2(leaves_needed)))
+
+
+def sequential_stats(tree: KDTree) -> TreeStats:
+    """Compute :class:`TreeStats` for a sequential KD-tree."""
+    points = len(tree)
+    leaves = tree.leaf_count()
+    nodes = tree.node_count()
+    depth = tree.depth()
+    optimal = _optimal_depth(points, tree.bucket_size)
+    balance = depth / optimal if optimal > 0 else (1.0 if depth <= 1 else float(depth))
+    fill = points / (leaves * tree.bucket_size) if leaves else 0.0
+    return TreeStats(
+        points=points,
+        nodes=nodes,
+        leaves=leaves,
+        routing_nodes=nodes - leaves,
+        depth=depth,
+        optimal_depth=optimal,
+        balance_ratio=balance,
+        mean_bucket_fill=fill,
+    )
+
+
+def distributed_stats(tree: DistributedSemTree) -> Dict[str, object]:
+    """Compute global and per-partition statistics for a distributed SemTree."""
+    per_partition: Dict[str, Dict[str, float]] = {}
+    total_nodes = 0
+    total_leaves = 0
+    for partition in tree.partitions:
+        nodes = list(partition.local_nodes())
+        leaves = [node for node in nodes if node.is_leaf]
+        edge = [node for node in nodes if node.is_edge()]
+        per_partition[partition.partition_id] = {
+            "points": partition.point_count,
+            "nodes": len(nodes),
+            "leaves": len(leaves),
+            "edge_nodes": len(edge),
+            "routing_only": partition.is_routing_only,
+        }
+        total_nodes += len(nodes)
+        total_leaves += len(leaves)
+    counts = [partition.point_count for partition in tree.partitions if partition.point_count]
+    imbalance = (max(counts) / max(min(counts), 1)) if counts else 1.0
+    return {
+        "points": len(tree),
+        "partitions": tree.partition_count,
+        "nodes": total_nodes,
+        "leaves": total_leaves,
+        "expected_nodes": expected_nodes(len(tree), tree.config.bucket_size),
+        "per_partition": per_partition,
+        "data_partition_imbalance": imbalance,
+        "messages": tree.cluster.clock.messages,
+    }

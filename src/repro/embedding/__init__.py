@@ -1,0 +1,17 @@
+"""FastMap embedding substrate: the FastMap algorithm, triple embedding, and
+embedding-quality diagnostics."""
+
+from repro.embedding.fastmap import FastMap, FastMapSpace, PivotPair
+from repro.embedding.quality import distortion, neighbourhood_overlap, sample_pairs, stress
+from repro.embedding.triple_embedder import TripleEmbedder
+
+__all__ = [
+    "FastMap",
+    "FastMapSpace",
+    "PivotPair",
+    "TripleEmbedder",
+    "stress",
+    "distortion",
+    "neighbourhood_overlap",
+    "sample_pairs",
+]

@@ -1,0 +1,125 @@
+"""Embedding-quality diagnostics.
+
+FastMap is a lossy embedding: the Euclidean distance in the target space is
+only an approximation of the original semantic distance.  These diagnostics
+quantify the loss, which matters for the effectiveness experiment (Fig. 8)
+because k-NN in the embedded space can return a slightly different result
+set than k-NN under the raw triple distance.
+
+* :func:`stress` — Kruskal's stress-1 between original and embedded
+  distances over a sample of pairs.
+* :func:`distortion` — worst-case expansion/contraction ratios.
+* :func:`neighbourhood_overlap` — average overlap between the k-NN sets
+  computed with the original distance and with the embedded distance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.embedding.fastmap import FastMapSpace
+
+__all__ = ["stress", "distortion", "neighbourhood_overlap", "sample_pairs"]
+
+ObjectT = TypeVar("ObjectT", bound=Hashable)
+DistanceFunction = Callable[[ObjectT, ObjectT], float]
+
+
+def sample_pairs(count: int, max_pairs: int, *, seed: int = 0) -> List[Tuple[int, int]]:
+    """Sample up to ``max_pairs`` distinct index pairs from ``count`` objects."""
+    if count < 2:
+        raise EmbeddingError("need at least two objects to sample pairs")
+    all_pairs = count * (count - 1) // 2
+    rng = random.Random(seed)
+    if all_pairs <= max_pairs:
+        return list(itertools.combinations(range(count), 2))
+    pairs: set[Tuple[int, int]] = set()
+    while len(pairs) < max_pairs:
+        i = rng.randrange(count)
+        j = rng.randrange(count)
+        if i == j:
+            continue
+        pairs.add((min(i, j), max(i, j)))
+    return sorted(pairs)
+
+
+def _pair_distances(space: FastMapSpace[ObjectT], distance: DistanceFunction,
+                    pairs: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+    original = np.empty(len(pairs))
+    embedded = np.empty(len(pairs))
+    for k, (i, j) in enumerate(pairs):
+        original[k] = distance(space.objects[i], space.objects[j])
+        embedded[k] = float(np.linalg.norm(space.coordinates[i] - space.coordinates[j]))
+    return original, embedded
+
+
+def stress(space: FastMapSpace[ObjectT], distance: DistanceFunction,
+           *, max_pairs: int = 2000, seed: int = 0) -> float:
+    """Kruskal stress-1: ``sqrt(sum (d - d̂)^2 / sum d^2)`` over sampled pairs.
+
+    0 means a perfect embedding; values below ~0.2 are usually considered
+    acceptable for retrieval purposes.
+    """
+    pairs = sample_pairs(len(space), max_pairs, seed=seed)
+    original, embedded = _pair_distances(space, distance, pairs)
+    denominator = float(np.sum(original**2))
+    if denominator == 0:
+        return 0.0
+    return math.sqrt(float(np.sum((original - embedded) ** 2)) / denominator)
+
+
+def distortion(space: FastMapSpace[ObjectT], distance: DistanceFunction,
+               *, max_pairs: int = 2000, seed: int = 0) -> Dict[str, float]:
+    """Expansion/contraction statistics of the embedding over sampled pairs.
+
+    Returns a mapping with ``max_expansion`` (embedded / original),
+    ``max_contraction`` (original / embedded) and ``mean_absolute_error``.
+    Pairs with zero original distance are skipped for the ratios.
+    """
+    pairs = sample_pairs(len(space), max_pairs, seed=seed)
+    original, embedded = _pair_distances(space, distance, pairs)
+    expansion = 0.0
+    contraction = 0.0
+    for orig, emb in zip(original, embedded):
+        if orig > 0 and emb > 0:
+            expansion = max(expansion, emb / orig)
+            contraction = max(contraction, orig / emb)
+    return {
+        "max_expansion": expansion,
+        "max_contraction": contraction,
+        "mean_absolute_error": float(np.mean(np.abs(original - embedded))),
+    }
+
+
+def neighbourhood_overlap(space: FastMapSpace[ObjectT], distance: DistanceFunction,
+                          *, k: int = 5, sample_size: int = 50, seed: int = 0) -> float:
+    """Average overlap of k-NN sets under the original vs. the embedded distance.
+
+    For each sampled query object, compute its ``k`` nearest neighbours with
+    the original distance and with the Euclidean embedded distance, and
+    report the mean Jaccard-style overlap ``|A ∩ B| / k``.
+    """
+    n = len(space)
+    if n < k + 1:
+        raise EmbeddingError(f"need at least {k + 1} objects for k={k} overlap")
+    rng = random.Random(seed)
+    query_indices = rng.sample(range(n), min(sample_size, n))
+    total_overlap = 0.0
+    coordinates = space.coordinates
+    for query in query_indices:
+        original_order = sorted(
+            (i for i in range(n) if i != query),
+            key=lambda i: distance(space.objects[query], space.objects[i]),
+        )[:k]
+        deltas = coordinates - coordinates[query]
+        embedded_distances = np.linalg.norm(deltas, axis=1)
+        embedded_distances[query] = np.inf
+        embedded_order = list(np.argsort(embedded_distances)[:k])
+        total_overlap += len(set(original_order) & set(int(i) for i in embedded_order)) / k
+    return total_overlap / len(query_indices)

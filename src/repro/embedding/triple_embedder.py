@@ -1,0 +1,111 @@
+"""Glue between the triple distance and FastMap: embedding triples as points.
+
+:class:`TripleEmbedder` owns a :class:`~repro.semantics.triple_distance.TripleDistance`
+and a :class:`~repro.embedding.fastmap.FastMap`, fits the vector space over
+a corpus of triples, and projects query triples into that space at query
+time.  This is exactly the "mapping of triples in a vectorial space by means
+of the definition of a proper semantic distance between triples" of the
+paper, packaged as one reusable component so that the SemTree facade does
+not need to know about pivots or residual distances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.embedding.fastmap import FastMap, FastMapSpace
+from repro.errors import EmbeddingError
+from repro.rdf.triple import Triple
+from repro.semantics.triple_distance import TripleDistance
+
+__all__ = ["TripleEmbedder"]
+
+
+class TripleEmbedder:
+    """Embeds triples into a k-dimensional space with FastMap.
+
+    Parameters
+    ----------
+    triple_distance:
+        The semantic distance of Eq. (1) used as FastMap's distance oracle.
+    dimensions:
+        Target dimensionality of the vector space.
+    seed:
+        Seed for FastMap's pivot selection (reproducibility).
+    """
+
+    def __init__(self, triple_distance: TripleDistance, *, dimensions: int = 4,
+                 seed: int | None = 0):
+        self.triple_distance = triple_distance
+        self.dimensions = dimensions
+        self._fastmap: FastMap[Triple] = FastMap(
+            triple_distance, dimensions=dimensions, seed=seed
+        )
+        self._space: Optional[FastMapSpace[Triple]] = None
+
+    # -- fitting --------------------------------------------------------------------
+
+    def fit(self, triples: Sequence[Triple]) -> FastMapSpace[Triple]:
+        """Fit the vector space over a corpus of triples."""
+        self._space = self._fastmap.fit(list(triples))
+        return self._space
+
+    @property
+    def space(self) -> FastMapSpace[Triple]:
+        """The fitted space.
+
+        Raises
+        ------
+        EmbeddingError
+            If :meth:`fit` has not been called yet.
+        """
+        if self._space is None:
+            raise EmbeddingError("TripleEmbedder.fit must be called before using the space")
+        return self._space
+
+    @property
+    def is_fitted(self) -> bool:
+        """True when a vector space has been fitted."""
+        return self._space is not None
+
+    @property
+    def output_dimensions(self) -> int:
+        """Dimensionality of the fitted space (may be lower than requested)."""
+        return self.space.dimensions
+
+    # -- transforming ------------------------------------------------------------------
+
+    def transform(self, triple: Triple) -> np.ndarray:
+        """Coordinates of one triple (in-sample lookup or out-of-sample projection)."""
+        space = self.space
+        if triple in space:
+            return space.coordinates_of(triple).copy()
+        return self._fastmap.project(triple, space)
+
+    def transform_many(self, triples: Iterable[Triple]) -> np.ndarray:
+        """Coordinates for many triples, stacked in a ``(n, dims)`` array."""
+        rows = [self.transform(triple) for triple in triples]
+        if not rows:
+            return np.empty((0, self.output_dimensions))
+        return np.vstack(rows)
+
+    def fit_transform(self, triples: Sequence[Triple]) -> np.ndarray:
+        """Fit the space and return the coordinates of the fitted triples."""
+        space = self.fit(triples)
+        return space.coordinates.copy()
+
+    def embedded_pairs(self) -> List[tuple[Triple, np.ndarray]]:
+        """Return ``(triple, coordinates)`` pairs of the fitted corpus, in input order."""
+        space = self.space
+        return [
+            (triple, space.coordinates[index].copy())
+            for index, triple in enumerate(space.objects)
+        ]
+
+    def __repr__(self) -> str:
+        fitted = len(self._space) if self._space is not None else 0
+        return (
+            f"TripleEmbedder(dimensions={self.dimensions}, fitted_triples={fitted})"
+        )

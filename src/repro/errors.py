@@ -1,0 +1,83 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+Keeping all exceptions in one module lets callers catch the broad
+:class:`ReproError` when they only care about "something in the library
+failed", while still being able to catch precise subclasses (for instance
+:class:`VocabularyError` when a concept is missing from a taxonomy).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TripleError(ReproError):
+    """Raised for malformed triples or terms (e.g. empty subject)."""
+
+
+class ParseError(ReproError):
+    """Raised when a Turtle-like document cannot be parsed.
+
+    Attributes
+    ----------
+    line:
+        One-based line number at which the problem was found, or ``None``
+        when the error is not attached to a specific line.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class NamespaceError(ReproError):
+    """Raised for unknown or conflicting namespace prefixes."""
+
+
+class VocabularyError(ReproError):
+    """Raised when a concept or relation is missing from a vocabulary."""
+
+
+class TaxonomyError(ReproError):
+    """Raised for malformed taxonomies (cycles, unknown concepts, ...)."""
+
+
+class DistanceError(ReproError):
+    """Raised for invalid distance configurations (e.g. weights not summing to 1)."""
+
+
+class EmbeddingError(ReproError):
+    """Raised when FastMap cannot embed the requested objects."""
+
+
+class IndexError_(ReproError):
+    """Raised for invalid index operations (named with a trailing underscore
+    to avoid shadowing the built-in :class:`IndexError`)."""
+
+
+class PartitionError(ReproError):
+    """Raised for partition-management failures (no capacity, unknown id, ...)."""
+
+
+class ClusterError(ReproError):
+    """Raised by the simulated cluster (unknown node, undeliverable message)."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid queries (negative k, negative radius, ...)."""
+
+
+class ExtractionError(ReproError):
+    """Raised when the NLP pipeline cannot extract triples from a sentence."""
+
+
+class EvaluationError(ReproError):
+    """Raised for malformed evaluation inputs (empty ground truth, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic workload cannot be generated as requested."""

@@ -1,0 +1,32 @@
+"""Evaluation substrate: precision/recall metrics, timing, experiment sweeps
+and plain-text reporting."""
+
+from repro.evaluation.metrics import (
+    PrecisionRecall,
+    average_precision_recall,
+    evaluate_retrieval,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.evaluation.report import format_experiment, format_key_values, format_series_table
+from repro.evaluation.runner import Experiment, Series, SeriesPoint
+from repro.evaluation.timing import TimingSample, WallClockTimer, measure
+
+__all__ = [
+    "PrecisionRecall",
+    "precision",
+    "recall",
+    "f1_score",
+    "evaluate_retrieval",
+    "average_precision_recall",
+    "Experiment",
+    "Series",
+    "SeriesPoint",
+    "TimingSample",
+    "WallClockTimer",
+    "measure",
+    "format_experiment",
+    "format_key_values",
+    "format_series_table",
+]

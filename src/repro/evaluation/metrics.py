@@ -1,0 +1,89 @@
+"""Effectiveness metrics — the Precision/Recall of Section IV-B.
+
+The paper computes, for each target-triple query,
+
+.. math::
+
+    P = \\frac{|T \\cap T^*|}{|T|}, \\qquad R = \\frac{|T \\cap T^*|}{|T^*|}
+
+where ``T`` is the k-NN result set and ``T*`` the ground truth, and reports
+the averages over the 100 query cases for each value of ``K`` (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, TypeVar
+
+from repro.errors import EvaluationError
+
+__all__ = ["PrecisionRecall", "precision", "recall", "f1_score", "evaluate_retrieval",
+           "average_precision_recall"]
+
+ItemT = TypeVar("ItemT")
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionRecall:
+    """A precision/recall pair plus the derived F1 score."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def precision(retrieved: Iterable[ItemT], expected: Iterable[ItemT]) -> float:
+    """``|T ∩ T*| / |T|``; 1.0 by convention when nothing was retrieved."""
+    retrieved_set = set(retrieved)
+    if not retrieved_set:
+        return 1.0
+    expected_set = set(expected)
+    return len(retrieved_set & expected_set) / len(retrieved_set)
+
+
+def recall(retrieved: Iterable[ItemT], expected: Iterable[ItemT]) -> float:
+    """``|T ∩ T*| / |T*|``; 1.0 by convention when the ground truth is empty."""
+    expected_set = set(expected)
+    if not expected_set:
+        return 1.0
+    retrieved_set = set(retrieved)
+    return len(retrieved_set & expected_set) / len(expected_set)
+
+
+def f1_score(retrieved: Iterable[ItemT], expected: Iterable[ItemT]) -> float:
+    """F1 of one retrieval result."""
+    retrieved_set = set(retrieved)
+    expected_set = set(expected)
+    return PrecisionRecall(
+        precision(retrieved_set, expected_set), recall(retrieved_set, expected_set)
+    ).f1
+
+
+def evaluate_retrieval(retrieved: Iterable[ItemT], expected: Iterable[ItemT]) -> PrecisionRecall:
+    """Precision and recall of one retrieval result."""
+    retrieved_set = set(retrieved)
+    expected_set = set(expected)
+    return PrecisionRecall(
+        precision(retrieved_set, expected_set), recall(retrieved_set, expected_set)
+    )
+
+
+def average_precision_recall(results: Sequence[PrecisionRecall]) -> PrecisionRecall:
+    """Macro-average of per-query precision/recall pairs (the paper's averages).
+
+    Raises
+    ------
+    EvaluationError
+        If ``results`` is empty.
+    """
+    if not results:
+        raise EvaluationError("cannot average an empty list of results")
+    mean_precision = sum(result.precision for result in results) / len(results)
+    mean_recall = sum(result.recall for result in results) / len(results)
+    return PrecisionRecall(mean_precision, mean_recall)

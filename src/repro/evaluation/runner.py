@@ -1,0 +1,108 @@
+"""Experiment runner: parameter sweeps producing named data series.
+
+Every figure of the paper is a family of curves ("series") over a swept
+parameter (number of points, number of partitions, K).  The runner provides
+a tiny, dependency-free way to express those sweeps and collect the results
+in a uniform structure that the report module can print and the tests can
+assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import EvaluationError
+
+__all__ = ["SeriesPoint", "Series", "Experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesPoint:
+    """One observation: the swept parameter value and the measured metrics."""
+
+    x: float
+    metrics: Dict[str, float]
+
+    def metric(self, name: str) -> float:
+        """Return one metric by name.
+
+        Raises
+        ------
+        EvaluationError
+            If the metric was not recorded.
+        """
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise EvaluationError(
+                f"metric {name!r} was not recorded (have: {sorted(self.metrics)})"
+            ) from None
+
+
+@dataclass
+class Series:
+    """A named curve: a list of :class:`SeriesPoint` in sweep order."""
+
+    name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: float, **metrics: float) -> None:
+        """Append one observation."""
+        self.points.append(SeriesPoint(x=x, metrics=dict(metrics)))
+
+    def xs(self) -> List[float]:
+        """The swept parameter values, in order."""
+        return [point.x for point in self.points]
+
+    def values(self, metric: str) -> List[float]:
+        """The values of one metric along the sweep."""
+        return [point.metric(metric) for point in self.points]
+
+    def is_non_decreasing(self, metric: str, *, tolerance: float = 0.0) -> bool:
+        """True when the metric never decreases along the sweep (within tolerance)."""
+        values = self.values(metric)
+        return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+    def is_non_increasing(self, metric: str, *, tolerance: float = 0.0) -> bool:
+        """True when the metric never increases along the sweep (within tolerance)."""
+        values = self.values(metric)
+        return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class Experiment:
+    """A named experiment: an identifier (e.g. ``"fig3"``), a description and its series."""
+
+    experiment_id: str
+    description: str
+    swept_parameter: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def series_named(self, name: str) -> Series:
+        """Get (or create) a series by name."""
+        if name not in self.series:
+            self.series[name] = Series(name=name)
+        return self.series[name]
+
+    def record(self, series_name: str, x: float, **metrics: float) -> None:
+        """Record one observation into a series."""
+        self.series_named(series_name).add(x, **metrics)
+
+    def run_sweep(self, series_name: str, xs: Sequence[float],
+                  body: Callable[[float], Dict[str, float]]) -> Series:
+        """Run ``body(x)`` for every swept value and record its metric dict."""
+        series = self.series_named(series_name)
+        for x in xs:
+            metrics = body(x)
+            series.add(x, **metrics)
+        return series
+
+    def __repr__(self) -> str:
+        return (
+            f"Experiment(id={self.experiment_id!r}, series={sorted(self.series)}, "
+            f"swept={self.swept_parameter!r})"
+        )

@@ -1,0 +1,27 @@
+"""Persistence layer: JSON serialisation of triples, documents and corpora."""
+
+from repro.io.serialization import (
+    document_from_dict,
+    document_to_dict,
+    load_collection,
+    load_corpus,
+    save_collection,
+    save_corpus,
+    term_from_dict,
+    term_to_dict,
+    triple_from_dict,
+    triple_to_dict,
+)
+
+__all__ = [
+    "term_to_dict",
+    "term_from_dict",
+    "triple_to_dict",
+    "triple_from_dict",
+    "document_to_dict",
+    "document_from_dict",
+    "save_collection",
+    "load_collection",
+    "save_corpus",
+    "load_corpus",
+]

@@ -1,0 +1,172 @@
+"""JSON serialisation of triples, documents and requirement corpora.
+
+A reproduction that can only hold its data in memory is awkward to use as a
+library: corpora take minutes to regenerate and indexes are rebuilt for every
+process.  This module provides a small, dependency-free persistence layer:
+
+* triples and documents ↔ plain JSON-compatible dictionaries;
+* document collections ↔ a single JSON file;
+* synthetic corpora (documents + actor/parameter catalogues + injected
+  inconsistencies) ↔ a single JSON file, so the exact evaluation corpus of a
+  run can be archived next to its results.
+
+Turtle-like persistence of raw triples is already available via
+:func:`repro.rdf.turtle.serialise_turtle` / :func:`~repro.rdf.turtle.parse_turtle`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List
+
+from repro.errors import ParseError
+from repro.rdf.document import Document, DocumentCollection
+from repro.rdf.terms import Concept, Literal, Term
+from repro.rdf.triple import Triple
+from repro.requirements.generator import SyntheticCorpus
+from repro.requirements.model import Requirement, RequirementsDocument
+
+__all__ = [
+    "term_to_dict", "term_from_dict",
+    "triple_to_dict", "triple_from_dict",
+    "document_to_dict", "document_from_dict",
+    "save_collection", "load_collection",
+    "save_corpus", "load_corpus",
+]
+
+
+# -- terms and triples -------------------------------------------------------------------
+
+def term_to_dict(term: Term) -> Dict[str, str]:
+    """Serialise a term to a JSON-compatible dictionary."""
+    if isinstance(term, Concept):
+        return {"kind": "concept", "name": term.name, "prefix": term.prefix}
+    if isinstance(term, Literal):
+        return {"kind": "literal", "value": term.value, "datatype": term.datatype}
+    raise ParseError(f"cannot serialise term of type {type(term).__name__}")
+
+
+def term_from_dict(payload: Dict[str, str]) -> Term:
+    """Inverse of :func:`term_to_dict`."""
+    kind = payload.get("kind")
+    if kind == "concept":
+        return Concept(payload["name"], payload.get("prefix", ""))
+    if kind == "literal":
+        return Literal(payload["value"], payload.get("datatype", "string"))
+    raise ParseError(f"unknown term kind {kind!r}")
+
+
+def triple_to_dict(triple: Triple) -> Dict[str, Any]:
+    """Serialise a triple to a JSON-compatible dictionary."""
+    return {
+        "subject": term_to_dict(triple.subject),
+        "predicate": term_to_dict(triple.predicate),
+        "object": term_to_dict(triple.object),
+    }
+
+
+def triple_from_dict(payload: Dict[str, Any]) -> Triple:
+    """Inverse of :func:`triple_to_dict`."""
+    return Triple(
+        term_from_dict(payload["subject"]),
+        term_from_dict(payload["predicate"]),
+        term_from_dict(payload["object"]),
+    )
+
+
+# -- documents -----------------------------------------------------------------------------
+
+def document_to_dict(document: Document) -> Dict[str, Any]:
+    """Serialise a generic RDF document."""
+    return {
+        "document_id": document.document_id,
+        "text": document.text,
+        "metadata": dict(document.metadata),
+        "triples": [triple_to_dict(triple) for triple in document.triples],
+    }
+
+
+def document_from_dict(payload: Dict[str, Any]) -> Document:
+    """Inverse of :func:`document_to_dict`."""
+    return Document(
+        document_id=payload["document_id"],
+        triples=[triple_from_dict(entry) for entry in payload.get("triples", [])],
+        text=payload.get("text", ""),
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def save_collection(collection: DocumentCollection, path: str | pathlib.Path) -> None:
+    """Write a document collection to a JSON file."""
+    payload = {"documents": [document_to_dict(document) for document in collection]}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, ensure_ascii=False))
+
+
+def load_collection(path: str | pathlib.Path) -> DocumentCollection:
+    """Read a document collection from a JSON file written by :func:`save_collection`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return DocumentCollection(
+        document_from_dict(entry) for entry in payload.get("documents", [])
+    )
+
+
+# -- requirement corpora ----------------------------------------------------------------------
+
+def _requirement_to_dict(requirement: Requirement) -> Dict[str, Any]:
+    return {
+        "requirement_id": requirement.requirement_id,
+        "sentences": list(requirement.sentences),
+        "triples": [triple_to_dict(triple) for triple in requirement.triples],
+    }
+
+
+def _requirement_from_dict(payload: Dict[str, Any]) -> Requirement:
+    return Requirement(
+        requirement_id=payload["requirement_id"],
+        sentences=list(payload.get("sentences", [])),
+        triples=[triple_from_dict(entry) for entry in payload.get("triples", [])],
+    )
+
+
+def save_corpus(corpus: SyntheticCorpus, path: str | pathlib.Path) -> None:
+    """Write a synthetic requirements corpus (and its provenance) to a JSON file."""
+    payload = {
+        "actor_names": list(corpus.actor_names),
+        "parameter_values": {k: list(v) for k, v in corpus.parameter_values.items()},
+        "documents": [
+            {
+                "document_id": document.document_id,
+                "title": document.title,
+                "requirements": [_requirement_to_dict(r) for r in document.requirements],
+            }
+            for document in corpus.documents
+        ],
+        "injected_inconsistencies": [
+            [triple_to_dict(base), triple_to_dict(conflicting)]
+            for base, conflicting in corpus.injected_inconsistencies
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, ensure_ascii=False))
+
+
+def load_corpus(path: str | pathlib.Path) -> SyntheticCorpus:
+    """Read a synthetic requirements corpus written by :func:`save_corpus`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    documents: List[RequirementsDocument] = []
+    for entry in payload.get("documents", []):
+        document = RequirementsDocument(
+            document_id=entry["document_id"], title=entry.get("title", "")
+        )
+        for requirement_entry in entry.get("requirements", []):
+            document.add(_requirement_from_dict(requirement_entry))
+        documents.append(document)
+    return SyntheticCorpus(
+        documents=documents,
+        actor_names=list(payload.get("actor_names", [])),
+        parameter_values={k: list(v) for k, v in payload.get("parameter_values", {}).items()},
+        injected_inconsistencies=[
+            (triple_from_dict(pair[0]), triple_from_dict(pair[1]))
+            for pair in payload.get("injected_inconsistencies", [])
+        ],
+    )

@@ -1,0 +1,14 @@
+"""NLP-lite pipeline: controlled-English requirement sentences → triples."""
+
+from repro.nlp.extractor import DEFAULT_RULES, ExtractionRule, TripleExtractor
+from repro.nlp.tokenizer import Token, normalise_identifier, split_sentences, tokenize
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "split_sentences",
+    "normalise_identifier",
+    "ExtractionRule",
+    "TripleExtractor",
+    "DEFAULT_RULES",
+]

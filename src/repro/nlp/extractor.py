@@ -1,0 +1,193 @@
+"""Pattern-based extraction of (Actor, Function, Parameter) triples.
+
+The motivating example of the paper maps each requirement sentence to
+triples whose predicate is a unary "function" (``accept a command``,
+``send a message``, ``acquire an input``), whose subject is the Actor
+(software component or hardware device) and whose object is the related
+Parameter.  The synthetic corpus generator emits controlled-English
+sentences of the form::
+
+    The component OBSW001 shall accept the command start-up.
+    The component OBSW014 shall not send the message power-amplifier.
+
+This extractor recognises that shape: a subject introduced by "the
+component/device/unit", a modal ("shall", optionally negated), a verb phrase
+mapped to a function concept, an object introduced by a sortal noun
+("command", "message", "input", ...), and the parameter itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExtractionError
+from repro.nlp.tokenizer import Token, split_sentences, tokenize
+from repro.rdf.terms import Concept
+from repro.rdf.triple import Triple
+
+__all__ = ["ExtractionRule", "TripleExtractor", "DEFAULT_RULES"]
+
+#: Prefix used for function (predicate) concepts, as in the paper's listings.
+FUNCTION_PREFIX = "Fun"
+
+#: Mapping from a sortal noun ("command") to the object prefix used in the paper.
+_SORTAL_PREFIXES: Dict[str, str] = {
+    "command": "CmdType",
+    "message": "MsgType",
+    "input": "InType",
+    "output": "OutType",
+    "mode": "ModeType",
+    "parameter": "ParType",
+    "telemetry": "TmType",
+    "signal": "SigType",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionRule:
+    """One verb-phrase pattern: matched tokens → function concept name.
+
+    Attributes
+    ----------
+    verb_tokens:
+        The normalised tokens of the verb phrase (e.g. ``("accept",)``).
+    function:
+        The function concept name (e.g. ``"accept_cmd"``).
+    negated_function:
+        The function concept used when the sentence contains "not"
+        (e.g. ``"block_cmd"``); when ``None`` the function name is prefixed
+        with ``"not_"``.
+    """
+
+    verb_tokens: Tuple[str, ...]
+    function: str
+    negated_function: Optional[str] = None
+
+    def negated(self) -> str:
+        """Name of the function to use for a negated sentence."""
+        return self.negated_function or f"not_{self.function}"
+
+
+#: The default rule set covers the verb phrases produced by the synthetic
+#: requirements generator (and their negations).
+DEFAULT_RULES: Tuple[ExtractionRule, ...] = (
+    ExtractionRule(("accept",), "accept_cmd", "block_cmd"),
+    ExtractionRule(("block",), "block_cmd", "accept_cmd"),
+    ExtractionRule(("send",), "send_msg", "suppress_msg"),
+    ExtractionRule(("suppress",), "suppress_msg", "send_msg"),
+    ExtractionRule(("acquire",), "acquire_in", "ignore_in"),
+    ExtractionRule(("ignore",), "ignore_in", "acquire_in"),
+    ExtractionRule(("enable",), "enable_mode", "disable_mode"),
+    ExtractionRule(("disable",), "disable_mode", "enable_mode"),
+    ExtractionRule(("start",), "start_proc", "stop_proc"),
+    ExtractionRule(("stop",), "stop_proc", "start_proc"),
+    ExtractionRule(("transmit",), "transmit_tm", "withhold_tm"),
+    ExtractionRule(("withhold",), "withhold_tm", "transmit_tm"),
+    ExtractionRule(("raise",), "raise_signal", "clear_signal"),
+    ExtractionRule(("clear",), "clear_signal", "raise_signal"),
+)
+
+_SUBJECT_SORTALS = {"component", "device", "unit", "subsystem", "module"}
+_MODALS = {"shall", "must", "will", "should"}
+_ARTICLES = {"the", "a", "an"}
+
+
+class TripleExtractor:
+    """Extracts (Actor, Fun:function, Type:parameter) triples from controlled English."""
+
+    def __init__(self, rules: Sequence[ExtractionRule] = DEFAULT_RULES):
+        if not rules:
+            raise ExtractionError("the extractor needs at least one rule")
+        self._rules: Dict[str, ExtractionRule] = {}
+        for rule in rules:
+            self._rules[" ".join(rule.verb_tokens)] = rule
+
+    # -- public API --------------------------------------------------------------------
+
+    def extract_from_text(self, text: str) -> List[Triple]:
+        """Extract a triple from every parsable sentence of ``text``.
+
+        Sentences that do not match the controlled-English pattern are
+        skipped silently (real requirement documents contain headings and
+        notes); use :meth:`extract_from_sentence` to get a hard error for a
+        single sentence instead.
+        """
+        triples: List[Triple] = []
+        for sentence in split_sentences(text):
+            try:
+                triples.append(self.extract_from_sentence(sentence))
+            except ExtractionError:
+                continue
+        return triples
+
+    def extract_from_sentence(self, sentence: str) -> Triple:
+        """Extract the (subject, predicate, object) triple of one sentence.
+
+        Raises
+        ------
+        ExtractionError
+            If the sentence does not follow the controlled-English pattern.
+        """
+        tokens = [token for token in tokenize(sentence) if not token.is_punctuation]
+        if not tokens:
+            raise ExtractionError("empty sentence")
+        subject = self._parse_subject(tokens)
+        negated, verb_index = self._parse_modal(tokens)
+        rule, after_verb = self._parse_verb(tokens, verb_index)
+        sortal, parameter = self._parse_object(tokens, after_verb)
+        function_name = rule.negated() if negated else rule.function
+        prefix = _SORTAL_PREFIXES.get(sortal, "ParType")
+        return Triple(
+            Concept(subject),
+            Concept(function_name, FUNCTION_PREFIX),
+            Concept(parameter, prefix),
+        )
+
+    # -- parsing helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_subject(tokens: List[Token]) -> str:
+        index = 0
+        if index < len(tokens) and tokens[index].normal in _ARTICLES:
+            index += 1
+        if index < len(tokens) and tokens[index].normal in _SUBJECT_SORTALS:
+            index += 1
+        if index >= len(tokens):
+            raise ExtractionError("sentence has no subject")
+        return tokens[index].text
+
+    @staticmethod
+    def _parse_modal(tokens: List[Token]) -> Tuple[bool, int]:
+        """Locate the modal; return (negated, index of the verb token)."""
+        for index, token in enumerate(tokens):
+            if token.normal in _MODALS:
+                negated = (
+                    index + 1 < len(tokens) and tokens[index + 1].normal in {"not", "never"}
+                )
+                return negated, index + (2 if negated else 1)
+        raise ExtractionError("sentence has no modal verb (shall/must/will/should)")
+
+    def _parse_verb(self, tokens: List[Token], verb_index: int) -> Tuple[ExtractionRule, int]:
+        if verb_index >= len(tokens):
+            raise ExtractionError("sentence ends before its verb")
+        verb = tokens[verb_index].normal
+        rule = self._rules.get(verb)
+        if rule is None:
+            raise ExtractionError(f"unknown verb {verb!r}")
+        return rule, verb_index + 1
+
+    @staticmethod
+    def _parse_object(tokens: List[Token], start: int) -> Tuple[str, str]:
+        index = start
+        if index < len(tokens) and tokens[index].normal in _ARTICLES:
+            index += 1
+        if index >= len(tokens):
+            raise ExtractionError("sentence has no object")
+        sortal = tokens[index].normal
+        parameter_tokens = tokens[index + 1:]
+        if not parameter_tokens:
+            # The sortal itself is the parameter ("... shall raise the alarm").
+            return "parameter", sortal
+        parameter = " ".join(token.text for token in parameter_tokens)
+        return sortal, parameter

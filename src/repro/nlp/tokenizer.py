@@ -1,0 +1,65 @@
+"""A small tokenizer for controlled-English requirement sentences.
+
+The paper delegates the text-to-triples step to external NLP facilities [6];
+the reproduction closes the pipeline with a deterministic tokenizer and
+pattern-based extractor sufficient for the controlled-English sentences the
+synthetic requirements generator emits (see
+:mod:`repro.requirements.generator`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "tokenize", "split_sentences", "normalise_identifier"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9_][A-Za-z0-9_\-]*|[.,;:!?]")
+_SENTENCE_END_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A token with its surface form and lower-cased normal form."""
+
+    text: str
+
+    @property
+    def normal(self) -> str:
+        """The lower-cased form used by the extractor's pattern matching."""
+        return self.text.lower()
+
+    @property
+    def is_punctuation(self) -> bool:
+        """True for sentence punctuation tokens."""
+        return self.text in {".", ",", ";", ":", "!", "?"}
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split a sentence into word and punctuation tokens (whitespace dropped)."""
+    return [Token(match.group(0)) for match in _TOKEN_RE.finditer(text)]
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split a paragraph into sentences on terminal punctuation.
+
+    Blank fragments are dropped; the terminal punctuation stays attached to
+    its sentence so the tokenizer sees it.
+    """
+    parts = _SENTENCE_END_RE.split(text.strip())
+    return [part.strip() for part in parts if part.strip()]
+
+
+def normalise_identifier(text: str) -> str:
+    """Normalise a multi-word parameter into the generator's identifier form.
+
+    ``"pre launch phase"`` → ``"pre-launch phase"`` is *not* attempted; the
+    normalisation only collapses whitespace and strips punctuation, because
+    the synthetic corpus uses hyphenated identifiers natively.
+    """
+    cleaned = re.sub(r"[.,;:!?]", "", text)
+    return re.sub(r"\s+", " ", cleaned).strip()

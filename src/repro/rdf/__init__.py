@@ -1,0 +1,27 @@
+"""RDF substrate: terms, triples, namespaces, Turtle-like parsing, stores, documents."""
+
+from repro.rdf.document import Document, DocumentCollection
+from repro.rdf.namespace import DEFAULT_NAMESPACE, NamespaceRegistry
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Concept, Literal, Term, Variable, term_from_text
+from repro.rdf.triple import Triple, TriplePattern
+from repro.rdf.turtle import parse_term, parse_turtle, serialise_term, serialise_turtle
+
+__all__ = [
+    "Concept",
+    "Literal",
+    "Variable",
+    "Term",
+    "term_from_text",
+    "Triple",
+    "TriplePattern",
+    "NamespaceRegistry",
+    "DEFAULT_NAMESPACE",
+    "TripleStore",
+    "Document",
+    "DocumentCollection",
+    "parse_turtle",
+    "parse_term",
+    "serialise_turtle",
+    "serialise_term",
+]

@@ -1,0 +1,102 @@
+"""Document model.
+
+The paper's unit of retrieval is the *document*: a textual artefact whose
+semantics is "effectively expressed by a set of (subject, predicate, object)
+statements".  :class:`Document` couples an identifier, the original text
+(optional — the paper scopes out the text-to-triple conversion) and the
+ordered list of triples that represent its semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List
+
+from repro.errors import TripleError
+from repro.rdf.triple import Triple, TriplePattern
+
+__all__ = ["Document", "DocumentCollection"]
+
+
+@dataclass
+class Document:
+    """A document together with its semantic representation (a list of triples).
+
+    The triple list is ordered: the paper notes that the order reflects the
+    temporal sequence of the requirement elements.
+    """
+
+    document_id: str
+    triples: List[Triple] = field(default_factory=list)
+    text: str = ""
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.document_id:
+            raise TripleError("a Document requires a non-empty identifier")
+
+    def add_triple(self, triple: Triple) -> None:
+        """Append a triple to the document's semantic representation."""
+        self.triples.append(triple)
+
+    def match(self, pattern: TriplePattern) -> List[Triple]:
+        """Return the document triples matching a pattern, in order."""
+        return [triple for triple in self.triples if pattern.matches(triple)]
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.triples)
+
+    def __repr__(self) -> str:
+        return f"Document(id={self.document_id!r}, triples={len(self.triples)})"
+
+
+class DocumentCollection:
+    """An ordered collection of documents, addressable by identifier."""
+
+    def __init__(self, documents: Iterable[Document] | None = None):
+        self._documents: Dict[str, Document] = {}
+        if documents:
+            for document in documents:
+                self.add(document)
+
+    def add(self, document: Document) -> None:
+        """Add a document; re-adding the same identifier replaces it."""
+        self._documents[document.document_id] = document
+
+    def get(self, document_id: str) -> Document:
+        """Return the document with the given identifier.
+
+        Raises
+        ------
+        KeyError
+            If the identifier is unknown.
+        """
+        return self._documents[document_id]
+
+    def __contains__(self, document_id: str) -> bool:
+        return document_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def all_triples(self) -> List[tuple[str, Triple]]:
+        """Return every ``(document_id, triple)`` pair in document order."""
+        pairs: List[tuple[str, Triple]] = []
+        for document in self:
+            pairs.extend((document.document_id, triple) for triple in document)
+        return pairs
+
+    def total_triples(self) -> int:
+        """Total number of triples across all documents (with repetitions)."""
+        return sum(len(document) for document in self)
+
+    def __repr__(self) -> str:
+        return (
+            f"DocumentCollection(documents={len(self)}, triples={self.total_triples()})"
+        )

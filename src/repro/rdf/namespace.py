@@ -1,0 +1,123 @@
+"""Namespace / prefix management.
+
+The paper writes concepts as ``X:x`` where ``X`` is a vocabulary prefix
+("the meaning of the concept ``x`` can be found by using the prefix ``X``;
+if ``X`` is not specified, we use a standard vocabulary").  The
+:class:`NamespaceRegistry` keeps the mapping from prefixes to vocabulary
+identifiers (IRIs or simply human-readable names) and expands/compacts
+qualified names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping
+
+from repro.errors import NamespaceError
+from repro.rdf.terms import Concept
+
+__all__ = ["NamespaceRegistry", "DEFAULT_NAMESPACE"]
+
+#: Identifier used for the paper's implicit "standard vocabulary".
+DEFAULT_NAMESPACE = "std"
+
+
+class NamespaceRegistry:
+    """A registry of ``prefix → namespace identifier`` bindings.
+
+    The registry is deliberately small: the reproduction only needs to
+    (a) validate that prefixes used in parsed documents are known, and
+    (b) expand a :class:`Concept` to a fully-qualified identifier that
+    vocabularies and taxonomies use as a key.
+    """
+
+    def __init__(self, bindings: Mapping[str, str] | None = None):
+        self._bindings: Dict[str, str] = {"": DEFAULT_NAMESPACE}
+        if bindings:
+            for prefix, namespace in bindings.items():
+                self.bind(prefix, namespace)
+
+    # -- binding management ---------------------------------------------------------
+
+    def bind(self, prefix: str, namespace: str, *, overwrite: bool = False) -> None:
+        """Bind ``prefix`` to ``namespace``.
+
+        Raises
+        ------
+        NamespaceError
+            If the prefix is already bound to a *different* namespace and
+            ``overwrite`` is false.
+        """
+        if not namespace:
+            raise NamespaceError("cannot bind a prefix to an empty namespace")
+        existing = self._bindings.get(prefix)
+        if existing is not None and existing != namespace and not overwrite:
+            raise NamespaceError(
+                f"prefix {prefix!r} is already bound to {existing!r} (wanted {namespace!r})"
+            )
+        self._bindings[prefix] = namespace
+
+    def unbind(self, prefix: str) -> None:
+        """Remove a prefix binding (the default prefix cannot be removed)."""
+        if prefix == "":
+            raise NamespaceError("the default prefix cannot be unbound")
+        if prefix not in self._bindings:
+            raise NamespaceError(f"prefix {prefix!r} is not bound")
+        del self._bindings[prefix]
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def namespace_of(self, prefix: str) -> str:
+        """Return the namespace bound to ``prefix``.
+
+        Raises
+        ------
+        NamespaceError
+            If the prefix is unknown.
+        """
+        try:
+            return self._bindings[prefix]
+        except KeyError:
+            raise NamespaceError(f"unknown prefix {prefix!r}") from None
+
+    def expand(self, concept: Concept) -> str:
+        """Return the fully-qualified identifier ``namespace/name`` of a concept."""
+        namespace = self.namespace_of(concept.prefix)
+        return f"{namespace}/{concept.name}"
+
+    def compact(self, identifier: str) -> Concept:
+        """Inverse of :meth:`expand`: turn ``namespace/name`` back into a concept.
+
+        Raises
+        ------
+        NamespaceError
+            If no registered prefix maps to the identifier's namespace.
+        """
+        namespace, sep, name = identifier.rpartition("/")
+        if not sep or not name:
+            raise NamespaceError(f"malformed expanded identifier: {identifier!r}")
+        for prefix, bound in self._bindings.items():
+            if bound == namespace:
+                return Concept(name, prefix)
+        raise NamespaceError(f"no prefix bound to namespace {namespace!r}")
+
+    def knows(self, prefix: str) -> bool:
+        """Return ``True`` when the prefix is registered."""
+        return prefix in self._bindings
+
+    # -- iteration / dunder -----------------------------------------------------------
+
+    def __contains__(self, prefix: str) -> bool:
+        return self.knows(prefix)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(sorted(self._bindings.items()))
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def as_dict(self) -> Dict[str, str]:
+        """Return a copy of the bindings as a plain dictionary."""
+        return dict(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"NamespaceRegistry({self.as_dict()!r})"

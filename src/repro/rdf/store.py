@@ -1,0 +1,173 @@
+"""An in-memory triple store with pattern matching.
+
+The store is the substrate that holds the triples extracted from documents
+before they are embedded and indexed by SemTree.  It provides:
+
+* insertion of triples, individually or in bulk, with optional provenance
+  (the document each triple came from);
+* exact pattern matching on any combination of bound positions, served by
+  three hash indexes (SPO / POS / OSP style);
+* deletion and iteration in insertion order (the paper notes that triple
+  order reflects the temporal order of requirement elements).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.terms import Term
+from repro.rdf.triple import Triple, TriplePattern
+
+__all__ = ["TripleStore"]
+
+
+class TripleStore:
+    """An insertion-ordered, hash-indexed collection of triples.
+
+    Duplicate triples are stored once; re-adding an existing triple is a
+    no-op (but may attach additional provenance).
+    """
+
+    def __init__(self, triples: Iterable[Triple] | None = None):
+        # Insertion-ordered primary storage: triple -> insertion index.
+        self._order: Dict[Triple, int] = {}
+        self._next_index = 0
+        # Secondary hash indexes by single bound position.
+        self._by_subject: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_predicate: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_object: Dict[Term, Set[Triple]] = defaultdict(set)
+        # Provenance: triple -> set of document identifiers.
+        self._provenance: Dict[Triple, Set[str]] = defaultdict(set)
+        if triples:
+            self.add_all(triples)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, triple: Triple, *, document_id: str | None = None) -> bool:
+        """Add a triple; return ``True`` if it was not already present."""
+        added = triple not in self._order
+        if added:
+            self._order[triple] = self._next_index
+            self._next_index += 1
+            self._by_subject[triple.subject].add(triple)
+            self._by_predicate[triple.predicate].add(triple)
+            self._by_object[triple.object].add(triple)
+        if document_id is not None:
+            self._provenance[triple].add(document_id)
+        return added
+
+    def add_all(self, triples: Iterable[Triple], *, document_id: str | None = None) -> int:
+        """Add many triples; return how many were new."""
+        return sum(1 for triple in triples if self.add(triple, document_id=document_id))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple; return ``True`` if it was present."""
+        if triple not in self._order:
+            return False
+        del self._order[triple]
+        self._discard_from_index(self._by_subject, triple.subject, triple)
+        self._discard_from_index(self._by_predicate, triple.predicate, triple)
+        self._discard_from_index(self._by_object, triple.object, triple)
+        self._provenance.pop(triple, None)
+        return True
+
+    @staticmethod
+    def _discard_from_index(index: Dict[Term, Set[Triple]], key: Term, triple: Triple) -> None:
+        bucket = index.get(key)
+        if bucket is None:
+            return
+        bucket.discard(triple)
+        if not bucket:
+            del index[key]
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._order.clear()
+        self._by_subject.clear()
+        self._by_predicate.clear()
+        self._by_object.clear()
+        self._provenance.clear()
+        self._next_index = 0
+
+    # -- queries ----------------------------------------------------------------
+
+    def match(self, pattern: TriplePattern) -> List[Triple]:
+        """Return every stored triple matching ``pattern`` in insertion order."""
+        candidates = self._candidates(pattern)
+        matched = [triple for triple in candidates if pattern.matches(triple)]
+        matched.sort(key=self._order.__getitem__)
+        return matched
+
+    def _candidates(self, pattern: TriplePattern) -> Iterable[Triple]:
+        """Pick the smallest applicable hash bucket as the candidate set."""
+        buckets: List[Set[Triple]] = []
+        if pattern.subject is not None and not _is_wildcard(pattern.subject):
+            buckets.append(self._by_subject.get(pattern.subject, set()))
+        if pattern.predicate is not None and not _is_wildcard(pattern.predicate):
+            buckets.append(self._by_predicate.get(pattern.predicate, set()))
+        if pattern.object is not None and not _is_wildcard(pattern.object):
+            buckets.append(self._by_object.get(pattern.object, set()))
+        if not buckets:
+            return list(self._order)
+        return min(buckets, key=len)
+
+    def subjects(self) -> List[Term]:
+        """All distinct subjects, in first-appearance order."""
+        return self._distinct(lambda t: t.subject)
+
+    def predicates(self) -> List[Term]:
+        """All distinct predicates, in first-appearance order."""
+        return self._distinct(lambda t: t.predicate)
+
+    def objects(self) -> List[Term]:
+        """All distinct objects, in first-appearance order."""
+        return self._distinct(lambda t: t.object)
+
+    def _distinct(self, key) -> List[Term]:
+        seen: Dict[Term, None] = {}
+        for triple in self:
+            seen.setdefault(key(triple), None)
+        return list(seen)
+
+    def documents_of(self, triple: Triple) -> Set[str]:
+        """Return the set of document identifiers that contributed ``triple``."""
+        return set(self._provenance.get(triple, set()))
+
+    def triples_of_document(self, document_id: str) -> List[Triple]:
+        """Return the triples attributed to ``document_id`` in insertion order."""
+        found = [t for t, docs in self._provenance.items() if document_id in docs]
+        found.sort(key=self._order.__getitem__)
+        return found
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(sorted(self._order, key=self._order.__getitem__))
+
+    def __repr__(self) -> str:
+        return f"TripleStore(size={len(self)})"
+
+    # -- misc ----------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        """Return simple store statistics (cardinalities of each position)."""
+        return {
+            "triples": len(self),
+            "subjects": len(self._by_subject),
+            "predicates": len(self._by_predicate),
+            "objects": len(self._by_object),
+            "documents": len({d for docs in self._provenance.values() for d in docs}),
+        }
+
+
+def _is_wildcard(term: Optional[Term]) -> bool:
+    from repro.rdf.terms import Variable
+
+    return term is None or isinstance(term, Variable)

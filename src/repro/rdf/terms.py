@@ -1,0 +1,148 @@
+"""RDF-style terms.
+
+The paper models document semantics as a set of
+``(subject, predicate, object)`` statements "as in the RDF model".  Each
+element of a statement is a *term*.  The reproduction distinguishes three
+kinds of terms:
+
+``Concept``
+    A named resource whose meaning is defined by a vocabulary (possibly
+    namespaced with a prefix, written ``Prefix:local`` in the paper's
+    Turtle-like listings, e.g. ``Fun:accept_cmd``).  Distances between two
+    concepts are computed with taxonomy-based similarity measures.
+
+``Literal``
+    A plain constant (string, number, ...).  Distances between two literals
+    of the same type are computed with string distances (e.g. Levenshtein).
+
+``Variable``
+    A placeholder used only in query patterns (``?x``); it never appears in
+    stored data.
+
+Terms are immutable value objects: they hash and compare by value, so they
+can be used as dictionary keys and set members throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import TripleError
+
+__all__ = ["Term", "Concept", "Literal", "Variable", "term_from_text"]
+
+
+@dataclass(frozen=True, slots=True)
+class Concept:
+    """A named resource, optionally qualified by a vocabulary prefix.
+
+    Parameters
+    ----------
+    name:
+        The local name of the concept (e.g. ``"accept_cmd"``).
+    prefix:
+        The vocabulary prefix (e.g. ``"Fun"``).  An empty string means the
+        standard (default) vocabulary, matching the paper's convention "if X
+        is not specified, we use a standard vocabulary".
+    """
+
+    name: str
+    prefix: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TripleError("a Concept requires a non-empty name")
+
+    @property
+    def qname(self) -> str:
+        """Qualified name, ``prefix:name`` or just ``name`` for the default vocabulary."""
+        if self.prefix:
+            return f"{self.prefix}:{self.name}"
+        return self.name
+
+    def with_prefix(self, prefix: str) -> "Concept":
+        """Return a copy of this concept under a different prefix."""
+        return Concept(self.name, prefix)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.qname
+
+    def __repr__(self) -> str:
+        return f"Concept({self.qname!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant value with an optional datatype tag.
+
+    The paper's sub-distance definition only distinguishes "literals of the
+    same type" (string distance applies) from concept/concept pairs, so the
+    datatype is a plain string tag (``"string"``, ``"integer"``, ...).
+    """
+
+    value: str
+    datatype: str = "string"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, str):
+            # Normalise numerics eagerly so equality/hashing stay value-based.
+            object.__setattr__(self, "value", str(self.value))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f'"{self.value}"'
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r}, {self.datatype!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query-pattern placeholder such as ``?req`` (never stored in data)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TripleError("a Variable requires a non-empty name")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"?{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+Term = Union[Concept, Literal, Variable]
+
+
+def term_from_text(text: str) -> Term:
+    """Parse a single term from its textual form.
+
+    The accepted syntax mirrors the paper's Turtle-like listings:
+
+    * ``"quoted text"`` → :class:`Literal`
+    * ``?name``         → :class:`Variable`
+    * ``Prefix:name``   → :class:`Concept` with that prefix
+    * ``name``          → :class:`Concept` in the default vocabulary
+
+    Raises
+    ------
+    TripleError
+        If the text is empty.
+    """
+    text = text.strip()
+    if not text:
+        raise TripleError("cannot parse an empty term")
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return Literal(text[1:-1])
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return Literal(text[1:-1])
+    if text.startswith("?"):
+        return Variable(text[1:])
+    if ":" in text:
+        prefix, _, name = text.partition(":")
+        if not name:
+            raise TripleError(f"malformed prefixed concept: {text!r}")
+        return Concept(name, prefix)
+    return Concept(text)

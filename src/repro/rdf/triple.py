@@ -1,0 +1,137 @@
+"""Triples and triple patterns.
+
+A :class:`Triple` is the atomic unit of document semantics in the paper:
+``(subject, predicate, object)``.  A :class:`TriplePattern` is a triple whose
+positions may be variables or ``None`` (wildcards) and is used for pattern
+queries against a :class:`~repro.rdf.store.TripleStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import TripleError
+from repro.rdf.terms import Concept, Literal, Term, Variable, term_from_text
+
+__all__ = ["Triple", "TriplePattern"]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An RDF-style statement relating a subject to an object via a predicate.
+
+    All three positions must be concrete terms (:class:`Concept` or
+    :class:`Literal`); variables are only allowed in
+    :class:`TriplePattern`.
+    """
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def __post_init__(self) -> None:
+        for position, term in (("subject", self.subject),
+                               ("predicate", self.predicate),
+                               ("object", self.object)):
+            if isinstance(term, Variable):
+                raise TripleError(
+                    f"the {position} of a stored triple cannot be a variable: {term}"
+                )
+            if not isinstance(term, (Concept, Literal)):
+                raise TripleError(
+                    f"the {position} of a triple must be a Concept or Literal, "
+                    f"got {type(term).__name__}"
+                )
+
+    # -- convenience constructors -------------------------------------------------
+
+    @classmethod
+    def of(cls, subject: str, predicate: str, obj: str) -> "Triple":
+        """Build a triple from three textual terms (paper's Turtle-like syntax)."""
+        return cls(term_from_text(subject), term_from_text(predicate), term_from_text(obj))
+
+    # -- projections ---------------------------------------------------------------
+
+    def projection(self, position: str) -> Term:
+        """Return the projection of the triple on ``"subject"``, ``"predicate"``
+        or ``"object"`` — the :math:`t^s_k`, :math:`t^p_k`, :math:`t^o_k` of Eq. (1)."""
+        if position == "subject":
+            return self.subject
+        if position == "predicate":
+            return self.predicate
+        if position == "object":
+            return self.object
+        raise TripleError(f"unknown projection {position!r}")
+
+    def as_tuple(self) -> tuple[Term, Term, Term]:
+        """Return the triple as a plain ``(s, p, o)`` tuple."""
+        return (self.subject, self.predicate, self.object)
+
+    def replace(self, *, subject: Term | None = None, predicate: Term | None = None,
+                object: Term | None = None) -> "Triple":
+        """Return a copy of the triple with some positions replaced."""
+        return Triple(
+            subject if subject is not None else self.subject,
+            predicate if predicate is not None else self.predicate,
+            object if object is not None else self.object,
+        )
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.predicate}, {self.object})"
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple with optional wildcard positions, used for pattern queries.
+
+    ``None`` (or a :class:`Variable`) in a position matches any term.
+    """
+
+    subject: Optional[Term] = None
+    predicate: Optional[Term] = None
+    object: Optional[Term] = None
+
+    def matches(self, triple: Triple) -> bool:
+        """Return ``True`` when ``triple`` satisfies this pattern."""
+        for wanted, actual in ((self.subject, triple.subject),
+                               (self.predicate, triple.predicate),
+                               (self.object, triple.object)):
+            if wanted is None or isinstance(wanted, Variable):
+                continue
+            if wanted != actual:
+                return False
+        return True
+
+    @property
+    def is_fully_bound(self) -> bool:
+        """``True`` when every position is a concrete term (no wildcards)."""
+        return all(
+            term is not None and not isinstance(term, Variable)
+            for term in (self.subject, self.predicate, self.object)
+        )
+
+    @classmethod
+    def of(cls, subject: str | None, predicate: str | None, obj: str | None) -> "TriplePattern":
+        """Build a pattern from textual terms; ``None`` or ``"*"`` are wildcards."""
+
+        def parse(text: str | None) -> Optional[Term]:
+            if text is None or text == "*":
+                return None
+            return term_from_text(text)
+
+        return cls(parse(subject), parse(predicate), parse(obj))
+
+    def __str__(self) -> str:
+        def show(term: Optional[Term]) -> str:
+            return "*" if term is None else str(term)
+
+        return f"({show(self.subject)}, {show(self.predicate)}, {show(self.object)})"

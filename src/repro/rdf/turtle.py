@@ -1,0 +1,163 @@
+"""A parser and serialiser for the paper's Turtle-like triple listings.
+
+The paper shows resources in a "Turtle-like format"::
+
+    ('OBSW001', Fun:acquire_in, InType:pre-launch phase)
+    ('OBSW001', Fun:accept_cmd, CmdType:start-up)
+    ('OBSW001', Fun:send_msg, MsgType:power amplifier)
+
+plus optional ``@prefix`` directives and ``#`` comments.  This module parses
+that format into :class:`~repro.rdf.triple.Triple` objects and serialises
+them back.  The order of triples is preserved because, as the paper notes,
+"the order of the triples reflects the temporal sequence of the requirement
+elements".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List
+
+from repro.errors import ParseError
+from repro.rdf.namespace import NamespaceRegistry
+from repro.rdf.terms import Concept, Literal, Term
+from repro.rdf.triple import Triple
+
+__all__ = ["parse_turtle", "parse_term", "serialise_turtle", "serialise_term"]
+
+_PREFIX_RE = re.compile(r"^@prefix\s+(?P<prefix>[A-Za-z_][\w-]*)?\s*:\s*(?P<ns>\S+)\s*\.?\s*$")
+_TRIPLE_RE = re.compile(r"^\(\s*(?P<body>.*?)\s*\)\s*$")
+
+
+def parse_term(text: str) -> Term:
+    """Parse one term of a Turtle-like triple.
+
+    Accepted forms:
+
+    * ``'quoted literal'`` or ``"quoted literal"`` → :class:`Literal`
+    * ``Prefix:local name`` → :class:`Concept` with that prefix (local names
+      may contain spaces and dashes, as in ``InType:pre-launch phase``)
+    * ``bare_name`` → :class:`Concept` in the default vocabulary
+    """
+    text = text.strip()
+    if not text:
+        raise ParseError("empty term")
+    if (text[0] == text[-1] == "'") or (text[0] == text[-1] == '"'):
+        if len(text) < 2:
+            raise ParseError(f"malformed literal: {text!r}")
+        return Literal(text[1:-1])
+    if ":" in text:
+        prefix, _, name = text.partition(":")
+        prefix = prefix.strip()
+        name = name.strip()
+        if not name:
+            raise ParseError(f"malformed prefixed concept: {text!r}")
+        return Concept(name, prefix)
+    return Concept(text)
+
+
+def _split_triple_body(body: str, line_number: int) -> List[str]:
+    """Split the inside of ``( ... )`` on top-level commas, honouring quotes."""
+    parts: List[str] = []
+    current: List[str] = []
+    quote: str | None = None
+    for char in body:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+            continue
+        if char == ",":
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if quote is not None:
+        raise ParseError("unterminated quoted literal", line_number)
+    parts.append("".join(current))
+    return parts
+
+
+def parse_turtle(text: str, *, registry: NamespaceRegistry | None = None,
+                 require_known_prefixes: bool = False) -> List[Triple]:
+    """Parse a Turtle-like document into an ordered list of triples.
+
+    Parameters
+    ----------
+    text:
+        The document text (one triple or directive per line).
+    registry:
+        Optional :class:`NamespaceRegistry`; ``@prefix`` directives found in
+        the document are registered into it.
+    require_known_prefixes:
+        When true, every prefix used by a concept must already be bound in
+        ``registry`` (or bound by a preceding ``@prefix`` directive);
+        unknown prefixes raise :class:`~repro.errors.ParseError`.
+    """
+    triples: List[Triple] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        prefix_match = _PREFIX_RE.match(line)
+        if prefix_match:
+            if registry is not None:
+                prefix = prefix_match.group("prefix") or ""
+                namespace = prefix_match.group("ns").rstrip(".")
+                registry.bind(prefix, namespace, overwrite=True)
+            continue
+        triple_match = _TRIPLE_RE.match(line)
+        if not triple_match:
+            raise ParseError(f"cannot parse line: {raw_line!r}", line_number)
+        parts = _split_triple_body(triple_match.group("body"), line_number)
+        if len(parts) != 3:
+            raise ParseError(
+                f"a triple needs exactly 3 terms, found {len(parts)}", line_number
+            )
+        terms = [parse_term(part) for part in parts]
+        if require_known_prefixes and registry is not None:
+            for term in terms:
+                if isinstance(term, Concept) and not registry.knows(term.prefix):
+                    raise ParseError(f"unknown prefix {term.prefix!r}", line_number)
+        triples.append(Triple(*terms))
+    return triples
+
+
+def serialise_term(term: Term) -> str:
+    """Serialise one term back to the Turtle-like syntax."""
+    if isinstance(term, Literal):
+        return f"'{term.value}'"
+    if isinstance(term, Concept):
+        return term.qname
+    raise ParseError(f"cannot serialise term of type {type(term).__name__}")
+
+
+def serialise_turtle(triples: Iterable[Triple],
+                     registry: NamespaceRegistry | None = None) -> str:
+    """Serialise triples (and optional prefix bindings) to a Turtle-like document."""
+    lines: List[str] = []
+    if registry is not None:
+        for prefix, namespace in registry:
+            if prefix == "":
+                continue
+            lines.append(f"@prefix {prefix}: {namespace} .")
+        if lines:
+            lines.append("")
+    for triple in triples:
+        subject = serialise_term(triple.subject)
+        predicate = serialise_term(triple.predicate)
+        obj = serialise_term(triple.object)
+        lines.append(f"({subject}, {predicate}, {obj})")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def iter_parse_turtle(lines: Iterable[str]) -> Iterator[Triple]:
+    """Streaming variant of :func:`parse_turtle` over an iterable of lines."""
+    buffer: List[str] = []
+    for line in lines:
+        buffer.append(line)
+    yield from parse_turtle("\n".join(buffer))

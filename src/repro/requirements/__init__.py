@@ -1,0 +1,47 @@
+"""The software-requirements case study: domain vocabulary, synthetic corpus
+generator, inconsistency detection and the ground-truth oracle of Fig. 8."""
+
+from repro.requirements.generator import GeneratorConfig, RequirementsGenerator, SyntheticCorpus
+from repro.requirements.ground_truth import GroundTruthCase, GroundTruthOracle
+from repro.requirements.inconsistency import (
+    InconsistencyDetector,
+    InconsistencyReport,
+    are_inconsistent,
+    make_target_triple,
+)
+from repro.requirements.model import Requirement, RequirementsDocument, collection_from_documents
+from repro.requirements.vocabulary import (
+    ANTINOMY_PAIRS,
+    FUNCTION_FAMILIES,
+    FUNCTION_PREFIX,
+    PARAMETER_PREFIXES,
+    build_actor_vocabulary,
+    build_function_vocabulary,
+    build_parameter_vocabulary,
+    build_requirement_distance,
+    build_requirement_vocabularies,
+)
+
+__all__ = [
+    "Requirement",
+    "RequirementsDocument",
+    "collection_from_documents",
+    "GeneratorConfig",
+    "RequirementsGenerator",
+    "SyntheticCorpus",
+    "GroundTruthCase",
+    "GroundTruthOracle",
+    "InconsistencyDetector",
+    "InconsistencyReport",
+    "are_inconsistent",
+    "make_target_triple",
+    "ANTINOMY_PAIRS",
+    "FUNCTION_FAMILIES",
+    "FUNCTION_PREFIX",
+    "PARAMETER_PREFIXES",
+    "build_function_vocabulary",
+    "build_actor_vocabulary",
+    "build_parameter_vocabulary",
+    "build_requirement_vocabularies",
+    "build_requirement_distance",
+]

@@ -1,0 +1,195 @@
+"""Ground-truth oracle for the effectiveness experiment (Fig. 8).
+
+The paper asked five CIRA software engineers to specify, for each selected
+triple, "the set of possible inconsistencies (ground truth)" by analysing
+the requirements expressed as triples.  The engineers were applying the
+formal definition of Section II (same subject, same object, antinomic
+predicates); the reproduction therefore derives the ground truth from that
+definition, with an optional *annotator-noise* model (random omissions and
+spurious additions) so the sensitivity of the precision/recall figures to
+imperfect annotations can be studied.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.rdf.triple import Triple
+from repro.requirements.inconsistency import are_inconsistent, make_target_triple
+from repro.semantics.vocabulary import Vocabulary
+
+__all__ = ["GroundTruthCase", "GroundTruthOracle"]
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruthCase:
+    """One effectiveness query case.
+
+    Attributes
+    ----------
+    source_triple:
+        The stored triple selected from a requirement.
+    target_triple:
+        The antinomic query triple built from it.
+    expected:
+        The ground-truth set ``T*``: the stored triples an annotator marks as
+        inconsistent with the source triple.
+    """
+
+    source_triple: Triple
+    target_triple: Triple
+    expected: frozenset[Triple]
+
+
+class GroundTruthOracle:
+    """Derives ground-truth inconsistency sets from the corpus triples.
+
+    Parameters
+    ----------
+    corpus_triples:
+        Every stored (indexed) triple.
+    vocabulary:
+        The requirements function vocabulary (antinomy relation).
+    omission_rate / addition_rate:
+        Annotator-noise model: each true inconsistency is omitted with
+        probability ``omission_rate``; with probability ``addition_rate`` a
+        same-subject triple that is *not* formally inconsistent is added.
+        Both default to 0 (perfect annotators).
+    match_object_variants:
+        When true (default), the oracle treats spelling variants of the same
+        parameter ("start-up" / "startup" / "start_up") as the same object —
+        which is what human annotators do when they read restated
+        requirements.  When false, the strict formal definition (object
+        equality) is applied.
+    seed:
+        Seed of the noise model.
+    """
+
+    def __init__(self, corpus_triples: Sequence[Triple], vocabulary: Vocabulary, *,
+                 omission_rate: float = 0.0, addition_rate: float = 0.0,
+                 match_object_variants: bool = True, seed: int = 11):
+        if not corpus_triples:
+            raise EvaluationError("the oracle needs a non-empty corpus")
+        for name, value in (("omission_rate", omission_rate), ("addition_rate", addition_rate)):
+            if not 0.0 <= value <= 1.0:
+                raise EvaluationError(f"{name} must be in [0, 1], got {value}")
+        self.corpus_triples = list(dict.fromkeys(corpus_triples))
+        self.vocabulary = vocabulary
+        self.omission_rate = omission_rate
+        self.addition_rate = addition_rate
+        self.match_object_variants = match_object_variants
+        self._rng = random.Random(seed)
+        self._by_subject: Dict[object, List[Triple]] = {}
+        for triple in self.corpus_triples:
+            self._by_subject.setdefault(triple.subject, []).append(triple)
+
+    # -- ground-truth construction -----------------------------------------------------------
+
+    @staticmethod
+    def _normalise_object_name(name: str) -> str:
+        return name.replace("-", "").replace("_", "").lower()
+
+    def _objects_match(self, triple_a: Triple, triple_b: Triple) -> bool:
+        if triple_a.object == triple_b.object:
+            return True
+        if not self.match_object_variants:
+            return False
+        from repro.rdf.terms import Concept
+
+        object_a, object_b = triple_a.object, triple_b.object
+        if isinstance(object_a, Concept) and isinstance(object_b, Concept):
+            return (
+                object_a.prefix == object_b.prefix
+                and self._normalise_object_name(object_a.name)
+                == self._normalise_object_name(object_b.name)
+            )
+        return False
+
+    def _annotator_marks_inconsistent(self, source: Triple, candidate: Triple) -> bool:
+        """What an annotator applying the Section II definition would mark.
+
+        The subject must match exactly; the object must match up to spelling
+        variants (when enabled); the predicates must be antinomic.
+        """
+        if candidate == source or candidate.subject != source.subject:
+            return False
+        if not self._objects_match(source, candidate):
+            return False
+        normalised_candidate = candidate.replace(object=source.object)
+        return are_inconsistent(source, normalised_candidate, self.vocabulary)
+
+    def expected_inconsistencies(self, source: Triple) -> Set[Triple]:
+        """The ground truth ``T*``: stored triples an annotator marks as
+        inconsistent with ``source``."""
+        candidates = self._by_subject.get(source.subject, [])
+        return {
+            triple for triple in candidates
+            if self._annotator_marks_inconsistent(source, triple)
+        }
+
+    def _with_noise(self, source: Triple, expected: Set[Triple]) -> Set[Triple]:
+        if self.omission_rate == 0.0 and self.addition_rate == 0.0:
+            return expected
+        noisy = {
+            triple for triple in expected if self._rng.random() >= self.omission_rate
+        }
+        if self.addition_rate > 0.0:
+            candidates = [
+                triple for triple in self._by_subject.get(source.subject, [])
+                if triple != source and triple not in expected
+            ]
+            for triple in candidates:
+                if self._rng.random() < self.addition_rate:
+                    noisy.add(triple)
+        return noisy
+
+    def case_for(self, source: Triple) -> GroundTruthCase:
+        """Build the full query case (target triple + ground truth) for one source triple."""
+        target = make_target_triple(source, self.vocabulary)
+        expected = self._with_noise(source, self.expected_inconsistencies(source))
+        return GroundTruthCase(
+            source_triple=source,
+            target_triple=target,
+            expected=frozenset(expected),
+        )
+
+    def build_cases(self, count: int, *, require_nonempty: bool = True,
+                    seed: int | None = None) -> List[GroundTruthCase]:
+        """Randomly select ``count`` source triples and build their query cases.
+
+        This mirrors the paper's protocol: "for 100 different requirements,
+        we randomly selected a triple from the related set and generated the
+        equivalent target (query) triple".  When ``require_nonempty`` is
+        true, only source triples whose ground-truth set is non-empty are
+        selected (the paper's annotators always had at least the injected
+        conflicting statement to point at).
+
+        Raises
+        ------
+        EvaluationError
+            If the corpus does not contain enough eligible source triples.
+        """
+        if count < 1:
+            raise EvaluationError("count must be >= 1")
+        rng = random.Random(self._rng.random() if seed is None else seed)
+        shuffled = list(self.corpus_triples)
+        rng.shuffle(shuffled)
+        cases: List[GroundTruthCase] = []
+        for triple in shuffled:
+            try:
+                case = self.case_for(triple)
+            except Exception:
+                continue
+            if require_nonempty and not case.expected:
+                continue
+            cases.append(case)
+            if len(cases) == count:
+                return cases
+        if not cases:
+            raise EvaluationError(
+                "no eligible source triples found (is the inconsistency rate zero?)"
+            )
+        return cases

@@ -1,0 +1,179 @@
+"""Inconsistency detection over requirements, via SemTree k-NN retrieval.
+
+Section II of the paper defines when two triples are inconsistent:
+
+    "two triplets t_i and t_j are inconsistent if: (i) they have the same
+    subject, (ii) they have the same object, (iii) the two predicates are
+    linked by an antinomy relationship in a given vocabulary"
+
+and describes the retrieval protocol used to *find* inconsistencies:
+
+    build a *target triple* from a stored triple by replacing its predicate
+    with an antinomic term, then run a k-nearest query with the target
+    triple; the result set contains "all the triples semantically close to
+    the target one", which are the candidate contradictions.
+
+This module provides:
+
+* :func:`are_inconsistent` — the formal definition, used by the ground-truth
+  oracle and by tests;
+* :func:`make_target_triple` — target-triple construction from the
+  requirements vocabulary;
+* :class:`InconsistencyDetector` — the end-to-end detector over a
+  :class:`~repro.core.semtree.SemTreeIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.semtree import SemanticMatch, SemTreeIndex
+from repro.errors import VocabularyError
+from repro.rdf.terms import Concept
+from repro.rdf.triple import Triple
+from repro.semantics.vocabulary import Vocabulary
+
+__all__ = [
+    "are_inconsistent",
+    "make_target_triple",
+    "InconsistencyReport",
+    "InconsistencyDetector",
+]
+
+
+def are_inconsistent(triple_a: Triple, triple_b: Triple, vocabulary: Vocabulary) -> bool:
+    """The paper's inconsistency definition (Section II).
+
+    ``True`` when the two triples share subject and object and their
+    predicates are antinomic in ``vocabulary``.  Predicates that are not
+    concepts (or are unknown to the vocabulary) are never antinomic.
+    """
+    if triple_a.subject != triple_b.subject:
+        return False
+    if triple_a.object != triple_b.object:
+        return False
+    predicate_a, predicate_b = triple_a.predicate, triple_b.predicate
+    if not isinstance(predicate_a, Concept) or not isinstance(predicate_b, Concept):
+        return False
+    if not vocabulary.has_concept(predicate_a) or not vocabulary.has_concept(predicate_b):
+        return False
+    return vocabulary.are_antonyms(predicate_a, predicate_b)
+
+
+def make_target_triple(triple: Triple, vocabulary: Vocabulary, *,
+                       antonym_index: int = 0) -> Triple:
+    """Build the target (query) triple of the paper's protocol.
+
+    "A target triple was obtained considering subject and object of the
+    selected triple and as predicate an antinomic term with respect to the
+    predicate of the selected triple."
+
+    Raises
+    ------
+    VocabularyError
+        If the predicate has no antonym in the vocabulary.
+    """
+    predicate = triple.predicate
+    if not isinstance(predicate, Concept):
+        raise VocabularyError(f"the predicate of {triple} is not a concept")
+    antonyms = sorted(vocabulary.antonyms_of(predicate))
+    if not antonyms:
+        raise VocabularyError(f"predicate {predicate} has no antonym in {vocabulary.name!r}")
+    antonym = antonyms[antonym_index % len(antonyms)]
+    return triple.replace(predicate=Concept(antonym, predicate.prefix))
+
+
+@dataclass
+class InconsistencyReport:
+    """The outcome of probing one requirement triple for inconsistencies.
+
+    Attributes
+    ----------
+    source_triple:
+        The stored triple that was probed.
+    target_triple:
+        The antinomic query triple built from it.
+    retrieved:
+        The k-NN result set (semantic matches, closest first).
+    confirmed:
+        The subset of retrieved triples that satisfy the formal
+        inconsistency definition against the *source* triple.
+    """
+
+    source_triple: Triple
+    target_triple: Triple
+    retrieved: List[SemanticMatch] = field(default_factory=list)
+    confirmed: List[SemanticMatch] = field(default_factory=list)
+
+    @property
+    def has_inconsistency(self) -> bool:
+        """True when at least one retrieved triple is a confirmed inconsistency."""
+        return bool(self.confirmed)
+
+    def retrieved_triples(self) -> List[Triple]:
+        """The retrieved triples (without scores), closest first."""
+        return [match.triple for match in self.retrieved]
+
+
+class InconsistencyDetector:
+    """Finds candidate inconsistencies with SemTree k-NN queries.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`SemTreeIndex` over the requirements triples.
+    vocabulary:
+        The requirements function vocabulary (antinomy relation).
+    k:
+        Number of neighbours retrieved per probe (the paper sweeps this
+        value in Fig. 8).
+    """
+
+    def __init__(self, index: SemTreeIndex, vocabulary: Vocabulary, *, k: int = 5):
+        self.index = index
+        self.vocabulary = vocabulary
+        self.k = k
+
+    def probe(self, triple: Triple, *, k: int | None = None) -> InconsistencyReport:
+        """Probe one stored triple: build its target triple, query, confirm."""
+        target = make_target_triple(triple, self.vocabulary)
+        return self.probe_with_target(triple, target, k=k)
+
+    def probe_with_target(self, source: Triple, target: Triple, *,
+                          k: int | None = None) -> InconsistencyReport:
+        """Probe with an explicit target triple (used by the Fig. 8 protocol)."""
+        retrieved = self.index.k_nearest(target, k or self.k)
+        confirmed = [
+            match for match in retrieved
+            if are_inconsistent(source, match.triple, self.vocabulary)
+        ]
+        return InconsistencyReport(
+            source_triple=source,
+            target_triple=target,
+            retrieved=retrieved,
+            confirmed=confirmed,
+        )
+
+    def scan(self, triples: Sequence[Triple], *, k: int | None = None) -> List[InconsistencyReport]:
+        """Probe a batch of triples; triples without antinomic predicates are skipped."""
+        reports: List[InconsistencyReport] = []
+        for triple in triples:
+            try:
+                reports.append(self.probe(triple, k=k))
+            except VocabularyError:
+                continue
+        return reports
+
+    def conflicting_pairs(self, triples: Sequence[Triple], *,
+                          k: int | None = None) -> List[Tuple[Triple, Triple]]:
+        """Convenience: the distinct (source, conflicting) pairs found by :meth:`scan`."""
+        pairs = []
+        seen = set()
+        for report in self.scan(triples, k=k):
+            for match in report.confirmed:
+                key = (report.source_triple, match.triple)
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append(key)
+        return pairs

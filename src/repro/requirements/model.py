@@ -1,0 +1,107 @@
+"""The requirements-engineering data model.
+
+A *requirement* is one section of a requirements document: an identifier,
+the natural-language statement(s) and — once processed — the set of triples
+representing its semantics.  A *requirements document* groups requirements,
+mirroring the paper's corpus of "several hundreds of documents" about
+on-board software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.errors import TripleError
+from repro.rdf.document import Document, DocumentCollection
+from repro.rdf.triple import Triple
+
+__all__ = ["Requirement", "RequirementsDocument", "collection_from_documents"]
+
+
+@dataclass
+class Requirement:
+    """One software requirement: identifier, sentences, and extracted triples."""
+
+    requirement_id: str
+    sentences: List[str] = field(default_factory=list)
+    triples: List[Triple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.requirement_id:
+            raise TripleError("a Requirement needs a non-empty identifier")
+
+    @property
+    def text(self) -> str:
+        """The full natural-language statement of the requirement."""
+        return " ".join(self.sentences)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.triples)
+
+    def __repr__(self) -> str:
+        return f"Requirement(id={self.requirement_id!r}, triples={len(self.triples)})"
+
+
+@dataclass
+class RequirementsDocument:
+    """A requirements document: an identifier and an ordered list of requirements."""
+
+    document_id: str
+    requirements: List[Requirement] = field(default_factory=list)
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.document_id:
+            raise TripleError("a RequirementsDocument needs a non-empty identifier")
+
+    def add(self, requirement: Requirement) -> None:
+        """Append a requirement to the document."""
+        self.requirements.append(requirement)
+
+    def all_triples(self) -> List[Triple]:
+        """Every triple of every requirement, in document order."""
+        return [triple for requirement in self.requirements for triple in requirement]
+
+    def requirement(self, requirement_id: str) -> Requirement:
+        """Look a requirement up by identifier.
+
+        Raises
+        ------
+        KeyError
+            If the identifier is unknown.
+        """
+        for requirement in self.requirements:
+            if requirement.requirement_id == requirement_id:
+                return requirement
+        raise KeyError(requirement_id)
+
+    def to_rdf_document(self) -> Document:
+        """Convert to the generic :class:`~repro.rdf.document.Document` model."""
+        text = "\n".join(requirement.text for requirement in self.requirements)
+        return Document(
+            document_id=self.document_id,
+            triples=self.all_triples(),
+            text=text,
+            metadata={"title": self.title, "requirements": str(len(self.requirements))},
+        )
+
+    def __len__(self) -> int:
+        return len(self.requirements)
+
+    def __iter__(self) -> Iterator[Requirement]:
+        return iter(self.requirements)
+
+    def __repr__(self) -> str:
+        return (
+            f"RequirementsDocument(id={self.document_id!r}, "
+            f"requirements={len(self.requirements)}, triples={len(self.all_triples())})"
+        )
+
+
+def collection_from_documents(documents: List[RequirementsDocument]) -> DocumentCollection:
+    """Convert a list of requirements documents into a generic document collection."""
+    return DocumentCollection(document.to_rdf_document() for document in documents)

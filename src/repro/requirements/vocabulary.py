@@ -1,0 +1,145 @@
+"""The on-board-software requirements vocabulary.
+
+The paper's case study indexes requirements of an airplane on-board
+software: predicates are unary "functions" (accept a command, send a
+message, acquire an input, ...), subjects are Actors (software components or
+hardware devices) and objects are Parameters.  Target triples are generated
+with an "ad-hoc requirements vocabulary" that knows which predicates are
+antinomic (``accept_cmd`` vs ``block_cmd``).
+
+This module builds that vocabulary explicitly: a function taxonomy with
+antinomy pairs, an actor taxonomy, and parameter-type taxonomies, plus a
+helper that wires them all into a ready-to-use
+:class:`~repro.semantics.triple_distance.TripleDistance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.semantics.taxonomy import Taxonomy
+from repro.semantics.triple_distance import DistanceWeights, TermDistance, TripleDistance
+from repro.semantics.vocabulary import Vocabulary
+
+__all__ = [
+    "FUNCTION_PREFIX",
+    "ANTINOMY_PAIRS",
+    "FUNCTION_FAMILIES",
+    "PARAMETER_PREFIXES",
+    "build_function_vocabulary",
+    "build_actor_vocabulary",
+    "build_parameter_vocabulary",
+    "build_requirement_vocabularies",
+    "build_requirement_distance",
+]
+
+#: Prefix of function (predicate) concepts, as in the paper's Turtle-like listings.
+FUNCTION_PREFIX = "Fun"
+
+#: Function families: (family name, positive function, antinomic function).
+FUNCTION_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("command_handling", "accept_cmd", "block_cmd"),
+    ("messaging", "send_msg", "suppress_msg"),
+    ("acquisition", "acquire_in", "ignore_in"),
+    ("mode_management", "enable_mode", "disable_mode"),
+    ("process_control", "start_proc", "stop_proc"),
+    ("telemetry", "transmit_tm", "withhold_tm"),
+    ("signalling", "raise_signal", "clear_signal"),
+)
+
+#: The antinomy pairs of the requirements vocabulary.
+ANTINOMY_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
+    (positive, negative) for _, positive, negative in FUNCTION_FAMILIES
+)
+
+#: Parameter prefixes (object vocabularies) and the sortal noun of each.
+PARAMETER_PREFIXES: Dict[str, str] = {
+    "CmdType": "command",
+    "MsgType": "message",
+    "InType": "input",
+    "OutType": "output",
+    "ModeType": "mode",
+    "ParType": "parameter",
+    "TmType": "telemetry",
+    "SigType": "signal",
+}
+
+
+def build_function_vocabulary() -> Vocabulary:
+    """The function vocabulary: a two-level taxonomy plus the antinomy relation.
+
+    Layout: ``function → <family> → {positive, negative}``.  Wu & Palmer
+    similarity between two functions of the same family is therefore high
+    (they share a depth-2 subsumer) while functions of different families
+    only share the depth-1 root "function".
+    """
+    vocabulary = Vocabulary("requirements-functions")
+    vocabulary.add_concept("function")
+    for family, positive, negative in FUNCTION_FAMILIES:
+        vocabulary.add_concept(family, "function")
+        vocabulary.add_concept(positive, family)
+        vocabulary.add_concept(negative, family)
+        vocabulary.add_antonym(positive, negative)
+    return vocabulary
+
+
+def build_actor_vocabulary(actor_names: List[str] | None = None) -> Vocabulary:
+    """The actor vocabulary: software components and hardware devices.
+
+    Actors the synthetic generator creates (``OBSW001`` …) can be added later
+    with :meth:`~repro.semantics.vocabulary.Vocabulary.add_concept`; the
+    vocabulary starts with the two top-level categories of the paper's
+    motivating example.
+    """
+    vocabulary = Vocabulary("requirements-actors")
+    vocabulary.add_concept("actor")
+    vocabulary.add_concept("software_component", "actor")
+    vocabulary.add_concept("hardware_device", "actor")
+    for name in actor_names or []:
+        parent = "software_component" if name.upper().startswith("OBSW") else "hardware_device"
+        vocabulary.add_concept(name, parent)
+    return vocabulary
+
+
+def build_parameter_vocabulary(prefix: str, values: List[str] | None = None) -> Vocabulary:
+    """A parameter-type vocabulary (one per object prefix)."""
+    sortal = PARAMETER_PREFIXES.get(prefix, "parameter")
+    vocabulary = Vocabulary(f"requirements-{prefix}")
+    vocabulary.add_concept(sortal)
+    for value in values or []:
+        vocabulary.add_concept(value, sortal)
+    return vocabulary
+
+
+def build_requirement_vocabularies(
+        actor_names: List[str] | None = None,
+        parameter_values: Dict[str, List[str]] | None = None) -> Dict[str, Vocabulary]:
+    """All vocabularies of the case study, keyed by concept prefix.
+
+    The empty prefix (the paper's "standard vocabulary") maps to the actor
+    vocabulary because subjects are written without a prefix in the paper's
+    listings (e.g. ``'OBSW001'``).
+    """
+    vocabularies: Dict[str, Vocabulary] = {
+        FUNCTION_PREFIX: build_function_vocabulary(),
+        "": build_actor_vocabulary(actor_names),
+    }
+    parameter_values = parameter_values or {}
+    for prefix in PARAMETER_PREFIXES:
+        vocabularies[prefix] = build_parameter_vocabulary(prefix, parameter_values.get(prefix))
+    return vocabularies
+
+
+def build_requirement_distance(
+        vocabularies: Dict[str, Vocabulary] | None = None,
+        weights: DistanceWeights | None = None) -> TripleDistance:
+    """A :class:`TripleDistance` pre-wired with the requirements vocabularies.
+
+    The default weights emphasise subject and object (α = γ = 0.4,
+    β = 0.2): two requirements about the same actor and parameter are close
+    even when their predicates differ, which is exactly what inconsistency
+    retrieval needs (the antinomic statement must rank near the target).
+    """
+    term_distance = TermDistance(vocabularies or build_requirement_vocabularies())
+    weights = weights or DistanceWeights(0.4, 0.2, 0.4)
+    return TripleDistance(term_distance, weights)

@@ -1,0 +1,52 @@
+"""Semantic-distance substrate: taxonomies, similarity measures, vocabularies,
+string distances, and the weighted triple distance of Eq. (1)."""
+
+from repro.semantics.corpus import InformationContentCorpus
+from repro.semantics.similarity import (
+    ConceptSimilarity,
+    JiangConrathSimilarity,
+    LeacockChodorowSimilarity,
+    LinSimilarity,
+    PathSimilarity,
+    ResnikSimilarity,
+    WuPalmerSimilarity,
+    similarity_by_name,
+)
+from repro.semantics.string_distance import (
+    damerau_levenshtein,
+    exact_match_distance,
+    hamming,
+    jaro,
+    jaro_winkler,
+    jaro_winkler_distance,
+    levenshtein,
+    normalised_levenshtein,
+)
+from repro.semantics.taxonomy import Taxonomy
+from repro.semantics.triple_distance import DistanceWeights, TermDistance, TripleDistance
+from repro.semantics.vocabulary import Vocabulary
+
+__all__ = [
+    "Taxonomy",
+    "Vocabulary",
+    "InformationContentCorpus",
+    "ConceptSimilarity",
+    "WuPalmerSimilarity",
+    "PathSimilarity",
+    "LeacockChodorowSimilarity",
+    "ResnikSimilarity",
+    "LinSimilarity",
+    "JiangConrathSimilarity",
+    "similarity_by_name",
+    "levenshtein",
+    "normalised_levenshtein",
+    "damerau_levenshtein",
+    "jaro",
+    "jaro_winkler",
+    "jaro_winkler_distance",
+    "hamming",
+    "exact_match_distance",
+    "DistanceWeights",
+    "TermDistance",
+    "TripleDistance",
+]

@@ -1,0 +1,100 @@
+"""Corpus-based information-content statistics.
+
+Resnik's measure [9] defines the information content of a concept as
+``-log p(concept)`` where ``p`` is estimated from corpus frequencies,
+propagated up the taxonomy (an occurrence of a concept counts as an
+occurrence of every ancestor).  :class:`InformationContentCorpus` computes
+those statistics from any stream of concept occurrences — in the
+reproduction, from the triples of a document collection.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import VocabularyError
+from repro.rdf.terms import Concept
+from repro.rdf.triple import Triple
+from repro.semantics.taxonomy import Taxonomy
+
+__all__ = ["InformationContentCorpus"]
+
+
+class InformationContentCorpus:
+    """Frequency-based information content over a taxonomy.
+
+    Counts are propagated to ancestors so the root accumulates the total
+    mass; the IC of the root is therefore 0 and leaves that occur rarely get
+    high IC values.
+    """
+
+    def __init__(self, taxonomy: Taxonomy, *, smoothing: float = 1.0):
+        self.taxonomy = taxonomy
+        self.smoothing = smoothing
+        self._counts: Counter[str] = Counter()
+        self._total = 0.0
+
+    # -- counting ----------------------------------------------------------------
+
+    def observe(self, concept: str | Concept, count: int = 1) -> None:
+        """Record ``count`` occurrences of a concept (and of all its ancestors)."""
+        name = concept.name if isinstance(concept, Concept) else concept
+        if name not in self.taxonomy:
+            raise VocabularyError(f"concept {name!r} is not in the taxonomy")
+        for ancestor in self.taxonomy.ancestors(name, include_self=True):
+            self._counts[ancestor] += count
+        self._total += count
+
+    def observe_triples(self, triples: Iterable[Triple]) -> int:
+        """Observe every concept appearing in the triples; unknown concepts and
+        literals are skipped.  Returns the number of observations recorded."""
+        observed = 0
+        for triple in triples:
+            for term in triple:
+                if isinstance(term, Concept) and term.name in self.taxonomy:
+                    self.observe(term.name)
+                    observed += 1
+        return observed
+
+    # -- probabilities and IC ------------------------------------------------------
+
+    def count(self, concept: str) -> float:
+        """Smoothed propagated count of a concept."""
+        if concept not in self.taxonomy and concept != self.taxonomy.root:
+            raise VocabularyError(f"concept {concept!r} is not in the taxonomy")
+        return self._counts.get(concept, 0) + self.smoothing
+
+    def probability(self, concept: str) -> float:
+        """Smoothed relative frequency of a concept."""
+        universe = len(self.taxonomy) + 1
+        denominator = self._total + self.smoothing * universe
+        if denominator <= 0:
+            return 1.0
+        return self.count(concept) / denominator
+
+    def information_content(self, concept: str) -> float:
+        """``-log p(concept)`` with add-one style smoothing."""
+        return -math.log(self.probability(concept))
+
+    def as_mapping(self) -> Dict[str, float]:
+        """IC for every concept of the taxonomy, as a plain mapping.
+
+        The mapping is suitable as the ``information_content`` argument of
+        the Resnik/Lin/Jiang–Conrath measures.
+        """
+        values = {concept: self.information_content(concept) for concept in self.taxonomy}
+        values[self.taxonomy.root] = self.information_content(self.taxonomy.root)
+        return values
+
+    @property
+    def total_observations(self) -> float:
+        """Total (unsmoothed) number of recorded observations."""
+        return self._total
+
+    def __repr__(self) -> str:
+        return (
+            f"InformationContentCorpus(observations={self._total:.0f}, "
+            f"concepts={len(self.taxonomy)})"
+        )

@@ -1,0 +1,149 @@
+"""Domain vocabularies: concepts, taxonomy, and antinomy (antonym) relations.
+
+The paper needs two things from its "domain specific and/or general
+vocabularies":
+
+1. an IS-A structure so that the semantic distance can be computed
+   (delegated to :class:`~repro.semantics.taxonomy.Taxonomy`), and
+2. an *antinomy* relation between predicates ("the two predicates are linked
+   by an antinomy relationship in a given vocabulary"), used both to define
+   inconsistency and to build target (query) triples.
+
+A :class:`Vocabulary` couples a taxonomy with the antinomy relation and
+optional synonym sets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import VocabularyError
+from repro.rdf.terms import Concept
+from repro.semantics.taxonomy import Taxonomy
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A named vocabulary: a concept taxonomy plus antinomy and synonym relations.
+
+    Concepts are addressed by their local names (strings); the
+    :class:`~repro.rdf.terms.Concept` helpers accept RDF terms directly and
+    extract the name.
+    """
+
+    def __init__(self, name: str, taxonomy: Taxonomy | None = None):
+        if not name:
+            raise VocabularyError("a Vocabulary requires a non-empty name")
+        self.name = name
+        self.taxonomy = taxonomy or Taxonomy()
+        self._antonyms: Dict[str, Set[str]] = defaultdict(set)
+        self._synonyms: Dict[str, Set[str]] = defaultdict(set)
+
+    # -- concept management ---------------------------------------------------------
+
+    def add_concept(self, concept: str, parents: Iterable[str] | str | None = None) -> None:
+        """Add a concept to the vocabulary's taxonomy."""
+        if isinstance(parents, str):
+            parents = [parents]
+        self.taxonomy.add_concept(concept, list(parents) if parents else None)
+
+    def has_concept(self, concept: str | Concept) -> bool:
+        """Return True when the concept is part of the vocabulary."""
+        return self._name_of(concept) in self.taxonomy
+
+    def concepts(self) -> List[str]:
+        """All concept names in the vocabulary."""
+        return self.taxonomy.concepts()
+
+    @staticmethod
+    def _name_of(concept: str | Concept) -> str:
+        return concept.name if isinstance(concept, Concept) else concept
+
+    def _require(self, concept: str) -> None:
+        if concept not in self.taxonomy:
+            raise VocabularyError(
+                f"concept {concept!r} is not part of vocabulary {self.name!r}"
+            )
+
+    # -- antinomy relation ------------------------------------------------------------
+
+    def add_antonym(self, concept_a: str | Concept, concept_b: str | Concept) -> None:
+        """Declare two concepts as antinomic (the relation is symmetric).
+
+        Both concepts must already belong to the vocabulary.
+        """
+        name_a = self._name_of(concept_a)
+        name_b = self._name_of(concept_b)
+        self._require(name_a)
+        self._require(name_b)
+        if name_a == name_b:
+            raise VocabularyError(f"a concept cannot be its own antonym: {name_a!r}")
+        self._antonyms[name_a].add(name_b)
+        self._antonyms[name_b].add(name_a)
+
+    def are_antonyms(self, concept_a: str | Concept, concept_b: str | Concept) -> bool:
+        """True when the two concepts are linked by the antinomy relation."""
+        name_a = self._name_of(concept_a)
+        name_b = self._name_of(concept_b)
+        return name_b in self._antonyms.get(name_a, set())
+
+    def antonyms_of(self, concept: str | Concept) -> Set[str]:
+        """The set of antonyms of a concept (possibly empty)."""
+        name = self._name_of(concept)
+        self._require(name)
+        return set(self._antonyms.get(name, set()))
+
+    def antonym_pairs(self) -> List[Tuple[str, str]]:
+        """All antinomic pairs, each reported once with the names sorted."""
+        pairs = {
+            tuple(sorted((name, other)))
+            for name, others in self._antonyms.items()
+            for other in others
+        }
+        return sorted(pairs)  # type: ignore[arg-type]
+
+    # -- synonym relation ---------------------------------------------------------------
+
+    def add_synonym(self, concept_a: str | Concept, concept_b: str | Concept) -> None:
+        """Declare two concepts as synonyms (symmetric)."""
+        name_a = self._name_of(concept_a)
+        name_b = self._name_of(concept_b)
+        self._require(name_a)
+        self._require(name_b)
+        if name_a == name_b:
+            return
+        self._synonyms[name_a].add(name_b)
+        self._synonyms[name_b].add(name_a)
+
+    def are_synonyms(self, concept_a: str | Concept, concept_b: str | Concept) -> bool:
+        """True when the two concepts are declared synonyms (or are identical)."""
+        name_a = self._name_of(concept_a)
+        name_b = self._name_of(concept_b)
+        if name_a == name_b:
+            return True
+        return name_b in self._synonyms.get(name_a, set())
+
+    def synonyms_of(self, concept: str | Concept) -> Set[str]:
+        """The set of synonyms of a concept (not including itself)."""
+        name = self._name_of(concept)
+        self._require(name)
+        return set(self._synonyms.get(name, set()))
+
+    # -- dunder -----------------------------------------------------------------------
+
+    def __contains__(self, concept: str | Concept) -> bool:
+        return self.has_concept(concept)
+
+    def __len__(self) -> int:
+        return len(self.taxonomy)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.taxonomy)
+
+    def __repr__(self) -> str:
+        return (
+            f"Vocabulary(name={self.name!r}, concepts={len(self)}, "
+            f"antonym_pairs={len(self.antonym_pairs())})"
+        )

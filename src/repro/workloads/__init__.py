@@ -1,0 +1,22 @@
+"""Synthetic workloads: point distributions and query batches for the
+efficiency experiments (Figures 3–7)."""
+
+from repro.workloads.distributions import (
+    clustered_points,
+    grid_points,
+    skewed_points,
+    sorted_points,
+    uniform_points,
+)
+from repro.workloads.queries import QueryWorkload, perturbed_queries, uniform_queries
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "skewed_points",
+    "sorted_points",
+    "grid_points",
+    "QueryWorkload",
+    "uniform_queries",
+    "perturbed_queries",
+]

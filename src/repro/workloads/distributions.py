@@ -1,0 +1,120 @@
+"""Synthetic point distributions for the efficiency experiments.
+
+The paper's efficiency figures (3–7) vary the *size* of the tree, not the
+distribution of the underlying triples, so any controlled point workload
+works as long as it can be scaled.  Three classical distributions are
+provided — uniform, Gaussian clusters and skewed (exponential tails) — plus
+a sorted variant used to build the "totally unbalanced" configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.core.point import LabeledPoint
+from repro.errors import WorkloadError
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "skewed_points",
+    "sorted_points",
+    "grid_points",
+]
+
+
+def _check(count: int, dimensions: int) -> None:
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if dimensions < 1:
+        raise WorkloadError(f"dimensions must be >= 1, got {dimensions}")
+
+
+def uniform_points(count: int, dimensions: int, *, seed: int = 0,
+                   low: float = 0.0, high: float = 1.0) -> List[LabeledPoint]:
+    """Points drawn uniformly at random from ``[low, high]^dimensions``."""
+    _check(count, dimensions)
+    if high <= low:
+        raise WorkloadError("high must be greater than low")
+    rng = random.Random(seed)
+    return [
+        LabeledPoint.of([rng.uniform(low, high) for _ in range(dimensions)], label=index)
+        for index in range(count)
+    ]
+
+
+def clustered_points(count: int, dimensions: int, *, clusters: int = 5, spread: float = 0.05,
+                     seed: int = 0) -> List[LabeledPoint]:
+    """Points drawn from ``clusters`` Gaussian blobs with centres in the unit cube.
+
+    Clustered data exercises the KD-tree's ability to "adapt to different
+    densities in various regions of the space" that the paper highlights.
+    """
+    _check(count, dimensions)
+    if clusters < 1:
+        raise WorkloadError(f"clusters must be >= 1, got {clusters}")
+    rng = random.Random(seed)
+    centres = [
+        [rng.random() for _ in range(dimensions)]
+        for _ in range(clusters)
+    ]
+    points: List[LabeledPoint] = []
+    for index in range(count):
+        centre = centres[index % clusters]
+        coordinates = [rng.gauss(mu, spread) for mu in centre]
+        points.append(LabeledPoint.of(coordinates, label=index))
+    return points
+
+
+def skewed_points(count: int, dimensions: int, *, rate: float = 3.0,
+                  seed: int = 0) -> List[LabeledPoint]:
+    """Points with exponentially distributed coordinates (heavy corner skew)."""
+    _check(count, dimensions)
+    if rate <= 0:
+        raise WorkloadError("rate must be positive")
+    rng = random.Random(seed)
+    return [
+        LabeledPoint.of([min(rng.expovariate(rate), 1.0) for _ in range(dimensions)],
+                        label=index)
+        for index in range(count)
+    ]
+
+
+def sorted_points(count: int, dimensions: int, *, seed: int = 0) -> List[LabeledPoint]:
+    """Uniform points sorted lexicographically by their coordinates.
+
+    Feeding these to a dynamic-insertion tree with the FIRST_POINT split
+    strategy produces the paper's "totally unbalanced (chain)" structure.
+    """
+    points = uniform_points(count, dimensions, seed=seed)
+    ordered = sorted(points, key=lambda point: point.coordinates)
+    return [
+        LabeledPoint(point.coordinates, label=index)
+        for index, point in enumerate(ordered)
+    ]
+
+
+def grid_points(side: int, dimensions: int) -> List[LabeledPoint]:
+    """A deterministic regular grid with ``side`` steps per dimension.
+
+    Useful for exact-answer tests: every distance can be computed by hand.
+    """
+    if side < 1:
+        raise WorkloadError(f"side must be >= 1, got {side}")
+    if dimensions < 1:
+        raise WorkloadError(f"dimensions must be >= 1, got {dimensions}")
+    if side ** dimensions > 1_000_000:
+        raise WorkloadError("grid would exceed one million points; reduce side or dimensions")
+    coordinates = [index / max(side - 1, 1) for index in range(side)]
+
+    def build(prefix: List[float], depth: int, out: List[LabeledPoint]) -> None:
+        if depth == dimensions:
+            out.append(LabeledPoint.of(prefix, label=len(out)))
+            return
+        for value in coordinates:
+            build(prefix + [value], depth + 1, out)
+
+    points: List[LabeledPoint] = []
+    build([], 0, points)
+    return points

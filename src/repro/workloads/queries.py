@@ -1,0 +1,86 @@
+"""Query workloads for the efficiency experiments.
+
+The paper times k-nearest queries (K = 3) and range queries while varying
+the number of indexed points and partitions.  These helpers generate
+reproducible batches of query points, either uniformly over the data space
+or by perturbing existing data points (so queries land in populated
+regions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.point import LabeledPoint
+from repro.errors import WorkloadError
+
+__all__ = ["QueryWorkload", "uniform_queries", "perturbed_queries"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryWorkload:
+    """A reproducible batch of query points plus the query parameters.
+
+    Attributes
+    ----------
+    queries:
+        The query points.
+    k:
+        ``K`` for k-nearest batches (the paper's default is 3).
+    radius:
+        ``D`` for range batches.
+    """
+
+    queries: tuple[LabeledPoint, ...]
+    k: int = 3
+    radius: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise WorkloadError("k must be >= 1")
+        if self.radius < 0:
+            raise WorkloadError("radius must be non-negative")
+        if not self.queries:
+            raise WorkloadError("a query workload needs at least one query point")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def uniform_queries(count: int, dimensions: int, *, k: int = 3, radius: float = 0.1,
+                    seed: int = 1) -> QueryWorkload:
+    """Query points drawn uniformly from the unit cube."""
+    if count < 1:
+        raise WorkloadError("count must be >= 1")
+    rng = random.Random(seed)
+    queries = tuple(
+        LabeledPoint.of([rng.random() for _ in range(dimensions)], label=f"q{index}")
+        for index in range(count)
+    )
+    return QueryWorkload(queries=queries, k=k, radius=radius)
+
+
+def perturbed_queries(data: Sequence[LabeledPoint], count: int, *, jitter: float = 0.02,
+                      k: int = 3, radius: float = 0.1, seed: int = 1) -> QueryWorkload:
+    """Query points obtained by jittering randomly chosen data points.
+
+    Guarantees that queries fall inside populated regions, which is the
+    regime of the paper's case study (query triples are perturbations of
+    stored triples).
+    """
+    if not data:
+        raise WorkloadError("cannot derive queries from an empty data set")
+    if count < 1:
+        raise WorkloadError("count must be >= 1")
+    rng = random.Random(seed)
+    queries = []
+    for index in range(count):
+        base = data[rng.randrange(len(data))]
+        coordinates = [value + rng.uniform(-jitter, jitter) for value in base.coordinates]
+        queries.append(LabeledPoint.of(coordinates, label=f"q{index}"))
+    return QueryWorkload(queries=tuple(queries), k=k, radius=radius)

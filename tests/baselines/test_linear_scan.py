@@ -1,0 +1,92 @@
+"""Tests for the linear-scan baselines (embedded-space and semantic)."""
+
+import pytest
+
+from repro.baselines import LinearScanIndex, SemanticLinearScan
+from repro.core import LabeledPoint
+from repro.errors import QueryError
+from repro.rdf import Triple
+
+
+class TestLinearScanIndex:
+    def test_knn_returns_exact_closest_points(self, uniform_points_2d):
+        scan = LinearScanIndex(uniform_points_2d)
+        query = LabeledPoint.of([0.5, 0.5])
+        neighbours = scan.k_nearest(query, 5)
+        assert len(neighbours) == 5
+        distances = [n.distance for n in neighbours]
+        assert distances == sorted(distances)
+        # nothing outside the result set is closer than the worst retained point
+        worst = distances[-1]
+        retained = {n.point for n in neighbours}
+        for point in uniform_points_2d:
+            if point not in retained:
+                assert point.distance_to(query) >= worst
+
+    def test_knn_with_k_larger_than_data(self):
+        scan = LinearScanIndex([LabeledPoint.of([0.0, 0.0])])
+        assert len(scan.k_nearest(LabeledPoint.of([1.0, 1.0]), 10)) == 1
+
+    def test_invalid_k_rejected(self, uniform_points_2d):
+        with pytest.raises(QueryError):
+            LinearScanIndex(uniform_points_2d).k_nearest(LabeledPoint.of([0.0, 0.0]), 0)
+
+    def test_range_query_filters_by_radius(self, uniform_points_2d):
+        scan = LinearScanIndex(uniform_points_2d)
+        query = LabeledPoint.of([0.5, 0.5])
+        results = scan.range_query(query, 0.2)
+        assert all(n.distance <= 0.2 for n in results)
+        expected = sum(1 for p in uniform_points_2d if p.distance_to(query) <= 0.2)
+        assert len(results) == expected
+
+    def test_negative_radius_rejected(self, uniform_points_2d):
+        with pytest.raises(QueryError):
+            LinearScanIndex(uniform_points_2d).range_query(LabeledPoint.of([0.0, 0.0]), -1)
+
+    def test_insert_and_len(self):
+        scan = LinearScanIndex()
+        scan.insert(LabeledPoint.of([1.0]))
+        scan.insert_all([LabeledPoint.of([2.0]), LabeledPoint.of([3.0])])
+        assert len(scan) == 3
+        assert len(scan.points()) == 3
+
+
+class TestSemanticLinearScan:
+    @pytest.fixture
+    def triples(self):
+        return [
+            Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+            Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up"),
+            Triple.of("OBSW002", "Fun:send_msg", "MsgType:heartbeat"),
+            Triple.of("HWD001", "Fun:acquire_in", "InType:gps-fix"),
+        ]
+
+    def test_knn_orders_by_semantic_distance(self, requirement_distance, triples):
+        scan = SemanticLinearScan(requirement_distance, triples)
+        query = Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up")
+        ranked = scan.k_nearest(query, 3)
+        assert ranked[0][0] == query            # the identical triple ranks first
+        assert ranked[0][1] == 0.0
+        assert ranked[1][0] == triples[0]       # the antinomic statement comes next
+        assert [score for _, score in ranked] == sorted(score for _, score in ranked)
+
+    def test_range_query_threshold(self, requirement_distance, triples):
+        scan = SemanticLinearScan(requirement_distance, triples)
+        query = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        results = scan.range_query(query, 0.1)
+        assert all(score <= 0.1 for _, score in results)
+        assert (query, 0.0) in results
+
+    def test_invalid_arguments_rejected(self, requirement_distance, triples):
+        scan = SemanticLinearScan(requirement_distance, triples)
+        with pytest.raises(QueryError):
+            scan.k_nearest(triples[0], 0)
+        with pytest.raises(QueryError):
+            scan.range_query(triples[0], -0.5)
+
+    def test_add_and_len(self, requirement_distance):
+        scan = SemanticLinearScan(requirement_distance)
+        scan.add(Triple.of("a", "b", "c"))
+        scan.add_all([Triple.of("d", "e", "f")])
+        assert len(scan) == 2
+        assert len(scan.triples()) == 2

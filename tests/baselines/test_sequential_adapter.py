@@ -1,0 +1,58 @@
+"""Tests for the sequential single-partition baseline adapter."""
+
+import pytest
+
+from repro.baselines import LinearScanIndex, SequentialKDTreeBaseline
+from repro.core import LabeledPoint, SemTreeConfig, SplitStrategy
+
+
+@pytest.fixture
+def config():
+    return SemTreeConfig(dimensions=2, bucket_size=8)
+
+
+class TestConstructors:
+    def test_balanced_builder(self, uniform_points_2d, config):
+        baseline = SequentialKDTreeBaseline.balanced(uniform_points_2d, config)
+        assert len(baseline) == len(uniform_points_2d)
+        assert baseline.tree.depth() <= 10
+
+    def test_unbalanced_chain_builder(self, uniform_points_2d, config):
+        baseline = SequentialKDTreeBaseline.unbalanced_chain(uniform_points_2d[:80], config)
+        assert len(baseline) == 80
+        assert baseline.tree.depth() == 79
+        assert baseline.config.split_strategy is SplitStrategy.FIRST_POINT
+
+    def test_dynamic_insertion_builder(self, uniform_points_2d, config):
+        baseline = SequentialKDTreeBaseline.by_dynamic_insertion(uniform_points_2d[:50], config)
+        assert len(baseline) == 50
+
+    def test_incremental_insert(self, config):
+        baseline = SequentialKDTreeBaseline(config)
+        baseline.insert(LabeledPoint.of([0.1, 0.2]))
+        baseline.insert_all([LabeledPoint.of([0.3, 0.4])])
+        assert len(baseline) == 2
+
+
+class TestQueries:
+    def test_knn_matches_linear_scan(self, uniform_points_2d, config):
+        baseline = SequentialKDTreeBaseline.balanced(uniform_points_2d, config)
+        scan = LinearScanIndex(uniform_points_2d)
+        query = LabeledPoint.of([0.3, 0.7])
+        assert ([n.distance for n in baseline.k_nearest(query, 5)]
+                == pytest.approx([n.distance for n in scan.k_nearest(query, 5)]))
+
+    def test_range_matches_linear_scan(self, uniform_points_2d, config):
+        baseline = SequentialKDTreeBaseline.balanced(uniform_points_2d, config)
+        scan = LinearScanIndex(uniform_points_2d)
+        query = LabeledPoint.of([0.3, 0.7])
+        assert ({n.point for n in baseline.range_query(query, 0.15)}
+                == {n.point for n in scan.range_query(query, 0.15)})
+
+    def test_chain_and_balanced_agree_on_results(self, uniform_points_2d, config):
+        subset = uniform_points_2d[:100]
+        balanced = SequentialKDTreeBaseline.balanced(subset, config)
+        chain = SequentialKDTreeBaseline.unbalanced_chain(subset, config)
+        query = LabeledPoint.of([0.6, 0.4])
+        assert ([n.distance for n in balanced.k_nearest(query, 3)]
+                == pytest.approx([n.distance for n in chain.k_nearest(query, 3)]))

@@ -1,0 +1,80 @@
+"""Tests for the simulated clock (cost accounting)."""
+
+import pytest
+
+from repro.cluster import SimulatedClock
+
+
+class TestCharging:
+    def test_initial_state_is_zero(self):
+        clock = SimulatedClock()
+        assert clock.total_work == 0.0
+        assert clock.critical_path == 0.0
+        assert clock.messages == 0
+
+    def test_charge_accumulates_per_resource(self):
+        clock = SimulatedClock()
+        clock.charge("P0", 2.0)
+        clock.charge("P0", 3.0)
+        clock.charge("P1", 4.0)
+        assert clock.work_of("P0") == 5.0
+        assert clock.work_of("P1") == 4.0
+        assert clock.total_work == 9.0
+
+    def test_negative_cost_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.charge("P0", -1.0)
+        with pytest.raises(ValueError):
+            clock.charge_message(-1.0)
+
+    def test_critical_path_is_busiest_resource_plus_network(self):
+        clock = SimulatedClock()
+        clock.charge("P0", 10.0)
+        clock.charge("P1", 4.0)
+        clock.charge_message(2.0)            # unattributed: serial network pool
+        assert clock.critical_path == 12.0
+        assert clock.total_work == 16.0
+
+    def test_message_charged_to_resource_counts_as_its_work(self):
+        clock = SimulatedClock()
+        clock.charge("P1", 1.0)
+        clock.charge_message(5.0, resource="P1")
+        assert clock.work_of("P1") == 6.0
+        assert clock.network_cost == 0.0
+        assert clock.messages == 1
+
+    def test_message_counter(self):
+        clock = SimulatedClock()
+        clock.charge_message(1.0)
+        clock.charge_message(1.0, resource="P0")
+        assert clock.messages == 2
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_immutable_copy(self):
+        clock = SimulatedClock()
+        clock.charge("P0", 1.0)
+        snapshot = clock.snapshot()
+        clock.charge("P0", 1.0)
+        assert snapshot.per_resource["P0"] == 1.0
+        assert snapshot.total_work == 1.0
+
+    def test_snapshot_fields(self):
+        clock = SimulatedClock()
+        clock.charge("P0", 3.0)
+        clock.charge_message(2.0)
+        snapshot = clock.snapshot()
+        assert snapshot.total_work == 5.0
+        assert snapshot.critical_path == 5.0
+        assert snapshot.network_cost == 2.0
+        assert snapshot.messages == 1
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge("P0", 3.0)
+        clock.charge_message(1.0)
+        clock.reset()
+        assert clock.total_work == 0.0
+        assert clock.messages == 0
+        assert clock.work_of("P0") == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the simulated cluster orchestration."""
+
+import pytest
+
+from repro.cluster import ComputeNode, Message, MessageKind, SimulatedCluster
+from repro.errors import ClusterError
+
+
+class TestConstruction:
+    def test_creates_requested_nodes(self):
+        cluster = SimulatedCluster(node_count=4)
+        assert cluster.node_count == 4
+        assert [node.node_id for node in cluster.nodes] == [
+            "node-0", "node-1", "node-2", "node-3"
+        ]
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ClusterError):
+            SimulatedCluster(node_count=0)
+
+    def test_node_lookup(self):
+        cluster = SimulatedCluster(node_count=2)
+        assert cluster.node("node-1").node_id == "node-1"
+        with pytest.raises(ClusterError):
+            cluster.node("node-9")
+
+    def test_add_node(self):
+        cluster = SimulatedCluster(node_count=1)
+        cluster.add_node(ComputeNode(node_id="extra"))
+        assert cluster.node_count == 2
+        with pytest.raises(ClusterError):
+            cluster.add_node(ComputeNode(node_id="extra"))
+
+
+class TestPlacement:
+    def test_placement_prefers_least_loaded_node(self):
+        cluster = SimulatedCluster(node_count=2)
+        first = cluster.place_partition("P0", lambda m: None)
+        second = cluster.place_partition("P1", lambda m: None)
+        third = cluster.place_partition("P2", lambda m: None)
+        assert first == "node-0"
+        assert second == "node-1"
+        assert third in {"node-0", "node-1"}
+        assert cluster.node_of_partition("P0") == "node-0"
+
+    def test_preferred_node_honoured(self):
+        cluster = SimulatedCluster(node_count=3)
+        node_id = cluster.place_partition("P0", lambda m: None, preferred_node="node-2")
+        assert node_id == "node-2"
+
+    def test_remove_partition(self):
+        cluster = SimulatedCluster(node_count=2)
+        cluster.place_partition("P0", lambda m: None)
+        cluster.remove_partition("P0")
+        with pytest.raises(ClusterError):
+            cluster.node_of_partition("P0")
+
+    def test_record_points_updates_hosting_node(self):
+        cluster = SimulatedCluster(node_count=1, node_capacity=100)
+        cluster.place_partition("P0", lambda m: None)
+        cluster.record_points("P0", 42)
+        assert cluster.node("node-0").stored_points == 42
+
+
+class TestMessagingAndCosts:
+    def test_send_routes_to_handler(self):
+        cluster = SimulatedCluster(node_count=2)
+        received = []
+        cluster.place_partition("P0", lambda m: None)
+        cluster.place_partition("P1", received.append)
+        cluster.send(Message(kind=MessageKind.INSERT, source="P0", target="P1"))
+        assert len(received) == 1
+        assert cluster.clock.messages == 1
+
+    def test_charge_work_scaled_by_processing_cost(self):
+        cluster = SimulatedCluster(node_count=1)
+        cluster.node("node-0").processing_cost = 2.0
+        cluster.place_partition("P0", lambda m: None)
+        cluster.charge_work("P0", 3.0)
+        assert cluster.clock.work_of("P0") == 6.0
+
+    def test_costs_snapshot_and_reset(self):
+        cluster = SimulatedCluster(node_count=1)
+        cluster.place_partition("P0", lambda m: None)
+        cluster.charge_work("P0", 5.0)
+        assert cluster.costs().total_work == 5.0
+        cluster.reset_costs()
+        assert cluster.costs().total_work == 0.0

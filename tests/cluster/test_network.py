@@ -1,0 +1,91 @@
+"""Tests for the message bus (latency accounting, routing, tracing)."""
+
+import pytest
+
+from repro.cluster import Message, MessageBus, MessageKind, SimulatedClock
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def bus():
+    clock = SimulatedClock()
+    bus = MessageBus(clock, remote_latency=5.0, local_latency=0.5)
+    return bus
+
+
+class TestRegistration:
+    def test_register_and_node_of(self, bus):
+        bus.register("P0", lambda message: None, "node-0")
+        assert bus.node_of("P0") == "node-0"
+        assert bus.registered_partitions == ["P0"]
+
+    def test_node_of_unknown_partition(self, bus):
+        with pytest.raises(ClusterError):
+            bus.node_of("P9")
+
+    def test_unregister(self, bus):
+        bus.register("P0", lambda message: None, "node-0")
+        bus.unregister("P0")
+        assert bus.registered_partitions == []
+
+    def test_relocate(self, bus):
+        bus.register("P0", lambda message: None, "node-0")
+        bus.relocate("P0", "node-3")
+        assert bus.node_of("P0") == "node-3"
+
+    def test_relocate_unknown_partition(self, bus):
+        with pytest.raises(ClusterError):
+            bus.relocate("P9", "node-0")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ClusterError):
+            MessageBus(SimulatedClock(), remote_latency=-1.0)
+
+
+class TestDelivery:
+    def test_message_delivered_to_handler(self, bus):
+        received = []
+        bus.register("P1", received.append, "node-1")
+        bus.register("P0", lambda message: None, "node-0")
+        message = Message(kind=MessageKind.INSERT, source="P0", target="P1")
+        bus.send(message)
+        assert received == [message]
+
+    def test_remote_delivery_charges_remote_latency_to_target(self, bus):
+        bus.register("P0", lambda message: None, "node-0")
+        bus.register("P1", lambda message: None, "node-1")
+        bus.send(Message(kind=MessageKind.INSERT, source="P0", target="P1"))
+        assert bus.clock.work_of("P1") == 5.0
+        assert bus.clock.messages == 1
+
+    def test_local_delivery_charges_local_latency(self, bus):
+        bus.register("P0", lambda message: None, "node-0")
+        bus.register("P1", lambda message: None, "node-0")
+        bus.send(Message(kind=MessageKind.INSERT, source="P0", target="P1"))
+        assert bus.clock.work_of("P1") == 0.5
+
+    def test_undeliverable_message_raises(self, bus):
+        with pytest.raises(ClusterError):
+            bus.send(Message(kind=MessageKind.INSERT, source="P0", target="P9"))
+
+    def test_tracing(self, bus):
+        bus.register("P0", lambda message: None, "node-0")
+        bus.register("P1", lambda message: None, "node-1")
+        bus.enable_tracing()
+        bus.send(Message(kind=MessageKind.INSERT, source="P0", target="P1"))
+        assert len(bus.trace) == 1
+        bus.enable_tracing(False)
+        assert bus.trace == []
+
+
+class TestMessageObject:
+    def test_reply_swaps_source_and_target(self):
+        message = Message(kind=MessageKind.KNN_DESCEND, source="P0", target="P1")
+        reply = message.reply(MessageKind.KNN_RESULT, {"found": 3})
+        assert reply.source == "P1" and reply.target == "P0"
+        assert reply.payload == {"found": 3}
+
+    def test_message_ids_are_monotonic(self):
+        first = Message(kind=MessageKind.ACK, source="a", target="b")
+        second = Message(kind=MessageKind.ACK, source="a", target="b")
+        assert second.message_id > first.message_id

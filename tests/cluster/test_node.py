@@ -1,0 +1,72 @@
+"""Tests for the simulated compute node."""
+
+import pytest
+
+from repro.cluster import ComputeNode
+from repro.errors import ClusterError
+
+
+class TestConstruction:
+    def test_requires_identifier(self):
+        with pytest.raises(ClusterError):
+            ComputeNode(node_id="")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ClusterError):
+            ComputeNode(node_id="n0", storage_capacity=0)
+
+    def test_invalid_processing_cost_rejected(self):
+        with pytest.raises(ClusterError):
+            ComputeNode(node_id="n0", processing_cost=0.0)
+
+
+class TestHosting:
+    def test_host_and_drop_partition(self):
+        node = ComputeNode(node_id="n0")
+        node.host_partition("P0")
+        assert node.hosts("P0")
+        assert node.partitions == ["P0"]
+        node.drop_partition("P0")
+        assert not node.hosts("P0")
+
+    def test_record_points_requires_hosted_partition(self):
+        node = ComputeNode(node_id="n0")
+        with pytest.raises(ClusterError):
+            node.record_points("P0", 1)
+
+    def test_record_points_accumulates(self):
+        node = ComputeNode(node_id="n0")
+        node.host_partition("P0")
+        node.host_partition("P1")
+        node.record_points("P0", 10)
+        node.record_points("P1", 5)
+        node.record_points("P0", -3)
+        assert node.stored_points == 12
+
+    def test_negative_stored_points_rejected(self):
+        node = ComputeNode(node_id="n0")
+        node.host_partition("P0")
+        with pytest.raises(ClusterError):
+            node.record_points("P0", -1)
+
+    def test_dropping_partition_releases_its_points(self):
+        node = ComputeNode(node_id="n0", storage_capacity=10)
+        node.host_partition("P0")
+        node.record_points("P0", 8)
+        node.drop_partition("P0")
+        assert node.stored_points == 0
+
+
+class TestCapacity:
+    def test_unlimited_capacity(self):
+        node = ComputeNode(node_id="n0")
+        assert node.has_room_for(10**9)
+        assert node.used_fraction == 0.0
+
+    def test_capacity_enforced(self):
+        node = ComputeNode(node_id="n0", storage_capacity=10)
+        node.host_partition("P0")
+        node.record_points("P0", 8)
+        assert node.has_room_for(2)
+        assert not node.has_room_for(3)
+        assert node.used_fraction == pytest.approx(0.8)

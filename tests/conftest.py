@@ -1,0 +1,95 @@
+"""Shared fixtures for the SemTree reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import LabeledPoint, SemTreeConfig, SemTreeIndex
+from repro.requirements import (
+    GeneratorConfig,
+    RequirementsGenerator,
+    build_requirement_distance,
+    build_requirement_vocabularies,
+)
+from repro.semantics import Taxonomy, TermDistance, TripleDistance, Vocabulary
+
+
+@pytest.fixture
+def small_taxonomy() -> Taxonomy:
+    """A small hand-built taxonomy used by the similarity tests.
+
+    Structure (root is implicit)::
+
+        ⊤ ── entity ── vehicle ── car ── sports_car
+             │            │        └── truck
+             │            └── bicycle
+             └── animal ── dog
+                        └── cat
+    """
+    taxonomy = Taxonomy()
+    taxonomy.add_concept("entity")
+    taxonomy.add_concept("vehicle", "entity")
+    taxonomy.add_concept("car", "vehicle")
+    taxonomy.add_concept("sports_car", "car")
+    taxonomy.add_concept("truck", "vehicle")
+    taxonomy.add_concept("bicycle", "entity")
+    taxonomy.add_concept("animal", "entity")
+    taxonomy.add_concept("dog", "animal")
+    taxonomy.add_concept("cat", "animal")
+    return taxonomy
+
+
+@pytest.fixture
+def function_vocabulary() -> Vocabulary:
+    """The requirements function vocabulary (taxonomy + antinomy pairs)."""
+    return build_requirement_vocabularies()["Fun"]
+
+
+@pytest.fixture
+def requirement_vocabularies():
+    """All requirements vocabularies keyed by prefix."""
+    return build_requirement_vocabularies()
+
+
+@pytest.fixture
+def requirement_distance(requirement_vocabularies) -> TripleDistance:
+    """The default requirements triple distance (α=0.4, β=0.2, γ=0.4)."""
+    return build_requirement_distance(requirement_vocabularies)
+
+
+@pytest.fixture
+def uniform_points_2d():
+    """300 reproducible uniform 2-D points."""
+    rng = random.Random(42)
+    return [
+        LabeledPoint.of([rng.random(), rng.random()], label=index)
+        for index in range(300)
+    ]
+
+
+@pytest.fixture
+def small_corpus():
+    """A small synthetic requirements corpus (deterministic)."""
+    config = GeneratorConfig(
+        documents=6, requirements_per_document=5, sentences_per_requirement=3,
+        actors=12, inconsistency_rate=0.3, restatement_rate=0.2, seed=13,
+    )
+    return RequirementsGenerator(config).generate()
+
+
+@pytest.fixture
+def built_requirements_index(small_corpus):
+    """A SemTree index built over the small corpus (shared by retrieval tests)."""
+    vocabularies = build_requirement_vocabularies(
+        small_corpus.actor_names, small_corpus.parameter_values
+    )
+    distance = build_requirement_distance(vocabularies)
+    index = SemTreeIndex(distance, SemTreeConfig(
+        dimensions=4, bucket_size=8, max_partitions=3, partition_capacity=64,
+    ))
+    for document in small_corpus.documents:
+        index.add_document(document.to_rdf_document())
+    index.build()
+    return index, vocabularies, small_corpus

@@ -1,0 +1,45 @@
+"""Tests for the SemTree configuration object."""
+
+import pytest
+
+from repro.core import CapacityPolicy, SemTreeConfig, SplitStrategy
+from repro.errors import IndexError_
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = SemTreeConfig()
+        assert config.dimensions == 4
+        assert config.max_partitions == 1
+        assert config.split_strategy is SplitStrategy.MEDIAN
+        assert config.capacity_policy is CapacityPolicy.STATIC
+
+    @pytest.mark.parametrize("kwargs", [
+        {"dimensions": 0},
+        {"bucket_size": 0},
+        {"max_partitions": 0},
+        {"partition_capacity": 4, "bucket_size": 16},
+        {"node_capacity_fraction": 0.0},
+        {"node_capacity_fraction": 1.5},
+        {"node_visit_cost": -1.0},
+        {"point_visit_cost": -0.1},
+        {"point_insert_cost": -0.1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(IndexError_):
+            SemTreeConfig(**kwargs)
+
+    def test_partition_capacity_must_cover_bucket(self):
+        config = SemTreeConfig(bucket_size=8, partition_capacity=8)
+        assert config.partition_capacity == 8
+
+    def test_with_updates_returns_modified_copy(self):
+        config = SemTreeConfig(dimensions=4)
+        updated = config.with_updates(dimensions=2, max_partitions=5)
+        assert updated.dimensions == 2 and updated.max_partitions == 5
+        assert config.dimensions == 4 and config.max_partitions == 1
+
+    def test_config_is_frozen(self):
+        config = SemTreeConfig()
+        with pytest.raises(AttributeError):
+            config.dimensions = 7  # type: ignore[misc]

@@ -1,0 +1,202 @@
+"""Tests for the distributed SemTree (insertion, build-partition, k-NN, range)."""
+
+import random
+
+import pytest
+
+from repro.baselines import LinearScanIndex
+from repro.cluster import SimulatedCluster
+from repro.core import DistributedSemTree, LabeledPoint, SemTreeConfig
+from repro.core.stats import distributed_stats
+from repro.errors import IndexError_, PartitionError, QueryError
+
+
+def make_tree(max_partitions=4, bucket_size=8, partition_capacity=32, dimensions=2,
+              cluster=None):
+    config = SemTreeConfig(dimensions=dimensions, bucket_size=bucket_size,
+                           max_partitions=max_partitions,
+                           partition_capacity=partition_capacity)
+    return DistributedSemTree(config, cluster=cluster)
+
+
+class TestConstruction:
+    def test_starts_with_a_single_root_partition(self):
+        tree = make_tree()
+        assert tree.partition_count == 1
+        assert tree.root_partition.partition_id == "P0"
+        assert len(tree) == 0
+
+    def test_partition_lookup(self):
+        tree = make_tree()
+        assert tree.partition("P0") is tree.root_partition
+        with pytest.raises(PartitionError):
+            tree.partition("P9")
+
+    def test_default_cluster_sized_to_max_partitions(self):
+        tree = make_tree(max_partitions=5)
+        assert tree.cluster.node_count == 5
+
+
+class TestInsertion:
+    def test_insert_wrong_dimensionality(self):
+        tree = make_tree(dimensions=2)
+        with pytest.raises(IndexError_):
+            tree.insert(LabeledPoint.of([0.1]))
+
+    def test_points_preserved(self, uniform_points_2d):
+        tree = make_tree()
+        tree.insert_all(uniform_points_2d)
+        assert len(tree) == len(uniform_points_2d)
+        assert sorted(p.label for p in tree.points()) == sorted(
+            p.label for p in uniform_points_2d
+        )
+
+    def test_single_partition_never_spills(self, uniform_points_2d):
+        tree = make_tree(max_partitions=1, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        assert tree.partition_count == 1
+        assert tree.cluster.clock.messages == 0
+
+    def test_build_partition_triggered_by_capacity(self, uniform_points_2d):
+        tree = make_tree(max_partitions=4, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        assert tree.partition_count == 4
+        stats = distributed_stats(tree)
+        assert stats["points"] == len(uniform_points_2d)
+        # the root partition becomes routing-only once its subtrees moved out
+        assert tree.root_partition.is_routing_only
+
+    def test_partition_count_never_exceeds_max(self, uniform_points_2d):
+        for max_partitions in (1, 2, 3, 5, 9):
+            tree = make_tree(max_partitions=max_partitions, partition_capacity=32)
+            tree.insert_all(uniform_points_2d)
+            assert tree.partition_count <= max_partitions
+
+    def test_points_distributed_across_partitions(self, uniform_points_2d):
+        tree = make_tree(max_partitions=5, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        data_partitions = [p for p in tree.partitions if p.point_count > 0]
+        assert len(data_partitions) >= 2
+        assert sum(p.point_count for p in data_partitions) == len(uniform_points_2d)
+
+    def test_remote_insertion_exchanges_messages(self, uniform_points_2d):
+        tree = make_tree(max_partitions=3, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        assert tree.cluster.clock.messages > 0
+
+    def test_node_storage_accounting_matches_partitions(self, uniform_points_2d):
+        cluster = SimulatedCluster(node_count=4, node_capacity=10_000)
+        tree = make_tree(max_partitions=4, partition_capacity=32, cluster=cluster)
+        tree.insert_all(uniform_points_2d)
+        stored = sum(node.stored_points for node in cluster.nodes)
+        assert stored == len(uniform_points_2d)
+
+
+class TestBuildPartition:
+    def test_no_op_when_root_is_still_a_leaf(self):
+        tree = make_tree(max_partitions=4)
+        tree.insert(LabeledPoint.of([0.5, 0.5]))
+        assert tree.build_partition(tree.root_partition) == []
+
+    def test_no_op_without_spare_partitions(self, uniform_points_2d):
+        tree = make_tree(max_partitions=1)
+        tree.insert_all(uniform_points_2d[:50])
+        assert tree.build_partition(tree.root_partition) == []
+
+    def test_explicit_build_partition_moves_subtrees(self, uniform_points_2d):
+        tree = make_tree(max_partitions=3, partition_capacity=10_000)
+        tree.insert_all(uniform_points_2d[:100])
+        assert tree.partition_count == 1
+        created = tree.build_partition(tree.root_partition)
+        assert len(created) == 2
+        assert tree.root_partition.is_routing_only
+        assert sorted(p.label for p in tree.points()) == sorted(
+            p.label for p in uniform_points_2d[:100]
+        )
+
+    def test_created_partitions_link_back_via_remote_children(self, uniform_points_2d):
+        tree = make_tree(max_partitions=3, partition_capacity=10_000)
+        tree.insert_all(uniform_points_2d[:100])
+        created = set(tree.build_partition(tree.root_partition))
+        pointers = {rc.partition_id for rc in tree.root_partition.remote_children()}
+        assert pointers == created
+
+
+class TestDistributedQueries:
+    @pytest.mark.parametrize("max_partitions", [1, 3, 5])
+    def test_knn_matches_linear_scan(self, uniform_points_2d, max_partitions):
+        tree = make_tree(max_partitions=max_partitions, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        scan = LinearScanIndex(uniform_points_2d)
+        rng = random.Random(3)
+        for _ in range(10):
+            query = LabeledPoint.of([rng.random(), rng.random()])
+            expected = [n.distance for n in scan.k_nearest(query, 5)]
+            actual = [n.distance for n in tree.k_nearest(query, 5)]
+            assert actual == pytest.approx(expected)
+
+    @pytest.mark.parametrize("max_partitions", [1, 3, 5])
+    def test_range_matches_linear_scan(self, uniform_points_2d, max_partitions):
+        tree = make_tree(max_partitions=max_partitions, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        scan = LinearScanIndex(uniform_points_2d)
+        rng = random.Random(4)
+        for _ in range(10):
+            query = LabeledPoint.of([rng.random(), rng.random()])
+            radius = rng.uniform(0.05, 0.25)
+            expected = {n.point for n in scan.range_query(query, radius)}
+            actual = {n.point for n in tree.range_query(query, radius)}
+            assert actual == expected
+
+    def test_query_dimension_checked(self, uniform_points_2d):
+        tree = make_tree()
+        tree.insert_all(uniform_points_2d[:20])
+        with pytest.raises(QueryError):
+            tree.k_nearest(LabeledPoint.of([0.5]), 3)
+        with pytest.raises(QueryError):
+            tree.range_query(LabeledPoint.of([0.5]), 0.1)
+
+    def test_negative_radius_rejected(self, uniform_points_2d):
+        tree = make_tree()
+        tree.insert_all(uniform_points_2d[:20])
+        with pytest.raises(QueryError):
+            tree.range_query(LabeledPoint.of([0.5, 0.5]), -1.0)
+
+    def test_knn_state_tracks_partitions_visited(self, uniform_points_2d):
+        tree = make_tree(max_partitions=5, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        state = tree.k_nearest_state(LabeledPoint.of([0.5, 0.5]), 5)
+        assert state.partitions_visited >= 2
+        assert state.nodes_visited > 0
+
+    def test_range_state_counters(self, uniform_points_2d):
+        tree = make_tree(max_partitions=5, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        state = tree.range_query_state(LabeledPoint.of([0.5, 0.5]), 0.2)
+        assert state.partitions_visited >= 1
+        assert state.points_examined >= len(state.results)
+
+    def test_queries_charge_simulated_costs(self, uniform_points_2d):
+        tree = make_tree(max_partitions=3, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        tree.cluster.reset_costs()
+        tree.k_nearest(LabeledPoint.of([0.5, 0.5]), 3)
+        assert tree.cluster.costs().total_work > 0
+
+
+class TestStatistics:
+    def test_statistics_fields(self, uniform_points_2d):
+        tree = make_tree(max_partitions=3, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        stats = tree.statistics()
+        assert stats["points"] == len(uniform_points_2d)
+        assert stats["partitions"] == tree.partition_count
+        assert set(stats["points_per_partition"]) == {p.partition_id for p in tree.partitions}
+
+    def test_distributed_stats_helper(self, uniform_points_2d):
+        tree = make_tree(max_partitions=3, partition_capacity=32)
+        tree.insert_all(uniform_points_2d)
+        stats = distributed_stats(tree)
+        assert stats["points"] == len(uniform_points_2d)
+        assert stats["leaves"] > 0
+        assert stats["data_partition_imbalance"] >= 1.0

@@ -1,0 +1,86 @@
+"""Property-based tests: the distributed tree is equivalent to the sequential one."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LinearScanIndex
+from repro.core import DistributedSemTree, KDTree, LabeledPoint, SemTreeConfig
+
+coordinate = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+point_list = st.lists(st.tuples(coordinate, coordinate), min_size=2, max_size=60)
+
+
+def to_points(raw):
+    return [LabeledPoint.of(coords, label=index) for index, coords in enumerate(raw)]
+
+
+@given(raw=point_list, query=st.tuples(coordinate, coordinate),
+       k=st.integers(min_value=1, max_value=8),
+       max_partitions=st.integers(min_value=1, max_value=6),
+       partition_capacity=st.integers(min_value=8, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_distributed_knn_equals_exhaustive_search(raw, query, k, max_partitions,
+                                                  partition_capacity):
+    points = to_points(raw)
+    config = SemTreeConfig(dimensions=2, bucket_size=4, max_partitions=max_partitions,
+                           partition_capacity=partition_capacity)
+    tree = DistributedSemTree(config)
+    tree.insert_all(points)
+    query_point = LabeledPoint.of(query)
+
+    expected = [n.distance for n in LinearScanIndex(points).k_nearest(query_point, k)]
+    actual = [n.distance for n in tree.k_nearest(query_point, k)]
+    assert len(actual) == min(k, len(points))
+    for a, b in zip(actual, expected):
+        assert abs(a - b) < 1e-9
+
+
+@given(raw=point_list, query=st.tuples(coordinate, coordinate),
+       radius=st.floats(min_value=0.0, max_value=0.6, allow_nan=False),
+       max_partitions=st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_distributed_range_equals_exhaustive_search(raw, query, radius, max_partitions):
+    points = to_points(raw)
+    config = SemTreeConfig(dimensions=2, bucket_size=4, max_partitions=max_partitions,
+                           partition_capacity=16)
+    tree = DistributedSemTree(config)
+    tree.insert_all(points)
+    query_point = LabeledPoint.of(query)
+
+    expected = {n.point for n in LinearScanIndex(points).range_query(query_point, radius)}
+    actual = {n.point for n in tree.range_query(query_point, radius)}
+    assert actual == expected
+
+
+@given(raw=point_list, max_partitions=st.integers(min_value=1, max_value=6),
+       partition_capacity=st.integers(min_value=8, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_distribution_never_loses_or_duplicates_points(raw, max_partitions, partition_capacity):
+    points = to_points(raw)
+    config = SemTreeConfig(dimensions=2, bucket_size=4, max_partitions=max_partitions,
+                           partition_capacity=partition_capacity)
+    tree = DistributedSemTree(config)
+    tree.insert_all(points)
+
+    stored = tree.points()
+    assert sorted(p.label for p in stored) == sorted(p.label for p in points)
+    assert tree.partition_count <= max_partitions
+    # partition-level accounting agrees with the actual leaf contents
+    assert sum(p.point_count for p in tree.partitions) == len(points)
+
+
+@given(raw=point_list, query=st.tuples(coordinate, coordinate),
+       k=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_distributed_and_sequential_trees_agree(raw, query, k):
+    points = to_points(raw)
+    sequential = KDTree(2, bucket_size=4)
+    sequential.insert_all(points)
+    distributed = DistributedSemTree(SemTreeConfig(
+        dimensions=2, bucket_size=4, max_partitions=4, partition_capacity=16))
+    distributed.insert_all(points)
+    query_point = LabeledPoint.of(query)
+
+    sequential_distances = [n.distance for n in sequential.k_nearest(query_point, k)]
+    distributed_distances = [n.distance for n in distributed.k_nearest(query_point, k)]
+    assert sequential_distances == distributed_distances

@@ -1,0 +1,223 @@
+"""Tests for the sequential bucket KD-tree."""
+
+import random
+
+import pytest
+
+from repro.baselines import LinearScanIndex
+from repro.core import KDTree, LabeledPoint, SplitStrategy
+from repro.errors import IndexError_, QueryError
+
+
+def brute_force_knn(points, query, k):
+    scan = LinearScanIndex(points)
+    return [n.point for n in scan.k_nearest(query, k)]
+
+
+def brute_force_range(points, query, radius):
+    scan = LinearScanIndex(points)
+    return {n.point for n in scan.range_query(query, radius)}
+
+
+@pytest.fixture
+def tree_and_points(uniform_points_2d):
+    tree = KDTree(2, bucket_size=8)
+    tree.insert_all(uniform_points_2d)
+    return tree, uniform_points_2d
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(IndexError_):
+            KDTree(0)
+        with pytest.raises(IndexError_):
+            KDTree(2, bucket_size=0)
+
+    def test_empty_tree(self):
+        tree = KDTree(2)
+        assert len(tree) == 0
+        assert tree.depth() == 0
+        assert tree.node_count() == 1  # the empty root leaf
+
+    def test_insert_wrong_dimensionality(self):
+        tree = KDTree(2)
+        with pytest.raises(IndexError_):
+            tree.insert(LabeledPoint.of([1.0, 2.0, 3.0]))
+
+
+class TestInsertion:
+    def test_size_tracks_insertions(self, uniform_points_2d):
+        tree = KDTree(2, bucket_size=4)
+        tree.insert_all(uniform_points_2d[:50])
+        assert len(tree) == 50
+        assert sorted(p.label for p in tree.points()) == sorted(
+            p.label for p in uniform_points_2d[:50]
+        )
+
+    def test_leaf_splits_when_bucket_saturates(self):
+        tree = KDTree(1, bucket_size=2)
+        for value in (0.1, 0.2, 0.3):
+            tree.insert(LabeledPoint.of([value]))
+        assert tree.root.is_routing
+        assert tree.leaf_count() == 2
+        assert tree.depth() == 1
+
+    def test_data_only_in_leaves(self, tree_and_points):
+        tree, _ = tree_and_points
+        for node in tree._iter_nodes():
+            if node.is_routing:
+                assert node.bucket == []
+
+    def test_duplicate_points_allowed_in_oversized_bucket(self):
+        tree = KDTree(2, bucket_size=2)
+        point = LabeledPoint.of([0.5, 0.5])
+        for _ in range(5):
+            tree.insert(point)
+        assert len(tree) == 5
+        assert len(tree.points()) == 5
+
+    def test_bucket_size_respected_for_distinct_points(self, tree_and_points):
+        tree, _ = tree_and_points
+        for node in tree._iter_nodes():
+            if node.is_leaf:
+                assert len(node.bucket) <= tree.bucket_size
+
+
+class TestBulkBuilders:
+    def test_balanced_build_has_logarithmic_depth(self, uniform_points_2d):
+        tree = KDTree.build_balanced(uniform_points_2d, bucket_size=8)
+        assert len(tree) == len(uniform_points_2d)
+        assert tree.depth() <= 10
+        assert sorted(p.label for p in tree.points()) == sorted(
+            p.label for p in uniform_points_2d
+        )
+
+    def test_balanced_build_rejects_empty_input(self):
+        with pytest.raises(IndexError_):
+            KDTree.build_balanced([])
+
+    def test_chain_build_is_totally_unbalanced(self, uniform_points_2d):
+        subset = uniform_points_2d[:100]
+        tree = KDTree.build_chain(subset)
+        assert len(tree) == 100
+        assert tree.depth() == 99
+        assert sorted(p.label for p in tree.points()) == sorted(p.label for p in subset)
+
+    def test_chain_build_rejects_empty_input(self):
+        with pytest.raises(IndexError_):
+            KDTree.build_chain([])
+
+    def test_chain_handles_very_deep_trees_iteratively(self):
+        rng = random.Random(0)
+        points = [LabeledPoint.of([rng.random()], label=i) for i in range(5000)]
+        tree = KDTree.build_chain(points)
+        assert tree.depth() == 4999
+        # Queries on the chain must not hit the recursion limit either.
+        assert len(tree.k_nearest(LabeledPoint.of([0.5]), 3)) == 3
+        assert tree.range_query(LabeledPoint.of([0.5]), 0.001)
+
+    def test_first_point_dynamic_insertion_degenerates(self):
+        points = [LabeledPoint.of([i / 200.0], label=i) for i in range(200)]
+        tree = KDTree(1, bucket_size=1, split_strategy=SplitStrategy.FIRST_POINT)
+        tree.insert_all(points)  # sorted insertion order
+        balanced = KDTree.build_balanced(points, bucket_size=1)
+        assert tree.depth() > 4 * balanced.depth()
+
+
+class TestKNearest:
+    def test_matches_linear_scan(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = random.Random(1)
+        for _ in range(20):
+            query = LabeledPoint.of([rng.random(), rng.random()])
+            expected = brute_force_knn(points, query, 5)
+            actual = [n.point for n in tree.k_nearest(query, 5)]
+            assert {p.label for p in actual} == {p.label for p in expected}
+
+    def test_results_sorted_by_distance(self, tree_and_points):
+        tree, _ = tree_and_points
+        neighbours = tree.k_nearest(LabeledPoint.of([0.5, 0.5]), 10)
+        distances = [n.distance for n in neighbours]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_tree_returns_everything(self):
+        points = [LabeledPoint.of([i / 10.0, 0.0], label=i) for i in range(5)]
+        tree = KDTree(2, bucket_size=2)
+        tree.insert_all(points)
+        assert len(tree.k_nearest(LabeledPoint.of([0.0, 0.0]), 50)) == 5
+
+    def test_query_dimension_checked(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(QueryError):
+            tree.k_nearest(LabeledPoint.of([0.5]), 3)
+
+    def test_exact_match_is_first(self, tree_and_points):
+        tree, points = tree_and_points
+        target = points[42]
+        neighbours = tree.k_nearest(LabeledPoint.of(target.coordinates), 1)
+        assert neighbours[0].distance == 0.0
+
+    def test_search_state_counters(self, tree_and_points):
+        tree, _ = tree_and_points
+        state = tree.k_nearest_state(LabeledPoint.of([0.5, 0.5]), 3)
+        assert state.nodes_visited > 0
+        assert state.points_examined >= 3
+        assert len(state.results) == 3
+
+    def test_balanced_tree_visits_fewer_nodes_than_chain(self, uniform_points_2d):
+        subset = uniform_points_2d[:200]
+        balanced = KDTree.build_balanced(subset, bucket_size=4)
+        chain = KDTree.build_chain(subset)
+        query = LabeledPoint.of([0.5, 0.5])
+        balanced_state = balanced.k_nearest_state(query, 3)
+        chain_state = chain.k_nearest_state(query, 3)
+        assert balanced_state.nodes_visited < chain_state.nodes_visited
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = random.Random(2)
+        for _ in range(20):
+            query = LabeledPoint.of([rng.random(), rng.random()])
+            radius = rng.uniform(0.01, 0.3)
+            expected = brute_force_range(points, query, radius)
+            actual = {n.point for n in tree.range_query(query, radius)}
+            assert actual == expected
+
+    def test_zero_radius_finds_exact_matches_only(self, tree_and_points):
+        tree, points = tree_and_points
+        target = points[7]
+        results = tree.range_query(LabeledPoint.of(target.coordinates), 0.0)
+        assert all(n.distance == 0.0 for n in results)
+        assert any(n.point == target for n in results)
+
+    def test_negative_radius_rejected(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(QueryError):
+            tree.range_query(LabeledPoint.of([0.5, 0.5]), -0.1)
+
+    def test_results_sorted_by_distance(self, tree_and_points):
+        tree, _ = tree_and_points
+        results = tree.range_query(LabeledPoint.of([0.5, 0.5]), 0.2)
+        distances = [n.distance for n in results]
+        assert distances == sorted(distances)
+
+    def test_query_dimension_checked(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(QueryError):
+            tree.range_query(LabeledPoint.of([0.5]), 0.1)
+
+    def test_state_reports_nodes_visited(self, tree_and_points):
+        tree, _ = tree_and_points
+        results, visited = tree.range_query_state(LabeledPoint.of([0.5, 0.5]), 0.1)
+        assert visited >= 1
+        assert visited <= tree.node_count()
+
+
+class TestIntrospection:
+    def test_node_and_leaf_counts_consistent(self, tree_and_points):
+        tree, _ = tree_and_points
+        assert tree.node_count() == tree.leaf_count() + tree.routing_count()
+        # a full binary tree has leaves = routing + 1
+        assert tree.leaf_count() == tree.routing_count() + 1

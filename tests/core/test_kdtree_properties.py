@@ -1,0 +1,71 @@
+"""Property-based tests: the KD-tree always agrees with the exhaustive scan."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LinearScanIndex
+from repro.core import KDTree, LabeledPoint, SplitStrategy
+
+coordinate = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+point_list = st.lists(
+    st.tuples(coordinate, coordinate), min_size=1, max_size=80,
+)
+
+
+def to_points(raw):
+    return [LabeledPoint.of(coords, label=index) for index, coords in enumerate(raw)]
+
+
+@given(raw=point_list, query=st.tuples(coordinate, coordinate),
+       k=st.integers(min_value=1, max_value=10),
+       bucket_size=st.integers(min_value=1, max_value=8),
+       strategy=st.sampled_from(list(SplitStrategy)))
+@settings(max_examples=120, deadline=None)
+def test_knn_always_matches_linear_scan(raw, query, k, bucket_size, strategy):
+    points = to_points(raw)
+    tree = KDTree(2, bucket_size=bucket_size, split_strategy=strategy)
+    tree.insert_all(points)
+    query_point = LabeledPoint.of(query)
+
+    expected = LinearScanIndex(points).k_nearest(query_point, k)
+    actual = tree.k_nearest(query_point, k)
+
+    assert len(actual) == min(k, len(points))
+    # Distances must match exactly (the identity of equidistant points may differ).
+    assert [n.distance for n in actual] == [n.distance for n in expected]
+
+
+@given(raw=point_list, query=st.tuples(coordinate, coordinate),
+       radius=st.floats(min_value=0.0, max_value=0.7, allow_nan=False),
+       bucket_size=st.integers(min_value=1, max_value=8))
+@settings(max_examples=120, deadline=None)
+def test_range_query_always_matches_linear_scan(raw, query, radius, bucket_size):
+    points = to_points(raw)
+    tree = KDTree(2, bucket_size=bucket_size)
+    tree.insert_all(points)
+    query_point = LabeledPoint.of(query)
+
+    expected = {n.point for n in LinearScanIndex(points).range_query(query_point, radius)}
+    actual = {n.point for n in tree.range_query(query_point, radius)}
+    assert actual == expected
+
+
+@given(raw=point_list, bucket_size=st.integers(min_value=1, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_tree_never_loses_points(raw, bucket_size):
+    points = to_points(raw)
+    tree = KDTree(2, bucket_size=bucket_size)
+    tree.insert_all(points)
+    assert sorted(p.label for p in tree.points()) == sorted(p.label for p in points)
+    assert len(tree) == len(points)
+
+
+@given(raw=point_list)
+@settings(max_examples=60, deadline=None)
+def test_bulk_builders_store_the_same_points(raw):
+    points = to_points(raw)
+    balanced = KDTree.build_balanced(points, bucket_size=4)
+    chain = KDTree.build_chain(points)
+    assert sorted(p.label for p in balanced.points()) == sorted(p.label for p in points)
+    assert sorted(p.label for p in chain.points()) == sorted(p.label for p in points)
+    assert balanced.depth() <= chain.depth() or len(points) <= 4

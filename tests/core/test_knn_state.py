@@ -1,0 +1,95 @@
+"""Tests for the k-search state of Table I (result set, node status, conditions)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KSearchState, LabeledPoint, NodeStatus, ResultSet
+from repro.errors import QueryError
+
+
+class TestNodeStatus:
+    def test_table_one_values(self):
+        assert NodeStatus.NOT_VISITED.value == "Nv"
+        assert NodeStatus.LEFT_VISITED.value == "Lv"
+        assert NodeStatus.RIGHT_VISITED.value == "Rv"
+        assert NodeStatus.ALL_VISITED.value == "Av"
+
+
+class TestResultSet:
+    def test_invalid_k_rejected(self):
+        with pytest.raises(QueryError):
+            ResultSet(0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(QueryError):
+            ResultSet(2).offer(LabeledPoint.of([0.0]), -1.0)
+
+    def test_radius_is_infinite_until_full(self):
+        results = ResultSet(3)
+        results.offer(LabeledPoint.of([0.0]), 1.0)
+        assert results.current_radius == float("inf")
+        assert not results.is_full
+
+    def test_keeps_only_the_k_closest(self):
+        results = ResultSet(2)
+        for distance in (5.0, 1.0, 3.0, 0.5):
+            results.offer(LabeledPoint.of([distance]), distance)
+        assert [n.distance for n in results.neighbours()] == [0.5, 1.0]
+        assert results.current_radius == 1.0
+        assert results.is_full
+
+    def test_offer_returns_whether_retained(self):
+        results = ResultSet(1)
+        assert results.offer(LabeledPoint.of([1.0]), 1.0) is True
+        assert results.offer(LabeledPoint.of([2.0]), 2.0) is False
+        assert results.offer(LabeledPoint.of([0.5]), 0.5) is True
+
+    def test_neighbours_sorted_and_labels(self):
+        results = ResultSet(3)
+        results.offer(LabeledPoint.of([2.0], label="far"), 2.0)
+        results.offer(LabeledPoint.of([1.0], label="near"), 1.0)
+        assert results.labels() == ["near", "far"]
+        assert [p.label for p in results.points()] == ["near", "far"]
+
+    def test_merge_two_result_sets(self):
+        first = ResultSet(2)
+        first.offer(LabeledPoint.of([3.0]), 3.0)
+        first.offer(LabeledPoint.of([4.0]), 4.0)
+        second = ResultSet(2)
+        second.offer(LabeledPoint.of([1.0]), 1.0)
+        first.merge(second)
+        assert [n.distance for n in first.neighbours()] == [1.0, 3.0]
+
+    @given(distances=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                              min_size=1, max_size=40),
+           k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_sorted_prefix(self, distances, k):
+        results = ResultSet(k)
+        for distance in distances:
+            results.offer(LabeledPoint.of([distance]), distance)
+        expected = sorted(distances)[:k]
+        assert [n.distance for n in results.neighbours()] == pytest.approx(expected)
+
+
+class TestKSearchState:
+    def test_examines_and_counts_points(self):
+        state = KSearchState(query=LabeledPoint.of([0.0, 0.0]), k=2)
+        retained = state.examine_bucket([
+            LabeledPoint.of([1.0, 0.0]), LabeledPoint.of([0.1, 0.0]), LabeledPoint.of([5.0, 0.0]),
+        ])
+        assert retained == 2  # the third candidate is farther than both retained ones
+        assert state.points_examined == 3
+        assert state.results.is_full
+
+    def test_must_visit_other_side_while_not_full(self):
+        state = KSearchState(query=LabeledPoint.of([0.0]), k=3)
+        state.examine(LabeledPoint.of([10.0]))
+        assert state.must_visit_other_side(split_index=0, split_value=100.0)
+
+    def test_must_visit_other_side_when_plane_is_close(self):
+        state = KSearchState(query=LabeledPoint.of([0.0]), k=1)
+        state.examine(LabeledPoint.of([5.0]))     # current radius = 5
+        assert state.must_visit_other_side(0, split_value=2.0)       # plane at distance 2 < 5
+        assert not state.must_visit_other_side(0, split_value=9.0)   # plane at distance 9 > 5

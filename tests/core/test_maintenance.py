@@ -1,0 +1,113 @@
+"""Tests for KD-tree maintenance: deletion and rebalancing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LinearScanIndex
+from repro.core import KDTree, LabeledPoint
+from repro.errors import IndexError_
+
+
+class TestDelete:
+    def test_delete_present_point(self, uniform_points_2d):
+        tree = KDTree(2, bucket_size=8)
+        tree.insert_all(uniform_points_2d)
+        victim = uniform_points_2d[17]
+        assert tree.delete(victim) is True
+        assert len(tree) == len(uniform_points_2d) - 1
+        assert victim not in tree.points()
+
+    def test_delete_absent_point(self, uniform_points_2d):
+        tree = KDTree(2, bucket_size=8)
+        tree.insert_all(uniform_points_2d[:50])
+        assert tree.delete(LabeledPoint.of([2.0, 2.0])) is False
+        assert len(tree) == 50
+
+    def test_delete_wrong_dimensionality(self):
+        tree = KDTree(2)
+        with pytest.raises(IndexError_):
+            tree.delete(LabeledPoint.of([1.0]))
+
+    def test_deleted_point_no_longer_returned_by_queries(self, uniform_points_2d):
+        tree = KDTree(2, bucket_size=8)
+        tree.insert_all(uniform_points_2d)
+        victim = uniform_points_2d[3]
+        tree.delete(victim)
+        query = LabeledPoint.of(victim.coordinates)
+        assert all(n.point != victim for n in tree.k_nearest(query, 5))
+        assert all(n.point != victim for n in tree.range_query(query, 0.05))
+
+    def test_delete_all_counts_removed(self, uniform_points_2d):
+        tree = KDTree(2, bucket_size=8)
+        tree.insert_all(uniform_points_2d[:100])
+        removed = tree.delete_all(uniform_points_2d[:10] + [LabeledPoint.of([5.0, 5.0])])
+        assert removed == 10
+        assert len(tree) == 90
+
+    def test_delete_one_of_duplicates_keeps_the_rest(self):
+        tree = KDTree(2, bucket_size=4)
+        duplicate = LabeledPoint.of([0.5, 0.5], label="dup")
+        for _ in range(3):
+            tree.insert(duplicate)
+        assert tree.delete(duplicate) is True
+        assert len(tree) == 2
+        assert tree.points().count(duplicate) == 2
+
+
+class TestRebalance:
+    def test_rebalance_restores_logarithmic_depth(self, uniform_points_2d):
+        subset = uniform_points_2d[:200]
+        tree = KDTree.build_chain(subset)
+        assert tree.depth() == 199
+        tree.rebalance()
+        assert tree.depth() <= 10
+        assert sorted(p.label for p in tree.points()) == sorted(p.label for p in subset)
+
+    def test_rebalance_preserves_query_answers(self, uniform_points_2d):
+        tree = KDTree.build_chain(uniform_points_2d[:150])
+        query = LabeledPoint.of([0.4, 0.6])
+        before = [n.distance for n in tree.k_nearest(query, 5)]
+        tree.rebalance()
+        after = [n.distance for n in tree.k_nearest(query, 5)]
+        assert after == pytest.approx(before)
+
+    def test_rebalance_after_heavy_deletion(self, uniform_points_2d):
+        tree = KDTree(2, bucket_size=4)
+        tree.insert_all(uniform_points_2d)
+        tree.delete_all(uniform_points_2d[:250])
+        tree.rebalance()
+        assert len(tree) == 50
+        scan = LinearScanIndex(uniform_points_2d[250:])
+        query = LabeledPoint.of([0.5, 0.5])
+        assert ([n.distance for n in tree.k_nearest(query, 3)]
+                == pytest.approx([n.distance for n in scan.k_nearest(query, 3)]))
+
+    def test_rebalance_empty_tree(self):
+        tree = KDTree(2, bucket_size=4)
+        tree.insert(LabeledPoint.of([0.1, 0.1]))
+        tree.delete(LabeledPoint.of([0.1, 0.1]))
+        tree.rebalance()
+        assert len(tree) == 0
+        assert tree.node_count() == 1
+
+
+coordinate = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(raw=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=50),
+       delete_count=st.integers(min_value=0, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_property_delete_then_query_matches_linear_scan(raw, delete_count):
+    points = [LabeledPoint.of(coords, label=index) for index, coords in enumerate(raw)]
+    tree = KDTree(2, bucket_size=4)
+    tree.insert_all(points)
+    to_delete = points[:min(delete_count, len(points))]
+    tree.delete_all(to_delete)
+    survivors = points[len(to_delete):]
+    assert sorted(p.label for p in tree.points()) == sorted(p.label for p in survivors)
+    if survivors:
+        query = LabeledPoint.of([0.5, 0.5])
+        expected = [n.distance for n in LinearScanIndex(survivors).k_nearest(query, 3)]
+        actual = [n.distance for n in tree.k_nearest(query, 3)]
+        assert actual == pytest.approx(expected)

@@ -1,0 +1,101 @@
+"""Tests for SemTree partitions (structure, capacity, edge/internal nodes)."""
+
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core import (
+    CapacityPolicy,
+    DistributedSemTree,
+    LabeledPoint,
+    Node,
+    Partition,
+    RemoteChild,
+    SemTreeConfig,
+)
+from repro.errors import PartitionError
+
+
+@pytest.fixture
+def tree():
+    config = SemTreeConfig(dimensions=2, bucket_size=4, max_partitions=4,
+                           partition_capacity=16)
+    return DistributedSemTree(config)
+
+
+def build_subtree():
+    """root(routing) -> left leaf [2 pts], right(routing) -> two leaves [1 pt each]."""
+    left_leaf = Node(bucket=[LabeledPoint.of([0.1, 0.1]), LabeledPoint.of([0.2, 0.2])])
+    right_inner = Node(split_index=1, split_value=0.5,
+                       left=Node(bucket=[LabeledPoint.of([0.8, 0.2])]),
+                       right=Node(bucket=[LabeledPoint.of([0.9, 0.9])]))
+    return Node(split_index=0, split_value=0.5, left=left_leaf, right=right_inner)
+
+
+class TestStructure:
+    def test_requires_identifier(self, tree):
+        with pytest.raises(PartitionError):
+            Partition("", tree)
+
+    def test_adopt_subtree_counts_points_and_tags_nodes(self, tree):
+        partition = Partition("P7", tree, root=build_subtree())
+        assert partition.point_count == 4
+        assert all(node.partition_id == "P7" for node in partition.local_nodes())
+
+    def test_local_leaves_and_nodes(self, tree):
+        partition = Partition("P7", tree, root=build_subtree())
+        assert len(list(partition.local_nodes())) == 5
+        assert len(partition.local_leaves()) == 3
+
+    def test_leaf_parents_excludes_partition_root(self, tree):
+        single_leaf = Node(bucket=[LabeledPoint.of([0.5, 0.5])])
+        partition = Partition("P7", tree, root=single_leaf)
+        assert partition.leaf_parents() == []
+
+    def test_leaf_parents_reports_side(self, tree):
+        partition = Partition("P7", tree, root=build_subtree())
+        sides = {(parent.node_id, side) for parent, side, _ in partition.leaf_parents()}
+        assert len(sides) == 3
+
+    def test_edge_and_internal_classification(self, tree):
+        root = build_subtree()
+        partition = Partition("P7", tree, root=root)
+        # all-local routing nodes are internal, leaves are edge
+        assert root in partition.internal_nodes()
+        assert len(partition.edge_nodes()) == 3
+        # replace a child with a remote pointer: the parent becomes an edge node
+        root.right = RemoteChild("P9")
+        assert root in partition.edge_nodes()
+        assert partition.remote_children() == [RemoteChild("P9")]
+
+    def test_routing_only_partition(self, tree):
+        partition = Partition("P7", tree, root=build_subtree())
+        partition.record_stored(-4)
+        assert partition.is_routing_only
+
+    def test_record_stored_cannot_go_negative(self, tree):
+        partition = Partition("P7", tree, root=Node())
+        with pytest.raises(PartitionError):
+            partition.record_stored(-1)
+
+
+class TestCapacityPolicies:
+    def test_static_policy(self, tree):
+        partition = Partition("P7", tree, root=build_subtree())
+        config = SemTreeConfig(dimensions=2, bucket_size=2, partition_capacity=3)
+        assert partition.is_saturated(config, node_capacity=None)
+        config_large = SemTreeConfig(dimensions=2, bucket_size=2, partition_capacity=100)
+        assert not partition.is_saturated(config_large, node_capacity=None)
+
+    def test_node_fraction_policy(self, tree):
+        partition = Partition("P7", tree, root=build_subtree())  # 4 points
+        config = SemTreeConfig(dimensions=2, bucket_size=2, partition_capacity=100,
+                               capacity_policy=CapacityPolicy.NODE_FRACTION,
+                               node_capacity_fraction=0.5)
+        assert partition.is_saturated(config, node_capacity=6)       # 4 > 3
+        assert not partition.is_saturated(config, node_capacity=10)  # 4 <= 5
+
+    def test_node_fraction_falls_back_to_static_without_capacity(self, tree):
+        partition = Partition("P7", tree, root=build_subtree())
+        config = SemTreeConfig(dimensions=2, bucket_size=2, partition_capacity=3,
+                               capacity_policy=CapacityPolicy.NODE_FRACTION)
+        assert partition.is_saturated(config, node_capacity=None)

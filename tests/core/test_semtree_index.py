@@ -1,0 +1,150 @@
+"""Tests for the SemTreeIndex facade (triples in, semantic retrieval out)."""
+
+import pytest
+
+from repro.baselines import SemanticLinearScan
+from repro.core import SemanticMatch, SemTreeConfig, SemTreeIndex
+from repro.errors import IndexError_, QueryError
+from repro.rdf import Document, Triple
+
+
+@pytest.fixture
+def requirement_triples():
+    return [
+        Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"),
+        Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:shutdown"),
+        Triple.of("OBSW002", "Fun:enable_mode", "ModeType:safe-mode"),
+        Triple.of("OBSW003", "Fun:transmit_tm", "TmType:voltage-frame"),
+        Triple.of("OBSW003", "Fun:withhold_tm", "TmType:voltage-frame"),
+        Triple.of("HWD001", "Fun:acquire_in", "InType:gps-fix"),
+        Triple.of("HWD001", "Fun:ignore_in", "InType:gps-fix"),
+        Triple.of("OBSW004", "Fun:start_proc", "ParType:watchdog"),
+    ]
+
+
+@pytest.fixture
+def built_index(requirement_distance, requirement_triples):
+    index = SemTreeIndex(requirement_distance, SemTreeConfig(
+        dimensions=3, bucket_size=4, max_partitions=2, partition_capacity=8))
+    index.add_triples(requirement_triples, document_id="doc-A")
+    index.build()
+    return index
+
+
+class TestBuildLifecycle:
+    def test_build_requires_two_distinct_triples(self, requirement_distance):
+        index = SemTreeIndex(requirement_distance)
+        index.add_triple(Triple.of("a", "b", "c"))
+        index.add_triple(Triple.of("a", "b", "c"))
+        with pytest.raises(IndexError_):
+            index.build()
+
+    def test_tree_access_before_build_raises(self, requirement_distance):
+        index = SemTreeIndex(requirement_distance)
+        with pytest.raises(IndexError_):
+            _ = index.tree
+
+    def test_pending_counter_and_build(self, requirement_distance, requirement_triples):
+        index = SemTreeIndex(requirement_distance)
+        index.add_triples(requirement_triples)
+        assert index.pending_triples == len(requirement_triples)
+        assert not index.is_built
+        index.build()
+        assert index.is_built
+        assert index.pending_triples == 0
+        assert len(index) == len(set(requirement_triples))
+
+    def test_duplicate_triples_indexed_once(self, requirement_distance, requirement_triples):
+        index = SemTreeIndex(requirement_distance)
+        index.add_triples(requirement_triples)
+        index.add_triples(requirement_triples)
+        index.build()
+        assert len(index) == len(set(requirement_triples))
+
+    def test_add_document_records_provenance(self, requirement_distance, requirement_triples):
+        index = SemTreeIndex(requirement_distance)
+        index.add_document(Document("doc-X", requirement_triples[:5]))
+        index.add_document(Document("doc-Y", requirement_triples[5:]))
+        index.build()
+        match = index.k_nearest(requirement_triples[0], 1)[0]
+        assert match.documents == ("doc-X",)
+
+    def test_build_returns_self_for_chaining(self, requirement_distance, requirement_triples):
+        index = SemTreeIndex(requirement_distance)
+        index.add_triples(requirement_triples)
+        assert index.build() is index
+
+
+class TestQueries:
+    def test_exact_triple_is_its_own_nearest_neighbour(self, built_index, requirement_triples):
+        for triple in requirement_triples[:5]:
+            top = built_index.k_nearest(triple, 1)[0]
+            assert top.triple == triple
+            assert top.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_antinomic_statement_ranks_before_unrelated_ones(self, built_index):
+        target = Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up")
+        results = built_index.k_nearest(target, 3)
+        returned = [match.triple for match in results]
+        assert Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up") in returned
+
+    def test_k_must_be_positive(self, built_index, requirement_triples):
+        with pytest.raises(QueryError):
+            built_index.k_nearest(requirement_triples[0], 0)
+
+    def test_results_sorted_by_distance(self, built_index, requirement_triples):
+        results = built_index.k_nearest(requirement_triples[0], 6)
+        distances = [match.distance for match in results]
+        assert distances == sorted(distances)
+
+    def test_range_query_contains_the_exact_match(self, built_index, requirement_triples):
+        results = built_index.range_query(requirement_triples[0], 0.05)
+        assert any(match.triple == requirement_triples[0] for match in results)
+
+    def test_out_of_sample_query_triple(self, built_index):
+        query = Triple.of("OBSW009", "Fun:block_cmd", "CmdType:reset")
+        results = built_index.k_nearest(query, 3)
+        assert len(results) == 3
+
+    def test_knn_ranking_close_to_semantic_scan(self, built_index, requirement_distance,
+                                                requirement_triples):
+        # FastMap is approximate, but the top-1 neighbour of a stored triple's
+        # antinomic variant should coincide with the semantic scan's answer.
+        scan = SemanticLinearScan(requirement_distance, requirement_triples)
+        query = Triple.of("OBSW003", "Fun:withhold_tm", "TmType:voltage-frame")
+        expected_top = scan.k_nearest(query, 1)[0][0]
+        actual_top = built_index.k_nearest(query, 1)[0].triple
+        assert actual_top == expected_top
+
+
+class TestIncrementalInsertion:
+    def test_insert_triple_after_build(self, built_index):
+        new_triple = Triple.of("OBSW010", "Fun:suppress_msg", "MsgType:alarm")
+        before = len(built_index)
+        built_index.insert_triple(new_triple, document_id="doc-B")
+        assert len(built_index) == before + 1
+        top = built_index.k_nearest(new_triple, 1)[0]
+        assert top.triple == new_triple
+        assert top.documents == ("doc-B",)
+
+    def test_insert_many_triples(self, built_index):
+        new_triples = [
+            Triple.of(f"OBSW{i:03d}", "Fun:raise_signal", "SigType:watchdog-alarm")
+            for i in range(20, 25)
+        ]
+        built_index.insert_triples(new_triples)
+        assert len(built_index) >= 14
+
+    def test_statistics_reports_embedding_dimensions(self, built_index):
+        stats = built_index.statistics()
+        assert stats["embedding_dimensions"] >= 1
+        assert stats["points"] == len(built_index)
+
+
+class TestSemanticMatch:
+    def test_equality(self):
+        triple = Triple.of("a", "b", "c")
+        assert SemanticMatch(triple, 0.5, ("d1",)) == SemanticMatch(triple, 0.5, ("d1",))
+        assert SemanticMatch(triple, 0.5) != SemanticMatch(triple, 0.6)

@@ -1,0 +1,85 @@
+"""Tests for leaf-splitting strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LabeledPoint, SplitStrategy, choose_split, partition_bucket
+from repro.errors import IndexError_
+
+
+def points_of(*coords):
+    return [LabeledPoint.of(c) for c in coords]
+
+
+class TestPartitionBucket:
+    def test_points_at_the_split_value_go_left(self):
+        points = points_of((0.5, 0.0), (0.2, 0.0), (0.9, 0.0))
+        left, right = partition_bucket(points, 0, 0.5)
+        assert {p[0] for p in left} == {0.5, 0.2}
+        assert {p[0] for p in right} == {0.9}
+
+
+class TestChooseSplit:
+    def test_median_split_balances_points(self):
+        points = points_of(*[(i / 9.0, 0.0) for i in range(10)])
+        decision = choose_split(points, depth=0, dimensions=2, strategy=SplitStrategy.MEDIAN)
+        assert decision.split_index == 0
+        assert abs(len(decision.left_points) - len(decision.right_points)) <= 2
+        assert len(decision.left_points) + len(decision.right_points) == 10
+
+    def test_depth_cycles_the_dimension(self):
+        points = points_of((0.0, 0.1), (0.0, 0.9), (0.0, 0.4), (0.0, 0.6))
+        decision = choose_split(points, depth=1, dimensions=2)
+        assert decision.split_index == 1
+
+    def test_max_spread_picks_widest_dimension(self):
+        points = points_of((0.0, 0.0), (0.01, 1.0), (0.02, 0.5), (0.03, 0.2))
+        decision = choose_split(points, depth=0, dimensions=2,
+                                strategy=SplitStrategy.MAX_SPREAD)
+        assert decision.split_index == 1
+
+    def test_midpoint_split_value(self):
+        points = points_of((0.0,), (1.0,), (0.2,), (0.4,))
+        decision = choose_split(points, depth=0, dimensions=1,
+                                strategy=SplitStrategy.MIDPOINT)
+        assert decision.split_value == pytest.approx(0.5)
+
+    def test_first_point_strategy_degenerates_on_sorted_input(self):
+        points = points_of((0.1,), (0.2,), (0.3,), (0.4,))
+        decision = choose_split(points, depth=0, dimensions=1,
+                                strategy=SplitStrategy.FIRST_POINT)
+        assert decision.split_value == pytest.approx(0.1)
+        assert len(decision.left_points) == 1
+        assert len(decision.right_points) == 3
+
+    def test_never_produces_an_empty_side_when_splittable(self):
+        # All values equal on dimension 0; dimension 1 separates them.
+        points = points_of((0.5, 0.1), (0.5, 0.9), (0.5, 0.4))
+        decision = choose_split(points, depth=0, dimensions=2)
+        assert decision.left_points and decision.right_points
+
+    def test_identical_points_cannot_be_split(self):
+        points = points_of((0.5, 0.5), (0.5, 0.5), (0.5, 0.5))
+        with pytest.raises(IndexError_):
+            choose_split(points, depth=0, dimensions=2)
+
+    def test_fewer_than_two_points_rejected(self):
+        with pytest.raises(IndexError_):
+            choose_split(points_of((0.1,)), depth=0, dimensions=1)
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                           min_size=2, max_size=30),
+           strategy=st.sampled_from(list(SplitStrategy)))
+    @settings(max_examples=100, deadline=None)
+    def test_property_split_is_a_partition(self, values, strategy):
+        # Skip inputs where every value is identical (unsplittable by design).
+        if len(set(values)) < 2:
+            return
+        points = points_of(*[(value,) for value in values])
+        decision = choose_split(points, depth=0, dimensions=1, strategy=strategy)
+        left, right = decision.left_points, decision.right_points
+        assert left and right
+        assert len(left) + len(right) == len(points)
+        assert all(p[decision.split_index] <= decision.split_value for p in left)
+        assert all(p[decision.split_index] > decision.split_value for p in right)

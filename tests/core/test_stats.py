@@ -1,0 +1,57 @@
+"""Tests for tree statistics (sequential and distributed)."""
+
+import pytest
+
+from repro.core import DistributedSemTree, KDTree, LabeledPoint, SemTreeConfig
+from repro.core.stats import distributed_stats, expected_nodes, sequential_stats
+
+
+class TestExpectedNodes:
+    def test_paper_formula(self):
+        # N = 2K / Bs (Section III-C)
+        assert expected_nodes(points=1000, bucket_size=10) == 200
+        assert expected_nodes(points=5, bucket_size=100) == 1
+
+    def test_invalid_bucket_size(self):
+        with pytest.raises(ValueError):
+            expected_nodes(10, 0)
+
+
+class TestSequentialStats:
+    def test_balanced_tree_stats(self, uniform_points_2d):
+        tree = KDTree.build_balanced(uniform_points_2d, bucket_size=8)
+        stats = sequential_stats(tree)
+        assert stats.points == len(uniform_points_2d)
+        assert stats.nodes == stats.leaves + stats.routing_nodes
+        assert stats.depth <= 2 * stats.optimal_depth + 1
+        assert not stats.is_degenerate
+        assert 0.0 < stats.mean_bucket_fill <= 1.0
+
+    def test_chain_tree_is_degenerate(self, uniform_points_2d):
+        tree = KDTree.build_chain(uniform_points_2d[:120])
+        stats = sequential_stats(tree)
+        assert stats.depth == 119
+        assert stats.is_degenerate
+        assert stats.balance_ratio > 10
+
+    def test_empty_tree_stats(self):
+        tree = KDTree(2)
+        stats = sequential_stats(tree)
+        assert stats.points == 0
+        assert stats.leaves == 1
+        assert stats.mean_bucket_fill == 0.0
+
+
+class TestDistributedStats:
+    def test_per_partition_breakdown(self, uniform_points_2d):
+        tree = DistributedSemTree(SemTreeConfig(
+            dimensions=2, bucket_size=8, max_partitions=4, partition_capacity=32))
+        tree.insert_all(uniform_points_2d)
+        stats = distributed_stats(tree)
+        assert stats["points"] == len(uniform_points_2d)
+        assert stats["partitions"] == tree.partition_count
+        assert set(stats["per_partition"]) == {p.partition_id for p in tree.partitions}
+        total = sum(entry["points"] for entry in stats["per_partition"].values())
+        assert total == len(uniform_points_2d)
+        assert stats["data_partition_imbalance"] >= 1.0
+        assert stats["messages"] >= 0

@@ -1,0 +1,85 @@
+"""Tests for SemTree nodes (leaf/routing, edge/internal, remote children)."""
+
+import pytest
+
+from repro.core import LabeledPoint, Node, RemoteChild
+from repro.errors import IndexError_
+
+
+def leaf(points=()):
+    return Node(bucket=[LabeledPoint.of(p) for p in points])
+
+
+class TestKinds:
+    def test_new_node_is_a_leaf(self):
+        node = Node()
+        assert node.is_leaf and not node.is_routing
+
+    def test_routing_node(self):
+        node = Node(split_index=0, split_value=0.5, left=leaf(), right=leaf())
+        assert node.is_routing and not node.is_leaf
+
+    def test_leaf_is_always_an_edge_node(self):
+        assert leaf().is_edge()
+        assert not leaf().is_internal()
+
+    def test_routing_node_with_local_children_is_internal(self):
+        node = Node(split_index=0, split_value=0.5, left=leaf(), right=leaf())
+        assert node.is_internal() and not node.is_edge()
+
+    def test_routing_node_with_remote_child_is_edge(self):
+        node = Node(split_index=0, split_value=0.5, left=leaf(), right=RemoteChild("P3"))
+        assert node.is_edge() and not node.is_internal()
+
+    def test_node_ids_are_monotonic(self):
+        assert Node().node_id < Node().node_id
+
+
+class TestNavigation:
+    def test_child_for_left_and_right(self):
+        left, right = leaf(), leaf()
+        node = Node(split_index=1, split_value=0.5, left=left, right=right)
+        assert node.child_for(LabeledPoint.of([0.9, 0.5])) is left   # equal goes left
+        assert node.child_for(LabeledPoint.of([0.9, 0.2])) is left
+        assert node.child_for(LabeledPoint.of([0.9, 0.8])) is right
+
+    def test_child_for_on_leaf_raises(self):
+        with pytest.raises(IndexError_):
+            leaf().child_for(LabeledPoint.of([0.0]))
+
+    def test_other_child(self):
+        left, right = leaf(), leaf()
+        node = Node(split_index=0, split_value=0.5, left=left, right=right)
+        assert node.other_child(left) is right
+        assert node.other_child(right) is left
+
+    def test_other_child_unknown_node_raises(self):
+        node = Node(split_index=0, split_value=0.5, left=leaf(), right=leaf())
+        with pytest.raises(IndexError_):
+            node.other_child(leaf())
+
+
+class TestLeafMutation:
+    def test_add_to_bucket(self):
+        node = leaf()
+        node.add_to_bucket(LabeledPoint.of([1.0]))
+        assert len(node.bucket) == 1
+
+    def test_add_to_routing_node_raises(self):
+        node = Node(split_index=0, split_value=0.5, left=leaf(), right=leaf())
+        with pytest.raises(IndexError_):
+            node.add_to_bucket(LabeledPoint.of([1.0]))
+
+    def test_convert_to_routing_moves_points_out(self):
+        node = leaf([(0.2,), (0.8,)])
+        left = leaf([(0.2,)])
+        right = leaf([(0.8,)])
+        node.convert_to_routing(0, 0.5, left, right)
+        assert node.is_routing
+        assert node.bucket == []
+        assert node.left is left and node.right is right
+
+    def test_convert_routing_node_again_raises(self):
+        node = Node(split_index=0, split_value=0.5, left=leaf(), right=leaf())
+        with pytest.raises(IndexError_):
+            node.convert_to_routing(0, 0.5, leaf(), leaf())

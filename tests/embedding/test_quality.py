@@ -1,0 +1,82 @@
+"""Tests for the embedding-quality diagnostics."""
+
+import math
+
+import pytest
+
+from repro.embedding import FastMap, distortion, neighbourhood_overlap, sample_pairs, stress
+from repro.errors import EmbeddingError
+
+
+def euclidean(a, b):
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+@pytest.fixture
+def planar_space():
+    objects = [(i / 7.0, (i * 3 % 11) / 11.0) for i in range(40)]
+    return FastMap(euclidean, dimensions=2, seed=0).fit(objects)
+
+
+class TestSamplePairs:
+    def test_returns_all_pairs_when_few(self):
+        pairs = sample_pairs(4, max_pairs=100)
+        assert len(pairs) == 6
+        assert all(i < j for i, j in pairs)
+
+    def test_caps_the_number_of_pairs(self):
+        pairs = sample_pairs(100, max_pairs=50, seed=3)
+        assert len(pairs) == 50
+        assert len(set(pairs)) == 50
+
+    def test_requires_two_objects(self):
+        with pytest.raises(EmbeddingError):
+            sample_pairs(1, max_pairs=10)
+
+
+class TestStress:
+    def test_euclidean_input_has_negligible_stress(self, planar_space):
+        assert stress(planar_space, euclidean) == pytest.approx(0.0, abs=1e-6)
+
+    def test_non_euclidean_input_has_positive_but_bounded_stress(self):
+        objects = [f"o{i}" for i in range(15)]
+        discrete = lambda a, b: 0.0 if a == b else 1.0
+        space = FastMap(discrete, dimensions=2, seed=0).fit(objects)
+        value = stress(space, discrete)
+        assert 0.0 < value < 1.0
+
+
+class TestDistortion:
+    def test_euclidean_input_has_unit_ratios(self, planar_space):
+        report = distortion(planar_space, euclidean)
+        assert report["max_expansion"] == pytest.approx(1.0, abs=1e-6)
+        assert report["max_contraction"] == pytest.approx(1.0, abs=1e-6)
+        assert report["mean_absolute_error"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_report_keys(self, planar_space):
+        report = distortion(planar_space, euclidean)
+        assert set(report) == {"max_expansion", "max_contraction", "mean_absolute_error"}
+
+
+class TestNeighbourhoodOverlap:
+    def test_perfect_embedding_has_near_full_overlap(self, planar_space):
+        # Ties between equidistant neighbours can be broken differently by the
+        # two rankings, so allow a small slack below 1.0.
+        assert neighbourhood_overlap(planar_space, euclidean, k=5, sample_size=10) >= 0.9
+
+    def test_requires_enough_objects(self):
+        objects = [(0.0, 0.0), (1.0, 1.0)]
+        space = FastMap(euclidean, dimensions=2, seed=0).fit(objects)
+        with pytest.raises(EmbeddingError):
+            neighbourhood_overlap(space, euclidean, k=5)
+
+    def test_overlap_in_unit_interval_for_semantic_like_distance(self):
+        objects = [f"obj-{i}" for i in range(20)]
+
+        def pseudo_distance(a, b):
+            return 0.0 if a == b else abs(hash((a, b)) % 97) / 97.0 * 0.5 + 0.25
+
+        symmetric = lambda a, b: pseudo_distance(*sorted((a, b)))
+        space = FastMap(symmetric, dimensions=3, seed=0).fit(objects)
+        value = neighbourhood_overlap(space, symmetric, k=3, sample_size=10)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,80 @@
+"""Tests for the triple embedder (semantic distance + FastMap glue)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import TripleEmbedder
+from repro.errors import EmbeddingError
+from repro.rdf import Triple
+
+
+@pytest.fixture
+def requirement_triples():
+    return [
+        Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"),
+        Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:shutdown"),
+        Triple.of("OBSW002", "Fun:enable_mode", "ModeType:safe-mode"),
+        Triple.of("OBSW003", "Fun:transmit_tm", "TmType:voltage-frame"),
+        Triple.of("OBSW003", "Fun:withhold_tm", "TmType:voltage-frame"),
+        Triple.of("HWD001", "Fun:acquire_in", "InType:gps-fix"),
+    ]
+
+
+@pytest.fixture
+def embedder(requirement_distance):
+    return TripleEmbedder(requirement_distance, dimensions=4, seed=0)
+
+
+class TestFitting:
+    def test_fit_produces_coordinates_for_every_triple(self, embedder, requirement_triples):
+        coordinates = embedder.fit_transform(requirement_triples)
+        assert coordinates.shape[0] == len(requirement_triples)
+        assert 1 <= coordinates.shape[1] <= 4
+        assert embedder.is_fitted
+
+    def test_space_access_before_fit_raises(self, embedder):
+        assert not embedder.is_fitted
+        with pytest.raises(EmbeddingError):
+            _ = embedder.space
+
+    def test_output_dimensions_property(self, embedder, requirement_triples):
+        embedder.fit(requirement_triples)
+        assert embedder.output_dimensions == embedder.space.dimensions
+
+
+class TestTransform:
+    def test_in_sample_transform_matches_fitted_coordinates(self, embedder, requirement_triples):
+        embedder.fit(requirement_triples)
+        for index, triple in enumerate(requirement_triples):
+            assert np.allclose(embedder.transform(triple), embedder.space.coordinates[index])
+
+    def test_out_of_sample_transform_has_right_shape(self, embedder, requirement_triples):
+        embedder.fit(requirement_triples)
+        query = Triple.of("OBSW009", "Fun:block_cmd", "CmdType:reset")
+        assert embedder.transform(query).shape == (embedder.output_dimensions,)
+
+    def test_semantically_close_triples_embed_close(self, embedder, requirement_triples,
+                                                    requirement_distance):
+        embedder.fit(requirement_triples)
+        base = requirement_triples[0]           # OBSW001 accept_cmd start-up
+        antinomic = requirement_triples[1]      # OBSW001 block_cmd start-up
+        unrelated = requirement_triples[7]      # HWD001 acquire_in gps-fix
+        close = np.linalg.norm(embedder.transform(base) - embedder.transform(antinomic))
+        far = np.linalg.norm(embedder.transform(base) - embedder.transform(unrelated))
+        assert close < far
+
+    def test_transform_many_stacks_rows(self, embedder, requirement_triples):
+        embedder.fit(requirement_triples)
+        matrix = embedder.transform_many(requirement_triples[:3])
+        assert matrix.shape == (3, embedder.output_dimensions)
+
+    def test_transform_many_empty_input(self, embedder, requirement_triples):
+        embedder.fit(requirement_triples)
+        assert embedder.transform_many([]).shape == (0, embedder.output_dimensions)
+
+    def test_embedded_pairs_preserve_order(self, embedder, requirement_triples):
+        embedder.fit(requirement_triples)
+        pairs = embedder.embedded_pairs()
+        assert [triple for triple, _ in pairs] == requirement_triples

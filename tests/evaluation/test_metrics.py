@@ -1,0 +1,70 @@
+"""Tests for the precision/recall metrics of Section IV-B."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.evaluation import (
+    PrecisionRecall,
+    average_precision_recall,
+    evaluate_retrieval,
+    f1_score,
+    precision,
+    recall,
+)
+
+item_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=15)
+
+
+class TestPrecisionRecall:
+    def test_paper_formulae(self):
+        retrieved = {"a", "b", "c", "d"}
+        expected = {"b", "c", "e"}
+        assert precision(retrieved, expected) == pytest.approx(2 / 4)
+        assert recall(retrieved, expected) == pytest.approx(2 / 3)
+
+    def test_perfect_retrieval(self):
+        assert evaluate_retrieval({"a"}, {"a"}) == PrecisionRecall(1.0, 1.0)
+
+    def test_disjoint_retrieval(self):
+        result = evaluate_retrieval({"a"}, {"b"})
+        assert result.precision == 0.0 and result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_empty_retrieved_set_convention(self):
+        assert precision([], {"a"}) == 1.0
+        assert recall([], {"a"}) == 0.0
+
+    def test_empty_expected_set_convention(self):
+        assert recall({"a"}, []) == 1.0
+
+    def test_f1_is_harmonic_mean(self):
+        value = f1_score({"a", "b"}, {"b", "c"})
+        assert value == pytest.approx(2 * 0.5 * 0.5 / (0.5 + 0.5))
+
+    @given(retrieved=item_sets, expected=item_sets)
+    @settings(max_examples=80)
+    def test_property_metrics_in_unit_interval(self, retrieved, expected):
+        result = evaluate_retrieval(retrieved, expected)
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert 0.0 <= result.f1 <= 1.0
+
+    @given(expected=item_sets)
+    @settings(max_examples=40)
+    def test_property_retrieving_exactly_the_truth_is_perfect(self, expected):
+        result = evaluate_retrieval(set(expected), set(expected))
+        assert result.precision == 1.0 and result.recall == 1.0
+
+
+class TestAveraging:
+    def test_macro_average(self):
+        results = [PrecisionRecall(1.0, 0.5), PrecisionRecall(0.0, 1.0)]
+        averaged = average_precision_recall(results)
+        assert averaged.precision == pytest.approx(0.5)
+        assert averaged.recall == pytest.approx(0.75)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(EvaluationError):
+            average_precision_recall([])

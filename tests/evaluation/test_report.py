@@ -1,0 +1,51 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.evaluation import Experiment, format_experiment, format_key_values, format_series_table
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment("fig3", "Index building time", "points")
+    for x, balanced, partitions3 in [(1000, 1.0, 0.8), (2000, 2.1, 1.5), (4000, 4.4, 2.9)]:
+        experiment.record("1 partition (balanced)", x, time=balanced)
+        experiment.record("3 partitions", x, time=partitions3)
+    return experiment
+
+
+class TestSeriesTable:
+    def test_contains_header_and_all_rows(self):
+        table = format_series_table(build_experiment(), "time")
+        lines = table.splitlines()
+        assert "points" in lines[0]
+        assert "1 partition (balanced)" in lines[0]
+        assert "3 partitions" in lines[0]
+        assert len(lines) == 2 + 3  # header, separator, one row per swept value
+
+    def test_missing_observations_render_as_dash(self):
+        experiment = build_experiment()
+        experiment.record("5 partitions", 4000, time=2.0)  # only one x value
+        table = format_series_table(experiment, "time")
+        assert "-" in table.splitlines()[2]
+
+    def test_custom_x_label(self):
+        table = format_series_table(build_experiment(), "time", x_label="N")
+        assert table.splitlines()[0].lstrip().startswith("N")
+
+
+class TestFormatExperiment:
+    def test_header_and_metric_sections(self):
+        text = format_experiment(build_experiment(), ["time"])
+        assert text.startswith("== fig3: Index building time ==")
+        assert "-- metric: time --" in text
+
+
+class TestKeyValues:
+    def test_sorted_and_aligned(self):
+        text = format_key_values("Effectiveness K=3", {"precision": 0.4, "recall": 0.9})
+        lines = text.splitlines()
+        assert lines[0] == "== Effectiveness K=3 =="
+        assert lines[1].startswith("precision")
+        assert lines[2].startswith("recall")
+
+    def test_large_numbers_use_scientific_notation(self):
+        text = format_key_values("t", {"big": 123456.0})
+        assert "e+" in text

@@ -1,0 +1,66 @@
+"""Tests for the experiment runner (series, sweeps, monotonicity checks)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation import Experiment, Series, SeriesPoint
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        series = Series(name="balanced")
+        series.add(100, time=1.0, nodes=5)
+        series.add(200, time=2.5, nodes=9)
+        assert series.xs() == [100, 200]
+        assert series.values("time") == [1.0, 2.5]
+        assert len(series) == 2
+
+    def test_missing_metric_raises(self):
+        series = Series(name="s")
+        series.add(1, time=1.0)
+        with pytest.raises(EvaluationError):
+            series.values("latency")
+
+    def test_monotonicity_checks(self):
+        series = Series(name="s")
+        for x, value in [(1, 1.0), (2, 2.0), (3, 2.0), (4, 5.0)]:
+            series.add(x, metric=value)
+        assert series.is_non_decreasing("metric")
+        assert not series.is_non_increasing("metric")
+
+    def test_monotonicity_with_tolerance(self):
+        series = Series(name="s")
+        for x, value in [(1, 1.0), (2, 0.95), (3, 1.5)]:
+            series.add(x, metric=value)
+        assert not series.is_non_decreasing("metric")
+        assert series.is_non_decreasing("metric", tolerance=0.1)
+
+    def test_series_point_metric_lookup(self):
+        point = SeriesPoint(x=1.0, metrics={"a": 2.0})
+        assert point.metric("a") == 2.0
+        with pytest.raises(EvaluationError):
+            point.metric("b")
+
+
+class TestExperiment:
+    def test_record_creates_series_on_demand(self):
+        experiment = Experiment("fig3", "index building time", "points")
+        experiment.record("1 partition", 1000, time=1.0)
+        experiment.record("3 partitions", 1000, time=0.7)
+        assert set(experiment.series) == {"1 partition", "3 partitions"}
+
+    def test_run_sweep_calls_body_for_every_x(self):
+        experiment = Experiment("fig4", "sequential knn", "points")
+        seen = []
+
+        def body(x):
+            seen.append(x)
+            return {"time": x * 2.0}
+
+        series = experiment.run_sweep("balanced", [10, 20, 30], body)
+        assert seen == [10, 20, 30]
+        assert series.values("time") == [20.0, 40.0, 60.0]
+
+    def test_series_named_returns_same_object(self):
+        experiment = Experiment("fig5", "distributed knn", "points")
+        assert experiment.series_named("x") is experiment.series_named("x")

@@ -1,0 +1,47 @@
+"""Tests for the timing utilities (wall clock + simulated costs)."""
+
+import time
+
+from repro.cluster import SimulatedCluster
+from repro.evaluation import TimingSample, WallClockTimer, measure
+
+
+class TestWallClockTimer:
+    def test_measures_elapsed_time(self):
+        with WallClockTimer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+        assert timer.elapsed_ms >= 9.0
+
+
+class TestMeasure:
+    def test_without_cluster_only_wall_clock(self):
+        sample = measure(lambda: sum(range(1000)))
+        assert sample.wall_seconds >= 0.0
+        assert sample.simulated_critical_path is None
+        assert sample.messages is None
+
+    def test_with_cluster_collects_simulated_costs(self):
+        cluster = SimulatedCluster(node_count=2)
+        cluster.place_partition("P0", lambda m: None)
+
+        def operation():
+            cluster.charge_work("P0", 7.0)
+
+        sample = measure(operation, cluster=cluster)
+        assert sample.simulated_total_work == 7.0
+        assert sample.simulated_critical_path == 7.0
+        assert sample.messages == 0
+
+    def test_reset_costs_flag(self):
+        cluster = SimulatedCluster(node_count=1)
+        cluster.place_partition("P0", lambda m: None)
+        cluster.charge_work("P0", 5.0)
+        kept = measure(lambda: cluster.charge_work("P0", 1.0), cluster=cluster,
+                       reset_costs=False)
+        assert kept.simulated_total_work == 6.0
+        reset = measure(lambda: cluster.charge_work("P0", 1.0), cluster=cluster)
+        assert reset.simulated_total_work == 1.0
+
+    def test_timing_sample_wall_ms(self):
+        assert TimingSample(wall_seconds=0.5).wall_ms == 500.0

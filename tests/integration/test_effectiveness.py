@@ -1,0 +1,84 @@
+"""Integration test of the Fig. 8 protocol: the precision/recall trade-off.
+
+The paper's qualitative finding: "the lower is K, the higher is P and the
+lower is R; then, when K increases, R grows up and P decreases."  This test
+runs the full protocol on the synthetic corpus and asserts exactly that
+shape (plus sanity bounds), without pinning absolute values.
+"""
+
+import pytest
+
+from repro.evaluation import average_precision_recall, evaluate_retrieval
+from repro.requirements import GroundTruthOracle
+
+
+@pytest.fixture(scope="module")
+def effectiveness_curves(request):
+    # build the index once for the whole module (it is moderately expensive)
+    fixture = request.getfixturevalue("built_requirements_index")
+    index, vocabularies, corpus = fixture
+    oracle = GroundTruthOracle(corpus.all_triples(), vocabularies["Fun"])
+    cases = oracle.build_cases(25, seed=17)
+    curves = {}
+    for k in (1, 3, 5, 10):
+        per_query = []
+        for case in cases:
+            retrieved = [m.triple for m in index.k_nearest(case.target_triple, k)]
+            per_query.append(evaluate_retrieval(retrieved, case.expected))
+        curves[k] = average_precision_recall(per_query)
+    return curves
+
+
+# make the function-scoped fixture available to the module-scoped one
+@pytest.fixture(scope="module")
+def built_requirements_index(request):
+    from repro.core import SemTreeConfig, SemTreeIndex
+    from repro.requirements import (
+        GeneratorConfig,
+        RequirementsGenerator,
+        build_requirement_distance,
+        build_requirement_vocabularies,
+    )
+
+    config = GeneratorConfig(
+        documents=6, requirements_per_document=5, sentences_per_requirement=3,
+        actors=12, inconsistency_rate=0.3, restatement_rate=0.2, seed=13,
+    )
+    corpus = RequirementsGenerator(config).generate()
+    vocabularies = build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values
+    )
+    distance = build_requirement_distance(vocabularies)
+    index = SemTreeIndex(distance, SemTreeConfig(
+        dimensions=4, bucket_size=8, max_partitions=3, partition_capacity=64,
+    ))
+    for document in corpus.documents:
+        index.add_document(document.to_rdf_document())
+    index.build()
+    return index, vocabularies, corpus
+
+
+class TestFig8Shape:
+    def test_metrics_are_probabilities(self, effectiveness_curves):
+        for result in effectiveness_curves.values():
+            assert 0.0 <= result.precision <= 1.0
+            assert 0.0 <= result.recall <= 1.0
+
+    def test_precision_decreases_as_k_grows(self, effectiveness_curves):
+        ks = sorted(effectiveness_curves)
+        precisions = [effectiveness_curves[k].precision for k in ks]
+        assert all(b <= a + 1e-9 for a, b in zip(precisions, precisions[1:]))
+        assert precisions[-1] < precisions[0]
+
+    def test_recall_increases_as_k_grows(self, effectiveness_curves):
+        ks = sorted(effectiveness_curves)
+        recalls = [effectiveness_curves[k].recall for k in ks]
+        assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
+        assert recalls[-1] > recalls[0]
+
+    def test_retrieval_is_useful_at_small_k(self, effectiveness_curves):
+        # at K=1 the antinomic counterpart should usually be the top hit
+        assert effectiveness_curves[1].precision >= 0.4
+
+    def test_recall_approaches_one_at_large_k(self, effectiveness_curves):
+        assert effectiveness_curves[10].recall >= 0.8

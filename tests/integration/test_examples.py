@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example runs end-to-end and prints sensible output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=600, check=True,
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "Parsed 10 triples" in output
+        assert "Top-3 semantic neighbours" in output
+        # the motivating example: accept_cmd start-up is retrieved for the
+        # block_cmd start-up target triple
+        assert "Fun:accept_cmd, CmdType:start-up" in output
+
+    def test_requirements_inconsistency(self):
+        output = run_example("requirements_inconsistency.py")
+        assert "Detected" in output
+        assert "Effectiveness over" in output
+        assert "precision" in output
+
+    def test_distributed_scaling(self):
+        output = run_example("distributed_scaling.py")
+        assert "partitions" in output
+        assert "messages" in output
+
+    def test_semantic_search(self):
+        output = run_example("semantic_search.py")
+        assert "ranked documents" in output
+        assert "record-002" in output

@@ -1,0 +1,100 @@
+"""Tests for the JSON persistence layer."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io import (
+    document_from_dict,
+    document_to_dict,
+    load_collection,
+    load_corpus,
+    save_collection,
+    save_corpus,
+    term_from_dict,
+    term_to_dict,
+    triple_from_dict,
+    triple_to_dict,
+)
+from repro.rdf import Concept, Document, DocumentCollection, Literal, Triple, Variable
+
+
+class TestTermAndTripleRoundTrip:
+    @pytest.mark.parametrize("term", [
+        Concept("accept_cmd", "Fun"),
+        Concept("OBSW001"),
+        Literal("start-up"),
+        Literal("42", "integer"),
+    ])
+    def test_term_roundtrip(self, term):
+        assert term_from_dict(term_to_dict(term)) == term
+
+    def test_variable_not_serialisable(self):
+        with pytest.raises(ParseError):
+            term_to_dict(Variable("x"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParseError):
+            term_from_dict({"kind": "blank-node", "name": "b0"})
+
+    def test_triple_roundtrip(self):
+        triple = Triple.of("OBSW001", "Fun:accept_cmd", "'power amplifier'")
+        assert triple_from_dict(triple_to_dict(triple)) == triple
+
+    def test_dicts_are_json_compatible(self):
+        triple = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        assert triple_from_dict(json.loads(json.dumps(triple_to_dict(triple)))) == triple
+
+
+class TestDocumentRoundTrip:
+    def test_document_roundtrip(self):
+        document = Document(
+            "doc-1",
+            [Triple.of("a", "b", "c"), Triple.of("d", "e", "'f'")],
+            text="two statements",
+            metadata={"title": "spec"},
+        )
+        restored = document_from_dict(document_to_dict(document))
+        assert restored.document_id == document.document_id
+        assert restored.triples == document.triples
+        assert restored.text == document.text
+        assert restored.metadata == document.metadata
+
+    def test_collection_roundtrip_via_file(self, tmp_path):
+        collection = DocumentCollection([
+            Document("doc-1", [Triple.of("a", "b", "c")], text="first"),
+            Document("doc-2", [Triple.of("x", "y", "z")], text="second"),
+        ])
+        path = tmp_path / "collection.json"
+        save_collection(collection, path)
+        restored = load_collection(path)
+        assert len(restored) == 2
+        assert restored.get("doc-1").triples == collection.get("doc-1").triples
+        assert restored.get("doc-2").text == "second"
+
+
+class TestCorpusRoundTrip:
+    def test_corpus_roundtrip_via_file(self, tmp_path, small_corpus):
+        path = tmp_path / "corpus.json"
+        save_corpus(small_corpus, path)
+        restored = load_corpus(path)
+        assert restored.actor_names == small_corpus.actor_names
+        assert restored.parameter_values == small_corpus.parameter_values
+        assert restored.all_triples() == small_corpus.all_triples()
+        assert restored.injected_inconsistencies == small_corpus.injected_inconsistencies
+        # sentences survive too (needed to re-run the NLP pipeline)
+        original_first = small_corpus.all_requirements()[0]
+        restored_first = restored.all_requirements()[0]
+        assert restored_first.sentences == original_first.sentences
+
+    def test_restored_corpus_supports_the_effectiveness_protocol(self, tmp_path, small_corpus,
+                                                                 function_vocabulary):
+        from repro.requirements import GroundTruthOracle
+
+        path = tmp_path / "corpus.json"
+        save_corpus(small_corpus, path)
+        restored = load_corpus(path)
+        oracle = GroundTruthOracle(restored.all_triples(), function_vocabulary)
+        cases = oracle.build_cases(5, seed=1)
+        assert len(cases) == 5

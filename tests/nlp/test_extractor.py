@@ -1,0 +1,114 @@
+"""Tests for the pattern-based triple extractor."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.nlp import ExtractionRule, TripleExtractor
+from repro.rdf import Concept, Triple
+
+
+@pytest.fixture
+def extractor() -> TripleExtractor:
+    return TripleExtractor()
+
+
+class TestExtractFromSentence:
+    def test_paper_style_sentence(self, extractor):
+        triple = extractor.extract_from_sentence(
+            "The component OBSW001 shall accept the command start-up."
+        )
+        assert triple == Triple(
+            Concept("OBSW001"), Concept("accept_cmd", "Fun"), Concept("start-up", "CmdType")
+        )
+
+    def test_negated_sentence_maps_to_antinomic_function(self, extractor):
+        triple = extractor.extract_from_sentence(
+            "The component OBSW001 shall not accept the command start-up."
+        )
+        assert triple.predicate == Concept("block_cmd", "Fun")
+
+    def test_device_subject(self, extractor):
+        triple = extractor.extract_from_sentence(
+            "The device HWD003 shall acquire the input gps-fix."
+        )
+        assert triple.subject == Concept("HWD003")
+        assert triple.object == Concept("gps-fix", "InType")
+
+    def test_message_object_prefix(self, extractor):
+        triple = extractor.extract_from_sentence(
+            "The component OBSW002 shall send the message power-amplifier."
+        )
+        assert triple.object == Concept("power-amplifier", "MsgType")
+
+    def test_multi_word_parameter(self, extractor):
+        triple = extractor.extract_from_sentence(
+            "The component OBSW002 shall send the message power amplifier."
+        )
+        assert triple.object.name == "power amplifier"
+
+    def test_must_modal_accepted(self, extractor):
+        triple = extractor.extract_from_sentence(
+            "The unit OBSW005 must enable the mode safe-mode."
+        )
+        assert triple.predicate == Concept("enable_mode", "Fun")
+
+    @pytest.mark.parametrize("sentence", [
+        "",
+        "No modal verb here accepting the command start-up.",
+        "The component OBSW001 shall frobnicate the command start-up.",
+        "The component OBSW001 shall accept.",
+        "shall",
+    ])
+    def test_unparsable_sentences_raise(self, extractor, sentence):
+        with pytest.raises(ExtractionError):
+            extractor.extract_from_sentence(sentence)
+
+
+class TestExtractFromText:
+    def test_multiple_sentences(self, extractor):
+        text = ("The component OBSW001 shall accept the command start-up. "
+                "The component OBSW001 shall send the message heartbeat.")
+        triples = extractor.extract_from_text(text)
+        assert len(triples) == 2
+        assert triples[0].predicate == Concept("accept_cmd", "Fun")
+        assert triples[1].predicate == Concept("send_msg", "Fun")
+
+    def test_unparsable_sentences_skipped_silently(self, extractor):
+        text = ("Section 3.1: Command handling. "
+                "The component OBSW001 shall accept the command start-up.")
+        assert len(extractor.extract_from_text(text)) == 1
+
+    def test_empty_text(self, extractor):
+        assert extractor.extract_from_text("") == []
+
+
+class TestCustomRules:
+    def test_empty_rule_set_rejected(self):
+        with pytest.raises(ExtractionError):
+            TripleExtractor(rules=[])
+
+    def test_custom_rule(self):
+        extractor = TripleExtractor(rules=[ExtractionRule(("reject",), "reject_cmd")])
+        triple = extractor.extract_from_sentence(
+            "The component OBSW001 shall reject the command start-up."
+        )
+        assert triple.predicate == Concept("reject_cmd", "Fun")
+
+    def test_negation_without_explicit_antonym_prefixes_not(self):
+        extractor = TripleExtractor(rules=[ExtractionRule(("reject",), "reject_cmd")])
+        triple = extractor.extract_from_sentence(
+            "The component OBSW001 shall not reject the command start-up."
+        )
+        assert triple.predicate == Concept("not_reject_cmd", "Fun")
+
+
+class TestGeneratorRoundTrip:
+    def test_generated_sentences_reparse_to_their_triples(self, small_corpus):
+        extractor = TripleExtractor()
+        checked = 0
+        for document in small_corpus.documents:
+            for requirement in document:
+                for sentence, triple in zip(requirement.sentences, requirement.triples):
+                    assert extractor.extract_from_sentence(sentence) == triple
+                    checked += 1
+        assert checked > 50

@@ -1,0 +1,47 @@
+"""Tests for the controlled-English tokenizer."""
+
+from repro.nlp import Token, normalise_identifier, split_sentences, tokenize
+
+
+class TestTokenize:
+    def test_words_and_punctuation(self):
+        tokens = tokenize("The component OBSW001 shall accept the command start-up.")
+        assert [t.text for t in tokens][:3] == ["The", "component", "OBSW001"]
+        assert tokens[-1].text == "."
+        assert tokens[-1].is_punctuation
+
+    def test_hyphenated_identifiers_stay_together(self):
+        tokens = tokenize("start-up self-test")
+        assert [t.text for t in tokens] == ["start-up", "self-test"]
+
+    def test_normal_form_is_lower_case(self):
+        assert Token("Shall").normal == "shall"
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_numbers_and_underscores(self):
+        assert [t.text for t in tokenize("mode_3 42")] == ["mode_3", "42"]
+
+
+class TestSplitSentences:
+    def test_splits_on_terminal_punctuation(self):
+        text = "First sentence. Second sentence! Third sentence?"
+        assert len(split_sentences(text)) == 3
+
+    def test_blank_fragments_dropped(self):
+        assert split_sentences("  One sentence.   ") == ["One sentence."]
+
+    def test_single_sentence_without_period(self):
+        assert split_sentences("no terminal punctuation") == ["no terminal punctuation"]
+
+    def test_empty_text(self):
+        assert split_sentences("   ") == []
+
+
+class TestNormaliseIdentifier:
+    def test_strips_punctuation_and_collapses_whitespace(self):
+        assert normalise_identifier("  power   amplifier. ") == "power amplifier"
+
+    def test_preserves_hyphens(self):
+        assert normalise_identifier("pre-launch phase") == "pre-launch phase"

@@ -1,0 +1,64 @@
+"""Tests for the document model."""
+
+import pytest
+
+from repro.errors import TripleError
+from repro.rdf import Concept, Document, DocumentCollection, Triple, TriplePattern
+
+
+@pytest.fixture
+def document() -> Document:
+    return Document("doc-1", [
+        Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"),
+    ], text="two requirements")
+
+
+class TestDocument:
+    def test_requires_identifier(self):
+        with pytest.raises(TripleError):
+            Document("")
+
+    def test_len_and_iteration_preserve_order(self, document):
+        assert len(document) == 2
+        assert list(document)[0].predicate == Concept("accept_cmd", "Fun")
+
+    def test_add_triple_appends(self, document):
+        document.add_triple(Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up"))
+        assert len(document) == 3
+        assert list(document)[-1].predicate == Concept("block_cmd", "Fun")
+
+    def test_match_pattern(self, document):
+        results = document.match(TriplePattern(predicate=Concept("send_msg", "Fun")))
+        assert len(results) == 1
+
+
+class TestDocumentCollection:
+    def test_add_and_get(self, document):
+        collection = DocumentCollection([document])
+        assert collection.get("doc-1") is document
+        assert "doc-1" in collection
+        assert len(collection) == 1
+
+    def test_get_unknown_raises_key_error(self):
+        with pytest.raises(KeyError):
+            DocumentCollection().get("missing")
+
+    def test_re_adding_same_id_replaces(self, document):
+        collection = DocumentCollection([document])
+        replacement = Document("doc-1", [Triple.of("a", "b", "c")])
+        collection.add(replacement)
+        assert len(collection) == 1
+        assert len(collection.get("doc-1")) == 1
+
+    def test_all_triples_carries_document_ids(self, document):
+        other = Document("doc-2", [Triple.of("x", "y", "z")])
+        collection = DocumentCollection([document, other])
+        pairs = collection.all_triples()
+        assert ("doc-1", document.triples[0]) in pairs
+        assert ("doc-2", other.triples[0]) in pairs
+        assert len(pairs) == 3
+
+    def test_total_triples(self, document):
+        collection = DocumentCollection([document, Document("doc-2", [Triple.of("x", "y", "z")])])
+        assert collection.total_triples() == 3

@@ -1,0 +1,91 @@
+"""Tests for the namespace registry."""
+
+import pytest
+
+from repro.errors import NamespaceError
+from repro.rdf import DEFAULT_NAMESPACE, Concept, NamespaceRegistry
+
+
+class TestBindings:
+    def test_default_prefix_always_present(self):
+        registry = NamespaceRegistry()
+        assert registry.namespace_of("") == DEFAULT_NAMESPACE
+        assert "" in registry
+
+    def test_bind_and_lookup(self):
+        registry = NamespaceRegistry()
+        registry.bind("Fun", "http://example.org/functions")
+        assert registry.namespace_of("Fun") == "http://example.org/functions"
+
+    def test_constructor_bindings(self):
+        registry = NamespaceRegistry({"A": "ns-a", "B": "ns-b"})
+        assert registry.namespace_of("A") == "ns-a"
+        assert len(registry) == 3  # A, B and the default prefix
+
+    def test_rebinding_same_namespace_is_idempotent(self):
+        registry = NamespaceRegistry({"A": "ns-a"})
+        registry.bind("A", "ns-a")
+        assert registry.namespace_of("A") == "ns-a"
+
+    def test_conflicting_rebinding_rejected(self):
+        registry = NamespaceRegistry({"A": "ns-a"})
+        with pytest.raises(NamespaceError):
+            registry.bind("A", "ns-other")
+
+    def test_conflicting_rebinding_with_overwrite(self):
+        registry = NamespaceRegistry({"A": "ns-a"})
+        registry.bind("A", "ns-other", overwrite=True)
+        assert registry.namespace_of("A") == "ns-other"
+
+    def test_empty_namespace_rejected(self):
+        with pytest.raises(NamespaceError):
+            NamespaceRegistry().bind("A", "")
+
+    def test_unknown_prefix_lookup_raises(self):
+        with pytest.raises(NamespaceError):
+            NamespaceRegistry().namespace_of("Nope")
+
+    def test_unbind(self):
+        registry = NamespaceRegistry({"A": "ns-a"})
+        registry.unbind("A")
+        assert "A" not in registry
+
+    def test_unbind_default_prefix_rejected(self):
+        with pytest.raises(NamespaceError):
+            NamespaceRegistry().unbind("")
+
+    def test_unbind_unknown_prefix_rejected(self):
+        with pytest.raises(NamespaceError):
+            NamespaceRegistry().unbind("A")
+
+
+class TestExpansion:
+    def test_expand_and_compact_roundtrip(self):
+        registry = NamespaceRegistry({"Fun": "functions"})
+        concept = Concept("accept_cmd", "Fun")
+        expanded = registry.expand(concept)
+        assert expanded == "functions/accept_cmd"
+        assert registry.compact(expanded) == concept
+
+    def test_expand_default_prefix(self):
+        registry = NamespaceRegistry()
+        assert registry.expand(Concept("OBSW001")) == f"{DEFAULT_NAMESPACE}/OBSW001"
+
+    def test_compact_unknown_namespace(self):
+        with pytest.raises(NamespaceError):
+            NamespaceRegistry().compact("unknown/name")
+
+    def test_compact_malformed_identifier(self):
+        with pytest.raises(NamespaceError):
+            NamespaceRegistry().compact("no-separator")
+
+    def test_iteration_is_sorted(self):
+        registry = NamespaceRegistry({"B": "ns-b", "A": "ns-a"})
+        prefixes = [prefix for prefix, _ in registry]
+        assert prefixes == sorted(prefixes)
+
+    def test_as_dict_is_a_copy(self):
+        registry = NamespaceRegistry({"A": "ns-a"})
+        snapshot = registry.as_dict()
+        snapshot["A"] = "tampered"
+        assert registry.namespace_of("A") == "ns-a"

@@ -1,0 +1,106 @@
+"""Tests for the in-memory triple store."""
+
+import pytest
+
+from repro.rdf import Concept, Triple, TriplePattern, TripleStore
+
+
+@pytest.fixture
+def store() -> TripleStore:
+    store = TripleStore()
+    store.add(Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"), document_id="doc1")
+    store.add(Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"), document_id="doc1")
+    store.add(Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:shutdown"), document_id="doc2")
+    store.add(Triple.of("OBSW003", "Fun:block_cmd", "CmdType:start-up"), document_id="doc2")
+    return store
+
+
+class TestMutation:
+    def test_add_returns_true_for_new_triple(self):
+        store = TripleStore()
+        assert store.add(Triple.of("a", "b", "c")) is True
+        assert store.add(Triple.of("a", "b", "c")) is False
+        assert len(store) == 1
+
+    def test_add_all_counts_new_triples(self):
+        store = TripleStore()
+        added = store.add_all([Triple.of("a", "b", "c"), Triple.of("a", "b", "c"),
+                               Triple.of("x", "y", "z")])
+        assert added == 2
+
+    def test_remove_present_and_absent(self, store):
+        triple = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        assert store.remove(triple) is True
+        assert store.remove(triple) is False
+        assert triple not in store
+
+    def test_clear(self, store):
+        store.clear()
+        assert len(store) == 0
+        assert store.match(TriplePattern()) == []
+
+    def test_constructor_accepts_triples(self):
+        triples = [Triple.of("a", "b", "c"), Triple.of("d", "e", "f")]
+        assert len(TripleStore(triples)) == 2
+
+
+class TestMatching:
+    def test_match_by_subject(self, store):
+        results = store.match(TriplePattern(subject=Concept("OBSW001")))
+        assert len(results) == 2
+        assert all(t.subject == Concept("OBSW001") for t in results)
+
+    def test_match_by_predicate(self, store):
+        results = store.match(TriplePattern(predicate=Concept("accept_cmd", "Fun")))
+        assert len(results) == 2
+
+    def test_match_by_object(self, store):
+        results = store.match(TriplePattern(object=Concept("start-up", "CmdType")))
+        assert len(results) == 2
+
+    def test_match_combined_positions(self, store):
+        pattern = TriplePattern(subject=Concept("OBSW001"),
+                                predicate=Concept("accept_cmd", "Fun"))
+        assert len(store.match(pattern)) == 1
+
+    def test_match_wildcard_returns_all_in_insertion_order(self, store):
+        results = store.match(TriplePattern())
+        assert len(results) == 4
+        assert results[0].subject == Concept("OBSW001")
+        assert results[-1].subject == Concept("OBSW003")
+
+    def test_match_no_results(self, store):
+        assert store.match(TriplePattern(subject=Concept("missing"))) == []
+
+    def test_removed_triple_not_matched(self, store):
+        triple = Triple.of("OBSW003", "Fun:block_cmd", "CmdType:start-up")
+        store.remove(triple)
+        assert store.match(TriplePattern(subject=Concept("OBSW003"))) == []
+
+
+class TestDistinctAndProvenance:
+    def test_distinct_subjects_in_first_appearance_order(self, store):
+        assert store.subjects() == [Concept("OBSW001"), Concept("OBSW002"), Concept("OBSW003")]
+
+    def test_distinct_predicates(self, store):
+        assert Concept("accept_cmd", "Fun") in store.predicates()
+        assert len(store.predicates()) == 3
+
+    def test_documents_of(self, store):
+        triple = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        assert store.documents_of(triple) == {"doc1"}
+
+    def test_triple_in_multiple_documents(self, store):
+        triple = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        store.add(triple, document_id="doc9")
+        assert store.documents_of(triple) == {"doc1", "doc9"}
+
+    def test_triples_of_document(self, store):
+        assert len(store.triples_of_document("doc2")) == 2
+        assert store.triples_of_document("missing") == []
+
+    def test_statistics(self, store):
+        stats = store.statistics()
+        assert stats["triples"] == 4
+        assert stats["subjects"] == 3
+        assert stats["documents"] == 2

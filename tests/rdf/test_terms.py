@@ -1,0 +1,89 @@
+"""Tests for RDF terms (concepts, literals, variables) and their parsing."""
+
+import pytest
+
+from repro.errors import TripleError
+from repro.rdf import Concept, Literal, Variable, term_from_text
+
+
+class TestConcept:
+    def test_qname_with_prefix(self):
+        assert Concept("accept_cmd", "Fun").qname == "Fun:accept_cmd"
+
+    def test_qname_default_vocabulary(self):
+        assert Concept("OBSW001").qname == "OBSW001"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TripleError):
+            Concept("")
+
+    def test_equality_is_value_based(self):
+        assert Concept("x", "A") == Concept("x", "A")
+        assert Concept("x", "A") != Concept("x", "B")
+        assert Concept("x") != Concept("y")
+
+    def test_hashable_as_dict_key(self):
+        mapping = {Concept("x", "A"): 1}
+        assert mapping[Concept("x", "A")] == 1
+
+    def test_with_prefix_returns_new_concept(self):
+        original = Concept("x", "A")
+        renamed = original.with_prefix("B")
+        assert renamed.prefix == "B" and renamed.name == "x"
+        assert original.prefix == "A"
+
+    def test_str_is_qname(self):
+        assert str(Concept("start-up", "CmdType")) == "CmdType:start-up"
+
+
+class TestLiteral:
+    def test_default_datatype_is_string(self):
+        assert Literal("hello").datatype == "string"
+
+    def test_numeric_value_normalised_to_string(self):
+        assert Literal(42).value == "42"
+
+    def test_equality(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a") != Literal("b")
+        assert Literal("1", "integer") != Literal("1", "string")
+
+    def test_str_quotes_the_value(self):
+        assert str(Literal("abc")) == '"abc"'
+
+
+class TestVariable:
+    def test_empty_name_rejected(self):
+        with pytest.raises(TripleError):
+            Variable("")
+
+    def test_str_has_question_mark(self):
+        assert str(Variable("req")) == "?req"
+
+
+class TestTermFromText:
+    def test_double_quoted_literal(self):
+        assert term_from_text('"hello world"') == Literal("hello world")
+
+    def test_single_quoted_literal(self):
+        assert term_from_text("'start-up'") == Literal("start-up")
+
+    def test_variable(self):
+        assert term_from_text("?x") == Variable("x")
+
+    def test_prefixed_concept(self):
+        assert term_from_text("Fun:accept_cmd") == Concept("accept_cmd", "Fun")
+
+    def test_bare_concept(self):
+        assert term_from_text("OBSW001") == Concept("OBSW001")
+
+    def test_whitespace_is_stripped(self):
+        assert term_from_text("  OBSW001  ") == Concept("OBSW001")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(TripleError):
+            term_from_text("   ")
+
+    def test_prefix_without_local_name_rejected(self):
+        with pytest.raises(TripleError):
+            term_from_text("Fun:")

@@ -1,0 +1,92 @@
+"""Tests for triples and triple patterns."""
+
+import pytest
+
+from repro.errors import TripleError
+from repro.rdf import Concept, Literal, Triple, TriplePattern, Variable
+
+
+@pytest.fixture
+def example_triple() -> Triple:
+    return Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+
+
+class TestTriple:
+    def test_of_parses_each_position(self, example_triple):
+        assert example_triple.subject == Concept("OBSW001")
+        assert example_triple.predicate == Concept("accept_cmd", "Fun")
+        assert example_triple.object == Concept("start-up", "CmdType")
+
+    def test_literal_positions_allowed(self):
+        triple = Triple.of("OBSW001", "Fun:send_msg", "'power amplifier'")
+        assert triple.object == Literal("power amplifier")
+
+    def test_variable_positions_rejected(self):
+        with pytest.raises(TripleError):
+            Triple(Variable("x"), Concept("p"), Concept("o"))
+        with pytest.raises(TripleError):
+            Triple(Concept("s"), Variable("p"), Concept("o"))
+        with pytest.raises(TripleError):
+            Triple(Concept("s"), Concept("p"), Variable("o"))
+
+    def test_projection_positions(self, example_triple):
+        assert example_triple.projection("subject") == example_triple.subject
+        assert example_triple.projection("predicate") == example_triple.predicate
+        assert example_triple.projection("object") == example_triple.object
+
+    def test_projection_unknown_position(self, example_triple):
+        with pytest.raises(TripleError):
+            example_triple.projection("verb")
+
+    def test_as_tuple_and_iteration(self, example_triple):
+        assert example_triple.as_tuple() == tuple(example_triple)
+
+    def test_replace_predicate(self, example_triple):
+        replaced = example_triple.replace(predicate=Concept("block_cmd", "Fun"))
+        assert replaced.predicate == Concept("block_cmd", "Fun")
+        assert replaced.subject == example_triple.subject
+        assert replaced.object == example_triple.object
+        # the original is untouched (immutability)
+        assert example_triple.predicate == Concept("accept_cmd", "Fun")
+
+    def test_equality_and_hash(self, example_triple):
+        same = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        assert example_triple == same
+        assert hash(example_triple) == hash(same)
+        assert len({example_triple, same}) == 1
+
+    def test_str_format(self, example_triple):
+        assert str(example_triple) == "(OBSW001, Fun:accept_cmd, CmdType:start-up)"
+
+
+class TestTriplePattern:
+    def test_full_wildcard_matches_everything(self, example_triple):
+        assert TriplePattern().matches(example_triple)
+
+    def test_bound_subject_must_match(self, example_triple):
+        assert TriplePattern(subject=Concept("OBSW001")).matches(example_triple)
+        assert not TriplePattern(subject=Concept("OBSW002")).matches(example_triple)
+
+    def test_bound_predicate_and_object(self, example_triple):
+        pattern = TriplePattern(
+            predicate=Concept("accept_cmd", "Fun"), object=Concept("start-up", "CmdType")
+        )
+        assert pattern.matches(example_triple)
+
+    def test_variable_positions_are_wildcards(self, example_triple):
+        pattern = TriplePattern(subject=Variable("s"), predicate=Concept("accept_cmd", "Fun"))
+        assert pattern.matches(example_triple)
+
+    def test_of_star_is_wildcard(self, example_triple):
+        pattern = TriplePattern.of("*", "Fun:accept_cmd", None)
+        assert pattern.matches(example_triple)
+        assert pattern.subject is None and pattern.object is None
+
+    def test_is_fully_bound(self):
+        assert TriplePattern.of("a", "b", "c").is_fully_bound
+        assert not TriplePattern.of("a", None, "c").is_fully_bound
+        assert not TriplePattern(subject=Variable("x"), predicate=Concept("p"),
+                                 object=Concept("o")).is_fully_bound
+
+    def test_str_shows_wildcards(self):
+        assert str(TriplePattern.of("a", None, "*")) == "(a, *, *)"

@@ -1,0 +1,106 @@
+"""Tests for the Turtle-like parser and serialiser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import (
+    Concept,
+    Literal,
+    NamespaceRegistry,
+    Triple,
+    parse_term,
+    parse_turtle,
+    serialise_term,
+    serialise_turtle,
+)
+
+PAPER_LISTING = """
+# The resources of Section III-A
+('OBSW001', Fun:acquire_in, InType:pre-launch phase)
+('OBSW001', Fun:accept_cmd, CmdType:start-up)
+('OBSW001', Fun:send_msg, MsgType:power amplifier)
+"""
+
+
+class TestParseTerm:
+    def test_quoted_literal(self):
+        assert parse_term("'OBSW001'") == Literal("OBSW001")
+
+    def test_prefixed_concept_with_spaces(self):
+        assert parse_term("InType:pre-launch phase") == Concept("pre-launch phase", "InType")
+
+    def test_bare_concept(self):
+        assert parse_term("start-up") == Concept("start-up")
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("  ")
+
+
+class TestParseTurtle:
+    def test_paper_listing_parses_in_order(self):
+        triples = parse_turtle(PAPER_LISTING)
+        assert len(triples) == 3
+        assert triples[0] == Triple(
+            Literal("OBSW001"), Concept("acquire_in", "Fun"), Concept("pre-launch phase", "InType")
+        )
+        assert triples[1].object == Concept("start-up", "CmdType")
+        assert triples[2].predicate == Concept("send_msg", "Fun")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# only a comment\n\n(a, b, c)\n"
+        assert len(parse_turtle(text)) == 1
+
+    def test_prefix_directive_registers_namespace(self):
+        registry = NamespaceRegistry()
+        parse_turtle("@prefix Fun: http://example.org/fun .\n(a, Fun:b, c)\n", registry=registry)
+        assert registry.namespace_of("Fun") == "http://example.org/fun"
+
+    def test_unknown_prefix_rejected_when_required(self):
+        registry = NamespaceRegistry()
+        with pytest.raises(ParseError):
+            parse_turtle("(a, Nope:b, c)", registry=registry, require_known_prefixes=True)
+
+    def test_known_prefix_accepted_when_required(self):
+        registry = NamespaceRegistry({"Fun": "fun"})
+        triples = parse_turtle("(a, Fun:b, c)", registry=registry, require_known_prefixes=True)
+        assert triples[0].predicate == Concept("b", "Fun")
+
+    def test_malformed_line_reports_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_turtle("(a, b, c)\nnot a triple\n")
+        assert excinfo.value.line == 2
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle("(a, b)")
+        with pytest.raises(ParseError):
+            parse_turtle("(a, b, c, d)")
+
+    def test_unterminated_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle("('abc, d, e)")
+
+    def test_commas_inside_literals_are_preserved(self):
+        triples = parse_turtle("('a, with comma', p, o)")
+        assert triples[0].subject == Literal("a, with comma")
+
+
+class TestSerialise:
+    def test_roundtrip(self):
+        triples = parse_turtle(PAPER_LISTING)
+        text = serialise_turtle(triples)
+        assert parse_turtle(text) == triples
+
+    def test_serialise_term_literal_and_concept(self):
+        assert serialise_term(Literal("x")) == "'x'"
+        assert serialise_term(Concept("b", "A")) == "A:b"
+
+    def test_serialise_with_prefixes(self):
+        registry = NamespaceRegistry({"Fun": "fun-ns"})
+        text = serialise_turtle([Triple.of("a", "Fun:b", "c")], registry)
+        assert "@prefix Fun: fun-ns ." in text
+        assert "(a, Fun:b, c)" in text
+
+    def test_empty_input_serialises_to_empty_string(self):
+        assert serialise_turtle([]) == ""

@@ -1,0 +1,94 @@
+"""Tests for the synthetic requirements-corpus generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nlp import TripleExtractor
+from repro.rdf import Concept
+from repro.requirements import (
+    GeneratorConfig,
+    RequirementsGenerator,
+    build_function_vocabulary,
+    are_inconsistent,
+)
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        config = GeneratorConfig()
+        assert config.total_triples == 20 * 10 * 3
+
+    @pytest.mark.parametrize("kwargs", [
+        {"documents": 0},
+        {"requirements_per_document": 0},
+        {"sentences_per_requirement": 0},
+        {"actors": 0},
+        {"inconsistency_rate": 1.5},
+        {"restatement_rate": -0.1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(**kwargs)
+
+
+class TestGeneratedCorpus:
+    def test_shape_matches_configuration(self, small_corpus):
+        assert len(small_corpus.documents) == 6
+        for document in small_corpus.documents:
+            # injected conflicting requirements may add extra entries
+            assert len(document) >= 5
+        assert len(small_corpus.all_triples()) >= 6 * 5 * 3
+
+    def test_deterministic_for_fixed_seed(self):
+        config = GeneratorConfig(documents=3, requirements_per_document=4, seed=99)
+        first = RequirementsGenerator(config).generate()
+        second = RequirementsGenerator(config).generate()
+        assert first.all_triples() == second.all_triples()
+        assert first.injected_inconsistencies == second.injected_inconsistencies
+
+    def test_different_seeds_differ(self):
+        base = GeneratorConfig(documents=3, requirements_per_document=4, seed=1)
+        other = GeneratorConfig(documents=3, requirements_per_document=4, seed=2)
+        assert (RequirementsGenerator(base).generate().all_triples()
+                != RequirementsGenerator(other).generate().all_triples())
+
+    def test_triples_use_known_actors_and_prefixes(self, small_corpus):
+        actors = set(small_corpus.actor_names)
+        for triple in small_corpus.all_triples():
+            assert isinstance(triple.subject, Concept)
+            assert triple.subject.name in actors
+            assert triple.predicate.prefix == "Fun"
+            assert triple.object.prefix in small_corpus.parameter_values or triple.object.prefix
+
+    def test_injected_inconsistencies_satisfy_the_definition(self, small_corpus):
+        vocabulary = build_function_vocabulary()
+        assert small_corpus.injected_inconsistencies
+        for base, conflicting in small_corpus.injected_inconsistencies:
+            assert base.subject == conflicting.subject
+            assert vocabulary.are_antonyms(base.predicate, conflicting.predicate)
+            # objects agree up to spelling variants
+            normalise = lambda name: name.replace("-", "").replace("_", "")
+            assert normalise(base.object.name) == normalise(conflicting.object.name)
+
+    def test_sentences_are_extractable(self, small_corpus):
+        extractor = TripleExtractor()
+        requirement = small_corpus.all_requirements()[0]
+        assert extractor.extract_from_text(requirement.text)
+
+    def test_zero_inconsistency_rate_injects_nothing(self):
+        config = GeneratorConfig(documents=3, requirements_per_document=4,
+                                 inconsistency_rate=0.0, seed=5)
+        corpus = RequirementsGenerator(config).generate()
+        assert corpus.injected_inconsistencies == []
+
+    def test_actor_mix_includes_hardware_devices(self):
+        config = GeneratorConfig(documents=2, requirements_per_document=2, actors=10, seed=5)
+        corpus = RequirementsGenerator(config).generate()
+        assert any(name.startswith("HWD") for name in corpus.actor_names)
+        assert any(name.startswith("OBSW") for name in corpus.actor_names)
+
+    def test_scales_to_larger_corpora(self):
+        config = GeneratorConfig(documents=40, requirements_per_document=10,
+                                 sentences_per_requirement=3, seed=8)
+        corpus = RequirementsGenerator(config).generate()
+        assert len(corpus.all_triples()) >= 1200

@@ -1,0 +1,105 @@
+"""Tests for the ground-truth oracle of the effectiveness experiment."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.rdf import Triple
+from repro.requirements import GroundTruthOracle, are_inconsistent
+
+
+@pytest.fixture
+def corpus_triples():
+    return [
+        Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:block_cmd", "CmdType:startup"),       # spelling variant
+        Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"),
+        Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:start-up"),
+        Triple.of("OBSW002", "Fun:enable_mode", "ModeType:safe-mode"),
+    ]
+
+
+class TestExpectedInconsistencies:
+    def test_strict_definition_matches(self, corpus_triples, function_vocabulary):
+        oracle = GroundTruthOracle(corpus_triples, function_vocabulary,
+                                   match_object_variants=False)
+        expected = oracle.expected_inconsistencies(corpus_triples[0])
+        assert expected == {corpus_triples[1]}
+
+    def test_spelling_variants_included_by_default(self, corpus_triples, function_vocabulary):
+        oracle = GroundTruthOracle(corpus_triples, function_vocabulary)
+        expected = oracle.expected_inconsistencies(corpus_triples[0])
+        assert expected == {corpus_triples[1], corpus_triples[2]}
+
+    def test_other_subjects_never_included(self, corpus_triples, function_vocabulary):
+        oracle = GroundTruthOracle(corpus_triples, function_vocabulary)
+        for expected in (oracle.expected_inconsistencies(t) for t in corpus_triples):
+            for triple in expected:
+                assert triple.subject in {t.subject for t in corpus_triples}
+
+    def test_empty_corpus_rejected(self, function_vocabulary):
+        with pytest.raises(EvaluationError):
+            GroundTruthOracle([], function_vocabulary)
+
+    def test_invalid_noise_rates_rejected(self, corpus_triples, function_vocabulary):
+        with pytest.raises(EvaluationError):
+            GroundTruthOracle(corpus_triples, function_vocabulary, omission_rate=1.5)
+
+
+class TestCases:
+    def test_case_for_builds_target_and_expected(self, corpus_triples, function_vocabulary):
+        oracle = GroundTruthOracle(corpus_triples, function_vocabulary)
+        case = oracle.case_for(corpus_triples[0])
+        assert case.source_triple == corpus_triples[0]
+        assert case.target_triple.predicate.name == "block_cmd"
+        assert len(case.expected) == 2
+
+    def test_build_cases_only_nonempty_by_default(self, corpus_triples, function_vocabulary):
+        oracle = GroundTruthOracle(corpus_triples, function_vocabulary)
+        cases = oracle.build_cases(3, seed=1)
+        assert cases
+        assert all(case.expected for case in cases)
+
+    def test_build_cases_respects_count(self, small_corpus, function_vocabulary):
+        oracle = GroundTruthOracle(small_corpus.all_triples(), function_vocabulary)
+        cases = oracle.build_cases(10, seed=2)
+        assert len(cases) == 10
+
+    def test_build_cases_invalid_count(self, corpus_triples, function_vocabulary):
+        oracle = GroundTruthOracle(corpus_triples, function_vocabulary)
+        with pytest.raises(EvaluationError):
+            oracle.build_cases(0)
+
+    def test_build_cases_without_eligible_sources_raises(self, function_vocabulary):
+        lonely = [Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+                  Triple.of("OBSW002", "Fun:send_msg", "MsgType:heartbeat")]
+        oracle = GroundTruthOracle(lonely, function_vocabulary)
+        with pytest.raises(EvaluationError):
+            oracle.build_cases(5, seed=3)
+
+    def test_expected_sets_satisfy_definition_on_synthetic_corpus(self, small_corpus,
+                                                                  function_vocabulary):
+        oracle = GroundTruthOracle(small_corpus.all_triples(), function_vocabulary,
+                                   match_object_variants=False)
+        cases = oracle.build_cases(5, seed=4)
+        for case in cases:
+            for expected in case.expected:
+                assert are_inconsistent(case.source_triple, expected, function_vocabulary)
+
+
+class TestAnnotatorNoise:
+    def test_omission_removes_some_entries(self, small_corpus, function_vocabulary):
+        triples = small_corpus.all_triples()
+        perfect = GroundTruthOracle(triples, function_vocabulary, seed=5)
+        noisy = GroundTruthOracle(triples, function_vocabulary, omission_rate=1.0, seed=5)
+        source = small_corpus.injected_inconsistencies[0][0]
+        assert perfect.expected_inconsistencies(source)
+        assert noisy._with_noise(source, perfect.expected_inconsistencies(source)) == set()
+
+    def test_addition_can_only_add_same_subject_triples(self, small_corpus,
+                                                        function_vocabulary):
+        triples = small_corpus.all_triples()
+        noisy = GroundTruthOracle(triples, function_vocabulary, addition_rate=1.0, seed=6)
+        source = small_corpus.injected_inconsistencies[0][0]
+        case = noisy.case_for(source)
+        assert all(triple.subject == source.subject for triple in case.expected)

@@ -1,0 +1,117 @@
+"""Tests for inconsistency detection (definition, target triples, detector)."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.rdf import Concept, Triple
+from repro.requirements import (
+    InconsistencyDetector,
+    are_inconsistent,
+    make_target_triple,
+)
+
+
+class TestAreInconsistent:
+    def test_definition_holds_for_antinomic_pair(self, function_vocabulary):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up")
+        assert are_inconsistent(a, b, function_vocabulary)
+        assert are_inconsistent(b, a, function_vocabulary)
+
+    def test_different_subject_is_not_inconsistent(self, function_vocabulary):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("OBSW002", "Fun:block_cmd", "CmdType:start-up")
+        assert not are_inconsistent(a, b, function_vocabulary)
+
+    def test_different_object_is_not_inconsistent(self, function_vocabulary):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("OBSW001", "Fun:block_cmd", "CmdType:shutdown")
+        assert not are_inconsistent(a, b, function_vocabulary)
+
+    def test_non_antinomic_predicates_are_not_inconsistent(self, function_vocabulary):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("OBSW001", "Fun:send_msg", "CmdType:start-up")
+        assert not are_inconsistent(a, b, function_vocabulary)
+
+    def test_identical_triples_are_not_inconsistent(self, function_vocabulary):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        assert not are_inconsistent(a, a, function_vocabulary)
+
+    def test_literal_predicates_are_never_inconsistent(self, function_vocabulary):
+        a = Triple.of("OBSW001", "'accept'", "CmdType:start-up")
+        b = Triple.of("OBSW001", "'block'", "CmdType:start-up")
+        assert not are_inconsistent(a, b, function_vocabulary)
+
+    def test_unknown_predicates_are_never_inconsistent(self, function_vocabulary):
+        a = Triple.of("OBSW001", "Fun:launch", "CmdType:start-up")
+        b = Triple.of("OBSW001", "Fun:abort", "CmdType:start-up")
+        assert not are_inconsistent(a, b, function_vocabulary)
+
+
+class TestMakeTargetTriple:
+    def test_swaps_predicate_with_antonym(self, function_vocabulary):
+        source = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        target = make_target_triple(source, function_vocabulary)
+        assert target.subject == source.subject
+        assert target.object == source.object
+        assert target.predicate == Concept("block_cmd", "Fun")
+
+    def test_target_is_inconsistent_with_its_source(self, function_vocabulary):
+        source = Triple.of("OBSW004", "Fun:transmit_tm", "TmType:voltage-frame")
+        target = make_target_triple(source, function_vocabulary)
+        assert are_inconsistent(source, target, function_vocabulary)
+
+    def test_predicate_without_antonym_raises(self, function_vocabulary):
+        source = Triple.of("OBSW001", "Fun:command_handling", "CmdType:start-up")
+        with pytest.raises(VocabularyError):
+            make_target_triple(source, function_vocabulary)
+
+    def test_literal_predicate_raises(self, function_vocabulary):
+        source = Triple.of("OBSW001", "'accept'", "CmdType:start-up")
+        with pytest.raises(VocabularyError):
+            make_target_triple(source, function_vocabulary)
+
+
+class TestInconsistencyDetector:
+    def test_probe_finds_the_injected_conflict(self, built_requirements_index):
+        index, vocabularies, corpus = built_requirements_index
+        detector = InconsistencyDetector(index, vocabularies["Fun"], k=5)
+        base, conflicting = corpus.injected_inconsistencies[0]
+        report = detector.probe(base)
+        assert report.target_triple.subject == base.subject
+        assert report.retrieved
+        retrieved = report.retrieved_triples()
+        assert any(
+            candidate.subject == base.subject
+            and vocabularies["Fun"].are_antonyms(candidate.predicate, base.predicate)
+            for candidate in retrieved
+        )
+
+    def test_probe_confirmed_subset_satisfies_definition(self, built_requirements_index):
+        index, vocabularies, corpus = built_requirements_index
+        detector = InconsistencyDetector(index, vocabularies["Fun"], k=8)
+        for base, _ in corpus.injected_inconsistencies[:5]:
+            report = detector.probe(base)
+            for match in report.confirmed:
+                assert are_inconsistent(base, match.triple, vocabularies["Fun"])
+
+    def test_scan_skips_triples_without_antonyms(self, built_requirements_index):
+        index, vocabularies, _ = built_requirements_index
+        detector = InconsistencyDetector(index, vocabularies["Fun"], k=3)
+        odd_triple = Triple.of("OBSW001", "Fun:command_handling", "CmdType:start-up")
+        reports = detector.scan([odd_triple])
+        assert reports == []
+
+    def test_conflicting_pairs_deduplicated(self, built_requirements_index):
+        index, vocabularies, corpus = built_requirements_index
+        detector = InconsistencyDetector(index, vocabularies["Fun"], k=5)
+        sample = corpus.all_triples()[:40]
+        pairs = detector.conflicting_pairs(sample + sample)
+        assert len(pairs) == len(set(pairs))
+
+    def test_probe_with_explicit_k(self, built_requirements_index):
+        index, vocabularies, corpus = built_requirements_index
+        detector = InconsistencyDetector(index, vocabularies["Fun"], k=2)
+        base = corpus.all_triples()[0]
+        report = detector.probe(base, k=7)
+        assert len(report.retrieved) == 7

@@ -1,0 +1,72 @@
+"""Tests for the requirements data model."""
+
+import pytest
+
+from repro.errors import TripleError
+from repro.rdf import Triple
+from repro.requirements import Requirement, RequirementsDocument, collection_from_documents
+
+
+@pytest.fixture
+def requirement() -> Requirement:
+    return Requirement(
+        requirement_id="REQ001",
+        sentences=["The component OBSW001 shall accept the command start-up."],
+        triples=[Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")],
+    )
+
+
+class TestRequirement:
+    def test_requires_identifier(self):
+        with pytest.raises(TripleError):
+            Requirement(requirement_id="")
+
+    def test_text_joins_sentences(self, requirement):
+        requirement.sentences.append("It shall also send the message heartbeat.")
+        assert requirement.text.count(".") == 2
+
+    def test_len_and_iteration(self, requirement):
+        assert len(requirement) == 1
+        assert list(requirement)[0].subject.name == "OBSW001"
+
+
+class TestRequirementsDocument:
+    def test_requires_identifier(self):
+        with pytest.raises(TripleError):
+            RequirementsDocument(document_id="")
+
+    def test_add_and_lookup(self, requirement):
+        document = RequirementsDocument(document_id="DOC001")
+        document.add(requirement)
+        assert len(document) == 1
+        assert document.requirement("REQ001") is requirement
+        with pytest.raises(KeyError):
+            document.requirement("REQ999")
+
+    def test_all_triples_in_order(self, requirement):
+        second = Requirement("REQ002", triples=[Triple.of("OBSW002", "Fun:send_msg",
+                                                          "MsgType:heartbeat")])
+        document = RequirementsDocument(document_id="DOC001", requirements=[requirement, second])
+        triples = document.all_triples()
+        assert len(triples) == 2
+        assert triples[0].subject.name == "OBSW001"
+
+    def test_to_rdf_document(self, requirement):
+        document = RequirementsDocument(document_id="DOC001", requirements=[requirement],
+                                        title="Vol 1")
+        rdf_document = document.to_rdf_document()
+        assert rdf_document.document_id == "DOC001"
+        assert rdf_document.triples == document.all_triples()
+        assert rdf_document.metadata["title"] == "Vol 1"
+        assert "start-up" in rdf_document.text
+
+
+class TestCollectionConversion:
+    def test_collection_from_documents(self, requirement):
+        documents = [
+            RequirementsDocument(document_id="DOC001", requirements=[requirement]),
+            RequirementsDocument(document_id="DOC002"),
+        ]
+        collection = collection_from_documents(documents)
+        assert len(collection) == 2
+        assert collection.get("DOC001").triples == documents[0].all_triples()

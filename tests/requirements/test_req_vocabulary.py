@@ -1,0 +1,86 @@
+"""Tests for the on-board-software requirements vocabulary."""
+
+import pytest
+
+from repro.requirements import (
+    ANTINOMY_PAIRS,
+    FUNCTION_FAMILIES,
+    PARAMETER_PREFIXES,
+    build_actor_vocabulary,
+    build_function_vocabulary,
+    build_parameter_vocabulary,
+    build_requirement_distance,
+    build_requirement_vocabularies,
+)
+from repro.rdf import Triple
+from repro.semantics import WuPalmerSimilarity
+
+
+class TestFunctionVocabulary:
+    def test_every_family_contributes_two_functions(self):
+        vocabulary = build_function_vocabulary()
+        for family, positive, negative in FUNCTION_FAMILIES:
+            assert positive in vocabulary
+            assert negative in vocabulary
+            assert family in vocabulary
+
+    def test_antinomy_pairs_registered_symmetrically(self):
+        vocabulary = build_function_vocabulary()
+        for positive, negative in ANTINOMY_PAIRS:
+            assert vocabulary.are_antonyms(positive, negative)
+            assert vocabulary.are_antonyms(negative, positive)
+
+    def test_functions_of_different_families_are_not_antonyms(self):
+        vocabulary = build_function_vocabulary()
+        assert not vocabulary.are_antonyms("accept_cmd", "send_msg")
+
+    def test_same_family_functions_more_similar_than_cross_family(self):
+        vocabulary = build_function_vocabulary()
+        similarity = WuPalmerSimilarity(vocabulary.taxonomy)
+        assert similarity("accept_cmd", "block_cmd") > similarity("accept_cmd", "send_msg")
+
+
+class TestActorAndParameterVocabularies:
+    def test_actor_classification_by_name(self):
+        vocabulary = build_actor_vocabulary(["OBSW001", "HWD001"])
+        assert vocabulary.taxonomy.parents_of("OBSW001") == {"software_component"}
+        assert vocabulary.taxonomy.parents_of("HWD001") == {"hardware_device"}
+
+    def test_parameter_vocabulary_sorted_under_sortal(self):
+        vocabulary = build_parameter_vocabulary("CmdType", ["start-up", "shutdown"])
+        assert vocabulary.taxonomy.parents_of("start-up") == {"command"}
+
+    def test_every_prefix_has_a_vocabulary(self):
+        vocabularies = build_requirement_vocabularies()
+        for prefix in PARAMETER_PREFIXES:
+            assert prefix in vocabularies
+        assert "Fun" in vocabularies
+        assert "" in vocabularies
+
+
+class TestRequirementDistance:
+    def test_default_weights_emphasise_subject_and_object(self):
+        distance = build_requirement_distance()
+        alpha, beta, gamma = distance.weights.as_tuple()
+        assert alpha == pytest.approx(0.4)
+        assert beta == pytest.approx(0.2)
+        assert gamma == pytest.approx(0.4)
+
+    def test_antinomic_statement_is_the_closest_non_identical_triple(self):
+        # Register the actors so the subject sub-distance is taxonomy-based
+        # (two sibling components are farther apart than two antinomic
+        # functions of the same family).
+        vocabularies = build_requirement_vocabularies(
+            ["OBSW001", "OBSW002", "HWD001"],
+            {"CmdType": ["start-up", "shutdown"], "TmType": ["voltage-frame"]},
+        )
+        distance = build_requirement_distance(vocabularies)
+        base = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        antinomic = Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up")
+        other_actor = Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:start-up")
+        other_param = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:shutdown")
+        unrelated = Triple.of("HWD001", "Fun:transmit_tm", "TmType:voltage-frame")
+        d_antinomic = distance(base, antinomic)
+        assert d_antinomic < distance(base, other_actor)
+        assert d_antinomic < distance(base, other_param)
+        assert d_antinomic < distance(base, unrelated)

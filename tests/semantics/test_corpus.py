@@ -1,0 +1,70 @@
+"""Tests for corpus-based information content."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.rdf import Triple
+from repro.semantics import InformationContentCorpus, LinSimilarity, Taxonomy
+
+
+@pytest.fixture
+def corpus(small_taxonomy) -> InformationContentCorpus:
+    return InformationContentCorpus(small_taxonomy)
+
+
+class TestObservation:
+    def test_observation_propagates_to_ancestors(self, corpus):
+        corpus.observe("sports_car", 3)
+        assert corpus.count("sports_car") == 3 + corpus.smoothing
+        assert corpus.count("car") == 3 + corpus.smoothing
+        assert corpus.count("vehicle") == 3 + corpus.smoothing
+        assert corpus.count("animal") == corpus.smoothing
+
+    def test_unknown_concept_rejected(self, corpus):
+        with pytest.raises(VocabularyError):
+            corpus.observe("missing")
+
+    def test_observe_triples_skips_literals_and_unknowns(self, corpus):
+        triples = [
+            Triple.of("dog", "car", "'a literal'"),
+            Triple.of("unknown_concept", "cat", "truck"),
+        ]
+        observed = corpus.observe_triples(triples)
+        assert observed == 4  # dog, car, cat, truck
+        assert corpus.total_observations == 4
+
+    def test_total_observations(self, corpus):
+        corpus.observe("dog")
+        corpus.observe("cat", 2)
+        assert corpus.total_observations == 3
+
+
+class TestInformationContent:
+    def test_probabilities_sum_behaviour(self, corpus):
+        corpus.observe("dog", 10)
+        assert 0.0 < corpus.probability("dog") < 1.0
+
+    def test_rare_concepts_have_higher_ic(self, corpus):
+        corpus.observe("dog", 100)
+        corpus.observe("cat", 1)
+        assert corpus.information_content("cat") > corpus.information_content("dog")
+
+    def test_ancestors_have_lower_ic_than_descendants(self, corpus):
+        corpus.observe("sports_car", 5)
+        corpus.observe("truck", 5)
+        assert corpus.information_content("vehicle") < corpus.information_content("sports_car")
+
+    def test_as_mapping_covers_taxonomy_and_root(self, corpus, small_taxonomy):
+        mapping = corpus.as_mapping()
+        assert set(small_taxonomy).issubset(mapping)
+        assert small_taxonomy.root in mapping
+
+    def test_mapping_feeds_lin_similarity(self, corpus, small_taxonomy):
+        corpus.observe("dog", 5)
+        corpus.observe("cat", 5)
+        measure = LinSimilarity(small_taxonomy, information_content=corpus.as_mapping())
+        assert 0.0 <= measure.similarity("dog", "cat") <= 1.0
+
+    def test_unknown_concept_count_rejected(self, corpus):
+        with pytest.raises(VocabularyError):
+            corpus.count("missing")

@@ -1,0 +1,112 @@
+"""Tests for the taxonomy-based similarity measures."""
+
+import pytest
+
+from repro.errors import DistanceError
+from repro.semantics import (
+    JiangConrathSimilarity,
+    LeacockChodorowSimilarity,
+    LinSimilarity,
+    PathSimilarity,
+    ResnikSimilarity,
+    WuPalmerSimilarity,
+    similarity_by_name,
+)
+
+ALL_MEASURES = [
+    WuPalmerSimilarity,
+    PathSimilarity,
+    LeacockChodorowSimilarity,
+    ResnikSimilarity,
+    LinSimilarity,
+    JiangConrathSimilarity,
+]
+
+
+@pytest.mark.parametrize("measure_class", ALL_MEASURES)
+class TestCommonProperties:
+    def test_identical_concepts_have_similarity_one(self, measure_class, small_taxonomy):
+        measure = measure_class(small_taxonomy)
+        assert measure.similarity("dog", "dog") == pytest.approx(1.0)
+
+    def test_similarity_in_unit_interval(self, measure_class, small_taxonomy):
+        measure = measure_class(small_taxonomy)
+        for a in ("sports_car", "dog", "bicycle", "entity"):
+            for b in ("cat", "truck", "car", "animal"):
+                assert 0.0 <= measure.similarity(a, b) <= 1.0
+
+    def test_symmetry(self, measure_class, small_taxonomy):
+        measure = measure_class(small_taxonomy)
+        assert measure.similarity("car", "dog") == pytest.approx(measure.similarity("dog", "car"))
+
+    def test_distance_is_one_minus_similarity(self, measure_class, small_taxonomy):
+        measure = measure_class(small_taxonomy)
+        assert measure.distance("car", "truck") == pytest.approx(
+            1.0 - measure.similarity("car", "truck")
+        )
+
+    def test_close_concepts_more_similar_than_distant_ones(self, measure_class, small_taxonomy):
+        measure = measure_class(small_taxonomy)
+        assert measure.similarity("car", "truck") > measure.similarity("car", "dog")
+
+    def test_callable_interface(self, measure_class, small_taxonomy):
+        measure = measure_class(small_taxonomy)
+        assert measure("car", "truck") == measure.similarity("car", "truck")
+
+
+class TestWuPalmer:
+    def test_exact_formula(self, small_taxonomy):
+        # depth(car)=3, depth(truck)=3, lcs=vehicle with depth 2 -> 2*2/(3+3)
+        measure = WuPalmerSimilarity(small_taxonomy)
+        assert measure.similarity("car", "truck") == pytest.approx(4 / 6)
+
+    def test_parent_child(self, small_taxonomy):
+        # lcs(car, sports_car)=car depth 3; depths 3 and 4 -> 6/7
+        measure = WuPalmerSimilarity(small_taxonomy)
+        assert measure.similarity("car", "sports_car") == pytest.approx(6 / 7)
+
+    def test_top_level_siblings_have_low_similarity(self, small_taxonomy):
+        measure = WuPalmerSimilarity(small_taxonomy)
+        # lcs(vehicle-branch, animal-branch) = entity (depth 1)
+        assert measure.similarity("vehicle", "animal") == pytest.approx(2 / 4)
+
+
+class TestPathSimilarity:
+    def test_exact_formula(self, small_taxonomy):
+        measure = PathSimilarity(small_taxonomy)
+        assert measure.similarity("dog", "cat") == pytest.approx(1 / 3)   # path length 2
+        assert measure.similarity("dog", "dog") == pytest.approx(1.0)
+
+
+class TestInformationContentMeasures:
+    def test_resnik_uses_lcs_ic(self, small_taxonomy):
+        measure = ResnikSimilarity(small_taxonomy)
+        # lcs(dog, cat) = animal; intrinsic IC of animal is positive
+        assert measure.similarity("dog", "cat") > 0.0
+
+    def test_resnik_with_corpus_ic(self, small_taxonomy):
+        ic = {concept: 1.0 for concept in small_taxonomy}
+        ic["animal"] = 3.0
+        measure = ResnikSimilarity(small_taxonomy, information_content=ic)
+        assert measure.similarity("dog", "cat") == pytest.approx(1.0)
+
+    def test_lin_is_one_for_equal_ic_triple(self, small_taxonomy):
+        measure = LinSimilarity(small_taxonomy)
+        assert measure.similarity("sports_car", "sports_car") == 1.0
+
+    def test_jiang_conrath_distant_pairs_less_similar(self, small_taxonomy):
+        measure = JiangConrathSimilarity(small_taxonomy)
+        assert measure.similarity("sports_car", "cat") < measure.similarity("sports_car", "truck")
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", [
+        "wu-palmer", "path", "leacock-chodorow", "resnik", "lin", "jiang-conrath",
+    ])
+    def test_lookup_by_name(self, name, small_taxonomy):
+        measure = similarity_by_name(name, small_taxonomy)
+        assert measure.similarity("car", "car") == pytest.approx(1.0)
+
+    def test_unknown_name_raises(self, small_taxonomy):
+        with pytest.raises(DistanceError):
+            similarity_by_name("cosine", small_taxonomy)

@@ -1,0 +1,133 @@
+"""Tests for the weighted triple distance of Eq. (1)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistanceError
+from repro.rdf import Concept, Literal, Triple
+from repro.semantics import (
+    DistanceWeights,
+    TermDistance,
+    TripleDistance,
+    Vocabulary,
+    jaro_winkler_distance,
+)
+
+
+@pytest.fixture
+def term_distance(function_vocabulary) -> TermDistance:
+    return TermDistance({"Fun": function_vocabulary})
+
+
+@pytest.fixture
+def triple_distance(term_distance) -> TripleDistance:
+    return TripleDistance(term_distance, DistanceWeights(0.4, 0.2, 0.4))
+
+
+class TestDistanceWeights:
+    def test_default_weights_sum_to_one(self):
+        weights = DistanceWeights()
+        assert sum(weights.as_tuple()) == pytest.approx(1.0)
+
+    def test_invalid_sum_rejected(self):
+        with pytest.raises(DistanceError):
+            DistanceWeights(0.5, 0.5, 0.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(DistanceError):
+            DistanceWeights(-0.2, 0.6, 0.6)
+
+    def test_normalised_constructor(self):
+        weights = DistanceWeights.normalised(2, 1, 1)
+        assert weights.as_tuple() == pytest.approx((0.5, 0.25, 0.25))
+
+    def test_normalised_rejects_all_zero(self):
+        with pytest.raises(DistanceError):
+            DistanceWeights.normalised(0, 0, 0)
+
+
+class TestTermDistance:
+    def test_identical_terms_distance_zero(self, term_distance):
+        assert term_distance(Concept("accept_cmd", "Fun"), Concept("accept_cmd", "Fun")) == 0.0
+        assert term_distance(Literal("abc"), Literal("abc")) == 0.0
+
+    def test_concepts_in_vocabulary_use_taxonomy(self, term_distance):
+        same_family = term_distance(Concept("accept_cmd", "Fun"), Concept("block_cmd", "Fun"))
+        different_family = term_distance(Concept("accept_cmd", "Fun"), Concept("send_msg", "Fun"))
+        assert same_family < different_family
+
+    def test_literals_use_string_distance(self, term_distance):
+        close = term_distance(Literal("start-up"), Literal("startup"))
+        far = term_distance(Literal("start-up"), Literal("shutdown"))
+        assert 0.0 < close < far <= 1.0
+
+    def test_unknown_prefix_falls_back_to_string_distance(self, term_distance):
+        value = term_distance(Concept("alpha", "Unknown"), Concept("alphb", "Unknown"))
+        assert 0.0 < value < 1.0
+
+    def test_mixed_concept_literal_falls_back_to_string_distance(self, term_distance):
+        assert 0.0 <= term_distance(Concept("start-up", "CmdType"), Literal("start-up")) <= 1.0
+
+    def test_register_vocabulary_later(self, function_vocabulary):
+        term_distance = TermDistance()
+        before = term_distance(Concept("accept_cmd", "Fun"), Concept("block_cmd", "Fun"))
+        term_distance.register_vocabulary("Fun", function_vocabulary)
+        after = term_distance(Concept("accept_cmd", "Fun"), Concept("block_cmd", "Fun"))
+        assert after != before
+        assert term_distance.vocabulary_for("Fun") is function_vocabulary
+
+    def test_custom_string_distance(self):
+        term_distance = TermDistance(string_distance=jaro_winkler_distance)
+        assert term_distance(Literal("abc"), Literal("abd")) == pytest.approx(
+            jaro_winkler_distance("abc", "abd")
+        )
+
+
+class TestTripleDistance:
+    def test_identity(self, triple_distance):
+        triple = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        assert triple_distance(triple, triple) == 0.0
+
+    def test_symmetry(self, triple_distance):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("OBSW002", "Fun:block_cmd", "CmdType:shutdown")
+        assert triple_distance(a, b) == pytest.approx(triple_distance(b, a))
+
+    def test_range(self, triple_distance):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("XYZ", "Fun:withhold_tm", "TmType:pressure-frame")
+        assert 0.0 <= triple_distance(a, b) <= 1.0
+
+    def test_weighted_combination_matches_components(self, triple_distance):
+        a = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("OBSW002", "Fun:block_cmd", "CmdType:start-up")
+        components = triple_distance.components(a, b)
+        expected = (0.4 * components["subject"] + 0.2 * components["predicate"]
+                    + 0.4 * components["object"])
+        assert triple_distance(a, b) == pytest.approx(expected)
+
+    def test_antinomic_predicate_is_semantically_close(self, triple_distance):
+        base = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        antinomic = Triple.of("OBSW001", "Fun:block_cmd", "CmdType:start-up")
+        unrelated = Triple.of("OBSW001", "Fun:transmit_tm", "CmdType:start-up")
+        assert triple_distance(base, antinomic) < triple_distance(base, unrelated)
+
+    def test_with_weights_builds_new_distance(self, triple_distance):
+        subject_only = triple_distance.with_weights(DistanceWeights(1.0, 0.0, 0.0))
+        a = Triple.of("same", "Fun:accept_cmd", "CmdType:start-up")
+        b = Triple.of("same", "Fun:block_cmd", "CmdType:shutdown")
+        assert subject_only(a, b) == 0.0
+        assert triple_distance(a, b) > 0.0
+
+    @given(i=st.integers(min_value=0, max_value=6), j=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_distance_bounded_for_random_requirement_triples(self, triple_distance, i, j):
+        functions = ["accept_cmd", "block_cmd", "send_msg", "suppress_msg", "acquire_in",
+                     "enable_mode", "stop_proc"]
+        a = Triple.of(f"OBSW{i:03d}", f"Fun:{functions[i]}", f"CmdType:param-{i}")
+        b = Triple.of(f"OBSW{j:03d}", f"Fun:{functions[j]}", f"CmdType:param-{j}")
+        value = triple_distance(a, b)
+        assert 0.0 <= value <= 1.0
+        if i == j:
+            assert value == 0.0

@@ -1,0 +1,89 @@
+"""Tests for domain vocabularies (taxonomy + antinomy + synonym relations)."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.rdf import Concept
+from repro.semantics import Taxonomy, Vocabulary
+
+
+@pytest.fixture
+def vocabulary() -> Vocabulary:
+    vocabulary = Vocabulary("test-functions")
+    vocabulary.add_concept("function")
+    vocabulary.add_concept("command_handling", "function")
+    vocabulary.add_concept("accept_cmd", "command_handling")
+    vocabulary.add_concept("block_cmd", "command_handling")
+    vocabulary.add_concept("send_msg", "function")
+    vocabulary.add_antonym("accept_cmd", "block_cmd")
+    vocabulary.add_synonym("accept_cmd", "send_msg")
+    return vocabulary
+
+
+class TestConstruction:
+    def test_requires_name(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary("")
+
+    def test_wraps_existing_taxonomy(self, small_taxonomy):
+        vocabulary = Vocabulary("wrapped", small_taxonomy)
+        assert "car" in vocabulary
+        assert len(vocabulary) == len(small_taxonomy)
+
+    def test_add_concept_and_membership(self, vocabulary):
+        assert vocabulary.has_concept("accept_cmd")
+        assert vocabulary.has_concept(Concept("accept_cmd", "Fun"))
+        assert not vocabulary.has_concept("missing")
+
+    def test_concepts_listing(self, vocabulary):
+        assert "block_cmd" in vocabulary.concepts()
+        assert len(vocabulary) == 5
+
+
+class TestAntonyms:
+    def test_antonym_relation_is_symmetric(self, vocabulary):
+        assert vocabulary.are_antonyms("accept_cmd", "block_cmd")
+        assert vocabulary.are_antonyms("block_cmd", "accept_cmd")
+
+    def test_accepts_concept_terms(self, vocabulary):
+        assert vocabulary.are_antonyms(Concept("accept_cmd", "Fun"), Concept("block_cmd", "Fun"))
+
+    def test_non_antonyms(self, vocabulary):
+        assert not vocabulary.are_antonyms("accept_cmd", "send_msg")
+        assert not vocabulary.are_antonyms("accept_cmd", "accept_cmd")
+
+    def test_antonyms_of(self, vocabulary):
+        assert vocabulary.antonyms_of("accept_cmd") == {"block_cmd"}
+        assert vocabulary.antonyms_of("send_msg") == set()
+
+    def test_antonym_requires_known_concepts(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.add_antonym("accept_cmd", "missing")
+
+    def test_self_antonym_rejected(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.add_antonym("accept_cmd", "accept_cmd")
+
+    def test_antonym_pairs_reported_once(self, vocabulary):
+        assert vocabulary.antonym_pairs() == [("accept_cmd", "block_cmd")]
+
+    def test_antonyms_of_unknown_concept(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.antonyms_of("missing")
+
+
+class TestSynonyms:
+    def test_synonym_relation_is_symmetric(self, vocabulary):
+        assert vocabulary.are_synonyms("accept_cmd", "send_msg")
+        assert vocabulary.are_synonyms("send_msg", "accept_cmd")
+
+    def test_identical_concepts_are_synonyms(self, vocabulary):
+        assert vocabulary.are_synonyms("accept_cmd", "accept_cmd")
+
+    def test_synonyms_of(self, vocabulary):
+        assert vocabulary.synonyms_of("accept_cmd") == {"send_msg"}
+        assert vocabulary.synonyms_of("block_cmd") == set()
+
+    def test_add_synonym_requires_known_concepts(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.add_synonym("accept_cmd", "missing")

@@ -1,0 +1,83 @@
+"""Tests for the synthetic point distributions."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    clustered_points,
+    grid_points,
+    skewed_points,
+    sorted_points,
+    uniform_points,
+)
+
+
+class TestUniform:
+    def test_count_dimensions_and_range(self):
+        points = uniform_points(100, 3, seed=1)
+        assert len(points) == 100
+        assert all(p.dimensions == 3 for p in points)
+        assert all(0.0 <= value <= 1.0 for p in points for value in p.coordinates)
+
+    def test_custom_range(self):
+        points = uniform_points(50, 2, seed=1, low=-1.0, high=2.0)
+        assert all(-1.0 <= value <= 2.0 for p in points for value in p.coordinates)
+
+    def test_deterministic_per_seed(self):
+        assert uniform_points(10, 2, seed=5) == uniform_points(10, 2, seed=5)
+        assert uniform_points(10, 2, seed=5) != uniform_points(10, 2, seed=6)
+
+    def test_labels_are_sequential(self):
+        assert [p.label for p in uniform_points(5, 1)] == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"count": 0, "dimensions": 2},
+        {"count": 5, "dimensions": 0},
+        {"count": 5, "dimensions": 2, "low": 1.0, "high": 0.0},
+    ])
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(WorkloadError):
+            uniform_points(**kwargs)
+
+
+class TestClusteredAndSkewed:
+    def test_clustered_points_are_concentrated(self):
+        points = clustered_points(200, 2, clusters=2, spread=0.01, seed=2)
+        assert len(points) == 200
+        xs = sorted(p[0] for p in points)
+        # with 2 tight clusters the middle of the sorted values has a big gap
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert max(gaps) > 0.05
+
+    def test_clustered_invalid_clusters(self):
+        with pytest.raises(WorkloadError):
+            clustered_points(10, 2, clusters=0)
+
+    def test_skewed_points_bounded(self):
+        points = skewed_points(100, 2, rate=5.0, seed=3)
+        assert all(0.0 <= value <= 1.0 for p in points for value in p.coordinates)
+
+    def test_skewed_invalid_rate(self):
+        with pytest.raises(WorkloadError):
+            skewed_points(10, 2, rate=0.0)
+
+
+class TestSortedAndGrid:
+    def test_sorted_points_are_lexicographically_ordered(self):
+        points = sorted_points(50, 2, seed=4)
+        coordinates = [p.coordinates for p in points]
+        assert coordinates == sorted(coordinates)
+        assert [p.label for p in points] == list(range(50))
+
+    def test_grid_points_shape(self):
+        points = grid_points(side=4, dimensions=2)
+        assert len(points) == 16
+        assert len({p.coordinates for p in points}) == 16
+
+    def test_grid_rejects_huge_outputs(self):
+        with pytest.raises(WorkloadError):
+            grid_points(side=200, dimensions=4)
+
+    def test_grid_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            grid_points(side=0, dimensions=2)

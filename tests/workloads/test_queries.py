@@ -1,0 +1,54 @@
+"""Tests for the query workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import QueryWorkload, perturbed_queries, uniform_points, uniform_queries
+
+
+class TestQueryWorkload:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QueryWorkload(queries=(), k=3)
+        queries = uniform_queries(3, 2).queries
+        with pytest.raises(WorkloadError):
+            QueryWorkload(queries=queries, k=0)
+        with pytest.raises(WorkloadError):
+            QueryWorkload(queries=queries, radius=-0.1)
+
+    def test_len_and_iteration(self):
+        workload = uniform_queries(7, 2, k=3, radius=0.2)
+        assert len(workload) == 7
+        assert len(list(workload)) == 7
+        assert workload.k == 3 and workload.radius == 0.2
+
+
+class TestUniformQueries:
+    def test_dimensions_and_determinism(self):
+        first = uniform_queries(5, 3, seed=9)
+        second = uniform_queries(5, 3, seed=9)
+        assert first.queries == second.queries
+        assert all(q.dimensions == 3 for q in first)
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            uniform_queries(0, 2)
+
+
+class TestPerturbedQueries:
+    def test_queries_stay_near_the_data(self):
+        data = uniform_points(100, 2, seed=1)
+        workload = perturbed_queries(data, 20, jitter=0.01, seed=2)
+        assert len(workload) == 20
+        for query in workload:
+            nearest = min(point.distance_to(query) for point in data)
+            assert nearest <= 0.05
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(WorkloadError):
+            perturbed_queries([], 5)
+
+    def test_invalid_count_rejected(self):
+        data = uniform_points(10, 2)
+        with pytest.raises(WorkloadError):
+            perturbed_queries(data, 0)
