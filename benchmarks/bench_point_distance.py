@@ -1,0 +1,106 @@
+"""Point-distance fast path — ``math.dist`` vs the old per-pair generator.
+
+``euclidean_distance`` is the hot path of every leaf scan: k-search examines
+every point of every visited bucket with it.  The seed implementation summed
+``(x - y) ** 2`` with a Python generator per pair; the fast path hands the
+coordinate tuples to ``math.dist``, which runs the loop in C.  This
+benchmark shows the delta and pins the two implementations to identical
+values.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.core import LabeledPoint, euclidean_distance, squared_euclidean_distance
+from repro.evaluation import Experiment, WallClockTimer
+from repro.workloads import uniform_points
+
+from .conftest import write_report
+
+DIMENSIONS = (2, 4, 8, 16)
+PAIRS = 2_000
+REPEATS = 5
+
+
+def _generator_euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """The seed implementation, kept here as the benchmark baseline."""
+    return math.sqrt(sum((x - y) * (x - y) for x, y in zip(a, b)))
+
+
+def _point_pairs(dimensions: int, *, seed: int = 3) -> List[Tuple[LabeledPoint, LabeledPoint]]:
+    points = uniform_points(2 * PAIRS, dimensions, seed=seed)
+    return [(points[2 * i], points[2 * i + 1]) for i in range(PAIRS)]
+
+
+def _time_distance_calls(pairs, implementation) -> float:
+    with WallClockTimer() as timer:
+        for _ in range(REPEATS):
+            for a, b in pairs:
+                implementation(a.coordinates, b.coordinates)
+    return timer.elapsed
+
+
+def _measure(dimensions: int) -> Dict[str, float]:
+    pairs = _point_pairs(int(dimensions))
+    baseline = _time_distance_calls(pairs, _generator_euclidean)
+    fast = _time_distance_calls(pairs, euclidean_distance)
+    calls = REPEATS * PAIRS
+    return {
+        "baseline_us_per_call": baseline / calls * 1e6,
+        "fast_us_per_call": fast / calls * 1e6,
+        "speedup": baseline / max(fast, 1e-12),
+    }
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
+
+@pytest.mark.benchmark(group="point-distance")
+def test_fast_path(benchmark):
+    pairs = _point_pairs(4)
+    total = benchmark(lambda: sum(euclidean_distance(a, b) for a, b in pairs))
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="point-distance")
+def test_generator_baseline(benchmark):
+    pairs = _point_pairs(4)
+    total = benchmark(lambda: sum(
+        _generator_euclidean(a.coordinates, b.coordinates) for a, b in pairs
+    ))
+    assert total > 0
+
+
+# -- the report itself --------------------------------------------------------------------
+
+def test_report_point_distance(results_dir):
+    # The fast path must agree with the baseline bit-for-bit in value terms.
+    rng = random.Random(11)
+    for _ in range(200):
+        dims = rng.choice(DIMENSIONS)
+        a = [rng.uniform(-100, 100) for _ in range(dims)]
+        b = [rng.uniform(-100, 100) for _ in range(dims)]
+        assert euclidean_distance(a, b) == pytest.approx(_generator_euclidean(a, b))
+        assert squared_euclidean_distance(a, b) == pytest.approx(
+            _generator_euclidean(a, b) ** 2
+        )
+
+    experiment = Experiment(
+        experiment_id="point_distance_fastpath",
+        description="euclidean_distance: math.dist fast path vs per-pair generator "
+                    f"({PAIRS} pairs x {REPEATS} repeats)",
+        swept_parameter="dimensions",
+    )
+    experiment.run_sweep("distance", DIMENSIONS, _measure)
+
+    series = experiment.series["distance"]
+    # The C loop must win at every dimensionality (generously margined: the
+    # observed delta is several-fold).
+    assert all(speedup > 1.2 for speedup in series.values("speedup"))
+
+    write_report(results_dir, experiment,
+                 ["baseline_us_per_call", "fast_us_per_call", "speedup"])

@@ -1,0 +1,130 @@
+"""Service throughput — batched vs sequential execution, cache-hit speedup.
+
+The serving layer's pitch is that batching queries over a worker pool plus a
+result cache beats issuing them one at a time against the bare index.  This
+benchmark builds a requirements corpus, runs a 256-query mixed k-NN/range
+workload through the :class:`~repro.service.engine.QueryEngine` and reports
+
+* sequential QPS (the ``execute_sequential`` baseline, no cache),
+* cold batched QPS (first batch, worker pool, cache misses),
+* warm batched QPS (identical repeat batch, all cache hits),
+
+while sweeping the worker count.  Expected shape: warm beats cold by a wide
+margin (a cache hit skips the tree entirely), results are bit-identical to
+the sequential baseline everywhere, and the repeated workload reports a
+non-zero cache hit rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.evaluation import Experiment, measure
+from repro.requirements import (GeneratorConfig, RequirementsGenerator,
+                                build_requirement_distance,
+                                build_requirement_vocabularies)
+from repro.service import QueryEngine
+from repro.workloads import mixed_query_specs
+
+from .conftest import write_report
+
+WORKER_COUNTS = (1, 2, 4, 8)
+BATCH_SIZE = 256
+BENCH_WORKERS = 4
+
+
+def _build_index() -> tuple:
+    config = GeneratorConfig(
+        documents=8, requirements_per_document=6, sentences_per_requirement=3,
+        actors=16, inconsistency_rate=0.2, restatement_rate=0.2, seed=29,
+    )
+    corpus = RequirementsGenerator(config).generate()
+    vocabularies = build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values
+    )
+    distance = build_requirement_distance(vocabularies)
+    index = SemTreeIndex(distance, SemTreeConfig(
+        dimensions=4, bucket_size=8, max_partitions=4, partition_capacity=48,
+    ))
+    for document in corpus.documents:
+        index.add_document(document.to_rdf_document())
+    index.build()
+    triples = list(dict.fromkeys(corpus.all_triples()))
+    return index, triples
+
+
+def _workload(triples):
+    return mixed_query_specs(triples, BATCH_SIZE, k=3, radius=0.15,
+                             repeat_fraction=0.3, seed=17)
+
+
+def _measure_engine(index, specs, workers: int) -> Dict[str, float]:
+    with QueryEngine(index, workers=workers) as engine:
+        sequential = measure(lambda: engine.execute_sequential(specs))
+        cold = measure(lambda: engine.execute_batch(specs))
+        warm = measure(lambda: engine.execute_batch(specs))
+        hit_rate = engine.cache.stats.hit_rate
+    return {
+        "sequential_qps": len(specs) / max(sequential.wall_seconds, 1e-9),
+        "cold_qps": len(specs) / max(cold.wall_seconds, 1e-9),
+        "warm_qps": len(specs) / max(warm.wall_seconds, 1e-9),
+        "cache_hit_rate": hit_rate,
+    }
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_batched_execution(benchmark):
+    index, triples = _build_index()
+    specs = _workload(triples)
+    with QueryEngine(index, workers=BENCH_WORKERS) as engine:
+        results = benchmark(lambda: engine.execute_batch(specs))
+    assert len(results) == BATCH_SIZE
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_sequential_execution(benchmark):
+    index, triples = _build_index()
+    specs = _workload(triples)
+    with QueryEngine(index, workers=1) as engine:
+        results = benchmark.pedantic(
+            lambda: engine.execute_sequential(specs), rounds=3, iterations=1
+        )
+    assert len(results) == BATCH_SIZE
+
+
+# -- the report itself --------------------------------------------------------------------
+
+def test_report_service_throughput(results_dir):
+    index, triples = _build_index()
+    specs = _workload(triples)
+
+    # Correctness first: batched results must equal sequential results.
+    with QueryEngine(index, workers=BENCH_WORKERS) as engine:
+        batched = engine.execute_batch(specs)
+        sequential = engine.execute_sequential(specs)
+    assert all(a.matches == b.matches for a, b in zip(batched, sequential))
+
+    experiment = Experiment(
+        experiment_id="service_throughput",
+        description="QueryEngine throughput: sequential vs cold batch vs warm batch "
+                    f"({BATCH_SIZE} mixed k-NN/range queries)",
+        swept_parameter="workers",
+    )
+    experiment.run_sweep(
+        "engine", WORKER_COUNTS, lambda workers: _measure_engine(index, specs, int(workers))
+    )
+
+    series = experiment.series["engine"]
+    # A repeated workload must actually hit the cache ...
+    assert all(rate > 0.0 for rate in series.values("cache_hit_rate"))
+    # ... and serving hits must beat re-searching the tree, at every worker count.
+    for warm, cold in zip(series.values("warm_qps"), series.values("cold_qps")):
+        assert warm > cold
+
+    write_report(results_dir, experiment,
+                 ["sequential_qps", "cold_qps", "warm_qps", "cache_hit_rate"])

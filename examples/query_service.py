@@ -1,0 +1,90 @@
+"""Query service demo: batched serving, result caching and index snapshots.
+
+Builds a SemTree index over the quickstart requirements, stands a
+:class:`~repro.service.engine.QueryEngine` up in front of it, serves a
+mixed batch of k-NN / range / pattern-filtered queries, prints the serving
+metrics, then snapshots the index and shows the warm-started copy answering
+identically.
+
+Run with::
+
+    python examples/query_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.rdf import TriplePattern, parse_turtle
+from repro.requirements import build_requirement_distance, build_requirement_vocabularies
+from repro.service import QueryEngine, QuerySpec, load_index, save_index
+from repro.workloads import mixed_query_specs
+
+REQUIREMENTS_DOCUMENT = """
+# On-board software requirements (excerpt)
+(OBSW001, Fun:acquire_in, InType:pre-launch-phase)
+(OBSW001, Fun:accept_cmd, CmdType:start-up)
+(OBSW001, Fun:send_msg, MsgType:power-amplifier)
+(OBSW002, Fun:accept_cmd, CmdType:shutdown)
+(OBSW002, Fun:send_msg, MsgType:heartbeat)
+(OBSW003, Fun:block_cmd, CmdType:start-up)
+(OBSW001, Fun:block_cmd, CmdType:start-up)
+(OBSW004, Fun:transmit_tm, TmType:temperature-frame)
+(OBSW004, Fun:withhold_tm, TmType:temperature-frame)
+(OBSW005, Fun:enable_mode, ModeType:safe-mode)
+"""
+
+
+def main() -> None:
+    # 1. Build the index (as in examples/quickstart.py).
+    triples = parse_turtle(REQUIREMENTS_DOCUMENT)
+    actor_names = sorted({t.subject.name for t in triples})  # type: ignore[union-attr]
+    distance = build_requirement_distance(build_requirement_vocabularies(actor_names))
+    index = SemTreeIndex(distance, SemTreeConfig(dimensions=4, bucket_size=4,
+                                                 max_partitions=3, partition_capacity=8))
+    index.add_triples(triples, document_id="quickstart")
+    index.build()
+    print(f"Index built over {len(index)} triples "
+          f"({index.statistics()['partitions']} partitions)")
+
+    # 2. Serve a mixed batch twice: the repeat run is served from the cache.
+    specs = mixed_query_specs(triples, 64, k=3, radius=0.25,
+                              repeat_fraction=0.4, seed=5)
+    with QueryEngine(index, workers=4) as engine:
+        engine.execute_batch(specs)
+        engine.execute_batch(specs)
+
+        # A pattern-filtered query: "semantic neighbours of blocking start-up,
+        # but only statements about OBSW001".
+        target = triples[6]  # (OBSW001, Fun:block_cmd, CmdType:start-up)
+        pattern = TriplePattern(subject=target.subject)
+        filtered = engine.execute(QuerySpec.k_nearest(target, 3, pattern=pattern))
+        print(f"\nPattern-filtered neighbours of {target}:")
+        for match in filtered.matches:
+            print(f"  d={match.distance:.4f}  {match.triple}")
+
+        stats = engine.statistics()
+        print("\nService statistics:")
+        print(f"  queries:         {stats['queries']}")
+        print(f"  qps:             {stats['qps']:.0f}")
+        print(f"  cache hit rate:  {stats['cache']['hit_rate']:.2f}")
+        print(f"  p50 latency:     {stats['latency_ms']['p50']:.3f} ms")
+        print(f"  partition loads: {stats['partition_loads']}")
+
+        # 3. Snapshot the index and warm-start a second service from it.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "semtree-snapshot.json"
+            save_index(index, path)
+            print(f"\nSnapshot written ({path.stat().st_size} bytes)")
+            loaded = load_index(path, distance)
+            with QueryEngine(loaded, workers=2) as warm_engine:
+                original = engine.execute_sequential([QuerySpec.k_nearest(target, 3)])
+                restored = warm_engine.execute_sequential([QuerySpec.k_nearest(target, 3)])
+        identical = [r.matches for r in original] == [r.matches for r in restored]
+        print(f"Warm-started service answers identically: {identical}")
+
+
+if __name__ == "__main__":
+    main()

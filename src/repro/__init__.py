@@ -15,15 +15,20 @@ The package is organised as one subpackage per subsystem:
   (synthetic corpus, antinomy vocabulary, inconsistency detection);
 * :mod:`repro.baselines` — linear-scan and sequential-tree baselines;
 * :mod:`repro.workloads` — synthetic point/query workload generators;
-* :mod:`repro.evaluation` — precision/recall, timing, experiment running.
+* :mod:`repro.evaluation` — precision/recall, timing, experiment running;
+* :mod:`repro.service` — the concurrent query-serving engine (result
+  caching, batch execution, deadlines, index snapshots).
 """
 
 from repro.core.config import SemTreeConfig, SplitStrategy
 from repro.core.semtree import SemanticMatch, SemTreeIndex
 from repro.rdf.triple import Triple, TriplePattern
 from repro.semantics.triple_distance import DistanceWeights, TermDistance, TripleDistance
+from repro.service.engine import QueryEngine, QueryResult
+from repro.service.planner import QueryKind, QuerySpec
+from repro.service.snapshot import load_index, save_index
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SemTreeIndex",
@@ -35,5 +40,11 @@ __all__ = [
     "TripleDistance",
     "TermDistance",
     "DistanceWeights",
+    "QueryEngine",
+    "QueryResult",
+    "QuerySpec",
+    "QueryKind",
+    "save_index",
+    "load_index",
     "__version__",
 ]

@@ -22,6 +22,7 @@ the paper's timing figures.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict
@@ -52,6 +53,10 @@ class SimulatedClock:
         self._work: Dict[str, float] = defaultdict(float)
         self._network_cost = 0.0
         self._messages = 0
+        # The serving layer traverses the tree from worker threads, and every
+        # traversal charges costs here; the read-modify-write accumulations
+        # must not lose updates under that concurrency.
+        self._lock = threading.Lock()
 
     # -- charging ----------------------------------------------------------------
 
@@ -59,7 +64,8 @@ class SimulatedClock:
         """Charge ``cost`` work units to a named resource (e.g. a partition id)."""
         if cost < 0:
             raise ValueError(f"cost must be non-negative, got {cost}")
-        self._work[resource] += cost
+        with self._lock:
+            self._work[resource] += cost
 
     def charge_message(self, cost: float = 1.0, *, resource: str | None = None) -> None:
         """Charge one network message of the given cost.
@@ -72,24 +78,26 @@ class SimulatedClock:
         """
         if cost < 0:
             raise ValueError(f"cost must be non-negative, got {cost}")
-        self._messages += 1
-        if resource is not None:
-            self._work[resource] += cost
-        else:
-            self._network_cost += cost
+        with self._lock:
+            self._messages += 1
+            if resource is not None:
+                self._work[resource] += cost
+            else:
+                self._network_cost += cost
 
     # -- readings -----------------------------------------------------------------
 
     @property
     def total_work(self) -> float:
         """Total work across all resources plus network cost (sequential-equivalent)."""
-        return sum(self._work.values()) + self._network_cost
+        with self._lock:
+            return sum(self._work.values()) + self._network_cost
 
     @property
     def critical_path(self) -> float:
         """Makespan approximation: busiest resource plus all network cost."""
-        busiest = max(self._work.values(), default=0.0)
-        return busiest + self._network_cost
+        with self._lock:
+            return max(self._work.values(), default=0.0) + self._network_cost
 
     @property
     def network_cost(self) -> float:
@@ -107,19 +115,24 @@ class SimulatedClock:
 
     def snapshot(self) -> CostSnapshot:
         """Return an immutable snapshot of the current accounting."""
+        with self._lock:
+            per_resource = dict(self._work)
+            network_cost = self._network_cost
+            messages = self._messages
         return CostSnapshot(
-            total_work=self.total_work,
-            critical_path=self.critical_path,
-            network_cost=self._network_cost,
-            per_resource=dict(self._work),
-            messages=self._messages,
+            total_work=sum(per_resource.values()) + network_cost,
+            critical_path=max(per_resource.values(), default=0.0) + network_cost,
+            network_cost=network_cost,
+            per_resource=per_resource,
+            messages=messages,
         )
 
     def reset(self) -> None:
         """Zero every counter."""
-        self._work.clear()
-        self._network_cost = 0.0
-        self._messages = 0
+        with self._lock:
+            self._work.clear()
+            self._network_cost = 0.0
+            self._messages = 0
 
     def __repr__(self) -> str:
         return (

@@ -31,7 +31,7 @@ the benchmark harness.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.message import Message, MessageKind
@@ -58,6 +58,12 @@ class RangeSearchState:
         self.nodes_visited = 0
         self.points_examined = 0
         self.partitions_visited = 0
+        self.visited_partition_ids: List[str] = []
+
+    def note_partition(self, partition_id: str) -> None:
+        """Record the identity of a partition the search entered (load metrics)."""
+        if partition_id not in self.visited_partition_ids:
+            self.visited_partition_ids.append(partition_id)
 
     def sorted_results(self) -> List[Neighbour]:
         """The collected results, closest first."""
@@ -104,6 +110,44 @@ class DistributedSemTree:
         if partition.point_count:
             self.cluster.record_points(partition_id, partition.point_count)
         return partition
+
+    @classmethod
+    def from_snapshot(cls, config: SemTreeConfig,
+                      partition_roots: Sequence[Tuple[str, Node]], *, size: int,
+                      cluster: SimulatedCluster | None = None) -> "DistributedSemTree":
+        """Rebuild a tree from deserialised partition roots (warm start).
+
+        ``partition_roots`` pairs each partition identifier with its local
+        root node, remote links already encoded as
+        :class:`~repro.core.node.RemoteChild` pointers.  Partitions are
+        placed in the given order, so serialising them in registration order
+        reproduces the original deterministic placement.
+
+        Raises
+        ------
+        PartitionError
+            If the root partition ``P0`` is missing from the payload.
+        """
+        tree = cls(config, cluster=cluster)
+        # Drop the empty auto-created root partition; every partition of the
+        # snapshot (P0 included) is registered from the payload instead.
+        tree.cluster.remove_partition(cls.ROOT_PARTITION_ID)
+        tree._partitions.clear()
+        highest = 0
+        for partition_id, root in partition_roots:
+            partition = Partition(partition_id, tree, root=root)
+            tree._register_partition(partition)
+            if partition.point_count:
+                tree.cluster.record_points(partition_id, partition.point_count)
+            digits = partition_id.lstrip("P")
+            if digits.isdigit():
+                highest = max(highest, int(digits))
+        if cls.ROOT_PARTITION_ID not in tree._partitions:
+            raise PartitionError("a snapshot must contain the root partition "
+                                 f"{cls.ROOT_PARTITION_ID!r}")
+        tree._partition_counter = itertools.count(highest + 1)
+        tree._size = size
+        return tree
 
     @property
     def root_partition(self) -> Partition:
@@ -349,6 +393,7 @@ class DistributedSemTree:
         partitions through the message bus (which re-enters this method via
         :meth:`handle_knn_message`).
         """
+        state.note_partition(partition.partition_id)
         # Stack entries: (node, pending_far_child) — ``None`` means forward phase.
         stack: List[Tuple[Node, Optional[ChildRef]]] = [(partition.root, None)]
         while stack:
@@ -417,6 +462,7 @@ class DistributedSemTree:
         ))
 
     def _range_traverse(self, partition: Partition, state: RangeSearchState) -> None:
+        state.note_partition(partition.partition_id)
         stack: List[Node] = [partition.root]
         while stack:
             node = stack.pop()

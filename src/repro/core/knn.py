@@ -147,9 +147,19 @@ class KSearchState:
     nodes_visited: int = 0
     points_examined: int = 0
     partitions_visited: int = 0
+    visited_partition_ids: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.results = ResultSet(self.k)
+
+    def note_partition(self, partition_id: str) -> None:
+        """Record the identity of a partition the search entered.
+
+        ``partitions_visited`` keeps the paper's plain counter; the identities
+        feed the serving layer's per-partition load metrics.
+        """
+        if partition_id not in self.visited_partition_ids:
+            self.visited_partition_ids.append(partition_id)
 
     # -- the two sub-conditions of the backward visit --------------------------------
 

@@ -69,16 +69,22 @@ class LabeledPoint:
 def squared_euclidean_distance(a: LabeledPoint | Sequence[float],
                                b: LabeledPoint | Sequence[float]) -> float:
     """Squared Euclidean distance between two points (or raw coordinate sequences)."""
+    distance = euclidean_distance(a, b)
+    return distance * distance
+
+
+def euclidean_distance(a: LabeledPoint | Sequence[float],
+                       b: LabeledPoint | Sequence[float]) -> float:
+    """Euclidean distance between two points (or raw coordinate sequences).
+
+    This is the hot path of every leaf scan: ``math.dist`` runs the whole
+    subtract-square-accumulate loop in C, so it is kept free of any Python
+    per-coordinate iteration.
+    """
     coords_a = a.coordinates if isinstance(a, LabeledPoint) else a
     coords_b = b.coordinates if isinstance(b, LabeledPoint) else b
     if len(coords_a) != len(coords_b):
         raise IndexError_(
             f"dimension mismatch: {len(coords_a)} vs {len(coords_b)}"
         )
-    return sum((x - y) * (x - y) for x, y in zip(coords_a, coords_b))
-
-
-def euclidean_distance(a: LabeledPoint | Sequence[float],
-                       b: LabeledPoint | Sequence[float]) -> float:
-    """Euclidean distance between two points (or raw coordinate sequences)."""
-    return math.sqrt(squared_euclidean_distance(a, b))
+    return math.dist(coords_a, coords_b)

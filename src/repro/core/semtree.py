@@ -84,6 +84,7 @@ class SemTreeIndex:
         self._tree: Optional[DistributedSemTree] = None
         self._pending: List[Triple] = []
         self._documents_of: Dict[Triple, List[str]] = {}
+        self._generation = 0
 
     # -- accumulation phase --------------------------------------------------------------
 
@@ -134,6 +135,7 @@ class SemTreeIndex:
         for triple in distinct:
             self._tree.insert(self._point_for(triple))
         self._pending = []
+        self._generation += 1
         return self
 
     @property
@@ -154,9 +156,32 @@ class SemTreeIndex:
             raise IndexError_("the index has not been built yet; call build() first")
         return self._tree
 
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every mutation of the built index.
+
+        Result caches (see :mod:`repro.service.cache`) tag entries with the
+        generation they were computed at and drop them when it moves on, so
+        stale answers are never served after incremental inserts.
+        """
+        return self._generation
+
     def _point_for(self, triple: Triple) -> LabeledPoint:
         coordinates = self.embedder.transform(triple)
         return LabeledPoint.of(coordinates, label=triple)
+
+    def embed_query(self, triple: Triple) -> LabeledPoint:
+        """Project a query triple into the index's vector space.
+
+        The serving layer embeds each distinct query exactly once on the
+        planning thread (the projection touches the semantic-distance memo
+        caches), then runs :meth:`tree.k_nearest_state <repro.core.distributed.DistributedSemTree.k_nearest_state>`
+        / ``range_query_state`` searches with the resulting point from
+        worker threads and dresses the neighbours via :meth:`to_match`.
+        """
+        if self._tree is None:
+            raise IndexError_("the index has not been built yet; call build() first")
+        return self._point_for(triple)
 
     # -- incremental insertion ----------------------------------------------------------------
 
@@ -169,6 +194,7 @@ class SemTreeIndex:
         if document_id is not None:
             self._documents_of.setdefault(triple, []).append(document_id)
         self.tree.insert(self._point_for(triple))
+        self._generation += 1
 
     def insert_triples(self, triples: Iterable[Triple]) -> None:
         """Insert many triples into an already-built index."""
@@ -193,6 +219,10 @@ class SemTreeIndex:
         query_point = self._point_for(query)
         neighbours = self.tree.range_query(query_point, radius)
         return [self._to_match(neighbour) for neighbour in neighbours]
+
+    def to_match(self, neighbour: Neighbour) -> SemanticMatch:
+        """Dress a raw tree neighbour as a :class:`SemanticMatch` with provenance."""
+        return self._to_match(neighbour)
 
     def _to_match(self, neighbour: Neighbour) -> SemanticMatch:
         triple = neighbour.point.label

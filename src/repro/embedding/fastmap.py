@@ -33,7 +33,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (Any, Callable, Dict, Generic, Hashable, List, Optional, Sequence,
+                    Tuple, TypeVar)
 
 import numpy as np
 
@@ -101,6 +102,45 @@ class FastMapSpace(Generic[ObjectT]):
 
     def __len__(self) -> int:
         return len(self.objects)
+
+    # -- snapshot support ------------------------------------------------------------
+
+    def to_payload(self, serialise: Callable[[ObjectT], Any]) -> Dict[str, Any]:
+        """Serialise the space to a JSON-compatible payload.
+
+        ``serialise`` converts one embedded object (e.g. a triple) to a
+        JSON-compatible value.  Pivots are stored as indices into the object
+        list — they are always members of the fitted set.
+        """
+        return {
+            "dimensions": self.dimensions,
+            "objects": [serialise(obj) for obj in self.objects],
+            "coordinates": self.coordinates.tolist(),
+            "pivots": [
+                {
+                    "first": self._index_of[pivot.first],
+                    "second": self._index_of[pivot.second],
+                    "distance": pivot.distance,
+                }
+                for pivot in self.pivots
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any],
+                     deserialise: Callable[[Any], ObjectT]) -> "FastMapSpace[ObjectT]":
+        """Inverse of :meth:`to_payload`."""
+        objects = [deserialise(entry) for entry in payload["objects"]]
+        dimensions = int(payload["dimensions"])
+        coordinates = np.asarray(payload["coordinates"], dtype=float)
+        coordinates = coordinates.reshape(len(objects), dimensions)
+        pivots = [
+            PivotPair(objects[entry["first"]], objects[entry["second"]],
+                      float(entry["distance"]))
+            for entry in payload["pivots"]
+        ]
+        return cls(dimensions=dimensions, objects=objects,
+                   coordinates=coordinates, pivots=pivots)
 
 
 class FastMap(Generic[ObjectT]):

@@ -52,6 +52,15 @@ class TripleEmbedder:
         self._space = self._fastmap.fit(list(triples))
         return self._space
 
+    def restore(self, space: FastMapSpace[Triple]) -> None:
+        """Adopt an already-fitted space (snapshot warm start).
+
+        Out-of-sample projection only needs the stored pivots and the
+        distance oracle, so a deserialised space behaves exactly like a
+        freshly fitted one.
+        """
+        self._space = space
+
     @property
     def space(self) -> FastMapSpace[Triple]:
         """The fitted space.

@@ -3,8 +3,12 @@
 from repro.io.serialization import (
     document_from_dict,
     document_to_dict,
+    labeled_point_from_dict,
+    labeled_point_to_dict,
     load_collection,
     load_corpus,
+    node_from_dict,
+    node_to_dict,
     save_collection,
     save_corpus,
     term_from_dict,
@@ -20,6 +24,10 @@ __all__ = [
     "triple_from_dict",
     "document_to_dict",
     "document_from_dict",
+    "labeled_point_to_dict",
+    "labeled_point_from_dict",
+    "node_to_dict",
+    "node_from_dict",
     "save_collection",
     "load_collection",
     "save_corpus",

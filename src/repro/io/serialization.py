@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from repro.core.node import ChildRef, Node, RemoteChild
+from repro.core.point import LabeledPoint
 from repro.errors import ParseError
 from repro.rdf.document import Document, DocumentCollection
 from repro.rdf.terms import Concept, Literal, Term
@@ -31,6 +33,8 @@ __all__ = [
     "term_to_dict", "term_from_dict",
     "triple_to_dict", "triple_from_dict",
     "document_to_dict", "document_from_dict",
+    "labeled_point_to_dict", "labeled_point_from_dict",
+    "node_to_dict", "node_from_dict",
     "save_collection", "load_collection",
     "save_corpus", "load_corpus",
 ]
@@ -73,6 +77,95 @@ def triple_from_dict(payload: Dict[str, Any]) -> Triple:
         term_from_dict(payload["predicate"]),
         term_from_dict(payload["object"]),
     )
+
+
+# -- points and tree nodes (index snapshots) -----------------------------------------------
+
+def labeled_point_to_dict(point: LabeledPoint) -> Dict[str, Any]:
+    """Serialise an embedded point whose label is a triple (the SemTree case)."""
+    if not isinstance(point.label, Triple):
+        raise ParseError(
+            "only points labelled with triples can be serialised, got label of type "
+            f"{type(point.label).__name__}"
+        )
+    return {
+        "coordinates": list(point.coordinates),
+        "triple": triple_to_dict(point.label),
+    }
+
+
+def labeled_point_from_dict(payload: Dict[str, Any]) -> LabeledPoint:
+    """Inverse of :func:`labeled_point_to_dict`."""
+    return LabeledPoint.of(payload["coordinates"],
+                           label=triple_from_dict(payload["triple"]))
+
+
+def node_to_dict(root: Node) -> Dict[str, Any]:
+    """Serialise a partition-local subtree (remote links become pointers).
+
+    The traversal is iterative (explicit stack, post-order assembly) so even
+    the degenerate chain trees of the worst-case experiments serialise
+    without hitting the recursion limit.
+    """
+    order: List[Node] = []
+    stack: List[Node] = [root]
+    while stack:
+        current = stack.pop()
+        order.append(current)
+        if current.is_routing:
+            for child in (current.left, current.right):
+                if isinstance(child, Node):
+                    stack.append(child)
+
+    payload_of: Dict[int, Dict[str, Any]] = {}
+
+    def child_payload(child: Optional[ChildRef]) -> Dict[str, Any]:
+        if isinstance(child, RemoteChild):
+            return {"kind": "remote", "partition_id": child.partition_id}
+        if isinstance(child, Node):
+            return payload_of[id(child)]
+        raise ParseError("routing node with a missing child cannot be serialised")
+
+    for current in reversed(order):
+        if current.is_leaf:
+            payload_of[id(current)] = {
+                "kind": "leaf",
+                "bucket": [labeled_point_to_dict(point) for point in current.bucket],
+            }
+        else:
+            payload_of[id(current)] = {
+                "kind": "routing",
+                "split_index": current.split_index,
+                "split_value": current.split_value,
+                "left": child_payload(current.left),
+                "right": child_payload(current.right),
+            }
+    return payload_of[id(root)]
+
+
+def node_from_dict(payload: Dict[str, Any], *, partition_id: str | None = None) -> Node:
+    """Inverse of :func:`node_to_dict` (iterative, like the serialiser)."""
+    root = Node(partition_id=partition_id)
+    stack: List[tuple] = [(root, payload)]
+    while stack:
+        node, data = stack.pop()
+        kind = data.get("kind")
+        if kind == "leaf":
+            node.bucket = [labeled_point_from_dict(entry) for entry in data.get("bucket", [])]
+        elif kind == "routing":
+            node.split_index = int(data["split_index"])
+            node.split_value = float(data["split_value"])
+            for side in ("left", "right"):
+                child_data = data[side]
+                if child_data.get("kind") == "remote":
+                    setattr(node, side, RemoteChild(child_data["partition_id"]))
+                else:
+                    child = Node(partition_id=partition_id)
+                    setattr(node, side, child)
+                    stack.append((child, child_data))
+        else:
+            raise ParseError(f"unknown node kind {kind!r}")
+    return root
 
 
 # -- documents -----------------------------------------------------------------------------

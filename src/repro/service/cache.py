@@ -1,0 +1,158 @@
+"""LRU + TTL result cache with generation-based invalidation.
+
+Entries are keyed on the planner's cache key (embedded coordinates + query
+parameters) and tagged with the index *generation* they were computed at
+(:attr:`repro.core.semtree.SemTreeIndex.generation`).  Every mutation of the
+built index bumps the generation, so a lookup that finds an entry from an
+older generation treats it as a miss and drops it — stale k-NN answers are
+never served after incremental inserts, without the mutation path having to
+know which keys are affected.
+
+Eviction is twofold: least-recently-used beyond ``capacity``, and
+time-to-live expiry when a ``ttl`` is configured.  All operations are
+guarded by a lock so the cache can be shared by the engine's worker
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from repro.errors import QueryError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Counters of one cache's lifetime (immutable snapshot)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _Entry:
+    __slots__ = ("value", "generation", "expires_at")
+
+    def __init__(self, value: Any, generation: int, expires_at: Optional[float]):
+        self.value = value
+        self.generation = generation
+        self.expires_at = expires_at
+
+
+class ResultCache:
+    """A bounded, thread-safe result cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries retained (LRU beyond that).
+    ttl:
+        Optional time-to-live in seconds; entries older than this are
+        expired lazily at lookup time.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, capacity: int = 1024, *, ttl: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise QueryError(f"cache capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise QueryError("the cache TTL must be a positive number of seconds")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[Hashable, ...], _Entry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    # -- lookups -----------------------------------------------------------------------
+
+    def get(self, key: Tuple[Hashable, ...], generation: int) -> Optional[Any]:
+        """Return the cached value, or ``None`` on miss/expiry/staleness.
+
+        ``generation`` is the index's current generation; entries written at
+        an older generation are dropped and counted as invalidations.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.generation != generation:
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None
+            if entry.expires_at is not None and self._clock() >= entry.expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.value
+
+    def put(self, key: Tuple[Hashable, ...], value: Any, generation: int) -> None:
+        """Store a value computed at ``generation``."""
+        expires_at = self._clock() + self.ttl if self.ttl is not None else None
+        with self._lock:
+            self._entries[key] = _Entry(value, generation, expires_at)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """An immutable snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"ResultCache(size={stats.size}/{self.capacity}, hits={stats.hits}, "
+            f"misses={stats.misses}, hit_rate={stats.hit_rate:.2f})"
+        )

@@ -1,0 +1,342 @@
+"""The concurrent query-serving engine above :class:`SemTreeIndex`.
+
+:class:`QueryEngine` is the runtime the ROADMAP's "serve heavy traffic"
+north star asks for: it accepts single and batched k-NN / range /
+pattern-filtered queries, deduplicates and caches them, executes distinct
+cache misses concurrently over a thread pool, and enforces per-query
+deadlines.
+
+Design notes
+------------
+* **Planning is single-threaded.**  Embedding a query triple exercises the
+  semantic-distance caches (taxonomy depth/ancestor memos), so the planner
+  runs on the calling thread; worker threads only traverse the tree, which
+  is read-only at query time.
+* **Batches are deterministic.**  A batch's results are guaranteed
+  identical to sequential execution: the tree search is deterministic, each
+  distinct query runs exactly once, and results are fanned back out in
+  input order (:meth:`QueryEngine.execute_sequential` exists as the
+  verification baseline).
+* **Deadlines bound waiting, not work.**  Python threads cannot be killed,
+  so a query that misses its deadline is reported as timed out immediately
+  while the worker finishes in the background; its late result is still
+  cached for subsequent queries (tagged with the generation captured when
+  the batch started, so it can never go stale unnoticed).  In-batch
+  duplicates share one execution but keep their own deadlines: each is
+  judged against the worker's completion timestamp.
+* **Mutations must be externally serialised.**  Inserts bump the index
+  generation, which invalidates cache entries, but running
+  ``insert_triple`` concurrently with ``execute_batch`` is not supported —
+  quiesce queries first.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.semtree import SemanticMatch, SemTreeIndex
+from repro.errors import QueryError
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.planner import PlannedQuery, QueryKind, QueryPlanner, QuerySpec
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+#: How many extra candidates a pattern-filtered k-NN query fetches, so the
+#: pattern filter still leaves ``k`` results in the common case.
+PATTERN_OVERSAMPLE = 4
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """The outcome of one served query, in batch input order.
+
+    ``cached`` is True when the result was served without running a tree
+    search for this spec — a result-cache hit or an in-batch duplicate of
+    another query.
+    """
+
+    spec: QuerySpec
+    matches: Tuple[SemanticMatch, ...]
+    cached: bool
+    latency_seconds: float = 0.0
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the query produced a result (no timeout, no error)."""
+        return not self.timed_out and self.error is None
+
+
+@dataclass(frozen=True, slots=True)
+class _Execution:
+    """Internal: one tree search's matches plus its observability counters.
+
+    ``completed_at`` is stamped by the worker the moment the search finishes
+    so the collector can judge deadlines against the true completion time,
+    not against when it happened to read the future.
+    """
+
+    matches: Tuple[SemanticMatch, ...]
+    visited_partitions: Tuple[str, ...]
+    nodes_visited: int
+    points_examined: int
+    elapsed: float
+    completed_at: float
+
+
+class QueryEngine:
+    """Concurrent serving engine over one built :class:`SemTreeIndex`.
+
+    Parameters
+    ----------
+    index:
+        The built index to serve (building it is the caller's job).
+    workers:
+        Worker-thread count for batch execution.
+    cache_capacity / cache_ttl:
+        Result-cache sizing; ``cache_ttl`` in seconds (``None`` = no expiry).
+    default_deadline:
+        Per-query time budget in seconds applied when a spec carries none
+        (``None`` = wait for completion).
+    metrics:
+        Optional externally-owned :class:`ServiceMetrics` (one is created
+        otherwise).
+    """
+
+    def __init__(self, index: SemTreeIndex, *, workers: int = 4,
+                 cache_capacity: int = 1024, cache_ttl: float | None = None,
+                 default_deadline: float | None = None,
+                 metrics: ServiceMetrics | None = None):
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        self.index = index
+        self.planner = QueryPlanner(index)
+        self.cache = ResultCache(cache_capacity, ttl=cache_ttl)
+        self.metrics = metrics or ServiceMetrics()
+        self.default_deadline = default_deadline
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="semtree-query"
+        )
+        self._closed = False
+
+    # -- serving ------------------------------------------------------------------------
+
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Serve one query (a batch of one)."""
+        return self.execute_batch([spec])[0]
+
+    def execute_batch(self, specs: Sequence[QuerySpec]) -> List[QueryResult]:
+        """Serve a batch: dedupe, consult the cache, run misses concurrently.
+
+        Results come back in input order and are identical to what
+        :meth:`execute_sequential` produces for the same specs.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if self._closed:
+            raise QueryError("the engine has been closed")
+
+        unique, assignment = self.planner.plan_batch(specs)
+        generation = self.index.generation
+
+        # Deduplicated queries run once but every duplicate keeps its own
+        # deadline: the collector waits out the most generous budget among
+        # the duplicates, then judges each input spec against the worker's
+        # completion timestamp.
+        budgets: Dict[int, List[Optional[float]]] = {}
+        for spec, position in zip(specs, assignment):
+            budgets.setdefault(position, []).append(spec.deadline or self.default_deadline)
+
+        def wait_budget(position: int) -> Optional[float]:
+            deadlines = budgets[position]
+            return None if any(d is None for d in deadlines) else max(deadlines)
+
+        # Phase 1: resolve each distinct query against the cache; submit the
+        # misses to the pool so they run while we collect in order.
+        outcomes: List[Optional[Tuple[str, object]]] = []
+        pending: Dict[int, Tuple[Future, float]] = {}
+        for position, planned in enumerate(unique):
+            cached_matches = self.cache.get(planned.cache_key, generation)
+            if cached_matches is not None:
+                outcomes.append(("hit", cached_matches))
+            else:
+                outcomes.append(None)
+                pending[position] = (
+                    self._executor.submit(self._run, planned), time.perf_counter()
+                )
+
+        # Phase 2: gather the in-flight searches, enforcing deadlines.
+        for position, (future, submitted_at) in pending.items():
+            planned = unique[position]
+            budget = wait_budget(position)
+            try:
+                if budget is None:
+                    execution = future.result()
+                else:
+                    remaining = budget - (time.perf_counter() - submitted_at)
+                    execution = future.result(timeout=max(remaining, 0.0))
+            except FutureTimeoutError:
+                outcomes[position] = ("timeout", None)
+                # The worker cannot be killed; let its (still valid) late
+                # result warm the cache for subsequent queries.
+                future.add_done_callback(functools.partial(
+                    self._cache_late, planned.cache_key, generation
+                ))
+                continue
+            except Exception as error:  # noqa: BLE001 - surfaced per query
+                outcomes[position] = ("error", error)
+                continue
+            self.cache.put(planned.cache_key, execution.matches, generation)
+            outcomes[position] = ("executed", (execution,
+                                               execution.completed_at - submitted_at))
+
+        # Phase 3: fan the distinct outcomes back out to input order.
+        first_input_of: Dict[int, int] = {}
+        for input_index, position in enumerate(assignment):
+            first_input_of.setdefault(position, input_index)
+
+        results: List[QueryResult] = []
+        for input_index, (spec, position) in enumerate(zip(specs, assignment)):
+            outcome = outcomes[position]
+            assert outcome is not None
+            tag, value = outcome
+            is_first = first_input_of[position] == input_index
+            if tag == "hit":
+                result = QueryResult(spec=spec, matches=tuple(value), cached=True)
+                self._record(result)
+            elif tag == "executed":
+                execution, completion_seconds = value
+                own_deadline = spec.deadline or self.default_deadline
+                if own_deadline is not None and completion_seconds > own_deadline:
+                    # The shared execution finished, but not within THIS
+                    # duplicate's budget.
+                    result = QueryResult(spec=spec, matches=(), cached=False,
+                                         timed_out=True, error="deadline exceeded")
+                    self._record(result)
+                else:
+                    result = QueryResult(
+                        spec=spec, matches=execution.matches, cached=not is_first,
+                        latency_seconds=execution.elapsed if is_first else 0.0,
+                    )
+                    self._record(
+                        result,
+                        visited_partitions=execution.visited_partitions if is_first else (),
+                    )
+            elif tag == "timeout":
+                result = QueryResult(spec=spec, matches=(), cached=False,
+                                     timed_out=True, error="deadline exceeded")
+                self._record(result)
+            else:
+                result = QueryResult(spec=spec, matches=(), cached=False,
+                                     error=f"{type(value).__name__}: {value}")
+                self._record(result)
+            results.append(result)
+        return results
+
+    def execute_sequential(self, specs: Sequence[QuerySpec]) -> List[QueryResult]:
+        """The verification/benchmark baseline: one query at a time, no cache.
+
+        Batch execution is required to produce exactly these matches for the
+        same specs (deadlines aside).
+        """
+        results: List[QueryResult] = []
+        for spec in specs:
+            execution = self._run(self.planner.plan(spec))
+            results.append(QueryResult(
+                spec=spec, matches=execution.matches, cached=False,
+                latency_seconds=execution.elapsed,
+            ))
+        return results
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _run(self, planned: PlannedQuery) -> _Execution:
+        """One tree search (worker-thread body); deterministic per planned query."""
+        spec = planned.spec
+        started = time.perf_counter()
+        if spec.kind is QueryKind.KNN:
+            fetch = spec.k if spec.pattern is None else spec.k * PATTERN_OVERSAMPLE
+            state = self.index.tree.k_nearest_state(planned.point, fetch)
+            matches = [self.index.to_match(n) for n in state.results.neighbours()]
+            visited = tuple(state.visited_partition_ids)
+            nodes_visited, points_examined = state.nodes_visited, state.points_examined
+        else:
+            state = self.index.tree.range_query_state(planned.point, spec.radius)
+            matches = [self.index.to_match(n) for n in state.sorted_results()]
+            visited = tuple(state.visited_partition_ids)
+            nodes_visited, points_examined = state.nodes_visited, state.points_examined
+        if spec.pattern is not None:
+            matches = [match for match in matches if spec.pattern.matches(match.triple)]
+        if spec.kind is QueryKind.KNN:
+            matches = matches[:spec.k]
+        completed_at = time.perf_counter()
+        return _Execution(
+            matches=tuple(matches),
+            visited_partitions=visited,
+            nodes_visited=nodes_visited,
+            points_examined=points_examined,
+            elapsed=completed_at - started,
+            completed_at=completed_at,
+        )
+
+    def _cache_late(self, key: Tuple[Hashable, ...], generation: int,
+                    future: Future) -> None:
+        if future.cancelled() or future.exception() is not None:
+            return
+        execution = future.result()
+        self.cache.put(key, execution.matches, generation)
+
+    def _record(self, result: QueryResult,
+                visited_partitions: Tuple[str, ...] = ()) -> None:
+        self.metrics.record(
+            result.spec.kind.value, result.latency_seconds, cached=result.cached,
+            timed_out=result.timed_out,
+            failed=result.error is not None and not result.timed_out,
+            visited_partitions=visited_partitions,
+        )
+
+    # -- observability ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, object]:
+        """Serving metrics merged with the result-cache counters."""
+        snapshot = self.metrics.snapshot()
+        cache_stats = self.cache.stats
+        snapshot["cache"] = {
+            "hits": cache_stats.hits,
+            "misses": cache_stats.misses,
+            "hit_rate": cache_stats.hit_rate,
+            "evictions": cache_stats.evictions,
+            "expirations": cache_stats.expirations,
+            "invalidations": cache_stats.invalidations,
+            "size": cache_stats.size,
+        }
+        snapshot["workers"] = self.workers
+        return snapshot
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut the worker pool down; the engine refuses queries afterwards."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(index={self.index!r}, workers={self.workers}, "
+            f"cache={self.cache!r})"
+        )

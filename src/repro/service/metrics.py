@@ -1,0 +1,144 @@
+"""Serving metrics: QPS, latency percentiles, cache hit rate, partition load.
+
+The module follows the style of :mod:`repro.evaluation.timing`: plain
+counters plus immutable snapshots, no external dependencies.  The engine
+records one observation per query result; :meth:`ServiceMetrics.snapshot`
+turns the accumulated state into the flat dictionary the benchmarks print.
+
+Latency samples are kept in a bounded deque (most recent ``max_samples``)
+so a long-running service's metrics stay O(1) in memory; percentiles are
+therefore over the recent window, which is what a serving dashboard wants
+anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import EvaluationError
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+
+def percentile(samples: Iterable[float], fraction: float) -> float:
+    """Nearest-rank percentile of a sample set (``fraction`` in [0, 1]).
+
+    Raises
+    ------
+    EvaluationError
+        If the sample set is empty or the fraction is out of range.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise EvaluationError(f"percentile fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    if not ordered:
+        raise EvaluationError("cannot take a percentile of an empty sample set")
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator of per-query serving observations."""
+
+    def __init__(self, *, max_samples: int = 10_000,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_samples < 1:
+            raise EvaluationError("max_samples must be >= 1")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._latencies: deque = deque(maxlen=max_samples)
+        self._queries = 0
+        self._executed = 0
+        self._served_from_cache = 0
+        self._timeouts = 0
+        self._errors = 0
+        self._by_kind: Counter = Counter()
+        self._partition_loads: Counter = Counter()
+
+    # -- recording ----------------------------------------------------------------------
+
+    def record(self, kind: str, latency_seconds: float, *, cached: bool,
+               timed_out: bool = False, failed: bool = False,
+               visited_partitions: Iterable[str] = ()) -> None:
+        """Record one served query.
+
+        ``visited_partitions`` are the identities of the partitions the tree
+        search entered (empty for cache hits), feeding the per-partition
+        load counters.
+
+        Only successfully *executed* queries contribute a latency sample:
+        cache hits would flood the percentiles with ~0 values and mask the
+        tree-search distribution, and a timed-out query has no completion
+        time (counting it as 0 would make percentiles improve as timeouts
+        increase).  Hits and timeouts are still counted in their own
+        counters.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now
+            self._queries += 1
+            self._by_kind[kind] += 1
+            if cached:
+                self._served_from_cache += 1
+            else:
+                self._executed += 1
+            if timed_out:
+                self._timeouts += 1
+            if failed:
+                self._errors += 1
+            if not cached and not timed_out and not failed:
+                self._latencies.append(latency_seconds)
+            for partition_id in visited_partitions:
+                self._partition_loads[partition_id] += 1
+
+    # -- readings -----------------------------------------------------------------------
+
+    @property
+    def queries(self) -> int:
+        """Total queries recorded."""
+        with self._lock:
+            return self._queries
+
+    def partition_loads(self) -> Dict[str, int]:
+        """Queries served per partition (how often each partition was searched)."""
+        with self._lock:
+            return dict(self._partition_loads)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A flat dictionary of every serving metric (for reports and tests)."""
+        with self._lock:
+            elapsed = (self._clock() - self._started_at) if self._started_at is not None else 0.0
+            latencies = list(self._latencies)
+            queries = self._queries
+            snapshot: Dict[str, object] = {
+                "queries": queries,
+                "executed": self._executed,
+                "served_from_cache": self._served_from_cache,
+                "timeouts": self._timeouts,
+                "errors": self._errors,
+                "wall_seconds": elapsed,
+                "qps": queries / elapsed if elapsed > 0 else 0.0,
+                "queries_by_kind": dict(self._by_kind),
+                "partition_loads": dict(self._partition_loads),
+            }
+        if latencies:
+            snapshot["latency_ms"] = {
+                "mean": sum(latencies) / len(latencies) * 1000.0,
+                "p50": percentile(latencies, 0.50) * 1000.0,
+                "p90": percentile(latencies, 0.90) * 1000.0,
+                "p99": percentile(latencies, 0.99) * 1000.0,
+                "max": max(latencies) * 1000.0,
+            }
+        return snapshot
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ServiceMetrics(queries={self._queries}, executed={self._executed}, "
+                f"served_from_cache={self._served_from_cache})"
+            )

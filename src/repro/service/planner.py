@@ -1,0 +1,149 @@
+"""Query normalisation and routing for the serving layer.
+
+The planner is the single-threaded front half of the
+:class:`~repro.service.engine.QueryEngine`: it embeds each query triple into
+the index's vector space exactly once, classifies the query (k-NN, range,
+optionally pattern-filtered), derives the cache key, and deduplicates
+identical queries within a batch so the tree is searched once per distinct
+query.  Everything downstream (cache lookups, concurrent tree searches)
+works on :class:`PlannedQuery` objects and never touches the semantic
+distance again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.point import LabeledPoint
+from repro.core.semtree import SemTreeIndex
+from repro.errors import QueryError
+from repro.rdf.triple import Triple, TriplePattern
+
+__all__ = ["QueryKind", "QuerySpec", "PlannedQuery", "QueryPlanner"]
+
+
+class QueryKind(Enum):
+    """The two retrieval modes of the paper, as served by the engine."""
+
+    KNN = "knn"
+    RANGE = "range"
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One client query: a triple plus the retrieval parameters.
+
+    Attributes
+    ----------
+    triple:
+        The query triple, projected into the embedded space at planning time.
+    kind:
+        k-NN or range retrieval.
+    k:
+        Number of neighbours for k-NN queries.
+    radius:
+        Embedded-space radius for range queries.
+    pattern:
+        Optional triple pattern; matches not satisfying it are filtered out
+        of the result (k-NN queries over-fetch to compensate).
+    deadline:
+        Optional per-query time budget in seconds, enforced by the engine.
+    """
+
+    triple: Triple
+    kind: QueryKind = QueryKind.KNN
+    k: int = 3
+    radius: float = 0.0
+    pattern: Optional[TriplePattern] = None
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is QueryKind.KNN and self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        if self.kind is QueryKind.RANGE and self.radius < 0:
+            raise QueryError("the range radius must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise QueryError("a deadline must be a positive number of seconds")
+
+    @classmethod
+    def k_nearest(cls, triple: Triple, k: int = 3, *,
+                  pattern: TriplePattern | None = None,
+                  deadline: float | None = None) -> "QuerySpec":
+        """A k-NN query spec."""
+        return cls(triple=triple, kind=QueryKind.KNN, k=k, pattern=pattern,
+                   deadline=deadline)
+
+    @classmethod
+    def range_query(cls, triple: Triple, radius: float, *,
+                    pattern: TriplePattern | None = None,
+                    deadline: float | None = None) -> "QuerySpec":
+        """A range query spec."""
+        return cls(triple=triple, kind=QueryKind.RANGE, radius=radius,
+                   pattern=pattern, deadline=deadline)
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedQuery:
+    """A spec with its embedded query point and result-cache key.
+
+    The cache key covers everything that determines the result — the query's
+    *embedded coordinates* (not the triple: distinct triples that project to
+    the same point are interchangeable), the retrieval parameters and the
+    pattern — but not the deadline, which only shapes execution.
+    """
+
+    spec: QuerySpec
+    point: LabeledPoint
+    cache_key: Tuple[Hashable, ...]
+
+
+class QueryPlanner:
+    """Plans query specs against one built :class:`SemTreeIndex`."""
+
+    def __init__(self, index: SemTreeIndex):
+        self.index = index
+
+    def plan(self, spec: QuerySpec) -> PlannedQuery:
+        """Embed the query triple once and derive its cache key."""
+        return self._plan_with_point(spec, self.index.embed_query(spec.triple))
+
+    @staticmethod
+    def _plan_with_point(spec: QuerySpec, point: LabeledPoint) -> PlannedQuery:
+        if spec.kind is QueryKind.KNN:
+            parameters: Tuple[Hashable, ...] = ("k", spec.k)
+        else:
+            parameters = ("radius", spec.radius)
+        cache_key = (spec.kind.value, point.coordinates, parameters, spec.pattern)
+        return PlannedQuery(spec=spec, point=point, cache_key=cache_key)
+
+    def plan_batch(self, specs: Sequence[QuerySpec]) -> Tuple[List[PlannedQuery], List[int]]:
+        """Plan a batch, deduplicating identical queries.
+
+        Each distinct *triple* in the batch is embedded exactly once (the
+        projection is the expensive part — O(pivots) semantic-distance
+        evaluations), however many specs reference it.
+
+        Returns ``(unique, assignment)``: the distinct planned queries in
+        first-occurrence order, and one index into ``unique`` per input spec,
+        so the engine executes each distinct query once and fans the result
+        back out to every duplicate.
+        """
+        point_of: dict = {}
+        unique: List[PlannedQuery] = []
+        position_of: dict = {}
+        assignment: List[int] = []
+        for spec in specs:
+            point = point_of.get(spec.triple)
+            if point is None:
+                point = self.index.embed_query(spec.triple)
+                point_of[spec.triple] = point
+            planned = self._plan_with_point(spec, point)
+            position = position_of.get(planned.cache_key)
+            if position is None:
+                position = len(unique)
+                position_of[planned.cache_key] = position
+                unique.append(planned)
+            assignment.append(position)
+        return unique, assignment

@@ -8,7 +8,8 @@ from repro.workloads.distributions import (
     sorted_points,
     uniform_points,
 )
-from repro.workloads.queries import QueryWorkload, perturbed_queries, uniform_queries
+from repro.workloads.queries import (QueryWorkload, mixed_query_specs,
+                                     perturbed_queries, uniform_queries)
 
 __all__ = [
     "uniform_points",
@@ -19,4 +20,5 @@ __all__ = [
     "QueryWorkload",
     "uniform_queries",
     "perturbed_queries",
+    "mixed_query_specs",
 ]

@@ -11,12 +11,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
 from repro.core.point import LabeledPoint
 from repro.errors import WorkloadError
 
-__all__ = ["QueryWorkload", "uniform_queries", "perturbed_queries"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import at module load
+    from repro.rdf.triple import Triple
+    from repro.service.planner import QuerySpec
+
+__all__ = ["QueryWorkload", "uniform_queries", "perturbed_queries", "mixed_query_specs"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,3 +88,38 @@ def perturbed_queries(data: Sequence[LabeledPoint], count: int, *, jitter: float
         coordinates = [value + rng.uniform(-jitter, jitter) for value in base.coordinates]
         queries.append(LabeledPoint.of(coordinates, label=f"q{index}"))
     return QueryWorkload(queries=tuple(queries), k=k, radius=radius)
+
+
+def mixed_query_specs(triples: Sequence["Triple"], count: int, *, k: int = 3,
+                      radius: float = 0.1, knn_fraction: float = 0.6,
+                      repeat_fraction: float = 0.3, seed: int = 1) -> List["QuerySpec"]:
+    """A reproducible batch of mixed k-NN / range query specs for the serving layer.
+
+    Query triples are drawn from the stored set (the paper's case-study
+    regime); ``knn_fraction`` of the batch are k-NN queries, the rest range
+    queries, and with probability ``repeat_fraction`` a query repeats an
+    earlier spec of the batch — which is what gives a result cache something
+    to hit.
+    """
+    from repro.service.planner import QuerySpec  # deferred: keeps workloads importable alone
+
+    if not triples:
+        raise WorkloadError("cannot derive query specs from an empty triple set")
+    if count < 1:
+        raise WorkloadError("count must be >= 1")
+    if not 0.0 <= knn_fraction <= 1.0:
+        raise WorkloadError("knn_fraction must be in [0, 1]")
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise WorkloadError("repeat_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    specs: List["QuerySpec"] = []
+    for _ in range(count):
+        if specs and rng.random() < repeat_fraction:
+            specs.append(specs[rng.randrange(len(specs))])
+            continue
+        triple = triples[rng.randrange(len(triples))]
+        if rng.random() < knn_fraction:
+            specs.append(QuerySpec.k_nearest(triple, k))
+        else:
+            specs.append(QuerySpec.range_query(triple, radius))
+    return specs

@@ -41,3 +41,9 @@ class TestExamples:
         output = run_example("semantic_search.py")
         assert "ranked documents" in output
         assert "record-002" in output
+
+    def test_query_service(self):
+        output = run_example("query_service.py")
+        assert "Pattern-filtered neighbours" in output
+        assert "cache hit rate" in output
+        assert "Warm-started service answers identically: True" in output

@@ -1,0 +1,91 @@
+"""Tests for the LRU + TTL result cache and its generation-based invalidation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.service import ResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(("a",), generation=1) is None
+        cache.put(("a",), [1, 2, 3], generation=1)
+        assert cache.get(("a",), generation=1) == [1, 2, 3]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(QueryError):
+            ResultCache(capacity=0)
+        with pytest.raises(QueryError):
+            ResultCache(ttl=-1.0)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), 1, generation=0)
+        cache.get(("a",), generation=0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestLru:
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a",), 1, generation=0)
+        cache.put(("b",), 2, generation=0)
+        cache.get(("a",), generation=0)   # refresh "a"
+        cache.put(("c",), 3, generation=0)  # evicts "b"
+        assert cache.get(("b",), generation=0) is None
+        assert cache.get(("a",), generation=0) == 1
+        assert cache.get(("c",), generation=0) == 3
+        assert cache.stats.evictions == 1
+
+
+class TestTtl:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put(("a",), 1, generation=0)
+        clock.advance(9.9)
+        assert cache.get(("a",), generation=0) == 1
+        clock.advance(0.2)
+        assert cache.get(("a",), generation=0) is None
+        assert cache.stats.expirations == 1
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, clock=clock)
+        cache.put(("a",), 1, generation=0)
+        clock.advance(1e9)
+        assert cache.get(("a",), generation=0) == 1
+
+
+class TestGenerationInvalidation:
+    def test_stale_generation_is_a_miss(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), "old", generation=1)
+        assert cache.get(("a",), generation=2) is None
+        assert cache.stats.invalidations == 1
+        # the stale entry is gone, a fresh one can be stored
+        cache.put(("a",), "new", generation=2)
+        assert cache.get(("a",), generation=2) == "new"
+
+    def test_current_generation_still_hits(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), "value", generation=7)
+        assert cache.get(("a",), generation=7) == "value"
+        assert cache.stats.invalidations == 0

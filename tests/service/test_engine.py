@@ -1,0 +1,233 @@
+"""Tests for the concurrent query engine: batching, caching, deadlines."""
+
+import time
+
+import pytest
+
+from repro.errors import QueryError
+from repro.rdf import TriplePattern
+from repro.service import QueryEngine, QuerySpec
+from repro.workloads import mixed_query_specs
+
+
+@pytest.fixture
+def engine(built_requirements_index):
+    index, _, corpus = built_requirements_index
+    with QueryEngine(index, workers=4) as engine:
+        yield engine, corpus
+
+
+class TestSingleQueries:
+    def test_knn_matches_the_index_facade(self, engine):
+        engine_, corpus = engine
+        triple = corpus.all_triples()[0]
+        result = engine_.execute(QuerySpec.k_nearest(triple, 3))
+        assert result.ok
+        assert list(result.matches) == engine_.index.k_nearest(triple, 3)
+
+    def test_range_matches_the_index_facade(self, engine):
+        engine_, corpus = engine
+        triple = corpus.all_triples()[0]
+        result = engine_.execute(QuerySpec.range_query(triple, 0.2))
+        assert result.ok
+        assert list(result.matches) == engine_.index.range_query(triple, 0.2)
+
+    def test_pattern_filter_restricts_results(self, engine):
+        engine_, corpus = engine
+        triple = corpus.all_triples()[0]
+        pattern = TriplePattern(subject=triple.subject)
+        result = engine_.execute(QuerySpec.k_nearest(triple, 5, pattern=pattern))
+        assert result.ok
+        assert len(result.matches) >= 1
+        assert all(match.triple.subject == triple.subject for match in result.matches)
+        assert all(pattern.matches(match.triple) for match in result.matches)
+
+    def test_pattern_filter_on_range_queries(self, engine):
+        engine_, corpus = engine
+        triple = corpus.all_triples()[0]
+        pattern = TriplePattern(predicate=triple.predicate)
+        result = engine_.execute(QuerySpec.range_query(triple, 0.3, pattern=pattern))
+        unfiltered = engine_.execute(QuerySpec.range_query(triple, 0.3))
+        assert all(pattern.matches(match.triple) for match in result.matches)
+        expected = [m for m in unfiltered.matches if pattern.matches(m.triple)]
+        assert list(result.matches) == expected
+
+
+class TestBatchExecution:
+    def test_acceptance_batch_of_256_equals_sequential(self, engine):
+        """A batch of >= 256 mixed k-NN/range queries over 4 workers returns
+        results identical to sequential execution (the PR's acceptance bar)."""
+        engine_, corpus = engine
+        triples = list(dict.fromkeys(corpus.all_triples()))
+        specs = mixed_query_specs(triples, 256, k=3, radius=0.15, seed=11)
+        batch = engine_.execute_batch(specs)
+        sequential = engine_.execute_sequential(specs)
+        assert len(batch) == len(sequential) == 256
+        for concurrent_result, sequential_result in zip(batch, sequential):
+            assert concurrent_result.ok
+            assert concurrent_result.matches == sequential_result.matches
+
+    def test_results_come_back_in_input_order(self, engine):
+        engine_, corpus = engine
+        triples = corpus.all_triples()
+        specs = [QuerySpec.k_nearest(t, 2) for t in triples[:10]]
+        results = engine_.execute_batch(specs)
+        assert [r.spec for r in results] == specs
+
+    def test_in_batch_duplicates_execute_once(self, engine):
+        engine_, corpus = engine
+        triple = corpus.all_triples()[0]
+        spec = QuerySpec.k_nearest(triple, 3)
+        results = engine_.execute_batch([spec, spec, spec])
+        assert all(r.matches == results[0].matches for r in results)
+        assert not results[0].cached           # the one that ran
+        assert results[1].cached and results[2].cached
+
+    def test_repeated_workload_has_nonzero_cache_hit_rate(self, engine):
+        engine_, corpus = engine
+        triples = list(dict.fromkeys(corpus.all_triples()))
+        specs = mixed_query_specs(triples, 64, seed=3)
+        first = engine_.execute_batch(specs)
+        second = engine_.execute_batch(specs)
+        assert engine_.cache.stats.hit_rate > 0.0
+        assert all(r.cached for r in second)
+        for a, b in zip(first, second):
+            assert a.matches == b.matches
+
+    def test_empty_batch(self, engine):
+        engine_, _ = engine
+        assert engine_.execute_batch([]) == []
+
+    def test_batch_is_deterministic_across_worker_counts(self, built_requirements_index):
+        index, _, corpus = built_requirements_index
+        triples = list(dict.fromkeys(corpus.all_triples()))
+        specs = mixed_query_specs(triples, 48, seed=5)
+        outcomes = []
+        for workers in (1, 4, 8):
+            with QueryEngine(index, workers=workers) as engine_:
+                outcomes.append([r.matches for r in engine_.execute_batch(specs)])
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestDeadlines:
+    def test_slow_query_times_out(self, built_requirements_index, monkeypatch):
+        index, _, corpus = built_requirements_index
+        triple = corpus.all_triples()[0]
+        with QueryEngine(index, workers=2) as engine_:
+            slow_run = engine_._run
+
+            def delayed(planned):
+                time.sleep(0.25)
+                return slow_run(planned)
+
+            monkeypatch.setattr(engine_, "_run", delayed)
+            result = engine_.execute(QuerySpec.k_nearest(triple, 3, deadline=0.02))
+            assert result.timed_out
+            assert not result.ok
+            assert result.matches == ()
+
+    def test_default_deadline_applies(self, built_requirements_index, monkeypatch):
+        index, _, corpus = built_requirements_index
+        triple = corpus.all_triples()[0]
+        with QueryEngine(index, workers=2, default_deadline=0.02) as engine_:
+            slow_run = engine_._run
+
+            def delayed(planned):
+                time.sleep(0.25)
+                return slow_run(planned)
+
+            monkeypatch.setattr(engine_, "_run", delayed)
+            assert engine_.execute(QuerySpec.k_nearest(triple, 3)).timed_out
+
+    def test_generous_deadline_succeeds(self, engine):
+        engine_, corpus = engine
+        triple = corpus.all_triples()[0]
+        result = engine_.execute(QuerySpec.k_nearest(triple, 3, deadline=30.0))
+        assert result.ok and result.matches
+
+    def test_in_batch_duplicates_keep_their_own_deadlines(self, built_requirements_index,
+                                                          monkeypatch):
+        index, _, corpus = built_requirements_index
+        triple = corpus.all_triples()[0]
+        with QueryEngine(index, workers=2) as engine_:
+            real_run = engine_._run
+
+            def delayed(planned):
+                time.sleep(0.1)
+                return real_run(planned)
+
+            monkeypatch.setattr(engine_, "_run", delayed)
+            generous = QuerySpec.k_nearest(triple, 3, deadline=10.0)
+            strict = QuerySpec.k_nearest(triple, 3, deadline=0.01)
+            results = engine_.execute_batch([generous, strict])
+            assert results[0].ok and results[0].matches
+            assert results[1].timed_out
+
+        # ... regardless of which duplicate comes first in the batch
+        # (fresh engine: the first one's cache would serve the repeat instantly)
+        with QueryEngine(index, workers=2) as engine_:
+            real_run = engine_._run
+
+            def delayed_again(planned):
+                time.sleep(0.1)
+                return real_run(planned)
+
+            monkeypatch.setattr(engine_, "_run", delayed_again)
+            results = engine_.execute_batch([strict, generous])
+            assert results[0].timed_out
+            assert results[1].ok and results[1].matches
+
+
+class TestFailures:
+    def test_worker_errors_are_reported_per_query(self, built_requirements_index,
+                                                  monkeypatch):
+        index, _, corpus = built_requirements_index
+        triple = corpus.all_triples()[0]
+        with QueryEngine(index, workers=2) as engine_:
+            def explode(planned):
+                raise RuntimeError("partition on fire")
+
+            monkeypatch.setattr(engine_, "_run", explode)
+            result = engine_.execute(QuerySpec.k_nearest(triple, 3))
+            assert not result.ok
+            assert "partition on fire" in result.error
+            assert result.matches == ()
+
+    def test_closed_engine_refuses_queries(self, built_requirements_index):
+        index, _, corpus = built_requirements_index
+        engine_ = QueryEngine(index, workers=1)
+        engine_.close()
+        with pytest.raises(QueryError):
+            engine_.execute(QuerySpec.k_nearest(corpus.all_triples()[0], 1))
+
+    def test_invalid_worker_count_rejected(self, built_requirements_index):
+        index, _, _ = built_requirements_index
+        with pytest.raises(QueryError):
+            QueryEngine(index, workers=0)
+
+
+class TestObservability:
+    def test_statistics_cover_cache_and_latency(self, engine):
+        engine_, corpus = engine
+        triples = list(dict.fromkeys(corpus.all_triples()))
+        specs = mixed_query_specs(triples, 64, seed=9)
+        engine_.execute_batch(specs)
+        engine_.execute_batch(specs)
+        stats = engine_.statistics()
+        assert stats["queries"] == 128
+        assert stats["executed"] > 0
+        assert stats["served_from_cache"] > 0
+        assert stats["qps"] > 0
+        assert stats["cache"]["hit_rate"] > 0
+        assert stats["latency_ms"]["p50"] >= 0
+        assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"]
+        assert stats["workers"] == 4
+
+    def test_partition_loads_are_recorded(self, engine):
+        engine_, corpus = engine
+        triples = list(dict.fromkeys(corpus.all_triples()))
+        engine_.execute_batch([QuerySpec.k_nearest(t, 3) for t in triples[:20]])
+        loads = engine_.metrics.partition_loads()
+        assert loads, "expected at least the root partition to be loaded"
+        assert "P0" in loads
+        assert all(count > 0 for count in loads.values())

@@ -1,0 +1,105 @@
+"""Incremental insertion vs the result cache: no stale answers, consistent counters."""
+
+import pytest
+
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.rdf import Triple
+from repro.requirements import build_requirement_distance, build_requirement_vocabularies
+from repro.service import QueryEngine, QuerySpec
+
+
+@pytest.fixture
+def small_index():
+    vocabularies = build_requirement_vocabularies(["OBSW001", "OBSW002", "OBSW003"])
+    distance = build_requirement_distance(vocabularies)
+    index = SemTreeIndex(distance, SemTreeConfig(dimensions=3, bucket_size=4,
+                                                 max_partitions=2, partition_capacity=8))
+    index.add_triples([
+        Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+        Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"),
+        Triple.of("OBSW002", "Fun:enable_mode", "ModeType:safe-mode"),
+        Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:shutdown"),
+    ])
+    index.build()
+    return index
+
+
+class TestGenerationCounter:
+    def test_build_bumps_the_generation(self, small_index):
+        assert small_index.generation == 1
+
+    def test_every_insert_bumps_the_generation(self, small_index):
+        before = small_index.generation
+        small_index.insert_triple(Triple.of("OBSW003", "Fun:acquire_in", "InType:gps"))
+        small_index.insert_triple(Triple.of("OBSW003", "Fun:send_msg", "MsgType:pong"))
+        assert small_index.generation == before + 2
+
+
+class TestCountersStayConsistent:
+    def test_insert_triple_does_not_touch_pending(self, small_index):
+        size_before = len(small_index)
+        assert small_index.pending_triples == 0
+        small_index.insert_triple(Triple.of("OBSW003", "Fun:block_cmd", "CmdType:reset"))
+        assert small_index.pending_triples == 0
+        assert len(small_index) == size_before + 1
+
+    def test_add_triple_after_build_stays_pending(self, small_index):
+        size_before = len(small_index)
+        small_index.add_triple(Triple.of("OBSW003", "Fun:block_cmd", "CmdType:reset"))
+        assert small_index.pending_triples == 1
+        assert len(small_index) == size_before  # not indexed until the next build
+
+    def test_insert_triples_many(self, small_index):
+        size_before = len(small_index)
+        generation_before = small_index.generation
+        small_index.insert_triples([
+            Triple.of("OBSW003", "Fun:accept_cmd", "CmdType:a"),
+            Triple.of("OBSW003", "Fun:accept_cmd", "CmdType:b"),
+        ])
+        assert len(small_index) == size_before + 2
+        assert small_index.generation == generation_before + 2
+
+
+class TestNoStaleAnswers:
+    def test_insert_invalidates_cached_knn_results(self, small_index):
+        """The satellite's core assertion: a cached k-NN answer must not be
+        served once an insert makes a strictly better answer exist."""
+        query = Triple.of("OBSW003", "Fun:transmit_tm", "TmType:new-frame")
+        with QueryEngine(small_index, workers=2) as engine:
+            stale = engine.execute(QuerySpec.k_nearest(query, 1))
+            assert stale.matches[0].triple != query
+            # warm cache: the same spec is now served from the cache
+            assert engine.execute(QuerySpec.k_nearest(query, 1)).cached
+
+            small_index.insert_triple(query)
+
+            fresh = engine.execute(QuerySpec.k_nearest(query, 1))
+            assert not fresh.cached, "stale entry must not be served after an insert"
+            assert fresh.matches[0].triple == query
+            assert fresh.matches[0].distance == pytest.approx(0.0, abs=1e-9)
+            assert engine.cache.stats.invalidations >= 1
+
+    def test_insert_invalidates_cached_range_results(self, small_index):
+        query = Triple.of("OBSW003", "Fun:withhold_tm", "TmType:volt-frame")
+        with QueryEngine(small_index, workers=2) as engine:
+            before = engine.execute(QuerySpec.range_query(query, 0.05))
+            assert all(match.triple != query for match in before.matches)
+            engine.execute(QuerySpec.range_query(query, 0.05))  # cache it
+
+            small_index.insert_triple(query)
+
+            after = engine.execute(QuerySpec.range_query(query, 0.05))
+            assert not after.cached
+            assert any(match.triple == query for match in after.matches)
+
+    def test_unrelated_cache_entries_survive_only_within_a_generation(self, small_index):
+        """Generation invalidation is coarse by design: *every* entry written
+        before the insert is dropped, trading recomputation for correctness."""
+        query = Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up")
+        with QueryEngine(small_index, workers=2) as engine:
+            engine.execute(QuerySpec.k_nearest(query, 2))
+            small_index.insert_triple(
+                Triple.of("OBSW003", "Fun:send_msg", "MsgType:unrelated")
+            )
+            refreshed = engine.execute(QuerySpec.k_nearest(query, 2))
+            assert not refreshed.cached

@@ -1,0 +1,91 @@
+"""Tests for the serving metrics accumulator."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.service import ServiceMetrics, percentile
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestPercentile:
+    def test_known_values(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_unordered_input(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(EvaluationError):
+            percentile([1.0], 1.5)
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record("knn", 0.010, cached=False, visited_partitions=("P0", "P1"))
+        metrics.record("knn", 0.000, cached=True)
+        metrics.record("range", 0.020, cached=False, visited_partitions=("P0",))
+        metrics.record("knn", 0.050, cached=False, timed_out=True)
+        metrics.record("range", 0.001, cached=False, failed=True)
+        snapshot = metrics.snapshot()
+        assert snapshot["queries"] == 5
+        assert snapshot["executed"] == 4
+        assert snapshot["served_from_cache"] == 1
+        assert snapshot["timeouts"] == 1
+        assert snapshot["errors"] == 1
+        assert snapshot["queries_by_kind"] == {"knn": 3, "range": 2}
+
+    def test_partition_loads(self):
+        metrics = ServiceMetrics()
+        metrics.record("knn", 0.01, cached=False, visited_partitions=("P0", "P2"))
+        metrics.record("knn", 0.01, cached=False, visited_partitions=("P0",))
+        assert metrics.partition_loads() == {"P0": 2, "P2": 1}
+
+    def test_qps_uses_elapsed_time(self):
+        clock = FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        metrics.record("knn", 0.01, cached=False)
+        clock.advance(2.0)
+        metrics.record("knn", 0.01, cached=False)
+        snapshot = metrics.snapshot()
+        assert snapshot["wall_seconds"] == pytest.approx(2.0)
+        assert snapshot["qps"] == pytest.approx(1.0)
+
+    def test_latency_percentiles(self):
+        metrics = ServiceMetrics()
+        for latency in (0.001, 0.002, 0.003, 0.004, 0.100):
+            metrics.record("knn", latency, cached=False)
+        latency_ms = metrics.snapshot()["latency_ms"]
+        assert latency_ms["p50"] == pytest.approx(3.0)
+        assert latency_ms["max"] == pytest.approx(100.0)
+        assert latency_ms["p99"] <= latency_ms["max"]
+
+    def test_bounded_samples(self):
+        metrics = ServiceMetrics(max_samples=10)
+        for index in range(100):
+            metrics.record("knn", float(index), cached=False)
+        # only the most recent 10 samples feed the percentiles
+        assert metrics.snapshot()["latency_ms"]["p50"] >= 90_000
+        assert metrics.queries == 100
+
+    def test_empty_snapshot_has_no_latency_block(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["queries"] == 0
+        assert "latency_ms" not in snapshot

@@ -1,0 +1,107 @@
+"""Tests for index snapshots: a save → load round-trip answers identically."""
+
+import json
+
+import pytest
+
+from repro.errors import IndexError_, ParseError
+from repro.rdf import Triple
+from repro.service import QueryEngine, QuerySpec, load_index, save_index
+from repro.workloads import mixed_query_specs
+
+
+class TestRoundTrip:
+    def test_roundtrip_answers_knn_identically(self, built_requirements_index,
+                                               requirement_distance, tmp_path):
+        index, _, corpus = built_requirements_index
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path, requirement_distance)
+        assert len(loaded) == len(index)
+        for triple in list(dict.fromkeys(corpus.all_triples()))[:20]:
+            assert loaded.k_nearest(triple, 5) == index.k_nearest(triple, 5)
+
+    def test_roundtrip_answers_range_identically(self, built_requirements_index,
+                                                 requirement_distance, tmp_path):
+        index, _, corpus = built_requirements_index
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path, requirement_distance)
+        for triple in list(dict.fromkeys(corpus.all_triples()))[:10]:
+            assert loaded.range_query(triple, 0.25) == index.range_query(triple, 0.25)
+
+    def test_roundtrip_preserves_structure_and_provenance(self, built_requirements_index,
+                                                          requirement_distance, tmp_path):
+        index, _, corpus = built_requirements_index
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path, requirement_distance)
+        original = index.statistics()
+        restored = loaded.statistics()
+        for key in ("points", "partitions", "points_per_partition",
+                    "embedding_dimensions", "routing_only_partitions"):
+            assert restored[key] == original[key]
+        assert loaded.generation == index.generation
+        # provenance survives: matches still carry their document ids
+        triple = corpus.all_triples()[0]
+        assert loaded.k_nearest(triple, 1)[0].documents == \
+            index.k_nearest(triple, 1)[0].documents
+
+    def test_engine_over_loaded_index_equals_engine_over_original(
+            self, built_requirements_index, requirement_distance, tmp_path):
+        index, _, corpus = built_requirements_index
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path, requirement_distance)
+        triples = list(dict.fromkeys(corpus.all_triples()))
+        specs = mixed_query_specs(triples, 64, seed=21)
+        with QueryEngine(index, workers=4) as original_engine, \
+                QueryEngine(loaded, workers=4) as loaded_engine:
+            original_results = original_engine.execute_batch(specs)
+            loaded_results = loaded_engine.execute_batch(specs)
+        for a, b in zip(original_results, loaded_results):
+            assert a.matches == b.matches
+
+
+class TestWarmStartMutability:
+    def test_loaded_index_accepts_incremental_inserts(self, built_requirements_index,
+                                                      requirement_distance, tmp_path):
+        index, _, _ = built_requirements_index
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path, requirement_distance)
+        before = len(loaded)
+        generation_before = loaded.generation
+        new_triple = Triple.of("ACTOR-NEW", "Fun:accept_cmd", "CmdType:warm-start")
+        loaded.insert_triple(new_triple, document_id="post-load")
+        assert len(loaded) == before + 1
+        assert loaded.generation == generation_before + 1
+        top = loaded.k_nearest(new_triple, 1)[0]
+        assert top.triple == new_triple
+        assert top.distance == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFormatValidation:
+    def test_unbuilt_index_cannot_be_saved(self, requirement_distance, tmp_path):
+        from repro.core import SemTreeIndex
+
+        with pytest.raises(IndexError_):
+            save_index(SemTreeIndex(requirement_distance), tmp_path / "x.json")
+
+    def test_wrong_format_rejected(self, requirement_distance, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ParseError):
+            load_index(path, requirement_distance)
+
+    def test_wrong_version_rejected(self, requirement_distance, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": "semtree-snapshot", "version": 99}))
+        with pytest.raises(ParseError):
+            load_index(path, requirement_distance)
+
+    def test_truncated_file_rejected_as_parse_error(self, requirement_distance, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"format": "semtree-snapshot", "ver')
+        with pytest.raises(ParseError):
+            load_index(path, requirement_distance)
