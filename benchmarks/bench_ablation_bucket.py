@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import KDTree, LabeledPoint, SplitStrategy
+from repro.core import KDTree, SplitStrategy
 from repro.core.stats import sequential_stats
 from repro.evaluation import Experiment, measure
 from repro.workloads import perturbed_queries, sorted_points, uniform_points

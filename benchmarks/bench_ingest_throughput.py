@@ -1,0 +1,207 @@
+"""Ingest throughput — inserts/sec while a query load is being served.
+
+The live-ingestion pitch is that the index absorbs a write stream without
+quiescing reads.  This benchmark builds a requirements corpus index, wraps
+it in an :class:`~repro.ingest.ingesting.IngestingIndex` and measures
+
+* pure insert throughput (no concurrent queries),
+* mixed-workload throughput: an inserter thread streaming triples while
+  query threads run k-NN batches through the :class:`QueryEngine`,
+
+each with compaction disabled (threshold above the stream length) and with
+a background compactor folding every 64 inserts.  The report also gives the
+query throughput sustained *during* ingestion and the quiesce-free
+correctness check: the final merged answers equal a from-scratch rebuild.
+
+Expected shape: mixed-mode insert throughput stays within the same order of
+magnitude as pure ingest (reads never block writes for long), compaction
+adds only bounded overhead, and the equivalence check always passes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+import pytest
+
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.evaluation import Experiment, measure
+from repro.ingest import BackgroundCompactor, IngestingIndex
+from repro.requirements import (GeneratorConfig, RequirementsGenerator,
+                                build_requirement_distance,
+                                build_requirement_vocabularies)
+from repro.service import QueryEngine, QuerySpec
+
+from .conftest import write_report
+
+STREAM_SIZE = 192
+QUERY_BATCH = 24
+COMPACTION_THRESHOLD = 64
+
+
+def _corpus_and_distance():
+    config = GeneratorConfig(
+        documents=16, requirements_per_document=8, sentences_per_requirement=3,
+        actors=24, inconsistency_rate=0.2, restatement_rate=0.2, seed=31,
+    )
+    corpus = RequirementsGenerator(config).generate()
+    vocabularies = build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values
+    )
+    return corpus, build_requirement_distance(vocabularies)
+
+
+def _split(corpus):
+    triples = list(dict.fromkeys(corpus.all_triples()))
+    base, stream = triples[:-STREAM_SIZE], triples[-STREAM_SIZE:]
+    return base, stream
+
+
+def _build_base(distance, base_triples) -> SemTreeIndex:
+    index = SemTreeIndex(distance, SemTreeConfig(
+        dimensions=4, bucket_size=8, max_partitions=4, partition_capacity=64,
+    ))
+    index.add_triples(base_triples)
+    return index.build()
+
+
+def _ingest_only(distance, base_triples, stream, tmp_path, *, compact: bool) -> Dict[str, float]:
+    threshold = COMPACTION_THRESHOLD if compact else 10 * len(stream)
+    index = IngestingIndex(_build_base(distance, base_triples),
+                           tmp_path / "wal-pure.jsonl",
+                           compaction_threshold=threshold)
+    compactor = BackgroundCompactor(index, poll_interval=0.002)
+    if compact:
+        compactor.start()
+    timing = measure(lambda: index.insert_many(stream))
+    if compact:
+        compactor.stop(final_compact=True)
+    index.close()
+    stats = index.statistics()
+    return {
+        "inserts_per_sec": len(stream) / max(timing.wall_seconds, 1e-9),
+        "compactions": stats["compactions"],
+    }
+
+
+def _mixed(distance, base_triples, stream, queries, tmp_path, *,
+           compact: bool) -> Dict[str, float]:
+    threshold = COMPACTION_THRESHOLD if compact else 10 * len(stream)
+    index = IngestingIndex(_build_base(distance, base_triples),
+                           tmp_path / "wal-mixed.jsonl",
+                           compaction_threshold=threshold)
+    specs = [QuerySpec.k_nearest(triple, 3) for triple in queries]
+    served = {"queries": 0}
+    done = threading.Event()
+    compactor = BackgroundCompactor(index, poll_interval=0.002)
+    if compact:
+        compactor.start()
+
+    with QueryEngine(index, workers=2) as engine:
+        def query_load():
+            while not done.is_set():
+                engine.execute_batch(specs)
+                served["queries"] += len(specs)
+
+        query_thread = threading.Thread(target=query_load)
+        query_thread.start()
+        timing = measure(lambda: index.insert_many(stream))
+        done.set()
+        query_thread.join()
+
+        if compact:
+            compactor.stop(final_compact=True)
+
+        # quiesce-free correctness: merged answers equal a full rebuild
+        oracle = _build_base(distance, base_triples)
+        oracle.insert_triples(stream)
+        for spec in specs[:4]:
+            merged = [(round(m.distance, 9), str(m.triple))
+                      for m in index.k_nearest(spec.triple, spec.k)]
+            rebuilt = [(round(m.distance, 9), str(m.triple))
+                       for m in oracle.k_nearest(spec.triple, spec.k)]
+            assert sorted(merged) == sorted(rebuilt)
+
+    index.close()
+    stats = index.statistics()
+    wall = max(timing.wall_seconds, 1e-9)
+    return {
+        "inserts_per_sec": len(stream) / wall,
+        "queries_per_sec": served["queries"] / wall,
+        "compactions": stats["compactions"],
+    }
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
+
+@pytest.mark.benchmark(group="ingest-throughput")
+def test_benchmark_pure_ingest(benchmark, tmp_path):
+    corpus, distance = _corpus_and_distance()
+    base_triples, stream = _split(corpus)
+    index = IngestingIndex(_build_base(distance, base_triples),
+                           tmp_path / "wal-bench.jsonl",
+                           compaction_threshold=10 * len(stream))
+    position = iter(range(10**9))
+    benchmark(lambda: index.insert(stream[next(position) % len(stream)]))
+    index.close()
+
+
+@pytest.mark.benchmark(group="ingest-throughput")
+def test_benchmark_merged_knn_with_hot_delta(benchmark, tmp_path):
+    corpus, distance = _corpus_and_distance()
+    base_triples, stream = _split(corpus)
+    index = IngestingIndex(_build_base(distance, base_triples),
+                           tmp_path / "wal-knn.jsonl",
+                           compaction_threshold=10 * len(stream))
+    index.insert_many(stream[:COMPACTION_THRESHOLD])  # a full-size delta
+    query = stream[0]
+    benchmark(lambda: index.k_nearest(query, 3))
+    index.close()
+
+
+# -- the report ---------------------------------------------------------------------------
+
+def test_report_ingest_throughput(results_dir, tmp_path):
+    corpus, distance = _corpus_and_distance()
+    base_triples, stream = _split(corpus)
+    queries = stream[:QUERY_BATCH]
+
+    experiment = Experiment(
+        experiment_id="ingest_throughput",
+        description=(
+            f"Insert throughput over a {len(base_triples)}-triple base index, "
+            f"{len(stream)}-triple stream; mixed mode serves k-NN batches of "
+            f"{QUERY_BATCH} concurrently (2 engine workers). Merged answers are "
+            "checked identical (tie-insensitive) to a full rebuild. "
+            "x = compaction threshold (0 = compaction disabled)."
+        ),
+        swept_parameter="compaction_threshold",
+    )
+    for x, compact in ((0, False), (COMPACTION_THRESHOLD, True)):
+        pure = _ingest_only(distance, base_triples, stream,
+                            tmp_path / f"pure-{x}", compact=compact)
+        mixed = _mixed(distance, base_triples, stream, queries,
+                       tmp_path / f"mixed-{x}", compact=compact)
+        experiment.record(
+            "ingest", float(x),
+            pure_inserts_per_sec=pure["inserts_per_sec"],
+            mixed_inserts_per_sec=mixed["inserts_per_sec"],
+            mixed_queries_per_sec=mixed["queries_per_sec"],
+            compactions=float(pure["compactions"] + mixed["compactions"]),
+        )
+
+    text = write_report(results_dir, experiment, [
+        "pure_inserts_per_sec", "mixed_inserts_per_sec",
+        "mixed_queries_per_sec", "compactions",
+    ])
+    assert "ingest_throughput" in text
+
+    series = experiment.series["ingest"]
+    # shape: serving a query load must not collapse ingest throughput ...
+    for mixed_qps, pure_qps in zip(series.values("mixed_inserts_per_sec"),
+                                   series.values("pure_inserts_per_sec")):
+        assert mixed_qps > 0.1 * pure_qps
+    # ... queries really ran during ingestion, and compaction mode compacted.
+    assert all(qps > 0 for qps in series.values("mixed_queries_per_sec"))
+    assert series.values("compactions")[-1] >= 2

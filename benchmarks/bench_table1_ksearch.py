@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro.core import KSearchState, LabeledPoint, NodeStatus, ResultSet
+from repro.core import KSearchState, LabeledPoint, NodeStatus
 from repro.evaluation import Experiment
 
 from .conftest import write_report

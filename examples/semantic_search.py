@@ -22,7 +22,7 @@ from collections import defaultdict
 
 from repro.core import SemTreeConfig, SemTreeIndex
 from repro.rdf import Document, DocumentCollection, Triple
-from repro.semantics import DistanceWeights, Taxonomy, TermDistance, TripleDistance, Vocabulary
+from repro.semantics import DistanceWeights, TermDistance, TripleDistance, Vocabulary
 
 
 def build_medical_vocabulary() -> Vocabulary:

@@ -17,18 +17,23 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.workloads` — synthetic point/query workload generators;
 * :mod:`repro.evaluation` — precision/recall, timing, experiment running;
 * :mod:`repro.service` — the concurrent query-serving engine (result
-  caching, batch execution, deadlines, index snapshots).
+  caching, batch execution, deadlines, index snapshots);
+* :mod:`repro.ingest` — live ingestion (write-ahead log, delta index,
+  background compaction) so inserts no longer quiesce queries.
 """
 
 from repro.core.config import SemTreeConfig, SplitStrategy
 from repro.core.semtree import SemanticMatch, SemTreeIndex
+from repro.ingest.compactor import BackgroundCompactor
+from repro.ingest.ingesting import IngestingIndex
+from repro.ingest.wal import WriteAheadLog
 from repro.rdf.triple import Triple, TriplePattern
 from repro.semantics.triple_distance import DistanceWeights, TermDistance, TripleDistance
 from repro.service.engine import QueryEngine, QueryResult
 from repro.service.planner import QueryKind, QuerySpec
 from repro.service.snapshot import load_index, save_index
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SemTreeIndex",
@@ -44,6 +49,9 @@ __all__ = [
     "QueryResult",
     "QuerySpec",
     "QueryKind",
+    "IngestingIndex",
+    "BackgroundCompactor",
+    "WriteAheadLog",
     "save_index",
     "load_index",
     "__version__",

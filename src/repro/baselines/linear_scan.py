@@ -15,7 +15,7 @@ truth and a lower-bound comparator.  Two scanners are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence
+from typing import Iterable, List
 
 from repro.core.knn import Neighbour
 from repro.core.point import LabeledPoint, euclidean_distance

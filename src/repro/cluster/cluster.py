@@ -9,7 +9,7 @@ benchmarks report.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.cluster.clock import CostSnapshot, SimulatedClock
 from repro.cluster.message import Message

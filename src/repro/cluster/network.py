@@ -10,7 +10,7 @@ compute node can be configured to cost less (local delivery).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.cluster.clock import SimulatedClock
 from repro.cluster.message import Message

@@ -12,7 +12,7 @@ from repro.core.knn import KSearchState, Neighbour, NodeStatus, ResultSet
 from repro.core.node import Node, RemoteChild
 from repro.core.partition import Partition
 from repro.core.point import LabeledPoint, euclidean_distance, squared_euclidean_distance
-from repro.core.semtree import SemanticMatch, SemTreeIndex
+from repro.core.semtree import SearchOutcome, SemanticMatch, SemTreeIndex
 from repro.core.splitting import SplitDecision, choose_split, partition_bucket
 from repro.core.stats import TreeStats, distributed_stats, expected_nodes, sequential_stats
 
@@ -38,6 +38,7 @@ __all__ = [
     "partition_bucket",
     "SemTreeIndex",
     "SemanticMatch",
+    "SearchOutcome",
     "TreeStats",
     "sequential_stats",
     "distributed_stats",

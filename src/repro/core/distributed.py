@@ -65,6 +65,20 @@ class RangeSearchState:
         if partition_id not in self.visited_partition_ids:
             self.visited_partition_ids.append(partition_id)
 
+    def examine_point(self, point: LabeledPoint) -> bool:
+        """Test one stored point against the ball; returns True when it is a result.
+
+        The inclusion rule is ``distance <= radius``, inclusive — the
+        delta-segment scan of :mod:`repro.ingest.delta` applies the same
+        rule, so both sides of a merged read agree on boundary points.
+        """
+        self.points_examined += 1
+        distance = euclidean_distance(self.query, point)
+        if distance <= self.radius:
+            self.results.append(Neighbour(point, distance))
+            return True
+        return False
+
     def sorted_results(self) -> List[Neighbour]:
         """The collected results, closest first."""
         return sorted(self.results, key=lambda neighbour: neighbour.distance)
@@ -470,10 +484,7 @@ class DistributedSemTree:
             self.cluster.charge_work(partition.partition_id, self.config.node_visit_cost)
             if node.is_leaf:
                 for point in node.bucket:
-                    state.points_examined += 1
-                    distance = euclidean_distance(state.query, point)
-                    if distance <= state.radius:
-                        state.results.append(Neighbour(point, distance))
+                    state.examine_point(point)
                 self.cluster.charge_work(
                     partition.partition_id, self.config.point_visit_cost * len(node.bucket)
                 )

@@ -29,7 +29,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from repro.core.point import LabeledPoint, euclidean_distance
 from repro.errors import QueryError

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.cluster.message import Message, MessageKind
 from repro.core.config import CapacityPolicy, SemTreeConfig
-from repro.core.node import ChildRef, Node, RemoteChild
+from repro.core.node import Node, RemoteChild
 from repro.errors import PartitionError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only

@@ -19,7 +19,8 @@ regime.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.config import SemTreeConfig
@@ -32,7 +33,7 @@ from repro.rdf.document import Document, DocumentCollection
 from repro.rdf.triple import Triple
 from repro.semantics.triple_distance import TripleDistance
 
-__all__ = ["SemTreeIndex", "SemanticMatch"]
+__all__ = ["SemTreeIndex", "SemanticMatch", "SearchOutcome"]
 
 
 class SemanticMatch:
@@ -57,6 +58,26 @@ class SemanticMatch:
         return (self.triple, self.distance, self.documents) == (
             other.triple, other.distance, other.documents
         )
+
+    def __hash__(self) -> int:
+        return hash((self.triple, self.distance, self.documents))
+
+
+@dataclass(frozen=True, slots=True)
+class SearchOutcome:
+    """The result of one index search, dressed for the serving layer.
+
+    ``generation`` is the index generation the matches were computed at; the
+    serving layer keys its result cache on it and the live-ingestion overlay
+    (:meth:`repro.ingest.ingesting.IngestingIndex.overlay_matches`) uses it
+    to detect a compaction racing with the read.
+    """
+
+    matches: Tuple[SemanticMatch, ...]
+    visited_partitions: Tuple[str, ...]
+    nodes_visited: int
+    points_examined: int
+    generation: int
 
 
 class SemTreeIndex:
@@ -92,7 +113,15 @@ class SemTreeIndex:
         """Register a triple to be indexed by the next :meth:`build`."""
         self._pending.append(triple)
         if document_id is not None:
-            self._documents_of.setdefault(triple, []).append(document_id)
+            self.register_provenance(triple, document_id)
+
+    def register_provenance(self, triple: Triple, document_id: str) -> None:
+        """Remember that ``triple`` came from ``document_id`` (match dressing)."""
+        self._documents_of.setdefault(triple, []).append(document_id)
+
+    def documents_of(self, triple: Triple) -> Tuple[str, ...]:
+        """The document identifiers registered for ``triple`` (may be empty)."""
+        return tuple(self._documents_of.get(triple, ()))
 
     def add_triples(self, triples: Iterable[Triple], *, document_id: str | None = None) -> None:
         """Register many triples."""
@@ -192,7 +221,7 @@ class SemTreeIndex:
         space is *not* refitted, matching the paper's incremental regime.
         """
         if document_id is not None:
-            self._documents_of.setdefault(triple, []).append(document_id)
+            self.register_provenance(triple, document_id)
         self.tree.insert(self._point_for(triple))
         self._generation += 1
 
@@ -200,6 +229,23 @@ class SemTreeIndex:
         """Insert many triples into an already-built index."""
         for triple in triples:
             self.insert_triple(triple)
+
+    def absorb_points(self, points: Iterable[LabeledPoint]) -> int:
+        """Fold already-projected points into the tree, bumping the generation once.
+
+        This is the compaction write path of :mod:`repro.ingest`: the delta
+        segment's points were projected at insert time, so folding them is a
+        pure tree operation.  Unlike :meth:`insert_triples` the generation
+        moves a single step however many points are folded — the result cache
+        invalidates at compaction granularity, not per insert.
+        """
+        count = 0
+        for point in points:
+            self.tree.insert(point)
+            count += 1
+        if count:
+            self._generation += 1
+        return count
 
     def __len__(self) -> int:
         return len(self._tree) if self._tree is not None else 0
@@ -210,15 +256,55 @@ class SemTreeIndex:
         """The ``k`` indexed triples semantically closest to the query triple."""
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
-        query_point = self._point_for(query)
-        neighbours = self.tree.k_nearest(query_point, k)
-        return [self._to_match(neighbour) for neighbour in neighbours]
+        return list(self.search_k_nearest(self._point_for(query), k).matches)
 
     def range_query(self, query: Triple, radius: float) -> List[SemanticMatch]:
         """Every indexed triple within embedded distance ``radius`` of the query."""
-        query_point = self._point_for(query)
-        neighbours = self.tree.range_query(query_point, radius)
-        return [self._to_match(neighbour) for neighbour in neighbours]
+        return list(self.search_range(self._point_for(query), radius).matches)
+
+    # -- the serving-layer search protocol ------------------------------------------------
+
+    def search_k_nearest(self, point: LabeledPoint, k: int) -> SearchOutcome:
+        """Run a k-nearest tree search for an already-embedded query point.
+
+        This (with :meth:`search_range` and :meth:`overlay_matches`) is the
+        protocol the :class:`~repro.service.engine.QueryEngine` serves
+        through; :class:`~repro.ingest.ingesting.IngestingIndex` implements
+        the same three methods with delta-merged semantics.
+        """
+        state = self.tree.k_nearest_state(point, k)
+        return SearchOutcome(
+            matches=tuple(self._to_match(n) for n in state.results.neighbours()),
+            visited_partitions=tuple(state.visited_partition_ids),
+            nodes_visited=state.nodes_visited,
+            points_examined=state.points_examined,
+            generation=self._generation,
+        )
+
+    def search_range(self, point: LabeledPoint, radius: float) -> SearchOutcome:
+        """Run a range tree search for an already-embedded query point."""
+        state = self.tree.range_query_state(point, radius)
+        return SearchOutcome(
+            matches=tuple(self._to_match(n) for n in state.sorted_results()),
+            visited_partitions=tuple(state.visited_partition_ids),
+            nodes_visited=state.nodes_visited,
+            points_examined=state.points_examined,
+            generation=self._generation,
+        )
+
+    def overlay_matches(self, kind: str, point: LabeledPoint, parameter: float,
+                        matches: Tuple[SemanticMatch, ...],
+                        generation: int) -> Optional[Tuple[SemanticMatch, ...]]:
+        """Refresh search results against writes that landed after ``generation``.
+
+        A plain index has no write path besides :meth:`insert_triple` (which
+        bumps the generation and thus invalidates cached results wholesale),
+        so the matches are already current: they are returned unchanged.  An
+        :class:`~repro.ingest.ingesting.IngestingIndex` merges the live delta
+        segment here, and returns ``None`` when a compaction raced with the
+        read (the engine then re-runs the search under the new generation).
+        """
+        return tuple(matches)
 
     def to_match(self, neighbour: Neighbour) -> SemanticMatch:
         """Dress a raw tree neighbour as a :class:`SemanticMatch` with provenance."""

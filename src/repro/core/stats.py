@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.distributed import DistributedSemTree
 from repro.core.kdtree import KDTree

@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Generic, Hashable, List, Optional, Sequence,
+from typing import (Any, Callable, Dict, Generic, Hashable, List, Sequence, 
                     Tuple, TypeVar)
 
 import numpy as np

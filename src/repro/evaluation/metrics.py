@@ -13,7 +13,7 @@ the averages over the 100 query cases for each value of ``K`` (Fig. 8).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, TypeVar
+from typing import Iterable, Sequence, TypeVar
 
 from repro.errors import EvaluationError
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.evaluation.runner import Experiment, Series
+from repro.evaluation.runner import Experiment
 
 __all__ = ["format_series_table", "format_experiment", "format_key_values"]
 

@@ -1,0 +1,112 @@
+"""Background compaction: fold the delta into the tree off the serving path.
+
+:class:`Compactor` is the synchronous policy object (*should* this index
+compact, and do it); :class:`BackgroundCompactor` runs that policy on a
+daemon thread so neither inserters nor queries ever pay for a fold
+themselves.  The thread sleeps on an event that every insert kicks (via
+:meth:`IngestingIndex.add_insert_listener`), with a periodic timeout as a
+safety net, so compaction latency tracks the write rate without busy
+polling.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.ingest.ingesting import IngestingIndex
+
+__all__ = ["Compactor", "BackgroundCompactor"]
+
+
+class Compactor:
+    """The threshold policy around :meth:`IngestingIndex.compact`."""
+
+    def __init__(self, index: IngestingIndex):
+        self.index = index
+
+    def should_compact(self) -> bool:
+        """True when the index's delta has reached its threshold."""
+        return self.index.should_compact()
+
+    def maybe_compact(self) -> int:
+        """Compact if the threshold is reached; returns points folded (0 otherwise)."""
+        if not self.should_compact():
+            return 0
+        return self.index.compact()
+
+
+class BackgroundCompactor:
+    """A daemon thread that keeps an :class:`IngestingIndex` compacted.
+
+    Parameters
+    ----------
+    index:
+        The index to watch.
+    poll_interval:
+        Safety-net wake-up period in seconds; the usual wake-up is the
+        insert listener, so this only matters if inserts stop right at the
+        threshold boundary.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with BackgroundCompactor(index):
+            ... inserts and queries interleave, folds happen off-thread ...
+    """
+
+    def __init__(self, index: IngestingIndex, *, poll_interval: float = 0.05):
+        self.compactor = Compactor(index)
+        self.poll_interval = poll_interval
+        self._wakeup = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        index.add_insert_listener(self._wakeup.set)
+
+    # -- thread body --------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wakeup.wait(timeout=self.poll_interval)
+            self._wakeup.clear()
+            if self._stop.is_set():
+                break
+            self.compactor.maybe_compact()
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def start(self) -> "BackgroundCompactor":
+        """Start the daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="semtree-compactor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, *, final_compact: bool = False) -> None:
+        """Stop the thread; optionally run one last threshold-blind fold."""
+        self._stop.set()
+        self._wakeup.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if final_compact:
+            self.compactor.index.compact()
+
+    @property
+    def is_running(self) -> bool:
+        """True while the daemon thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "BackgroundCompactor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"BackgroundCompactor(running={self.is_running}, "
+            f"index={self.compactor.index!r})"
+        )

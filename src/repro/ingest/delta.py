@@ -1,0 +1,92 @@
+"""The delta segment: freshly inserted points, queryable before compaction.
+
+The delta is the memtable of the LSM analogy: an append-only, in-memory list
+of FastMap-projected points that absorbs the insert stream while the
+distributed tree stays immutable between compactions.  Queries linear-scan
+it — it is bounded by the compaction threshold, so the scan is a small
+constant on top of the tree search — and the merge is *exact*:
+
+* k-NN: the merged top-``k`` of tree ∪ delta is a subset of the tree's own
+  top-``k`` plus the delta (extra candidates can only displace tree points,
+  never resurrect one the tree already ranked out), so offering every delta
+  point to the tree's result list reproduces a from-scratch rebuild.
+* range: results are a plain union — ``range(tree ∪ delta) =
+  range(tree) ∪ range(delta)``.
+
+Appends and snapshots are guarded by a mutex; snapshots are immutable
+tuples, so readers merge against a frozen prefix of the insert stream
+(linearizable visibility) while inserters keep appending.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Tuple
+
+from repro.core.knn import Neighbour
+from repro.core.point import LabeledPoint, euclidean_distance
+
+__all__ = ["DeltaIndex"]
+
+
+class DeltaIndex:
+    """The in-memory linear-scan segment of an :class:`IngestingIndex`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._points: List[LabeledPoint] = []
+        self._last_seq = 0
+
+    # -- writes -------------------------------------------------------------------------
+
+    def add(self, point: LabeledPoint, seq: int) -> None:
+        """Append one projected point, carrying its WAL sequence number."""
+        with self._lock:
+            self._points.append(point)
+            self._last_seq = seq
+
+    def drain(self) -> Tuple[Tuple[LabeledPoint, ...], int]:
+        """Atomically take every point out (compaction); returns ``(points, last_seq)``.
+
+        ``last_seq`` is the WAL sequence number of the newest drained point —
+        after the fold it becomes the index's *applied* sequence, the replay
+        cut-off recorded by checkpoints.
+        """
+        with self._lock:
+            points = tuple(self._points)
+            self._points = []
+            return points, self._last_seq
+
+    # -- reads --------------------------------------------------------------------------
+
+    def points(self) -> Tuple[LabeledPoint, ...]:
+        """An immutable snapshot of the current delta contents."""
+        with self._lock:
+            return tuple(self._points)
+
+    def all_neighbours(self, query: LabeledPoint) -> List[Neighbour]:
+        """Every delta point with its distance to ``query`` (k-NN merge side)."""
+        return [
+            Neighbour(point, euclidean_distance(query, point))
+            for point in self.points()
+        ]
+
+    def neighbours_within(self, query: LabeledPoint, radius: float) -> List[Neighbour]:
+        """Delta points within ``radius`` of ``query`` (range merge side)."""
+        return [
+            neighbour for neighbour in self.all_neighbours(query)
+            if neighbour.distance <= radius
+        ]
+
+    @property
+    def last_seq(self) -> int:
+        """WAL sequence number of the newest point currently in the delta."""
+        with self._lock:
+            return self._last_seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+    def __repr__(self) -> str:
+        return f"DeltaIndex(points={len(self)}, last_seq={self.last_seq})"

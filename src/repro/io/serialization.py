@@ -35,9 +35,46 @@ __all__ = [
     "document_to_dict", "document_from_dict",
     "labeled_point_to_dict", "labeled_point_from_dict",
     "node_to_dict", "node_from_dict",
+    "dump_json_line", "iter_json_lines",
     "save_collection", "load_collection",
     "save_corpus", "load_corpus",
 ]
+
+
+# -- JSON-lines streams (write-ahead logs, event streams) ----------------------------------
+
+def dump_json_line(payload: Dict[str, Any]) -> str:
+    """One JSON object as a single compact line, newline-terminated.
+
+    The compact separators keep append-heavy streams (the ingest write-ahead
+    log) small; the trailing newline is the record delimiter, so a crash
+    mid-write leaves a recognisably torn final line.
+    """
+    return json.dumps(payload, separators=(",", ":")) + "\n"
+
+
+def iter_json_lines(path: str | pathlib.Path, *,
+                    tolerate_torn_tail: bool = False):
+    """Yield ``(line_number, payload)`` for every record of a JSON-lines file.
+
+    Blank lines are skipped.  A record that does not parse raises
+    :class:`~repro.errors.ParseError` carrying the line number — unless it is
+    the *last* line of the file and ``tolerate_torn_tail`` is set, in which
+    case it is silently dropped: that is the signature of a process killed
+    mid-append, and everything before it is still valid.
+    """
+    lines = pathlib.Path(path).read_text().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            if tolerate_torn_tail and number == len(lines):
+                return
+            raise ParseError(f"invalid JSON-lines record: {error}",
+                             line=number) from error
+        yield number, payload
 
 
 # -- terms and triples -------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 __all__ = ["Token", "tokenize", "split_sentences", "normalise_identifier"]
 

@@ -14,7 +14,7 @@ before they are embedded and indexed by SemTree.  It provides:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.rdf.terms import Term
 from repro.rdf.triple import Triple, TriplePattern

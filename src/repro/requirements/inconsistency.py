@@ -26,7 +26,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.semtree import SemanticMatch, SemTreeIndex
 from repro.errors import VocabularyError

@@ -10,7 +10,7 @@ on-board software.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Iterator, List
 
 from repro.errors import TripleError
 from repro.rdf.document import Document, DocumentCollection

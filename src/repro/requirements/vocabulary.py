@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.semantics.taxonomy import Taxonomy
 from repro.semantics.triple_distance import DistanceWeights, TermDistance, TripleDistance
 from repro.semantics.vocabulary import Vocabulary
 

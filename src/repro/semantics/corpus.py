@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable
 
 from repro.errors import VocabularyError
 from repro.rdf.terms import Concept

@@ -18,10 +18,11 @@ See ``docs/service.md`` for the subsystem guide.
 
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.engine import QueryEngine, QueryResult
-from repro.service.metrics import ServiceMetrics, percentile
-from repro.service.planner import PlannedQuery, QueryKind, QueryPlanner, QuerySpec
+from repro.service.metrics import IngestMetrics, ServiceMetrics, percentile
+from repro.service.planner import (PlannedQuery, QueryKind, QueryPlanner, QuerySpec,
+                                   ServableIndex)
 from repro.service.snapshot import (SNAPSHOT_FORMAT, SNAPSHOT_VERSION, load_index,
-                                    save_index)
+                                    save_index, snapshot_wal_seq)
 
 __all__ = [
     "QueryEngine",
@@ -30,12 +31,15 @@ __all__ = [
     "PlannedQuery",
     "QuerySpec",
     "QueryKind",
+    "ServableIndex",
     "ResultCache",
     "CacheStats",
     "ServiceMetrics",
+    "IngestMetrics",
     "percentile",
     "save_index",
     "load_index",
+    "snapshot_wal_seq",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
 ]

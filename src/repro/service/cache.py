@@ -12,6 +12,15 @@ Eviction is twofold: least-recently-used beyond ``capacity``, and
 time-to-live expiry when a ``ttl`` is configured.  All operations are
 guarded by a lock so the cache can be shared by the engine's worker
 threads.
+
+Admission is plain LRU by default.  With ``segmented=True`` the cache runs
+the SLRU (segmented LRU) policy instead: new entries are admitted into a
+*probationary* segment and only promoted into the *protected* segment on
+their first hit; the protected segment demotes its LRU entry back to
+probation when full, and capacity evictions always take the probationary
+LRU first.  A one-pass scan of never-repeated queries therefore churns the
+probationary segment only — the working set in the protected segment
+survives, which plain LRU cannot guarantee.
 """
 
 from __future__ import annotations
@@ -36,7 +45,9 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    promotions: int = 0
     size: int = 0
+    protected_size: int = 0
 
     @property
     def lookups(self) -> int:
@@ -64,30 +75,52 @@ class ResultCache:
     Parameters
     ----------
     capacity:
-        Maximum number of entries retained (LRU beyond that).
+        Maximum number of entries retained (across both segments when
+        segmented).
     ttl:
         Optional time-to-live in seconds; entries older than this are
         expired lazily at lookup time.
     clock:
         Monotonic time source (injectable for tests).
+    segmented:
+        Turn on SLRU admission (probationary/protected segments).
+    protected_fraction:
+        Share of ``capacity`` the protected segment may hold (segmented
+        mode only).
     """
 
     def __init__(self, capacity: int = 1024, *, ttl: float | None = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 segmented: bool = False, protected_fraction: float = 0.8):
         if capacity < 1:
             raise QueryError(f"cache capacity must be >= 1, got {capacity}")
         if ttl is not None and ttl <= 0:
             raise QueryError("the cache TTL must be a positive number of seconds")
+        if not 0.0 < protected_fraction < 1.0:
+            raise QueryError("protected_fraction must be strictly between 0 and 1")
         self.capacity = capacity
         self.ttl = ttl
+        self.segmented = segmented
+        # At least one probationary slot must survive, or promoted entries
+        # fill the whole cache and every new admission evicts itself.  With
+        # capacity 1 the protected segment degenerates to nothing and the
+        # cache behaves as plain LRU.
+        self.protected_capacity = (
+            min(capacity - 1, max(1, round(capacity * protected_fraction)))
+            if segmented else 0
+        )
         self._clock = clock
         self._lock = threading.Lock()
+        # Plain mode uses ``_entries`` alone; segmented mode uses it as the
+        # probationary segment with ``_protected`` above it.
         self._entries: "OrderedDict[Tuple[Hashable, ...], _Entry]" = OrderedDict()
+        self._protected: "OrderedDict[Tuple[Hashable, ...], _Entry]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
         self._invalidations = 0
+        self._promotions = 0
 
     # -- lookups -----------------------------------------------------------------------
 
@@ -98,32 +131,63 @@ class ResultCache:
         an older generation are dropped and counted as invalidations.
         """
         with self._lock:
-            entry = self._entries.get(key)
+            segment = self._entries
+            entry = segment.get(key)
+            if entry is None and self.segmented:
+                segment = self._protected
+                entry = segment.get(key)
             if entry is None:
                 self._misses += 1
                 return None
             if entry.generation != generation:
-                del self._entries[key]
+                del segment[key]
                 self._invalidations += 1
                 self._misses += 1
                 return None
             if entry.expires_at is not None and self._clock() >= entry.expires_at:
-                del self._entries[key]
+                del segment[key]
                 self._expirations += 1
                 self._misses += 1
                 return None
-            self._entries.move_to_end(key)
+            if segment is self._protected:
+                self._protected.move_to_end(key)
+            elif self.segmented:
+                self._promote(key, entry)
+            else:
+                self._entries.move_to_end(key)
             self._hits += 1
             return entry.value
 
+    def _promote(self, key: Tuple[Hashable, ...], entry: _Entry) -> None:
+        """First hit on a probationary entry: move it into the protected segment."""
+        del self._entries[key]
+        self._protected[key] = entry
+        self._promotions += 1
+        while len(self._protected) > self.protected_capacity:
+            demoted_key, demoted = self._protected.popitem(last=False)
+            # Demotion to probationary MRU, not eviction: the entry gets one
+            # more chance before the probationary LRU churn reaches it.
+            self._entries[demoted_key] = demoted
+
     def put(self, key: Tuple[Hashable, ...], value: Any, generation: int) -> None:
-        """Store a value computed at ``generation``."""
+        """Store a value computed at ``generation``.
+
+        In segmented mode a *new* key is admitted into the probationary
+        segment; updating a key that already earned protection refreshes it
+        in place.
+        """
         expires_at = self._clock() + self.ttl if self.ttl is not None else None
+        entry = _Entry(value, generation, expires_at)
         with self._lock:
-            self._entries[key] = _Entry(value, generation, expires_at)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            if self.segmented and key in self._protected:
+                self._protected[key] = entry
+                self._protected.move_to_end(key)
+            else:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+            while len(self._entries) + len(self._protected) > self.capacity:
+                victims = self._entries if self._entries else self._protected
+                victims.popitem(last=False)
                 self._evictions += 1
 
     # -- maintenance -------------------------------------------------------------------
@@ -132,10 +196,11 @@ class ResultCache:
         """Drop every entry (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._protected.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._entries)
+            return len(self._entries) + len(self._protected)
 
     @property
     def stats(self) -> CacheStats:
@@ -147,12 +212,15 @@ class ResultCache:
                 evictions=self._evictions,
                 expirations=self._expirations,
                 invalidations=self._invalidations,
-                size=len(self._entries),
+                promotions=self._promotions,
+                size=len(self._entries) + len(self._protected),
+                protected_size=len(self._protected),
             )
 
     def __repr__(self) -> str:
         stats = self.stats
+        policy = "slru" if self.segmented else "lru"
         return (
-            f"ResultCache(size={stats.size}/{self.capacity}, hits={stats.hits}, "
-            f"misses={stats.misses}, hit_rate={stats.hit_rate:.2f})"
+            f"ResultCache({policy}, size={stats.size}/{self.capacity}, "
+            f"hits={stats.hits}, misses={stats.misses}, hit_rate={stats.hit_rate:.2f})"
         )

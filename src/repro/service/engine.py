@@ -20,14 +20,20 @@ Design notes
 * **Deadlines bound waiting, not work.**  Python threads cannot be killed,
   so a query that misses its deadline is reported as timed out immediately
   while the worker finishes in the background; its late result is still
-  cached for subsequent queries (tagged with the generation captured when
-  the batch started, so it can never go stale unnoticed).  In-batch
-  duplicates share one execution but keep their own deadlines: each is
-  judged against the worker's completion timestamp.
-* **Mutations must be externally serialised.**  Inserts bump the index
-  generation, which invalidates cache entries, but running
-  ``insert_triple`` concurrently with ``execute_batch`` is not supported —
-  quiesce queries first.
+  cached for subsequent queries (tagged with the generation the search
+  observed, so it can never go stale unnoticed).  In-batch duplicates share
+  one execution but keep their own deadlines: each is judged against the
+  worker's completion timestamp.
+* **The engine serves the search protocol, not the tree.**  Searches go
+  through :meth:`ServableIndex.search_k_nearest` / ``search_range`` and the
+  cache stores their *raw* (unfiltered, cache-stable) matches; every result
+  — fresh or cached — is passed through ``overlay_matches`` before the
+  pattern filter and truncation.  For a plain :class:`SemTreeIndex` the
+  overlay is the identity and mutations must still be externally serialised
+  (every ``insert_triple`` bumps the generation and invalidates the cache).
+  For an :class:`~repro.ingest.ingesting.IngestingIndex` the overlay merges
+  the live delta segment, so inserts interleave with queries with no
+  quiescing and cached tree-side entries stay valid until a compaction.
 """
 
 from __future__ import annotations
@@ -36,14 +42,15 @@ import functools
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.core.semtree import SemanticMatch, SemTreeIndex
+from repro.core.semtree import SemanticMatch
 from repro.errors import QueryError
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
-from repro.service.planner import PlannedQuery, QueryKind, QueryPlanner, QuerySpec
+from repro.service.planner import (PlannedQuery, QueryKind, QueryPlanner, QuerySpec,
+                                   ServableIndex)
 
 __all__ = ["QueryEngine", "QueryResult"]
 
@@ -76,8 +83,11 @@ class QueryResult:
 
 @dataclass(frozen=True, slots=True)
 class _Execution:
-    """Internal: one tree search's matches plus its observability counters.
+    """Internal: one search's *raw* matches plus its observability counters.
 
+    ``matches`` are the cache-stable, pre-filter matches the index's search
+    protocol returned (``generation`` is the epoch it observed); the overlay
+    and the pattern/k post-processing happen at serving time per spec.
     ``completed_at`` is stamped by the worker the moment the search finishes
     so the collector can judge deadlines against the true completion time,
     not against when it happened to read the future.
@@ -89,6 +99,7 @@ class _Execution:
     points_examined: int
     elapsed: float
     completed_at: float
+    generation: int
 
 
 class QueryEngine:
@@ -100,8 +111,10 @@ class QueryEngine:
         The built index to serve (building it is the caller's job).
     workers:
         Worker-thread count for batch execution.
-    cache_capacity / cache_ttl:
-        Result-cache sizing; ``cache_ttl`` in seconds (``None`` = no expiry).
+    cache_capacity / cache_ttl / cache_segmented:
+        Result-cache sizing; ``cache_ttl`` in seconds (``None`` = no expiry);
+        ``cache_segmented`` turns on the probationary/protected admission
+        policy (see :class:`~repro.service.cache.ResultCache`).
     default_deadline:
         Per-query time budget in seconds applied when a spec carries none
         (``None`` = wait for completion).
@@ -110,15 +123,17 @@ class QueryEngine:
         otherwise).
     """
 
-    def __init__(self, index: SemTreeIndex, *, workers: int = 4,
+    def __init__(self, index: ServableIndex, *, workers: int = 4,
                  cache_capacity: int = 1024, cache_ttl: float | None = None,
+                 cache_segmented: bool = False,
                  default_deadline: float | None = None,
                  metrics: ServiceMetrics | None = None):
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         self.index = index
         self.planner = QueryPlanner(index)
-        self.cache = ResultCache(cache_capacity, ttl=cache_ttl)
+        self.cache = ResultCache(cache_capacity, ttl=cache_ttl,
+                                 segmented=cache_segmented)
         self.metrics = metrics or ServiceMetrics()
         self.default_deadline = default_deadline
         self.workers = workers
@@ -189,13 +204,13 @@ class QueryEngine:
                 # The worker cannot be killed; let its (still valid) late
                 # result warm the cache for subsequent queries.
                 future.add_done_callback(functools.partial(
-                    self._cache_late, planned.cache_key, generation
+                    self._cache_late, planned.cache_key
                 ))
                 continue
             except Exception as error:  # noqa: BLE001 - surfaced per query
                 outcomes[position] = ("error", error)
                 continue
-            self.cache.put(planned.cache_key, execution.matches, generation)
+            self.cache.put(planned.cache_key, execution.matches, execution.generation)
             outcomes[position] = ("executed", (execution,
                                                execution.completed_at - submitted_at))
 
@@ -204,6 +219,16 @@ class QueryEngine:
         for input_index, position in enumerate(assignment):
             first_input_of.setdefault(position, input_index)
 
+        served: Dict[int, Tuple[SemanticMatch, ...]] = {}
+
+        def serve(position: int, raw: Tuple[SemanticMatch, ...],
+                  raw_generation: int) -> Tuple[SemanticMatch, ...]:
+            # Overlay + post-processing once per distinct query; duplicates
+            # share the cache key, hence the pattern and parameters too.
+            if position not in served:
+                served[position] = self._finalise(unique[position], raw, raw_generation)
+            return served[position]
+
         results: List[QueryResult] = []
         for input_index, (spec, position) in enumerate(zip(specs, assignment)):
             outcome = outcomes[position]
@@ -211,7 +236,9 @@ class QueryEngine:
             tag, value = outcome
             is_first = first_input_of[position] == input_index
             if tag == "hit":
-                result = QueryResult(spec=spec, matches=tuple(value), cached=True)
+                result = QueryResult(spec=spec,
+                                     matches=serve(position, tuple(value), generation),
+                                     cached=True)
                 self._record(result)
             elif tag == "executed":
                 execution, completion_seconds = value
@@ -224,7 +251,9 @@ class QueryEngine:
                     self._record(result)
                 else:
                     result = QueryResult(
-                        spec=spec, matches=execution.matches, cached=not is_first,
+                        spec=spec,
+                        matches=serve(position, execution.matches, execution.generation),
+                        cached=not is_first,
                         latency_seconds=execution.elapsed if is_first else 0.0,
                     )
                     self._record(
@@ -250,50 +279,81 @@ class QueryEngine:
         """
         results: List[QueryResult] = []
         for spec in specs:
-            execution = self._run(self.planner.plan(spec))
+            planned = self.planner.plan(spec)
+            execution = self._run(planned)
             results.append(QueryResult(
-                spec=spec, matches=execution.matches, cached=False,
+                spec=spec,
+                matches=self._finalise(planned, execution.matches, execution.generation),
+                cached=False,
                 latency_seconds=execution.elapsed,
             ))
         return results
 
     # -- execution ----------------------------------------------------------------------
 
+    @staticmethod
+    def _fetch_size(spec: QuerySpec) -> int:
+        """How many k-NN candidates to retrieve before the pattern filter."""
+        return spec.k if spec.pattern is None else spec.k * PATTERN_OVERSAMPLE
+
     def _run(self, planned: PlannedQuery) -> _Execution:
-        """One tree search (worker-thread body); deterministic per planned query."""
+        """One index search (worker-thread body); deterministic per planned query.
+
+        Returns the raw, cache-stable matches; :meth:`_finalise` applies the
+        live overlay and the per-spec post-processing.
+        """
         spec = planned.spec
         started = time.perf_counter()
         if spec.kind is QueryKind.KNN:
-            fetch = spec.k if spec.pattern is None else spec.k * PATTERN_OVERSAMPLE
-            state = self.index.tree.k_nearest_state(planned.point, fetch)
-            matches = [self.index.to_match(n) for n in state.results.neighbours()]
-            visited = tuple(state.visited_partition_ids)
-            nodes_visited, points_examined = state.nodes_visited, state.points_examined
+            outcome = self.index.search_k_nearest(planned.point, self._fetch_size(spec))
         else:
-            state = self.index.tree.range_query_state(planned.point, spec.radius)
-            matches = [self.index.to_match(n) for n in state.sorted_results()]
-            visited = tuple(state.visited_partition_ids)
-            nodes_visited, points_examined = state.nodes_visited, state.points_examined
+            outcome = self.index.search_range(planned.point, spec.radius)
+        completed_at = time.perf_counter()
+        return _Execution(
+            matches=outcome.matches,
+            visited_partitions=outcome.visited_partitions,
+            nodes_visited=outcome.nodes_visited,
+            points_examined=outcome.points_examined,
+            elapsed=completed_at - started,
+            completed_at=completed_at,
+            generation=outcome.generation,
+        )
+
+    def _finalise(self, planned: PlannedQuery, raw: Tuple[SemanticMatch, ...],
+                  generation: int) -> Tuple[SemanticMatch, ...]:
+        """Overlay live writes onto raw matches, then filter and truncate.
+
+        The overlay can report the matches unsalvageable (``None``) when a
+        compaction moved the index past ``generation``; the search is then
+        re-run under the new epoch.  Compactions are threshold-driven, so
+        consecutive collisions peter out after a retry or two.
+        """
+        spec = planned.spec
+        if spec.kind is QueryKind.KNN:
+            parameter: float = self._fetch_size(spec)
+        else:
+            parameter = spec.radius
+        while True:
+            merged = self.index.overlay_matches(
+                spec.kind.value, planned.point, parameter, raw, generation
+            )
+            if merged is not None:
+                break
+            execution = self._run(planned)
+            raw, generation = execution.matches, execution.generation
+            self.cache.put(planned.cache_key, raw, generation)
+        matches = list(merged)
         if spec.pattern is not None:
             matches = [match for match in matches if spec.pattern.matches(match.triple)]
         if spec.kind is QueryKind.KNN:
             matches = matches[:spec.k]
-        completed_at = time.perf_counter()
-        return _Execution(
-            matches=tuple(matches),
-            visited_partitions=visited,
-            nodes_visited=nodes_visited,
-            points_examined=points_examined,
-            elapsed=completed_at - started,
-            completed_at=completed_at,
-        )
+        return tuple(matches)
 
-    def _cache_late(self, key: Tuple[Hashable, ...], generation: int,
-                    future: Future) -> None:
+    def _cache_late(self, key: Tuple[Hashable, ...], future: Future) -> None:
         if future.cancelled() or future.exception() is not None:
             return
         execution = future.result()
-        self.cache.put(key, execution.matches, generation)
+        self.cache.put(key, execution.matches, execution.generation)
 
     def _record(self, result: QueryResult,
                 visited_partitions: Tuple[str, ...] = ()) -> None:
@@ -315,6 +375,7 @@ class QueryEngine:
             "misses": cache_stats.misses,
             "hit_rate": cache_stats.hit_rate,
             "evictions": cache_stats.evictions,
+            "promotions": cache_stats.promotions,
             "expirations": cache_stats.expirations,
             "invalidations": cache_stats.invalidations,
             "size": cache_stats.size,

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Iterable, Optional
 
 from repro.errors import EvaluationError
 
-__all__ = ["ServiceMetrics", "percentile"]
+__all__ = ["IngestMetrics", "ServiceMetrics", "percentile"]
 
 
 def percentile(samples: Iterable[float], fraction: float) -> float:
@@ -141,4 +141,89 @@ class ServiceMetrics:
             return (
                 f"ServiceMetrics(queries={self._queries}, executed={self._executed}, "
                 f"served_from_cache={self._served_from_cache})"
+            )
+
+
+class IngestMetrics:
+    """Thread-safe accumulator for the live-ingestion write path.
+
+    The read path keeps its own :class:`ServiceMetrics`; this class covers
+    the other half of a mixed workload: insert throughput (ingest QPS), WAL
+    replays at recovery, and compactions (count, points folded, latency).
+    Delta size is a gauge owned by the index itself —
+    :meth:`repro.ingest.ingesting.IngestingIndex.statistics` merges it into
+    this snapshot.
+    """
+
+    def __init__(self, *, max_samples: int = 1_000,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_samples < 1:
+            raise EvaluationError("max_samples must be >= 1")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._inserts = 0
+        self._replayed = 0
+        self._compactions = 0
+        self._points_compacted = 0
+        self._compaction_seconds: deque = deque(maxlen=max_samples)
+
+    def record_insert(self, count: int = 1) -> None:
+        """Record ``count`` accepted inserts."""
+        now = self._clock()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now
+            self._inserts += count
+
+    def record_replay(self, count: int) -> None:
+        """Record ``count`` WAL records replayed at recovery."""
+        with self._lock:
+            self._replayed += count
+
+    def record_compaction(self, points: int, seconds: float) -> None:
+        """Record one delta-into-tree fold of ``points`` points."""
+        with self._lock:
+            self._compactions += 1
+            self._points_compacted += points
+            self._compaction_seconds.append(seconds)
+
+    @property
+    def inserts(self) -> int:
+        """Total inserts recorded."""
+        with self._lock:
+            return self._inserts
+
+    @property
+    def compactions(self) -> int:
+        """Total compactions recorded."""
+        with self._lock:
+            return self._compactions
+
+    def snapshot(self) -> Dict[str, object]:
+        """A flat dictionary of every ingest metric (for reports and tests)."""
+        with self._lock:
+            elapsed = (self._clock() - self._started_at) if self._started_at is not None else 0.0
+            samples = list(self._compaction_seconds)
+            snapshot: Dict[str, object] = {
+                "inserts": self._inserts,
+                "replayed": self._replayed,
+                "ingest_wall_seconds": elapsed,
+                "ingest_qps": self._inserts / elapsed if elapsed > 0 else 0.0,
+                "compactions": self._compactions,
+                "points_compacted": self._points_compacted,
+            }
+        if samples:
+            snapshot["compaction_ms"] = {
+                "mean": sum(samples) / len(samples) * 1000.0,
+                "max": max(samples) * 1000.0,
+                "last": samples[-1] * 1000.0,
+            }
+        return snapshot
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"IngestMetrics(inserts={self._inserts}, "
+                f"compactions={self._compactions}, replayed={self._replayed})"
             )

@@ -14,14 +14,46 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.point import LabeledPoint
-from repro.core.semtree import SemTreeIndex
+from repro.core.semtree import SearchOutcome, SemanticMatch
 from repro.errors import QueryError
 from repro.rdf.triple import Triple, TriplePattern
 
-__all__ = ["QueryKind", "QuerySpec", "PlannedQuery", "QueryPlanner"]
+__all__ = ["QueryKind", "QuerySpec", "PlannedQuery", "QueryPlanner", "ServableIndex"]
+
+
+class ServableIndex(Protocol):
+    """What the serving layer needs from an index.
+
+    :class:`~repro.core.semtree.SemTreeIndex` implements it directly;
+    :class:`~repro.ingest.ingesting.IngestingIndex` implements it with
+    delta-merged semantics so the same engine serves a live write stream.
+    """
+
+    @property
+    def generation(self) -> int:
+        """Cache epoch: results computed at an older generation are stale."""
+        ...
+
+    def embed_query(self, triple: Triple) -> LabeledPoint:
+        """Project a query triple into the index's vector space."""
+        ...
+
+    def search_k_nearest(self, point: LabeledPoint, k: int) -> SearchOutcome:
+        """The cacheable side of a k-NN read."""
+        ...
+
+    def search_range(self, point: LabeledPoint, radius: float) -> SearchOutcome:
+        """The cacheable side of a range read."""
+        ...
+
+    def overlay_matches(self, kind: str, point: LabeledPoint, parameter: float,
+                        matches: Tuple[SemanticMatch, ...],
+                        generation: int) -> Optional[Tuple[SemanticMatch, ...]]:
+        """Bring matches computed at ``generation`` up to date (None = redo)."""
+        ...
 
 
 class QueryKind(Enum):
@@ -100,9 +132,9 @@ class PlannedQuery:
 
 
 class QueryPlanner:
-    """Plans query specs against one built :class:`SemTreeIndex`."""
+    """Plans query specs against one built, servable index."""
 
-    def __init__(self, index: SemTreeIndex):
+    def __init__(self, index: ServableIndex):
         self.index = index
 
     def plan(self, spec: QuerySpec) -> PlannedQuery:

@@ -36,7 +36,8 @@ from repro.io.serialization import (node_from_dict, node_to_dict, triple_from_di
                                     triple_to_dict)
 from repro.semantics.triple_distance import TripleDistance
 
-__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_index", "load_index"]
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_index", "load_index",
+           "snapshot_wal_seq"]
 
 SNAPSHOT_FORMAT = "semtree-snapshot"
 SNAPSHOT_VERSION = 1
@@ -75,8 +76,14 @@ def _partition_order(partition_id: str) -> Tuple[int, Any]:
 
 # -- saving ------------------------------------------------------------------------------
 
-def save_index(index: SemTreeIndex, path: str | pathlib.Path) -> None:
+def save_index(index: SemTreeIndex, path: str | pathlib.Path, *,
+               wal_seq: int | None = None) -> None:
     """Write a built index to ``path`` as one JSON snapshot.
+
+    ``wal_seq`` is recorded by live-ingestion checkpoints
+    (:meth:`repro.ingest.ingesting.IngestingIndex.checkpoint`): the highest
+    write-ahead-log sequence number whose insert is folded into the
+    snapshotted tree.  Recovery replays only the WAL records after it.
 
     Raises
     ------
@@ -109,7 +116,32 @@ def save_index(index: SemTreeIndex, path: str | pathlib.Path) -> None:
         "pending": [triple_to_dict(triple) for triple in index._pending],
         "generation": index.generation,
     }
-    pathlib.Path(path).write_text(json.dumps(payload))
+    if wal_seq is not None:
+        payload["wal_seq"] = int(wal_seq)
+    # Write-then-rename: a snapshot is a recovery point (the live-ingestion
+    # checkpoint truncates the WAL against it), so a crash mid-write must
+    # leave the previous snapshot intact, never a torn file.
+    target = pathlib.Path(path)
+    staging = target.with_suffix(target.suffix + ".staging")
+    staging.write_text(json.dumps(payload))
+    staging.replace(target)
+
+
+def snapshot_wal_seq(path: str | pathlib.Path) -> int:
+    """The ``wal_seq`` recorded in a snapshot (0 when absent).
+
+    Raises
+    ------
+    ParseError
+        If the file is not a SemTree snapshot.
+    """
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ParseError(f"snapshot is not valid JSON: {error}") from error
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise ParseError(f"not a SemTree snapshot: format={payload.get('format')!r}")
+    return int(payload.get("wal_seq", 0))
 
 
 # -- loading -----------------------------------------------------------------------------

@@ -10,7 +10,7 @@ a sorted variant used to build the "totally unbalanced" configuration.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import List
 
 from repro.core.point import LabeledPoint
 from repro.errors import WorkloadError

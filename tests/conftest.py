@@ -13,7 +13,7 @@ from repro.requirements import (
     build_requirement_distance,
     build_requirement_vocabularies,
 )
-from repro.semantics import Taxonomy, TermDistance, TripleDistance, Vocabulary
+from repro.semantics import Taxonomy, TripleDistance, Vocabulary
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster import SimulatedCluster
 from repro.core import (
     CapacityPolicy,
     DistributedSemTree,

@@ -1,6 +1,5 @@
 """Tests for labeled points and Euclidean distances."""
 
-import math
 
 import numpy as np
 import pytest

@@ -148,3 +148,18 @@ class TestSemanticMatch:
         triple = Triple.of("a", "b", "c")
         assert SemanticMatch(triple, 0.5, ("d1",)) == SemanticMatch(triple, 0.5, ("d1",))
         assert SemanticMatch(triple, 0.5) != SemanticMatch(triple, 0.6)
+
+    def test_hash_is_consistent_with_equality(self):
+        triple = Triple.of("a", "b", "c")
+        first = SemanticMatch(triple, 0.5, ("d1",))
+        second = SemanticMatch(triple, 0.5, ("d1",))
+        assert hash(first) == hash(second)
+        # equal matches deduplicate in sets and collide in dicts
+        assert len({first, second}) == 1
+        assert {first: "x"}[second] == "x"
+
+    def test_distinct_matches_stay_distinct_in_sets(self):
+        triple = Triple.of("a", "b", "c")
+        matches = {SemanticMatch(triple, 0.5), SemanticMatch(triple, 0.6),
+                   SemanticMatch(triple, 0.5, ("d1",))}
+        assert len(matches) == 3

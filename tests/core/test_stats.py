@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DistributedSemTree, KDTree, LabeledPoint, SemTreeConfig
+from repro.core import DistributedSemTree, KDTree, SemTreeConfig
 from repro.core.stats import distributed_stats, expected_nodes, sequential_stats
 
 

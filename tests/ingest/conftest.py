@@ -1,0 +1,29 @@
+"""Shared fixtures for the live-ingestion test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from ingest_corpus import ACTORS, BASE_TRIPLES
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.requirements import build_requirement_distance, build_requirement_vocabularies
+
+
+@pytest.fixture(scope="session")
+def distance():
+    return build_requirement_distance(build_requirement_vocabularies(ACTORS))
+
+
+@pytest.fixture
+def make_base(distance):
+    """Factory building a fresh, deterministic base index over BASE_TRIPLES."""
+
+    def build() -> SemTreeIndex:
+        index = SemTreeIndex(distance, SemTreeConfig(
+            dimensions=3, bucket_size=4, max_partitions=2, partition_capacity=8,
+        ))
+        index.add_triples(BASE_TRIPLES)
+        index.build()
+        return index
+
+    return build

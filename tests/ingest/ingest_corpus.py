@@ -1,0 +1,46 @@
+"""Deterministic triples and helpers shared by the live-ingestion tests."""
+
+from __future__ import annotations
+
+from repro.rdf import Triple
+
+ACTORS = ["OBSW001", "OBSW002", "OBSW003", "OBSW004"]
+
+BASE_TRIPLES = [
+    Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+    Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"),
+    Triple.of("OBSW002", "Fun:enable_mode", "ModeType:safe-mode"),
+    Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:shutdown"),
+    Triple.of("OBSW003", "Fun:withhold_tm", "TmType:volt-frame"),
+]
+
+INSERT_TRIPLES = [
+    Triple.of("OBSW003", "Fun:acquire_in", "InType:gps"),
+    Triple.of("OBSW003", "Fun:send_msg", "MsgType:pong"),
+    Triple.of("OBSW003", "Fun:transmit_tm", "TmType:new-frame"),
+    Triple.of("OBSW004", "Fun:accept_cmd", "CmdType:reset"),
+    Triple.of("OBSW004", "Fun:enable_mode", "ModeType:survival-mode"),
+    Triple.of("OBSW004", "Fun:block_cmd", "CmdType:start-up"),
+    Triple.of("OBSW004", "Fun:send_msg", "MsgType:ping"),
+    Triple.of("OBSW004", "Fun:transmit_tm", "TmType:temp-frame"),
+]
+
+QUERY_TRIPLES = [
+    Triple.of("OBSW003", "Fun:transmit_tm", "TmType:new-frame"),
+    Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+    Triple.of("OBSW004", "Fun:enable_mode", "ModeType:safe-mode"),
+    Triple.of("OBSW002", "Fun:send_msg", "MsgType:heartbeat"),
+]
+
+
+def canonical(matches):
+    """Order-insensitive-for-ties canonical form of a match list.
+
+    Distances are rounded to 9 decimals and equal-distance ties are sorted
+    by the triple's text, so two exact-merge-equivalent result lists compare
+    equal regardless of which tied candidate a traversal happened to keep
+    first.
+    """
+    return sorted(
+        ((round(match.distance, 9), str(match.triple)) for match in matches)
+    )

@@ -1,0 +1,74 @@
+"""Threshold policy and the background compaction thread."""
+
+import time
+
+from ingest_corpus import INSERT_TRIPLES
+from repro.ingest import BackgroundCompactor, Compactor, IngestingIndex
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestCompactor:
+    def test_maybe_compact_respects_the_threshold(self, make_base, tmp_path):
+        index = IngestingIndex(make_base(), tmp_path / "wal.jsonl",
+                               compaction_threshold=3)
+        compactor = Compactor(index)
+        index.insert(INSERT_TRIPLES[0])
+        index.insert(INSERT_TRIPLES[1])
+        assert not compactor.should_compact()
+        assert compactor.maybe_compact() == 0
+        index.insert(INSERT_TRIPLES[2])
+        assert compactor.should_compact()
+        assert compactor.maybe_compact() == 3
+        assert len(index.delta) == 0
+
+
+class TestBackgroundCompactor:
+    def test_folds_when_the_threshold_is_crossed(self, make_base, tmp_path):
+        index = IngestingIndex(make_base(), tmp_path / "wal.jsonl",
+                               compaction_threshold=3)
+        with BackgroundCompactor(index, poll_interval=0.01):
+            generation = index.generation
+            for triple in INSERT_TRIPLES[:3]:
+                index.insert(triple)
+            assert wait_until(lambda: index.generation == generation + 1)
+            assert wait_until(lambda: len(index.delta) == 0)
+        assert index.metrics.compactions >= 1
+
+    def test_queries_stay_correct_while_it_runs(self, make_base, tmp_path):
+        index = IngestingIndex(make_base(), tmp_path / "wal.jsonl",
+                               compaction_threshold=2)
+        query = INSERT_TRIPLES[2]
+        with BackgroundCompactor(index, poll_interval=0.01):
+            for triple in INSERT_TRIPLES:
+                index.insert(triple)
+                (best,) = index.k_nearest(triple, 1)
+                assert best.triple == triple  # the fresh insert always wins
+            assert wait_until(lambda: len(index.delta) < index.compaction_threshold)
+        (best,) = index.k_nearest(query, 1)
+        assert best.triple == query
+
+    def test_stop_with_final_compact_drains_the_delta(self, make_base, tmp_path):
+        index = IngestingIndex(make_base(), tmp_path / "wal.jsonl",
+                               compaction_threshold=1_000)
+        compactor = BackgroundCompactor(index).start()
+        assert compactor.is_running
+        index.insert(INSERT_TRIPLES[0])
+        compactor.stop(final_compact=True)
+        assert not compactor.is_running
+        assert len(index.delta) == 0
+
+    def test_start_is_idempotent(self, make_base, tmp_path):
+        index = IngestingIndex(make_base(), tmp_path / "wal.jsonl")
+        compactor = BackgroundCompactor(index).start()
+        thread_before = compactor._thread
+        compactor.start()
+        assert compactor._thread is thread_before
+        compactor.stop()

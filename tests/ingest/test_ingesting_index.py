@@ -1,0 +1,141 @@
+"""IngestingIndex semantics: visibility, epochs, provenance, engine wiring."""
+
+import pytest
+
+from ingest_corpus import INSERT_TRIPLES, canonical
+from repro.core import SemTreeIndex
+from repro.errors import IndexError_
+from repro.ingest import IngestingIndex
+from repro.service import QueryEngine, QuerySpec
+
+
+@pytest.fixture
+def ingesting(make_base, tmp_path):
+    with IngestingIndex(make_base(), tmp_path / "wal.jsonl",
+                        compaction_threshold=4) as index:
+        yield index
+
+
+class TestConstruction:
+    def test_requires_a_built_base(self, distance, tmp_path):
+        with pytest.raises(IndexError_, match="built base"):
+            IngestingIndex(SemTreeIndex(distance), tmp_path / "wal.jsonl")
+
+    def test_rejects_nonpositive_threshold(self, make_base, tmp_path):
+        with pytest.raises(IndexError_, match="compaction_threshold"):
+            IngestingIndex(make_base(), tmp_path / "wal.jsonl", compaction_threshold=0)
+
+
+class TestVisibility:
+    def test_inserts_are_immediately_queryable(self, ingesting):
+        triple = INSERT_TRIPLES[2]
+        before = ingesting.k_nearest(triple, 1)
+        assert before[0].triple != triple
+        ingesting.insert(triple)
+        after = ingesting.k_nearest(triple, 1)
+        assert after[0].triple == triple
+        assert after[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_len_spans_tree_and_delta(self, ingesting):
+        tree_points = len(ingesting.base)
+        ingesting.insert(INSERT_TRIPLES[0])
+        assert len(ingesting) == tree_points + 1
+        assert len(ingesting.delta) == 1
+
+    def test_provenance_is_dressed_onto_matches(self, ingesting):
+        triple = INSERT_TRIPLES[3]
+        ingesting.insert(triple, document_id="doc-42")
+        (match,) = ingesting.k_nearest(triple, 1)
+        assert match.triple == triple
+        assert "doc-42" in match.documents
+
+
+class TestEpochs:
+    def test_inserts_do_not_move_the_generation(self, ingesting):
+        generation = ingesting.generation
+        for triple in INSERT_TRIPLES[:3]:
+            ingesting.insert(triple)
+        assert ingesting.generation == generation
+
+    def test_compaction_bumps_the_generation_exactly_once(self, ingesting):
+        generation = ingesting.generation
+        for triple in INSERT_TRIPLES[:3]:
+            ingesting.insert(triple)
+        assert ingesting.compact() == 3
+        assert ingesting.generation == generation + 1
+        assert len(ingesting.delta) == 0
+
+    def test_empty_compaction_is_a_no_op(self, ingesting):
+        generation = ingesting.generation
+        assert ingesting.compact() == 0
+        assert ingesting.generation == generation
+
+    def test_compaction_preserves_answers(self, ingesting):
+        for triple in INSERT_TRIPLES[:3]:
+            ingesting.insert(triple)
+        query = INSERT_TRIPLES[1]
+        before_knn = canonical(ingesting.k_nearest(query, 4))
+        before_range = canonical(ingesting.range_query(query, 0.3))
+        ingesting.compact()
+        assert canonical(ingesting.k_nearest(query, 4)) == before_knn
+        assert canonical(ingesting.range_query(query, 0.3)) == before_range
+
+
+class TestEngineWiring:
+    def test_cache_entries_survive_inserts_and_stay_fresh(self, ingesting):
+        """The tentpole behaviour: a cached answer is overlaid with the live
+        delta instead of being invalidated per insert."""
+        query = INSERT_TRIPLES[2]
+        with QueryEngine(ingesting, workers=2) as engine:
+            cold = engine.execute(QuerySpec.k_nearest(query, 2))
+            assert not cold.cached
+            warm = engine.execute(QuerySpec.k_nearest(query, 2))
+            assert warm.cached
+
+            ingesting.insert(query)
+
+            fresh = engine.execute(QuerySpec.k_nearest(query, 2))
+            # still a cache hit — and still the *correct*, insert-aware answer
+            assert fresh.cached
+            assert fresh.matches[0].triple == query
+            assert fresh.matches[0].distance == pytest.approx(0.0, abs=1e-9)
+            assert engine.cache.stats.invalidations == 0
+
+    def test_compaction_invalidates_at_compaction_granularity(self, ingesting):
+        query = INSERT_TRIPLES[2]
+        with QueryEngine(ingesting, workers=2) as engine:
+            engine.execute(QuerySpec.k_nearest(query, 2))
+            for triple in INSERT_TRIPLES[:3]:
+                ingesting.insert(triple)
+            ingesting.compact()
+            refreshed = engine.execute(QuerySpec.k_nearest(query, 2))
+            assert not refreshed.cached
+            assert engine.cache.stats.invalidations >= 1
+
+    def test_batch_results_equal_sequential_baseline_mid_stream(self, ingesting):
+        for triple in INSERT_TRIPLES[:5]:
+            ingesting.insert(triple)
+        specs = [QuerySpec.k_nearest(INSERT_TRIPLES[1], 3),
+                 QuerySpec.range_query(INSERT_TRIPLES[4], 0.3),
+                 QuerySpec.k_nearest(INSERT_TRIPLES[1], 3)]
+        with QueryEngine(ingesting, workers=2) as engine:
+            batch = engine.execute_batch(specs)
+            sequential = engine.execute_sequential(specs)
+        for concurrent, baseline in zip(batch, sequential):
+            assert concurrent.matches == baseline.matches
+
+
+class TestStatistics:
+    def test_statistics_report_the_write_path(self, ingesting):
+        for triple in INSERT_TRIPLES[:5]:
+            ingesting.insert(triple)
+        ingesting.compact()
+        stats = ingesting.statistics()
+        assert stats["inserts"] == 5
+        assert stats["compactions"] == 1
+        assert stats["points_compacted"] == 5
+        assert stats["delta_points"] == 0
+        assert stats["wal_records"] == 5
+        assert stats["applied_seq"] == 5
+        assert stats["ingest_qps"] > 0
+        assert "compaction_ms" in stats

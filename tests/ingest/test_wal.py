@@ -1,0 +1,120 @@
+"""Write-ahead log: append/replay round trips, replay-on-open, torn tails."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ingest import WalRecord, WriteAheadLog
+from repro.rdf import Triple
+
+from ingest_corpus import INSERT_TRIPLES
+
+
+class TestAppendReplay:
+    def test_round_trip_preserves_triples_and_provenance(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.jsonl") as wal:
+            for position, triple in enumerate(INSERT_TRIPLES):
+                seq = wal.append(triple, document_id=f"doc-{position}")
+                assert seq == position + 1
+            records = list(wal.replay())
+        assert [record.triple for record in records] == INSERT_TRIPLES
+        assert [record.document_id for record in records] == [
+            f"doc-{position}" for position in range(len(INSERT_TRIPLES))
+        ]
+        assert [record.seq for record in records] == list(range(1, len(INSERT_TRIPLES) + 1))
+
+    def test_document_id_is_optional(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.jsonl") as wal:
+            wal.append(INSERT_TRIPLES[0])
+            (record,) = wal.replay()
+        assert record.document_id is None
+
+    def test_replay_after_skips_applied_records(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.jsonl") as wal:
+            for triple in INSERT_TRIPLES[:4]:
+                wal.append(triple)
+            tail = list(wal.replay(after=2))
+        assert [record.seq for record in tail] == [3, 4]
+
+    def test_record_dict_round_trip(self):
+        record = WalRecord(seq=7, triple=INSERT_TRIPLES[0], document_id="d")
+        assert WalRecord.from_dict(record.to_dict()) == record
+
+
+class TestReplayOnOpen:
+    def test_sequence_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append(INSERT_TRIPLES[0])
+            wal.append(INSERT_TRIPLES[1])
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 2
+            assert len(wal) == 2
+            assert wal.append(INSERT_TRIPLES[2]) == 3
+
+    def test_non_contiguous_log_is_rejected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append(INSERT_TRIPLES[0])
+        text = path.read_text()
+        path.write_text(text + text.replace('"seq":1', '"seq":5'))
+        with pytest.raises(ParseError, match="not contiguous"):
+            WriteAheadLog(path)
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append(INSERT_TRIPLES[0])
+            wal.append(INSERT_TRIPLES[1])
+        # simulate a crash mid-append: a half-written record with no newline
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq":3,"triple":{"subject"')
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 2
+            assert wal.torn_records == 1
+            # the next append reuses the torn record's sequence number
+            assert wal.append(INSERT_TRIPLES[2]) == 3
+            assert [record.seq for record in wal.replay()] == [1, 2, 3]
+
+    def test_corruption_before_the_tail_is_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append(INSERT_TRIPLES[0])
+            wal.append(INSERT_TRIPLES[1])
+        lines = path.read_text().splitlines()
+        lines[0] = '{"seq":1,"broken'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ParseError):
+            WriteAheadLog(path)
+
+
+class TestTruncation:
+    def test_truncate_through_drops_covered_prefix(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            for triple in INSERT_TRIPLES[:5]:
+                wal.append(triple)
+            dropped = wal.truncate_through(3)
+            assert dropped == 3
+            assert len(wal) == 2
+            assert [record.seq for record in wal.replay()] == [4, 5]
+            # appends keep numbering from the old stream
+            assert wal.append(INSERT_TRIPLES[5]) == 6
+
+    def test_truncate_everything_leaves_an_appendable_log(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append(INSERT_TRIPLES[0])
+            wal.truncate_through(1)
+            assert len(wal) == 0
+            assert wal.append(INSERT_TRIPLES[1]) == 2
+
+
+class TestDurabilityOptions:
+    def test_fsync_mode_smoke(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.jsonl", fsync=True) as wal:
+            assert wal.append(Triple.of("OBSW001", "Fun:send_msg", "MsgType:x")) == 1
+        reopened = WriteAheadLog(tmp_path / "wal.jsonl", fsync=True)
+        assert reopened.last_seq == 1
+        reopened.close()

@@ -4,7 +4,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
@@ -47,3 +46,9 @@ class TestExamples:
         assert "Pattern-filtered neighbours" in output
         assert "cache hit rate" in output
         assert "Warm-started service answers identically: True" in output
+
+    def test_live_ingest(self):
+        output = run_example("live_ingest.py")
+        assert "Answers equal a full rebuild: True" in output
+        assert "Recovered service answers identically: True" in output
+        assert "compactions" in output

@@ -9,7 +9,6 @@ from repro.requirements import (
     GeneratorConfig,
     RequirementsGenerator,
     build_function_vocabulary,
-    are_inconsistent,
 )
 
 

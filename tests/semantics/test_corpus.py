@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import VocabularyError
 from repro.rdf import Triple
-from repro.semantics import InformationContentCorpus, LinSimilarity, Taxonomy
+from repro.semantics import InformationContentCorpus, LinSimilarity
 
 
 @pytest.fixture

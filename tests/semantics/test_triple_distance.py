@@ -10,7 +10,6 @@ from repro.semantics import (
     DistanceWeights,
     TermDistance,
     TripleDistance,
-    Vocabulary,
     jaro_winkler_distance,
 )
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import VocabularyError
 from repro.rdf import Concept
-from repro.semantics import Taxonomy, Vocabulary
+from repro.semantics import Vocabulary
 
 
 @pytest.fixture

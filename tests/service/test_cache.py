@@ -89,3 +89,104 @@ class TestGenerationInvalidation:
         cache.put(("a",), "value", generation=7)
         assert cache.get(("a",), generation=7) == "value"
         assert cache.stats.invalidations == 0
+
+
+class TestSegmentedAdmission:
+    """SLRU: probationary admission, promotion on hit, scan resistance."""
+
+    def test_first_hit_promotes_into_the_protected_segment(self):
+        cache = ResultCache(capacity=4, segmented=True)
+        cache.put(("a",), 1, generation=0)
+        assert cache.stats.protected_size == 0
+        cache.get(("a",), generation=0)
+        stats = cache.stats
+        assert stats.promotions == 1
+        assert stats.protected_size == 1
+
+    def test_one_pass_scan_cannot_evict_the_hot_set(self):
+        cache = ResultCache(capacity=4, segmented=True, protected_fraction=0.5)
+        cache.put(("hot1",), 1, generation=0)
+        cache.put(("hot2",), 2, generation=0)
+        cache.get(("hot1",), generation=0)  # promoted
+        cache.get(("hot2",), generation=0)  # promoted
+        for index in range(20):             # a long one-hit-wonder scan
+            cache.put((f"scan{index}",), index, generation=0)
+        assert cache.get(("hot1",), generation=0) == 1
+        assert cache.get(("hot2",), generation=0) == 2
+        assert cache.stats.evictions >= 18
+
+    def test_plain_lru_is_scanned_out_for_contrast(self):
+        cache = ResultCache(capacity=4, segmented=False)
+        cache.put(("hot",), 1, generation=0)
+        cache.get(("hot",), generation=0)
+        for index in range(4):
+            cache.put((f"scan{index}",), index, generation=0)
+        assert cache.get(("hot",), generation=0) is None
+
+    def test_protected_overflow_demotes_not_evicts(self):
+        cache = ResultCache(capacity=4, segmented=True, protected_fraction=0.3)
+        # protected capacity is max(1, round(4 * 0.3)) == 1
+        cache.put(("a",), 1, generation=0)
+        cache.put(("b",), 2, generation=0)
+        cache.get(("a",), generation=0)   # a -> protected
+        cache.get(("b",), generation=0)   # b -> protected, a demoted back
+        stats = cache.stats
+        assert stats.protected_size == 1
+        assert stats.evictions == 0
+        assert cache.get(("a",), generation=0) == 1  # survived as probationary
+
+    def test_update_of_a_protected_key_stays_protected(self):
+        cache = ResultCache(capacity=4, segmented=True)
+        cache.put(("a",), 1, generation=0)
+        cache.get(("a",), generation=0)
+        cache.put(("a",), 99, generation=0)
+        stats = cache.stats
+        assert stats.protected_size == 1
+        assert cache.get(("a",), generation=0) == 99
+
+    def test_generation_invalidation_reaches_the_protected_segment(self):
+        cache = ResultCache(capacity=4, segmented=True)
+        cache.put(("a",), 1, generation=0)
+        cache.get(("a",), generation=0)
+        assert cache.get(("a",), generation=1) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.protected_size == 0
+
+    def test_capacity_bound_spans_both_segments(self):
+        cache = ResultCache(capacity=3, segmented=True, protected_fraction=0.5)
+        for index in range(3):
+            cache.put((f"k{index}",), index, generation=0)
+            cache.get((f"k{index}",), generation=0)
+        cache.put(("k3",), 3, generation=0)
+        assert len(cache) == 3
+
+    def test_invalid_protected_fraction_rejected(self):
+        with pytest.raises(QueryError):
+            ResultCache(capacity=4, segmented=True, protected_fraction=0.0)
+        with pytest.raises(QueryError):
+            ResultCache(capacity=4, segmented=True, protected_fraction=1.0)
+
+    def test_eviction_counter_is_exposed(self):
+        cache = ResultCache(capacity=2, segmented=True)
+        for index in range(5):
+            cache.put((f"k{index}",), index, generation=0)
+        assert cache.stats.evictions == 3
+
+    def test_small_segmented_cache_still_admits_new_keys(self):
+        """Regression: the protected segment must never swallow the whole
+        capacity, or every new admission would evict itself immediately."""
+        cache = ResultCache(capacity=2, segmented=True)  # default fraction 0.8
+        cache.put(("a",), 1, generation=0)
+        cache.get(("a",), generation=0)  # a -> protected
+        cache.put(("b",), 2, generation=0)
+        assert cache.get(("b",), generation=0) == 2
+        cache.put(("c",), 3, generation=0)
+        assert cache.get(("c",), generation=0) == 3
+
+    def test_capacity_one_segmented_degenerates_to_lru(self):
+        cache = ResultCache(capacity=1, segmented=True)
+        cache.put(("a",), 1, generation=0)
+        assert cache.get(("a",), generation=0) == 1
+        cache.put(("b",), 2, generation=0)
+        assert cache.get(("b",), generation=0) == 2
+        assert len(cache) == 1

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import IndexError_, ParseError
 from repro.rdf import Triple
-from repro.service import QueryEngine, QuerySpec, load_index, save_index
+from repro.service import QueryEngine, load_index, save_index
 from repro.workloads import mixed_query_specs
 
 
