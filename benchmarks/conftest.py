@@ -7,9 +7,10 @@ evaluation (see DESIGN.md, experiment index).  Each module contains
   experiment (so ``pytest benchmarks/ --benchmark-only`` produces a timing
   table), and
 * one ``test_report_*`` case that runs the full parameter sweep, prints the
-  same series the paper plots, and writes the table to
-  ``benchmarks/results/<experiment>.txt`` so it can be pasted into
-  EXPERIMENTS.md.
+  same series the paper plots, writes the table to
+  ``benchmarks/results/<experiment>.txt`` (for pasting into EXPERIMENTS.md)
+  and the machine-readable twin to ``BENCH_<experiment>.json`` at the
+  repository root (for tracking the performance trajectory in git).
 
 Absolute numbers are not expected to match the paper (different hardware,
 simulated cluster); the *shape* assertions of each report test encode what
@@ -18,6 +19,7 @@ must hold.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -26,6 +28,9 @@ from repro.evaluation import Experiment, format_experiment
 
 #: Where the report tests drop their plain-text tables.
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Where the machine-readable ``BENCH_<experiment>.json`` files land.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -36,9 +41,17 @@ def results_dir() -> pathlib.Path:
 
 def write_report(results_dir: pathlib.Path, experiment: Experiment,
                  metrics: list[str]) -> str:
-    """Format an experiment, print it and persist it under ``results/``."""
+    """Format an experiment, print it, persist the text table and the JSON twin.
+
+    The aligned text table goes to ``benchmarks/results/<experiment>.txt``;
+    the full metric → series mapping (:meth:`Experiment.to_payload`) goes to
+    ``BENCH_<experiment>.json`` at the repository root so committed runs
+    record the perf trajectory in a diff-friendly, scriptable form.
+    """
     text = format_experiment(experiment, metrics)
     path = results_dir / f"{experiment.experiment_id}.txt"
     path.write_text(text + "\n")
+    json_path = REPO_ROOT / f"BENCH_{experiment.experiment_id}.json"
+    json_path.write_text(json.dumps(experiment.to_payload(), indent=2) + "\n")
     print("\n" + text)
     return text

@@ -15,10 +15,14 @@ truth and a lower-bound comparator.  Two scanners are provided:
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
+import numpy as np
+
+from repro.core import kernels
+from repro.core.kernels import DEFAULT_SCAN_KERNEL, validate_scan_kernel
 from repro.core.knn import Neighbour
-from repro.core.point import LabeledPoint, euclidean_distance
+from repro.core.point import LabeledPoint
 from repro.errors import QueryError
 from repro.rdf.triple import Triple
 from repro.semantics.triple_distance import TripleDistance
@@ -27,43 +31,54 @@ __all__ = ["LinearScanIndex", "SemanticLinearScan"]
 
 
 class LinearScanIndex:
-    """Brute-force k-NN / range search over embedded points (exact answers)."""
+    """Brute-force k-NN / range search over embedded points (exact answers).
 
-    def __init__(self, points: Iterable[LabeledPoint] | None = None):
+    With the default ``"numpy"`` scan kernel every query is a single matrix
+    pass over a lazily-built coordinate matrix (rebuilt after inserts); the
+    ``"scalar"`` kernel keeps the per-point loop as the correctness oracle.
+    Both return tie-insensitive-identical answers.
+    """
+
+    def __init__(self, points: Iterable[LabeledPoint] | None = None,
+                 scan_kernel: str = DEFAULT_SCAN_KERNEL):
         self._points: List[LabeledPoint] = list(points) if points else []
+        self.scan_kernel = validate_scan_kernel(scan_kernel)
+        self._matrix: Optional[np.ndarray] = None
 
     def insert(self, point: LabeledPoint) -> None:
         """Add one point."""
         self._points.append(point)
+        self._matrix = None
 
     def insert_all(self, points: Iterable[LabeledPoint]) -> None:
         """Add many points."""
         self._points.extend(points)
+        self._matrix = None
 
     def __len__(self) -> int:
         return len(self._points)
+
+    def _coordinate_matrix(self) -> Optional[np.ndarray]:
+        if self.scan_kernel != "numpy":
+            return None  # the scalar oracle never needs the matrix
+        if self._matrix is None:
+            self._matrix = kernels.coordinate_matrix(self._points)
+        return self._matrix
 
     def k_nearest(self, query: LabeledPoint, k: int) -> List[Neighbour]:
         """The exact ``k`` nearest points, closest first."""
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
-        scored = [
-            Neighbour(point, euclidean_distance(query, point)) for point in self._points
-        ]
-        scored.sort(key=lambda neighbour: neighbour.distance)
-        return scored[:k]
+        return kernels.linear_knn(self._points, query, k, self._coordinate_matrix(),
+                                  kernel=self.scan_kernel)
 
     def range_query(self, query: LabeledPoint, radius: float) -> List[Neighbour]:
         """Every point within ``radius``, closest first."""
         if radius < 0:
             raise QueryError("radius must be non-negative")
-        found = [
-            Neighbour(point, euclidean_distance(query, point))
-            for point in self._points
-            if euclidean_distance(query, point) <= radius
-        ]
-        found.sort(key=lambda neighbour: neighbour.distance)
-        return found
+        return kernels.linear_range(self._points, query, radius,
+                                    self._coordinate_matrix(),
+                                    kernel=self.scan_kernel)
 
     def points(self) -> List[LabeledPoint]:
         """The stored points, in insertion order."""

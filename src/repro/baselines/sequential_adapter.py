@@ -32,7 +32,8 @@ class SequentialKDTreeBaseline:
     def balanced(cls, points: Sequence[LabeledPoint], config: SemTreeConfig) -> "SequentialKDTreeBaseline":
         """Bulk-load a balanced tree (the paper's "1 partition (balanced)")."""
         baseline = cls(config)
-        baseline._tree = KDTree.build_balanced(points, bucket_size=config.bucket_size)
+        baseline._tree = KDTree.build_balanced(points, bucket_size=config.bucket_size,
+                                               scan_kernel=config.scan_kernel)
         return baseline
 
     @classmethod
@@ -40,7 +41,8 @@ class SequentialKDTreeBaseline:
                          config: SemTreeConfig) -> "SequentialKDTreeBaseline":
         """Build the paper's "1 partition (totally unbalanced)" chain tree."""
         baseline = cls(config.with_updates(split_strategy=SplitStrategy.FIRST_POINT))
-        baseline._tree = KDTree.build_chain(points, bucket_size=1)
+        baseline._tree = KDTree.build_chain(points, bucket_size=1,
+                                            scan_kernel=config.scan_kernel)
         return baseline
 
     @classmethod

@@ -8,6 +8,7 @@ distributed tree."""
 from repro.core.config import CapacityPolicy, SemTreeConfig, SplitStrategy
 from repro.core.distributed import DistributedSemTree, RangeSearchState
 from repro.core.kdtree import KDTree
+from repro.core.kernels import DEFAULT_SCAN_KERNEL, SCAN_KERNELS, validate_scan_kernel
 from repro.core.knn import KSearchState, Neighbour, NodeStatus, ResultSet
 from repro.core.node import Node, RemoteChild
 from repro.core.partition import Partition
@@ -21,6 +22,9 @@ __all__ = [
     "SplitStrategy",
     "CapacityPolicy",
     "KDTree",
+    "SCAN_KERNELS",
+    "DEFAULT_SCAN_KERNEL",
+    "validate_scan_kernel",
     "DistributedSemTree",
     "RangeSearchState",
     "Partition",

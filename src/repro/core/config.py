@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.core.kernels import DEFAULT_SCAN_KERNEL, validate_scan_kernel
 from repro.errors import IndexError_
 
 __all__ = ["SplitStrategy", "CapacityPolicy", "SemTreeConfig"]
@@ -80,6 +81,12 @@ class SemTreeConfig:
         the NODE_FRACTION policy.
     split_strategy:
         Leaf split rule (see :class:`SplitStrategy`).
+    scan_kernel:
+        How leaf buckets are scanned during searches: ``"numpy"`` (default)
+        batches each bucket through the vectorized kernels of
+        :mod:`repro.core.kernels`; ``"scalar"`` keeps the per-point Python
+        loop alive as the correctness oracle.  Both produce
+        tie-insensitive-identical results.
     point_visit_cost / point_insert_cost:
         Simulated work units charged per point examined / stored.
     node_visit_cost:
@@ -93,6 +100,7 @@ class SemTreeConfig:
     capacity_policy: CapacityPolicy = CapacityPolicy.STATIC
     node_capacity_fraction: float = 0.8
     split_strategy: SplitStrategy = SplitStrategy.MEDIAN
+    scan_kernel: str = DEFAULT_SCAN_KERNEL
     point_visit_cost: float = 0.1
     point_insert_cost: float = 0.1
     node_visit_cost: float = 1.0
@@ -111,6 +119,7 @@ class SemTreeConfig:
             )
         if not 0.0 < self.node_capacity_fraction <= 1.0:
             raise IndexError_("node_capacity_fraction must be in (0, 1]")
+        validate_scan_kernel(self.scan_kernel)
         for name in ("point_visit_cost", "point_insert_cost", "node_visit_cost"):
             if getattr(self, name) < 0:
                 raise IndexError_(f"{name} must be non-negative")

@@ -33,8 +33,11 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.message import Message, MessageKind
+from repro.core import kernels
 from repro.core.config import SemTreeConfig
 from repro.core.knn import KSearchState, Neighbour
 from repro.core.node import ChildRef, Node, RemoteChild
@@ -59,10 +62,23 @@ class RangeSearchState:
         self.points_examined = 0
         self.partitions_visited = 0
         self.visited_partition_ids: List[str] = []
+        self._visited_partition_set: set[str] = set()
+        self._query_array = None
+
+    def query_array(self) -> np.ndarray:
+        """The query coordinates as a NumPy vector, built once per search."""
+        if self._query_array is None:
+            self._query_array = np.asarray(self.query.coordinates, dtype=np.float64)
+        return self._query_array
 
     def note_partition(self, partition_id: str) -> None:
-        """Record the identity of a partition the search entered (load metrics)."""
-        if partition_id not in self.visited_partition_ids:
+        """Record the identity of a partition the search entered (load metrics).
+
+        Membership is checked against a set; ``visited_partition_ids`` keeps
+        first-seen order for the serving layer's per-partition load metrics.
+        """
+        if partition_id not in self._visited_partition_set:
+            self._visited_partition_set.add(partition_id)
             self.visited_partition_ids.append(partition_id)
 
     def examine_point(self, point: LabeledPoint) -> bool:
@@ -78,6 +94,19 @@ class RangeSearchState:
             self.results.append(Neighbour(point, distance))
             return True
         return False
+
+    def examine_bucket(self, node: Node, kernel: str = kernels.DEFAULT_SCAN_KERNEL) -> int:
+        """Scan one leaf's bucket with the configured kernel; returns hits.
+
+        The ``"numpy"`` kernel computes every bucket distance in one
+        vectorized pass and bulk-updates ``points_examined``; the
+        ``"scalar"`` kernel walks :meth:`examine_point` per point.
+        """
+        found, examined = kernels.range_scan_node(self.query, self.radius, node, kernel,
+                                                  query_array=self.query_array())
+        self.points_examined += examined
+        self.results.extend(found)
+        return len(found)
 
     def sorted_results(self) -> List[Neighbour]:
         """The collected results, closest first."""
@@ -421,7 +450,7 @@ class DistributedSemTree:
             self.cluster.charge_work(partition.partition_id, self.config.node_visit_cost)
             if node.is_leaf:
                 examined = len(node.bucket)
-                state.examine_bucket(node.bucket)
+                kernels.knn_scan_node(state, node, self.config.scan_kernel)
                 self.cluster.charge_work(
                     partition.partition_id, self.config.point_visit_cost * examined
                 )
@@ -483,8 +512,7 @@ class DistributedSemTree:
             state.nodes_visited += 1
             self.cluster.charge_work(partition.partition_id, self.config.node_visit_cost)
             if node.is_leaf:
-                for point in node.bucket:
-                    state.examine_point(point)
+                state.examine_bucket(node, self.config.scan_kernel)
                 self.cluster.charge_work(
                     partition.partition_id, self.config.point_visit_cost * len(node.bucket)
                 )

@@ -29,10 +29,14 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core import kernels
 from repro.core.config import SemTreeConfig, SplitStrategy
+from repro.core.kernels import DEFAULT_SCAN_KERNEL, validate_scan_kernel
 from repro.core.knn import KSearchState, Neighbour
 from repro.core.node import Node, RemoteChild
-from repro.core.point import LabeledPoint, euclidean_distance
+from repro.core.point import LabeledPoint
 from repro.core.splitting import choose_split, partition_bucket
 from repro.errors import IndexError_, QueryError
 
@@ -51,10 +55,14 @@ class KDTree:
     split_strategy:
         How saturated leaves choose their split (see
         :class:`~repro.core.config.SplitStrategy`).
+    scan_kernel:
+        Leaf-scan implementation: ``"numpy"`` (vectorized, default) or
+        ``"scalar"`` (per-point oracle).  See :mod:`repro.core.kernels`.
     """
 
     def __init__(self, dimensions: int, *, bucket_size: int = 16,
-                 split_strategy: SplitStrategy = SplitStrategy.MEDIAN):
+                 split_strategy: SplitStrategy = SplitStrategy.MEDIAN,
+                 scan_kernel: str = DEFAULT_SCAN_KERNEL):
         if dimensions < 1:
             raise IndexError_("dimensions must be >= 1")
         if bucket_size < 1:
@@ -62,6 +70,7 @@ class KDTree:
         self.dimensions = dimensions
         self.bucket_size = bucket_size
         self.split_strategy = split_strategy
+        self.scan_kernel = validate_scan_kernel(scan_kernel)
         self.root: Node = Node()
         self._size = 0
 
@@ -71,10 +80,12 @@ class KDTree:
     def from_config(cls, config: SemTreeConfig) -> "KDTree":
         """Build an empty tree from a :class:`SemTreeConfig`."""
         return cls(config.dimensions, bucket_size=config.bucket_size,
-                   split_strategy=config.split_strategy)
+                   split_strategy=config.split_strategy,
+                   scan_kernel=config.scan_kernel)
 
     @classmethod
-    def build_balanced(cls, points: Sequence[LabeledPoint], *, bucket_size: int = 16) -> "KDTree":
+    def build_balanced(cls, points: Sequence[LabeledPoint], *, bucket_size: int = 16,
+                       scan_kernel: str = DEFAULT_SCAN_KERNEL) -> "KDTree":
         """Bulk-load a balanced tree by recursive median splitting.
 
         This reproduces the paper's observation that "Kd-trees are more
@@ -84,7 +95,8 @@ class KDTree:
         if not points:
             raise IndexError_("cannot bulk-load an empty point set")
         dimensions = points[0].dimensions
-        tree = cls(dimensions, bucket_size=bucket_size, split_strategy=SplitStrategy.MEDIAN)
+        tree = cls(dimensions, bucket_size=bucket_size, split_strategy=SplitStrategy.MEDIAN,
+                   scan_kernel=scan_kernel)
         tree.root = tree._build_balanced_node(list(points), depth=0)
         tree._size = len(points)
         return tree
@@ -112,7 +124,8 @@ class KDTree:
         return node
 
     @classmethod
-    def build_chain(cls, points: Sequence[LabeledPoint], *, bucket_size: int = 1) -> "KDTree":
+    def build_chain(cls, points: Sequence[LabeledPoint], *, bucket_size: int = 1,
+                    scan_kernel: str = DEFAULT_SCAN_KERNEL) -> "KDTree":
         """Build the paper's "totally unbalanced (chain)" tree.
 
         Points are sorted on their coordinates and strung on a
@@ -125,7 +138,7 @@ class KDTree:
             raise IndexError_("cannot build a chain over an empty point set")
         dimensions = points[0].dimensions
         tree = cls(dimensions, bucket_size=max(bucket_size, 1),
-                   split_strategy=SplitStrategy.FIRST_POINT)
+                   split_strategy=SplitStrategy.FIRST_POINT, scan_kernel=scan_kernel)
         ordered = sorted(points, key=lambda point: point.coordinates)
         # Build the chain bottom-up (iteratively) so arbitrarily long chains
         # never hit the recursion limit.
@@ -192,23 +205,35 @@ class KDTree:
             )
         state = KSearchState(query=query, k=k)
         # Explicit stack of (node, pending_far_child); a ``None`` second item
-        # means the entry still has to be expanded (forward phase).
+        # means the entry still has to be expanded (forward phase).  The loop
+        # body inlines ``child_for`` / ``other_child`` / ``must_visit_other_side``:
+        # deep searches traverse thousands of routing nodes and the method
+        # dispatch was a measurable share of query latency.
+        query_coords = query.coordinates
+        results = state.results
+        scan_kernel = self.scan_kernel
         stack: List[Tuple[Node, Optional[Node]]] = [(self.root, None)]
         while stack:
             node, pending_far = stack.pop()
+            split_index = node.split_index
             if pending_far is not None:
                 # Backward visit of ``node``: decide whether to explore the
                 # not-yet-analysed subtree (the paper's disjunction).
-                assert node.split_index is not None and node.split_value is not None
-                if state.must_visit_other_side(node.split_index, node.split_value):
+                if (not results.is_full
+                        or abs(query_coords[split_index] - node.split_value)
+                        < results.current_radius):
                     stack.append((pending_far, None))
                 continue
             state.nodes_visited += 1
-            if node.is_leaf:
-                state.examine_bucket(node.bucket)
+            if split_index is None:  # leaf
+                kernels.knn_scan_node(state, node, scan_kernel)
                 continue
-            near_child = self._local(node.child_for(query))
-            far_child = self._local(node.other_child(near_child))
+            if query_coords[split_index] <= node.split_value:
+                near_child, far_child = node.left, node.right
+            else:
+                near_child, far_child = node.right, node.left
+            if not isinstance(near_child, Node) or not isinstance(far_child, Node):
+                raise IndexError_("a sequential KDTree cannot contain remote children")
             stack.append((node, far_child))   # backward visit, handled after the near subtree
             stack.append((near_child, None))  # forward visit of the near subtree first
         return state
@@ -229,25 +254,28 @@ class KDTree:
             raise QueryError("the range distance D must be non-negative")
         results: List[Neighbour] = []
         visited = 0
+        query_coords = query.coordinates
+        query_array = np.asarray(query_coords, dtype=np.float64)
+        scan_kernel = self.scan_kernel
         stack: List[Node] = [self.root]
         while stack:
             node = stack.pop()
             visited += 1
-            if node.is_leaf:
-                for point in node.bucket:
-                    distance = euclidean_distance(query, point)
-                    if distance <= radius:
-                        results.append(Neighbour(point, distance))
+            split_index = node.split_index
+            if split_index is None:  # leaf
+                found, _ = kernels.range_scan_node(query, radius, node, scan_kernel,
+                                                   query_array=query_array)
+                results.extend(found)
                 continue
-            assert node.split_index is not None and node.split_value is not None
-            plane_distance = abs(query[node.split_index] - node.split_value)
-            if plane_distance < radius:
+            offset = query_coords[split_index] - node.split_value
+            if abs(offset) < radius:
                 # The query ball straddles the splitting plane: navigate both children.
                 stack.append(self._local(node.left))
                 stack.append(self._local(node.right))
             else:
-                # Otherwise navigate as in the insertion algorithm.
-                stack.append(self._local(node.child_for(query)))
+                # Otherwise navigate as in the insertion algorithm
+                # (``P[Sr] <= Sv`` descends left).
+                stack.append(self._local(node.left if offset <= 0 else node.right))
         results.sort(key=lambda neighbour: neighbour.distance)
         return results, visited
 
@@ -279,9 +307,7 @@ class KDTree:
                 f"point has {point.dimensions} dimensions, the tree expects {self.dimensions}"
             )
         leaf, _ = self._descend_to_leaf(point)
-        try:
-            leaf.bucket.remove(point)
-        except ValueError:
+        if not leaf.remove_from_bucket(point):
             return False
         self._size -= 1
         return True

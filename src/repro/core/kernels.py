@@ -1,0 +1,309 @@
+"""Vectorized leaf-scan kernels.
+
+Every search in the codebase bottoms out in the same operation: compare a
+query point against a *bucket* of stored points — a KD-tree leaf, a
+distributed partition's leaf, the live-ingest delta segment, or the whole
+corpus in the linear-scan baseline.  The scalar implementation walks the
+bucket one point at a time (one ``math.dist`` call and one heap offer per
+point); this module batches the whole bucket into a contiguous NumPy matrix
+and computes every distance in a single vectorized pass.
+
+Exactness
+---------
+The NumPy kernels are *pruned* but **exact**: they return the same points
+with the same ``math.dist`` distances as the scalar path.
+
+* The vectorized pass computes **squared** distances only, and uses them
+  only to *prune* (compare against the squared radius, with a relative
+  slack so a float rounding can never drop a true hit) and to *select*
+  (stable top-k, so ties keep bucket order).  No ``np.sqrt`` is ever taken.
+* Every retained point's distance is then recomputed with
+  :func:`~repro.core.point.euclidean_distance` (``math.dist``) and
+  re-checked by the exact acceptance rule (`ResultSet.offer`'s strict ``<``
+  for k-NN, the inclusive ``<=`` for range).  Over-inclusion by the slack is
+  harmless; reported distances are bit-identical to the scalar path.
+* Survivors are offered in bucket order, exactly like the scalar loop, and
+  :class:`~repro.core.knn.ResultSet` retains the first offer among equal
+  distances, so tie-breaking matches the scalar path too.
+
+(The single residual gap: two *distinct* points whose true distances differ
+by a last-ulp amount can compare equal — or swapped — on squared distances,
+which could select the other one at a k-boundary.  That changes which of two
+near-identical answers is returned, never the distances by more than 1 ulp.)
+
+The scalar path stays alive behind ``SemTreeConfig.scan_kernel = "scalar"``
+as the correctness oracle; ``tests/core/test_kernels.py`` asserts the two
+kernels agree across bucket sizes, dimensionalities, duplicate-coordinate
+buckets and the ingest tree ∪ delta merge path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.knn import Neighbour
+from repro.core.point import euclidean_distance
+from repro.errors import IndexError_
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.knn import KSearchState
+    from repro.core.node import Node
+    from repro.core.point import LabeledPoint
+
+__all__ = [
+    "SCAN_KERNELS",
+    "DEFAULT_SCAN_KERNEL",
+    "validate_scan_kernel",
+    "coordinate_matrix",
+    "squared_distances",
+    "knn_scan_node",
+    "range_scan_points",
+    "range_scan_node",
+    "linear_knn",
+    "linear_range",
+]
+
+#: The recognised values of ``SemTreeConfig.scan_kernel``.
+SCAN_KERNELS: Tuple[str, ...] = ("numpy", "scalar")
+
+#: Kernel used when nothing is configured.
+DEFAULT_SCAN_KERNEL = "numpy"
+
+#: Buckets smaller than these fall back to the scalar loop even under the
+#: ``"numpy"`` kernel: a NumPy pass costs a few microseconds of fixed
+#: dispatch overhead, which a handful of ``math.dist`` calls undercuts.  The
+#: k-NN scan amortises earlier because vectorization also caps the heap
+#: offers at ``k`` (top-k preselection); a range scan saves only the
+#: distance arithmetic, so it needs a bigger bucket to win.
+KNN_VECTOR_MIN = 8
+RANGE_VECTOR_MIN = 32
+
+#: Relative slack applied to squared-radius pre-filters.  The vectorized
+#: squared distance and the scalar ``math.dist`` can disagree by a few ulps;
+#: the slack keeps the pre-filter a strict superset of the scalar hits, and
+#: every survivor is re-checked with its exact distance afterwards.
+_PREFILTER_SLACK = 1.0 + 1e-12
+
+
+def validate_scan_kernel(name: str) -> str:
+    """Return ``name`` when it is a known kernel; raise otherwise."""
+    if name not in SCAN_KERNELS:
+        raise IndexError_(
+            f"unknown scan kernel {name!r}; expected one of {list(SCAN_KERNELS)}"
+        )
+    return name
+
+
+def coordinate_matrix(points: Sequence["LabeledPoint"]) -> np.ndarray:
+    """Stack a bucket's coordinates into one contiguous ``(n, d)`` float matrix."""
+    return np.array([point.coordinates for point in points], dtype=np.float64)
+
+
+def squared_distances(matrix: np.ndarray, query_coords: Sequence[float]) -> np.ndarray:
+    """Squared Euclidean distance from every matrix row to the query point.
+
+    Raises the library's :class:`IndexError_` on a dimension mismatch, like
+    the scalar :func:`~repro.core.point.euclidean_distance` does — callers
+    must never see a raw NumPy broadcast error.
+    """
+    if not isinstance(query_coords, np.ndarray):
+        query_coords = np.asarray(query_coords, dtype=np.float64)
+    if matrix.shape[1] != query_coords.shape[0]:
+        raise IndexError_(
+            f"dimension mismatch: {matrix.shape[1]} vs {query_coords.shape[0]}"
+        )
+    diff = matrix - query_coords
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+# -- k-NN -------------------------------------------------------------------------------
+
+
+def knn_scan_node(state: "KSearchState", node: "Node", kernel: str) -> int:
+    """Examine one leaf's bucket for a k-NN search; returns how many were retained.
+
+    The ``"scalar"`` kernel defers to :meth:`KSearchState.examine_bucket`
+    (the per-point oracle); the ``"numpy"`` kernel batches the bucket through
+    the node's cached coordinate matrix.  Buckets below the vectorization
+    cutoff skip the matrix build entirely.
+    """
+    if kernel == "scalar" or len(node.bucket) < KNN_VECTOR_MIN:
+        return state.examine_bucket(node.bucket)
+    return knn_scan_points(state, node.bucket, node.bucket_matrix())
+
+
+def knn_scan_points(state: "KSearchState", points: Sequence["LabeledPoint"],
+                    matrix: Optional[np.ndarray] = None) -> int:
+    """Vectorized k-NN bucket scan: one distance pass, heap offers only for winners.
+
+    All bucket squared distances are computed in one shot, then two exact
+    pruning steps bound the Python-level work:
+
+    1. *radius pre-filter* — candidates are compared against the current
+       radius on squared distances (a safe superset, see the module
+       docstring);
+    2. *top-k preselection* — among the survivors only the ``k`` closest
+       (stable sort, so ties keep bucket order) are offered to the heap.  A
+       bucket point outside its own bucket's top-``k`` loses every comparison
+       and tie-break against those ``k`` offered points, so it can never be
+       part of the final result set — skipping it changes nothing.
+
+    The at-most-``k`` winners get their exact ``math.dist`` distance and are
+    offered in bucket order; the ``points_examined`` counter is bulk-updated.
+    Returns the number of offers the result set accepted.
+    """
+    n = len(points)
+    if n == 0:
+        return 0
+    if n < KNN_VECTOR_MIN:
+        return state.examine_bucket(points)
+    if matrix is None:
+        matrix = coordinate_matrix(points)
+    sq = squared_distances(matrix, state.query_array())
+    state.points_examined += n
+    radius = state.results.current_radius
+    if radius != float("inf"):
+        mask = sq <= radius * radius * _PREFILTER_SLACK
+        # Backward visits mostly find nothing; count before allocating the
+        # index array so the no-survivor case exits after one scan.
+        if not np.count_nonzero(mask):
+            return 0
+        candidates = np.nonzero(mask)[0]
+        candidate_sq = sq[candidates]
+    else:
+        candidates = None
+        candidate_sq = sq
+    k = state.results.k
+    if candidate_sq.size > k:
+        # Stable: among equal squared distances the lower bucket index wins,
+        # exactly like the scalar loop's first-come-first-retained behaviour.
+        top = np.argsort(candidate_sq, kind="stable")[:k]
+        top.sort()  # back to bucket order for the offers
+        candidates = top if candidates is None else candidates[top]
+    indices = range(n) if candidates is None else candidates.tolist()
+    query = state.query
+    retained = 0
+    offer = state.results.offer
+    for index in indices:
+        point = points[index]
+        if offer(point, euclidean_distance(query, point)):
+            retained += 1
+    return retained
+
+
+# -- range ------------------------------------------------------------------------------
+
+
+def range_scan_node(query: "LabeledPoint", radius: float, node: "Node",
+                    kernel: str,
+                    query_array: Optional[np.ndarray] = None,
+                    ) -> Tuple[List["Neighbour"], int]:
+    """Scan one leaf's bucket for a range search.
+
+    Returns ``(neighbours_within_radius, points_examined)``; neighbours keep
+    bucket order (the caller sorts by distance at the end, so ties preserve
+    insertion order exactly like the scalar path).  ``query_array`` lets a
+    traversal convert the query coordinates once and reuse them per leaf;
+    buckets below the vectorization cutoff skip the matrix build entirely.
+    """
+    if kernel == "scalar" or len(node.bucket) < RANGE_VECTOR_MIN:
+        return _range_scan_scalar(query, radius, node.bucket)
+    return range_scan_points(query, radius, node.bucket, node.bucket_matrix(),
+                             query_array=query_array)
+
+
+def _range_scan_scalar(query: "LabeledPoint", radius: float,
+                       points: Sequence["LabeledPoint"]) -> Tuple[List[Neighbour], int]:
+    found: List[Neighbour] = []
+    for point in points:
+        distance = euclidean_distance(query, point)
+        if distance <= radius:
+            found.append(Neighbour(point, distance))
+    return found, len(points)
+
+
+def range_scan_points(query: "LabeledPoint", radius: float,
+                      points: Sequence["LabeledPoint"],
+                      matrix: Optional[np.ndarray] = None,
+                      query_array: Optional[np.ndarray] = None,
+                      ) -> Tuple[List[Neighbour], int]:
+    """Vectorized range bucket scan (inclusive ``distance <= radius`` rule)."""
+    n = len(points)
+    if n == 0:
+        return [], 0
+    if n < RANGE_VECTOR_MIN:
+        return _range_scan_scalar(query, radius, points)
+    if matrix is None:
+        matrix = coordinate_matrix(points)
+    if query_array is None:
+        query_array = np.asarray(query.coordinates, dtype=np.float64)
+    sq = squared_distances(matrix, query_array)
+    mask = sq <= radius * radius * _PREFILTER_SLACK
+    # Most leaves of a selective range query hold no hits at all; count
+    # before allocating the index array so that case exits after one scan.
+    if not np.count_nonzero(mask):
+        return [], n
+    found = []
+    for index in np.nonzero(mask)[0].tolist():
+        point = points[index]
+        # The slacked squared pre-filter may over-include; the exact
+        # ``math.dist`` distance decides, keeping the inclusive rule and the
+        # reported values identical to the scalar path.
+        distance = euclidean_distance(query, point)
+        if distance <= radius:
+            found.append(Neighbour(point, distance))
+    return found, n
+
+
+# -- whole-corpus scans (linear baseline, delta segment) --------------------------------
+
+
+def linear_knn(points: Sequence["LabeledPoint"], query: "LabeledPoint", k: int,
+               matrix: Optional[np.ndarray] = None,
+               kernel: str = DEFAULT_SCAN_KERNEL) -> List[Neighbour]:
+    """Exact k-NN over a full point set, closest first.
+
+    Under the ``"numpy"`` kernel this is a single matrix pass: the stable
+    argsort on squared distances reproduces the scalar tie order (insertion
+    order among equal distances) and the winners' reported distances are the
+    exact ``math.dist`` values.  ``kernel="scalar"`` (or a set below the
+    vectorization cutoff) runs the per-point oracle loop.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    if kernel == "scalar" or n < KNN_VECTOR_MIN:
+        scored = [Neighbour(point, euclidean_distance(query, point)) for point in points]
+        scored.sort(key=lambda neighbour: neighbour.distance)
+        return scored[:k]
+    if matrix is None:
+        matrix = coordinate_matrix(points)
+    sq = squared_distances(matrix, np.asarray(query.coordinates, dtype=np.float64))
+    if n > k:
+        top = np.argsort(sq, kind="stable")[:k]
+        top.sort()  # insertion order, so the final stable sort keeps ties right
+        indices = top.tolist()
+    else:
+        indices = range(n)
+    found = [Neighbour(points[index], euclidean_distance(query, points[index]))
+             for index in indices]
+    found.sort(key=lambda neighbour: neighbour.distance)
+    return found
+
+
+def linear_range(points: Sequence["LabeledPoint"], query: "LabeledPoint", radius: float,
+                 matrix: Optional[np.ndarray] = None,
+                 kernel: str = DEFAULT_SCAN_KERNEL) -> List[Neighbour]:
+    """Exact range query over a full point set, closest first.
+
+    Results come back sorted by distance (stable, so ties keep insertion
+    order), identical under both kernels.
+    """
+    if kernel == "scalar":
+        found, _ = _range_scan_scalar(query, radius, points)
+    else:
+        found, _ = range_scan_points(query, radius, points, matrix)
+    found.sort(key=lambda neighbour: neighbour.distance)
+    return found

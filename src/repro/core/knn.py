@@ -29,7 +29,9 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.core.point import LabeledPoint, euclidean_distance
 from repro.errors import QueryError
@@ -71,8 +73,14 @@ class ResultSet:
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
         self.k = k
-        # Max-heap via negated distances; the tie-breaker keeps heap entries
-        # comparable even when distances are equal.
+        # Max-heap via negated distances.  The negated arrival counter makes
+        # ties fully first-come-first-retained: an incoming candidate equal
+        # to the current radius is rejected (strict ``<`` below), and when a
+        # closer candidate displaces the worst entry, the *latest-offered* of
+        # equally-distant maxima is evicted first.  Together these give one
+        # invariant — among equal distances, the earliest offer always
+        # survives — which is exactly what the vectorized kernel's stable
+        # top-k preselection reproduces.
         self._heap: List[Tuple[float, int, Neighbour]] = []
         self._counter = itertools.count()
 
@@ -82,10 +90,10 @@ class ResultSet:
             raise QueryError("distances must be non-negative")
         neighbour = Neighbour(point, distance)
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-distance, next(self._counter), neighbour))
+            heapq.heappush(self._heap, (-distance, -next(self._counter), neighbour))
             return True
         if distance < self.current_radius:
-            heapq.heapreplace(self._heap, (-distance, next(self._counter), neighbour))
+            heapq.heapreplace(self._heap, (-distance, -next(self._counter), neighbour))
             return True
         return False
 
@@ -148,17 +156,33 @@ class KSearchState:
     points_examined: int = 0
     partitions_visited: int = 0
     visited_partition_ids: List[str] = field(default_factory=list)
+    _visited_partition_set: Set[str] = field(default_factory=set, init=False, repr=False)
+    _query_array: Optional[np.ndarray] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.results = ResultSet(self.k)
+        self._visited_partition_set = set(self.visited_partition_ids)
+
+    def query_array(self) -> np.ndarray:
+        """``P``'s coordinates as a NumPy vector, built once per search.
+
+        The vectorized leaf kernels subtract this from every bucket matrix;
+        caching it here keeps the per-leaf fixed cost down.
+        """
+        if self._query_array is None:
+            self._query_array = np.asarray(self.query.coordinates, dtype=np.float64)
+        return self._query_array
 
     def note_partition(self, partition_id: str) -> None:
         """Record the identity of a partition the search entered.
 
         ``partitions_visited`` keeps the paper's plain counter; the identities
-        feed the serving layer's per-partition load metrics.
+        feed the serving layer's per-partition load metrics.  The membership
+        check runs against a set (a deep search re-enters partitions many
+        times); ``visited_partition_ids`` preserves first-seen order.
         """
-        if partition_id not in self.visited_partition_ids:
+        if partition_id not in self._visited_partition_set:
+            self._visited_partition_set.add(partition_id)
             self.visited_partition_ids.append(partition_id)
 
     # -- the two sub-conditions of the backward visit --------------------------------
@@ -182,5 +206,9 @@ class KSearchState:
         return self.results.offer(point, euclidean_distance(self.query, point))
 
     def examine_bucket(self, points: List[LabeledPoint]) -> int:
-        """Offer every point of a leaf bucket; returns how many were retained."""
+        """Offer every point of a leaf bucket; returns how many were retained.
+
+        This is the ``"scalar"`` scan kernel — the per-point correctness
+        oracle.  The vectorized path is :func:`repro.core.kernels.knn_scan_node`.
+        """
         return sum(1 for point in points if self.examine(point))

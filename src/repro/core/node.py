@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+import numpy as np
+
 from repro.core.point import LabeledPoint
 from repro.errors import IndexError_
 
@@ -71,6 +73,9 @@ class Node:
     right: Optional[ChildRef] = None
     bucket: List[LabeledPoint] = field(default_factory=list)
     node_id: int = field(default_factory=lambda: next(_node_counter))
+    # Lazily-built (n, d) matrix of the bucket's coordinates, shared by the
+    # vectorized scan kernels; invalidated by every bucket mutation.
+    _matrix: Optional[np.ndarray] = field(default=None, init=False, repr=False, compare=False)
 
     # -- kind predicates ---------------------------------------------------------
 
@@ -127,6 +132,26 @@ class Node:
             raise IndexError_("routing node with a missing child")
         return other
 
+    # -- the cached coordinate matrix ---------------------------------------------------
+
+    def bucket_matrix(self) -> np.ndarray:
+        """The bucket's coordinates as one contiguous ``(n, d)`` float matrix.
+
+        Built on first use and cached so repeated leaf scans pay the
+        Python-to-NumPy conversion once per bucket, not once per query; every
+        bucket mutation (:meth:`add_to_bucket`, :meth:`remove_from_bucket`,
+        :meth:`convert_to_routing`, :meth:`set_bucket`) invalidates it.
+        """
+        if self._matrix is None:
+            self._matrix = np.array(
+                [point.coordinates for point in self.bucket], dtype=np.float64
+            )
+        return self._matrix
+
+    def invalidate_matrix(self) -> None:
+        """Drop the cached coordinate matrix (call after mutating ``bucket``)."""
+        self._matrix = None
+
     # -- leaf mutation ------------------------------------------------------------------
 
     def add_to_bucket(self, point: LabeledPoint) -> None:
@@ -134,6 +159,25 @@ class Node:
         if not self.is_leaf:
             raise IndexError_("only leaf nodes store points")
         self.bucket.append(point)
+        self._matrix = None
+
+    def remove_from_bucket(self, point: LabeledPoint) -> bool:
+        """Remove one point from a leaf's bucket; returns True when it was present."""
+        if not self.is_leaf:
+            raise IndexError_("only leaf nodes store points")
+        try:
+            self.bucket.remove(point)
+        except ValueError:
+            return False
+        self._matrix = None
+        return True
+
+    def set_bucket(self, points: List[LabeledPoint]) -> None:
+        """Replace the whole bucket (deserialisation path), dropping the cache."""
+        if not self.is_leaf:
+            raise IndexError_("only leaf nodes store points")
+        self.bucket = points
+        self._matrix = None
 
     def convert_to_routing(self, split_index: int, split_value: float,
                            left: "Node", right: "Node") -> None:
@@ -151,6 +195,7 @@ class Node:
         self.left = left
         self.right = right
         self.bucket = []
+        self._matrix = None
 
     def __repr__(self) -> str:
         if self.is_leaf:

@@ -66,20 +66,45 @@ class LabeledPoint:
         return f"LabeledPoint(({coords}), label={self.label!r})"
 
 
+#: ``math.sumprod`` (3.12+) runs the multiply-accumulate in C; older
+#: interpreters fall back to an explicit loop.
+_sumprod = getattr(math, "sumprod", None)
+
+
 def squared_euclidean_distance(a: LabeledPoint | Sequence[float],
                                b: LabeledPoint | Sequence[float]) -> float:
-    """Squared Euclidean distance between two points (or raw coordinate sequences)."""
-    distance = euclidean_distance(a, b)
-    return distance * distance
+    """Squared Euclidean distance between two points (or raw coordinate sequences).
+
+    Computed as the sum of squared differences directly — no square root is
+    ever taken, so callers comparing against a squared radius pay one pass
+    and zero transcendental calls (the old implementation went through
+    ``math.dist`` and squared the result, a sqrt computed only to be undone).
+    """
+    coords_a = a.coordinates if isinstance(a, LabeledPoint) else a
+    coords_b = b.coordinates if isinstance(b, LabeledPoint) else b
+    if len(coords_a) != len(coords_b):
+        raise IndexError_(
+            f"dimension mismatch: {len(coords_a)} vs {len(coords_b)}"
+        )
+    if _sumprod is not None:
+        diffs = [x - y for x, y in zip(coords_a, coords_b)]
+        return _sumprod(diffs, diffs)
+    total = 0.0
+    for x, y in zip(coords_a, coords_b):
+        delta = x - y
+        total += delta * delta
+    return total
 
 
 def euclidean_distance(a: LabeledPoint | Sequence[float],
                        b: LabeledPoint | Sequence[float]) -> float:
     """Euclidean distance between two points (or raw coordinate sequences).
 
-    This is the hot path of every leaf scan: ``math.dist`` runs the whole
-    subtract-square-accumulate loop in C, so it is kept free of any Python
-    per-coordinate iteration.
+    This is the hot path of every scalar leaf scan: ``math.dist`` runs the
+    whole subtract-square-accumulate-sqrt loop in a single C pass, so it does
+    *not* defer to :func:`squared_euclidean_distance` — building the
+    intermediate difference list there would cost an extra Python-level pass
+    that ``math.dist`` avoids.
     """
     coords_a = a.coordinates if isinstance(a, LabeledPoint) else a
     coords_b = b.coordinates if isinstance(b, LabeledPoint) else b

@@ -55,6 +55,25 @@ class Series:
         """The swept parameter values, in order."""
         return [point.x for point in self.points]
 
+    def metric_names(self) -> List[str]:
+        """Every metric recorded anywhere in the series, sorted."""
+        names = {name for point in self.points for name in point.metrics}
+        return sorted(names)
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-ready mapping: the swept values plus one list per metric.
+
+        Metrics missing at some sweep point show as ``None`` so every list
+        aligns with ``x``.
+        """
+        return {
+            "x": self.xs(),
+            "metrics": {
+                name: [point.metrics.get(name) for point in self.points]
+                for name in self.metric_names()
+            },
+        }
+
     def values(self, metric: str) -> List[float]:
         """The values of one metric along the sweep."""
         return [point.metric(metric) for point in self.points]
@@ -100,6 +119,22 @@ class Experiment:
             metrics = body(x)
             series.add(x, **metrics)
         return series
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-ready mapping of the whole experiment (see :meth:`Series.to_payload`).
+
+        This is the machine-readable twin of
+        :func:`repro.evaluation.report.format_experiment`; the benchmark
+        harness writes it to ``BENCH_<experiment_id>.json`` at the repository
+        root so the performance trajectory is tracked in version control.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "swept_parameter": self.swept_parameter,
+            "series": {name: series.to_payload()
+                       for name, series in sorted(self.series.items())},
+        }
 
     def __repr__(self) -> str:
         return (

@@ -21,8 +21,12 @@ tuples, so readers merge against a frozen prefix of the insert stream
 from __future__ import annotations
 
 import threading
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+import numpy as np
+
+from repro.core import kernels
+from repro.core.kernels import DEFAULT_SCAN_KERNEL, validate_scan_kernel
 from repro.core.knn import Neighbour
 from repro.core.point import LabeledPoint, euclidean_distance
 
@@ -30,12 +34,20 @@ __all__ = ["DeltaIndex"]
 
 
 class DeltaIndex:
-    """The in-memory linear-scan segment of an :class:`IngestingIndex`."""
+    """The in-memory linear-scan segment of an :class:`IngestingIndex`.
 
-    def __init__(self) -> None:
+    With the default ``"numpy"`` scan kernel the overlay scan runs as one
+    matrix pass over a lazily-built coordinate matrix, rebuilt only after the
+    delta has changed (append or drain); the ``"scalar"`` kernel keeps the
+    original per-point loop as the correctness oracle.
+    """
+
+    def __init__(self, scan_kernel: str = DEFAULT_SCAN_KERNEL) -> None:
         self._lock = threading.Lock()
         self._points: List[LabeledPoint] = []
         self._last_seq = 0
+        self.scan_kernel = validate_scan_kernel(scan_kernel)
+        self._matrix: Optional[np.ndarray] = None
 
     # -- writes -------------------------------------------------------------------------
 
@@ -44,6 +56,7 @@ class DeltaIndex:
         with self._lock:
             self._points.append(point)
             self._last_seq = seq
+            self._matrix = None
 
     def drain(self) -> Tuple[Tuple[LabeledPoint, ...], int]:
         """Atomically take every point out (compaction); returns ``(points, last_seq)``.
@@ -55,6 +68,7 @@ class DeltaIndex:
         with self._lock:
             points = tuple(self._points)
             self._points = []
+            self._matrix = None
             return points, self._last_seq
 
     # -- reads --------------------------------------------------------------------------
@@ -64,19 +78,51 @@ class DeltaIndex:
         with self._lock:
             return tuple(self._points)
 
+    def _snapshot(self) -> Tuple[Tuple[LabeledPoint, ...], Optional[np.ndarray]]:
+        """A consistent (points, matrix) pair; the matrix is rebuilt lazily.
+
+        Both the cached matrix and the returned tuple cover the same frozen
+        prefix of the insert stream — appends after the snapshot produce a
+        fresh matrix on the next read instead of mutating this one.  The
+        scalar oracle never needs (or pays for) the matrix.
+        """
+        with self._lock:
+            points = tuple(self._points)
+            if not points or self.scan_kernel != "numpy":
+                return points, None
+            if self._matrix is None:
+                self._matrix = kernels.coordinate_matrix(points)
+            return points, self._matrix
+
     def all_neighbours(self, query: LabeledPoint) -> List[Neighbour]:
-        """Every delta point with its distance to ``query`` (k-NN merge side)."""
+        """Every delta point with its distance to ``query``.
+
+        Every distance must be materialised here, so there is nothing for the
+        vectorized kernel to prune — both kernels run the same exact loop.
+        k-NN merges should prefer :meth:`k_nearest`, which only pays for the
+        ``k`` winners.
+        """
         return [
             Neighbour(point, euclidean_distance(query, point))
             for point in self.points()
         ]
 
+    def k_nearest(self, query: LabeledPoint, k: int) -> List[Neighbour]:
+        """The delta's own ``k`` closest points (k-NN merge side).
+
+        The merged top-``k`` of tree ∪ delta can contain at most ``k`` delta
+        points, so this is all the overlay needs.  Under the ``"numpy"``
+        kernel the selection runs on one squared-distance matrix pass and
+        only the winners get an exact ``math.dist`` distance.
+        """
+        points, matrix = self._snapshot()
+        return kernels.linear_knn(points, query, k, matrix, kernel=self.scan_kernel)
+
     def neighbours_within(self, query: LabeledPoint, radius: float) -> List[Neighbour]:
-        """Delta points within ``radius`` of ``query`` (range merge side)."""
-        return [
-            neighbour for neighbour in self.all_neighbours(query)
-            if neighbour.distance <= radius
-        ]
+        """Delta points within ``radius`` of ``query``, closest first (range merge side)."""
+        points, matrix = self._snapshot()
+        return kernels.linear_range(points, query, radius, matrix,
+                                    kernel=self.scan_kernel)
 
     @property
     def last_seq(self) -> int:

@@ -85,7 +85,7 @@ class IngestingIndex:
         self.wal = wal if isinstance(wal, WriteAheadLog) else WriteAheadLog(wal)
         self.compaction_threshold = compaction_threshold
         self.metrics = metrics or IngestMetrics()
-        self.delta = DeltaIndex()
+        self.delta = DeltaIndex(scan_kernel=base.config.scan_kernel)
         self._lock = ReadWriteLock()
         # Serialises WAL-append + delta-add so delta order equals sequence
         # order and a drain always covers a gapless prefix of the stream.
@@ -289,7 +289,9 @@ class IngestingIndex:
             if self.base.generation != generation:
                 return None
             if kind == "knn":
-                extra = self.delta.all_neighbours(point)
+                # The merged top-k can hold at most k delta points, so the
+                # delta only has to surface its own k closest.
+                extra = self.delta.k_nearest(point, int(parameter))
             else:
                 extra = self.delta.neighbours_within(point, parameter)
         if not extra:

@@ -188,7 +188,7 @@ def node_from_dict(payload: Dict[str, Any], *, partition_id: str | None = None) 
         node, data = stack.pop()
         kind = data.get("kind")
         if kind == "leaf":
-            node.bucket = [labeled_point_from_dict(entry) for entry in data.get("bucket", [])]
+            node.set_bucket([labeled_point_from_dict(entry) for entry in data.get("bucket", [])])
         elif kind == "routing":
             node.split_index = int(data["split_index"])
             node.split_value = float(data["split_value"])

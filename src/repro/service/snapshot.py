@@ -54,6 +54,7 @@ def _config_to_dict(config: SemTreeConfig) -> Dict[str, Any]:
         "capacity_policy": config.capacity_policy.value,
         "node_capacity_fraction": config.node_capacity_fraction,
         "split_strategy": config.split_strategy.value,
+        "scan_kernel": config.scan_kernel,
         "point_visit_cost": config.point_visit_cost,
         "point_insert_cost": config.point_insert_cost,
         "node_visit_cost": config.node_visit_cost,
@@ -64,6 +65,8 @@ def _config_from_dict(payload: Dict[str, Any]) -> SemTreeConfig:
     fields = dict(payload)
     fields["capacity_policy"] = CapacityPolicy(fields["capacity_policy"])
     fields["split_strategy"] = SplitStrategy(fields["split_strategy"])
+    # Snapshots written before the kernel layer carry no scan_kernel field;
+    # they load with the current default.
     return SemTreeConfig(**fields)
 
 
