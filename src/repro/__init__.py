@@ -19,7 +19,9 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.service` — the concurrent query-serving engine (result
   caching, batch execution, deadlines, index snapshots);
 * :mod:`repro.ingest` — live ingestion (write-ahead log, delta index,
-  background compaction) so inserts no longer quiesce queries.
+  background compaction) so inserts no longer quiesce queries;
+* :mod:`repro.server` — the process-level HTTP front end over the serving
+  stack (wire schemas, ``python -m repro.server``, checkpoint-on-exit).
 """
 
 from repro.core.config import SemTreeConfig, SplitStrategy
@@ -33,7 +35,7 @@ from repro.service.engine import QueryEngine, QueryResult
 from repro.service.planner import QueryKind, QuerySpec
 from repro.service.snapshot import load_index, save_index
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SemTreeIndex",

@@ -81,3 +81,46 @@ class EvaluationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a synthetic workload cannot be generated as requested."""
+
+
+class SchemaError(ReproError):
+    """Raised when a wire payload does not match the server's request schema.
+
+    Attributes
+    ----------
+    field:
+        Dotted path of the offending field (e.g. ``"queries[2].k"``), or
+        ``None`` when the problem is not attached to a specific field.
+    """
+
+    def __init__(self, message: str, field: str | None = None):
+        self.field = field
+        if field is not None:
+            message = f"{field}: {message}"
+        super().__init__(message)
+
+
+class ServerClosingError(ReproError):
+    """Raised when a request reaches a server that is shutting down.
+
+    Mapped to HTTP 503 (not a client error): the request was well-formed
+    and a retry against a healthy instance would succeed.
+    """
+
+
+class ServerError(ReproError):
+    """Raised by the HTTP client when the server reports a failure.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code of the response.
+    kind:
+        The error type the server reported (e.g. ``"SchemaError"``), or
+        ``None`` when the response carried no structured error payload.
+    """
+
+    def __init__(self, message: str, status: int = 500, kind: str | None = None):
+        self.status = status
+        self.kind = kind
+        super().__init__(message)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.core.node import ChildRef, Node, RemoteChild
 from repro.core.point import LabeledPoint
@@ -29,12 +29,17 @@ from repro.rdf.triple import Triple
 from repro.requirements.generator import SyntheticCorpus
 from repro.requirements.model import Requirement, RequirementsDocument
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.semtree import SemanticMatch
+
 __all__ = [
     "term_to_dict", "term_from_dict",
     "triple_to_dict", "triple_from_dict",
     "document_to_dict", "document_from_dict",
     "labeled_point_to_dict", "labeled_point_from_dict",
     "node_to_dict", "node_from_dict",
+    "match_to_dict", "match_from_dict",
+    "json_ready",
     "dump_json_line", "iter_json_lines",
     "save_collection", "load_collection",
     "save_corpus", "load_corpus",
@@ -203,6 +208,49 @@ def node_from_dict(payload: Dict[str, Any], *, partition_id: str | None = None) 
         else:
             raise ParseError(f"unknown node kind {kind!r}")
     return root
+
+
+# -- query matches and metrics (the server's wire payloads) --------------------------------
+
+def match_to_dict(match: "SemanticMatch") -> Dict[str, Any]:
+    """Serialise one query result for the wire.
+
+    The triple rides as its term dictionaries (lossless, parseable back with
+    :func:`match_from_dict`) plus a human-readable ``text`` rendering;
+    ``documents`` is the provenance tuple as a list.
+    """
+    return {
+        "triple": triple_to_dict(match.triple),
+        "text": str(match.triple),
+        "distance": match.distance,
+        "documents": list(match.documents),
+    }
+
+
+def match_from_dict(payload: Dict[str, Any]) -> "SemanticMatch":
+    """Inverse of :func:`match_to_dict` (the ``text`` rendering is ignored)."""
+    from repro.core.semtree import SemanticMatch  # deferred: avoids an import cycle
+
+    return SemanticMatch(
+        triple=triple_from_dict(payload["triple"]),
+        distance=float(payload["distance"]),
+        documents=tuple(payload.get("documents", ())),
+    )
+
+
+def json_ready(value: Any) -> Any:
+    """Recursively coerce a metrics/statistics payload to JSON-native types.
+
+    Snapshots assembled across subsystems may carry tuples (partition lists)
+    or non-string dictionary keys (enum values, integers); ``json.dumps``
+    would either reject or silently coerce them inconsistently.  This helper
+    normalises once: tuples/sets become lists, mapping keys become strings.
+    """
+    if isinstance(value, dict):
+        return {str(key): json_ready(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [json_ready(entry) for entry in value]
+    return value
 
 
 # -- documents -----------------------------------------------------------------------------

@@ -1,0 +1,43 @@
+"""The process-level network front end over the serving stack.
+
+Everything below this package runs in one Python process; ``repro.server``
+is the layer that puts a socket in front of it, so the index can serve
+clients that are not the process that built it:
+
+* :mod:`repro.server.schemas` — wire request/response schemas: typed
+  validation of query/insert payloads into :class:`QuerySpec` /
+  :class:`Triple`, result rendering, structured JSON errors;
+* :mod:`repro.server.app` — :class:`ServerApp`, the transport-free endpoint
+  logic: queries through :class:`~repro.service.engine.QueryEngine`
+  (batched, cached, deadline-bounded), inserts through
+  :class:`~repro.ingest.ingesting.IngestingIndex` (WAL + delta), the
+  unified ``/v1/metrics`` payload, graceful close with
+  checkpoint-on-exit;
+* :mod:`repro.server.http` — :class:`SemTreeServer`, a
+  ``ThreadingHTTPServer`` binding one app to a host/port;
+* :mod:`repro.server.bootstrap` — recovering a servable index (and the
+  semantic distance) from a checkpoint snapshot + WAL on disk;
+* :mod:`repro.server.__main__` — the ``python -m repro.server`` CLI.
+
+The HTTP client lives with the other workload drivers:
+:class:`repro.workloads.ServerClient`.  See ``docs/server.md`` for the API
+reference and ``docs/architecture.md`` for where this layer sits.
+"""
+
+from repro.server.app import ServerApp
+from repro.server.bootstrap import derive_distance, harvest_triples, recover_index
+from repro.server.http import SemTreeServer
+from repro.server.schemas import (parse_insert_request, parse_query_request,
+                                  parse_triple, render_result)
+
+__all__ = [
+    "ServerApp",
+    "SemTreeServer",
+    "derive_distance",
+    "harvest_triples",
+    "recover_index",
+    "parse_triple",
+    "parse_query_request",
+    "parse_insert_request",
+    "render_result",
+]

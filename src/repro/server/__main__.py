@@ -1,0 +1,137 @@
+"""``python -m repro.server`` — boot a SemTree server from durable state.
+
+Boot sequence:
+
+1. :func:`~repro.server.bootstrap.derive_distance` rebuilds the semantic
+   distance from the triples in the checkpoint snapshot (+ WAL tail);
+2. :meth:`IngestingIndex.recover` restores the tree from the snapshot and
+   replays the WAL records after its ``wal_seq`` into the delta;
+3. a :class:`~repro.server.app.ServerApp` (query engine + background
+   compactor) is bound to a :class:`~repro.server.http.SemTreeServer`;
+4. on SIGINT/SIGTERM the server stops accepting, drains in-flight queries,
+   folds the delta, writes a checkpoint back to ``--snapshot`` and
+   truncates the WAL (disable with ``--no-checkpoint-on-exit``).
+
+Example::
+
+    python -m repro.server --snapshot snap.json --wal wal.jsonl --port 8080
+
+See ``docs/server.md`` for the endpoint reference and a curl quickstart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import Optional, Sequence, Tuple
+
+from repro.server.app import ServerApp
+from repro.server.bootstrap import recover_index
+from repro.server.http import SemTreeServer
+
+__all__ = ["build_parser", "build_server", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a SemTree index over HTTP, recovering from a "
+                    "checkpoint snapshot + write-ahead-log tail.",
+    )
+    parser.add_argument("--snapshot", required=True,
+                        help="checkpoint snapshot to boot from (and to write the "
+                             "shutdown checkpoint back to)")
+    parser.add_argument("--wal", required=True,
+                        help="write-ahead log; its tail (records after the snapshot's "
+                             "wal_seq) is replayed on boot, and live inserts append to it")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port (0 picks an ephemeral port)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="query-engine worker threads")
+    parser.add_argument("--cache-capacity", type=int, default=1024,
+                        help="result-cache entries")
+    parser.add_argument("--cache-ttl", type=float, default=None,
+                        help="result-cache TTL in seconds (default: no expiry)")
+    parser.add_argument("--cache-segmented", action="store_true",
+                        help="use SLRU (probationary/protected) cache admission")
+    parser.add_argument("--default-deadline", type=float, default=None,
+                        help="per-query deadline in seconds applied when a request "
+                             "carries none (default: wait for completion)")
+    parser.add_argument("--compaction-threshold", type=int, default=256,
+                        help="delta size that triggers a background compaction")
+    parser.add_argument("--no-background-compaction", action="store_true",
+                        help="disable the background compactor (folds then only "
+                             "happen at the shutdown checkpoint)")
+    parser.add_argument("--no-checkpoint-on-exit", action="store_true",
+                        help="skip the shutdown checkpoint (the WAL alone stays "
+                             "the recovery source)")
+    parser.add_argument("--actors", default="",
+                        help="comma-separated extra actor names future inserts may "
+                             "mention (stored actors are read from the snapshot)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request log lines")
+    return parser
+
+
+def build_server(argv: Optional[Sequence[str]] = None) -> Tuple[SemTreeServer, argparse.Namespace]:
+    """Parse arguments, recover the index, return a bound (not serving) server."""
+    args = build_parser().parse_args(argv)
+    extra_actors = [name.strip() for name in args.actors.split(",") if name.strip()]
+    index = recover_index(
+        args.snapshot, args.wal, extra_actors=extra_actors,
+        compaction_threshold=args.compaction_threshold,
+    )
+    app = ServerApp(
+        index,
+        workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        cache_segmented=args.cache_segmented,
+        default_deadline=args.default_deadline,
+        checkpoint_path=None if args.no_checkpoint_on_exit else args.snapshot,
+        background_compaction=not args.no_background_compaction,
+    )
+    server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
+    return server, args
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    server, args = build_server(argv)
+    index = server.app.index
+    replayed = index.statistics()["replayed"]
+    print(f"recovered {len(index)} points "
+          f"(generation {index.generation}, applied_seq {index.applied_seq}, "
+          f"replayed {replayed} WAL records)", flush=True)
+
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        stop.set()
+
+    previous = {
+        signal.SIGINT: signal.signal(signal.SIGINT, request_stop),
+        signal.SIGTERM: signal.signal(signal.SIGTERM, request_stop),
+    }
+    try:
+        server.serve_background()
+        print(f"listening on {server.url}", flush=True)
+        stop.wait()
+        print("shutting down ...", flush=True)
+        wal_seq = server.close()
+        if wal_seq is not None:
+            print(f"checkpointed through wal_seq {wal_seq} to {args.snapshot}",
+                  flush=True)
+        else:
+            print("stopped without a checkpoint (WAL remains the recovery source)",
+                  flush=True)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""The server application: endpoint logic, transport-free.
+
+:class:`ServerApp` owns the serving stack of one process — an
+:class:`~repro.ingest.ingesting.IngestingIndex` (write-ahead log + delta
+segment), a :class:`~repro.service.engine.QueryEngine` (batching, result
+cache, deadlines) and an optional
+:class:`~repro.ingest.compactor.BackgroundCompactor` — and exposes one
+method per HTTP endpoint, taking and returning plain JSON-native
+dictionaries.  The HTTP layer (:mod:`repro.server.http`) is a thin adapter
+over it; tests and benchmarks can drive the app directly.
+
+The unified metrics payload
+---------------------------
+``/v1/metrics`` merges counters from three subsystems that historically
+named their fields each their own way (``qps`` vs ``ingest_qps``, a
+hand-picked subset of the cache counters).  :meth:`ServerApp.metrics`
+publishes one stable, fully snake_case schema instead — four sections
+(``serving`` / ``cache`` / ``ingest`` / ``index``) plus ``server``, with the
+shared conventions ``qps``, ``wall_seconds`` and ``*_ms`` sub-dictionaries
+that are *always present* (zeroed before the first sample).  The exact key
+sets are documented in ``docs/server.md`` and locked down by
+``tests/server/test_metrics_schema.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from collections import Counter
+from typing import Any, Dict, Optional
+
+from repro.errors import QueryError, ServerClosingError
+from repro.ingest.compactor import BackgroundCompactor
+from repro.ingest.ingesting import IngestingIndex
+from repro.io.serialization import json_ready
+from repro.server.schemas import (PartialInsertError, parse_insert_request,
+                                  parse_query_request, render_results)
+from repro.service.engine import QueryEngine
+from repro.service.planner import QueryKind
+from repro.service.snapshot import config_to_dict
+
+__all__ = ["ServerApp"]
+
+#: Zeroed latency sub-dictionaries, so the metrics schema is stable before
+#: the first sample lands.
+_EMPTY_LATENCY = {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+_EMPTY_COMPACTION = {"mean": 0.0, "max": 0.0, "last": 0.0}
+
+
+class ServerApp:
+    """Endpoint logic over one live-ingesting index.
+
+    Parameters
+    ----------
+    index:
+        The :class:`IngestingIndex` to serve.  The server requires the
+        ingesting wrapper (not a bare ``SemTreeIndex``) because ``/v1/insert``
+        writes through the WAL + delta path and the shutdown checkpoint
+        needs the WAL's applied sequence number.
+    workers / cache_capacity / cache_ttl / cache_segmented / default_deadline:
+        Passed through to :class:`QueryEngine`.
+    checkpoint_path:
+        Where :meth:`close` writes the shutdown checkpoint (``None`` skips
+        checkpoint-on-exit).
+    background_compaction:
+        Run a :class:`BackgroundCompactor` so folds happen off the serving
+        path (on by default, like a production deployment).
+    """
+
+    def __init__(self, index: IngestingIndex, *, workers: int = 4,
+                 cache_capacity: int = 1024, cache_ttl: float | None = None,
+                 cache_segmented: bool = False,
+                 default_deadline: float | None = None,
+                 checkpoint_path: str | pathlib.Path | None = None,
+                 background_compaction: bool = True):
+        if not isinstance(index, IngestingIndex):
+            raise QueryError(
+                "ServerApp serves an IngestingIndex (wrap the built index so "
+                f"inserts hit the WAL + delta path), got {type(index).__name__}"
+            )
+        self.index = index
+        self.engine = QueryEngine(
+            index, workers=workers, cache_capacity=cache_capacity,
+            cache_ttl=cache_ttl, cache_segmented=cache_segmented,
+            default_deadline=default_deadline,
+        )
+        self.checkpoint_path = (
+            pathlib.Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.compactor: Optional[BackgroundCompactor] = None
+        if background_compaction:
+            self.compactor = BackgroundCompactor(index).start()
+        self._started = time.monotonic()
+        self._requests: Counter = Counter()
+        self._requests_lock = threading.Lock()
+        self._close_lock = threading.Lock()
+        self._closed = False
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def _count(self, endpoint: str) -> None:
+        with self._requests_lock:
+            self._requests[endpoint] += 1
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; endpoints refuse further work."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServerClosingError("the server is shutting down")
+
+    # -- query endpoints ----------------------------------------------------------------
+
+    def handle_knn(self, body: Any) -> Dict[str, Any]:
+        """``POST /v1/knn`` — single or batched k-NN queries."""
+        return self._handle_query(QueryKind.KNN, body, "knn")
+
+    def handle_range(self, body: Any) -> Dict[str, Any]:
+        """``POST /v1/range`` — single or batched range queries."""
+        return self._handle_query(QueryKind.RANGE, body, "range")
+
+    def _handle_query(self, kind: QueryKind, body: Any, endpoint: str) -> Dict[str, Any]:
+        self._check_open()
+        self._count(endpoint)
+        specs, batched = parse_query_request(body, kind)
+        results = self.engine.execute_batch(specs)
+        return render_results(results, batched)
+
+    # -- the write endpoint -------------------------------------------------------------
+
+    def handle_insert(self, body: Any) -> Dict[str, Any]:
+        """``POST /v1/insert`` — write one or many triples through WAL + delta.
+
+        Every accepted triple is durable (WAL-appended) and queryable before
+        the response is sent.  The response reports the WAL sequence numbers
+        so a client can correlate with checkpoints.
+        """
+        self._check_open()
+        self._count("insert")
+        inserts, batched = parse_insert_request(body)
+        sequences: list = []
+        try:
+            for triple, document_id in inserts:
+                sequences.append(self.index.insert(triple, document_id=document_id))
+        except Exception as error:
+            if sequences:
+                # The applied prefix is WAL-durable and queryable; tell the
+                # client exactly what landed so a retry can skip it.
+                raise PartialInsertError(
+                    f"insert {len(sequences) + 1} of {len(inserts)} failed: "
+                    f"{type(error).__name__}: {error}",
+                    accepted=len(sequences),
+                    first_seq=sequences[0], last_seq=sequences[-1],
+                ) from error
+            raise
+        if batched:
+            return {
+                "accepted": len(sequences),
+                "first_seq": sequences[0],
+                "last_seq": sequences[-1],
+            }
+        return {"seq": sequences[0], "delta_points": len(self.index.delta)}
+
+    # -- observability endpoints --------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/healthz`` — liveness plus the vitals a probe wants."""
+        self._count("healthz")
+        return {
+            "status": "closing" if self._closed else "ok",
+            "generation": self.index.generation,
+            "points": len(self.index),
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def index_info(self) -> Dict[str, Any]:
+        """``GET /v1/index`` — what is being served: shape, config, kernel."""
+        self._check_open()
+        self._count("index")
+        config = self.index.base.config
+        return {
+            "generation": self.index.generation,
+            "points": len(self.index),
+            "tree_points": len(self.index.base),
+            "delta_points": len(self.index.delta),
+            "applied_seq": self.index.applied_seq,
+            "last_seq": self.index.wal.last_seq,
+            "kernel": config.scan_kernel,
+            "config": config_to_dict(config),
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics`` — the unified serving + cache + ingest payload."""
+        self._count("metrics")
+        # One source for serving + cache: QueryEngine.statistics() (its
+        # cache section is CacheStats.to_dict() verbatim); the server only
+        # splits the sections apart and zero-fills the latency block.
+        serving = self.engine.statistics()
+        cache = serving.pop("cache")
+        serving.setdefault("latency_ms", dict(_EMPTY_LATENCY))
+
+        raw_ingest = self.index.statistics()
+        compaction_ms = raw_ingest.get("compaction_ms", dict(_EMPTY_COMPACTION))
+        ingest = {
+            "inserts": raw_ingest["inserts"],
+            "replayed": raw_ingest["replayed"],
+            "wall_seconds": raw_ingest["ingest_wall_seconds"],
+            "qps": raw_ingest["ingest_qps"],
+            "compactions": raw_ingest["compactions"],
+            "points_compacted": raw_ingest["points_compacted"],
+            "compaction_ms": compaction_ms,
+            "compaction_threshold": raw_ingest["compaction_threshold"],
+            "delta_points": raw_ingest["delta_points"],
+            "wal_records": raw_ingest["wal_records"],
+            "applied_seq": raw_ingest["applied_seq"],
+            "last_seq": raw_ingest["last_seq"],
+        }
+
+        index = {
+            "generation": self.index.generation,
+            "points": len(self.index),
+            "tree_points": len(self.index.base),
+            "kernel": self.index.base.config.scan_kernel,
+            "dimensions": self.index.base.config.dimensions,
+        }
+
+        with self._requests_lock:
+            requests = dict(self._requests)
+        server = {
+            "uptime_seconds": time.monotonic() - self._started,
+            "requests": requests,
+            "background_compaction": self.compactor is not None,
+        }
+
+        return json_ready({
+            "serving": serving,
+            "cache": cache,
+            "ingest": ingest,
+            "index": index,
+            "server": server,
+        })
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self, *, checkpoint: bool | None = None) -> Optional[int]:
+        """Graceful shutdown: drain workers, checkpoint, close the WAL.
+
+        ``checkpoint`` defaults to "yes iff a ``checkpoint_path`` was
+        configured".  Returns the checkpointed ``wal_seq`` (``None`` when no
+        checkpoint was written).  Idempotent.
+        """
+        if checkpoint is None:
+            checkpoint = self.checkpoint_path is not None
+        # Validate before any teardown: raising mid-close would leave the
+        # app half shut down (closed flag set, WAL still open) with every
+        # retry a no-op.
+        if checkpoint and self.checkpoint_path is None:
+            raise QueryError("cannot checkpoint: no checkpoint_path configured")
+        # Atomic test-and-set: a signal handler and a context-manager exit
+        # may race to close; exactly one caller runs the teardown.
+        with self._close_lock:
+            if self._closed:
+                return None
+            self._closed = True
+        if self.compactor is not None:
+            self.compactor.stop()
+        self.engine.close(wait=True)
+        wal_seq: Optional[int] = None
+        if checkpoint:
+            wal_seq = self.index.checkpoint(self.checkpoint_path)
+        self.index.close()
+        return wal_seq
+
+    def __enter__(self) -> "ServerApp":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerApp(index={self.index!r}, engine={self.engine!r}, "
+            f"closed={self._closed})"
+        )

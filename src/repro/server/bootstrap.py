@@ -1,0 +1,151 @@
+"""Booting a server process from durable state on disk.
+
+A checkpoint snapshot intentionally does **not** serialise the semantic
+distance — it is a function (see :mod:`repro.service.snapshot`).  A server
+process booting from ``--snapshot`` + ``--wal`` therefore has to rebuild an
+equivalent :class:`~repro.semantics.triple_distance.TripleDistance` first.
+For the requirements case study this is mechanical: the function taxonomy
+and antinomy pairs are static (:mod:`repro.requirements.vocabulary`), and
+the data-dependent parts — actor names and parameter values — can be read
+back from the very triples the snapshot and WAL carry.
+
+:func:`derive_distance` does exactly that: harvest every triple in the
+durable state, rebuild the requirement vocabularies over the harvested
+actors/parameters (plus any extra actors the operator names), and wire the
+default-weight distance.  :func:`recover_index` then performs the standard
+checkpoint + WAL-tail recovery with it.
+
+Exactness caveat: the round trip reproduces the previous process exactly
+when every stored term was already in that process's vocabularies (the
+normal case — vocabularies built from the corpus, covered by
+``tests/server/``).  A term that the previous process did *not* know — an
+insert naming a brand-new actor, served there through the string-distance
+fallback — is harvested here and gains real taxonomy placement, so
+rankings involving that triple can legitimately differ after the restart
+(they get better, not worse).  Persisting the vocabulary hints in the
+checkpoint would close even that gap; see the ROADMAP.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ParseError
+from repro.ingest.ingesting import DEFAULT_COMPACTION_THRESHOLD, IngestingIndex
+from repro.io.serialization import iter_json_lines, triple_from_dict
+from repro.rdf.terms import Concept
+from repro.rdf.triple import Triple
+from repro.requirements.vocabulary import (PARAMETER_PREFIXES,
+                                           build_requirement_distance,
+                                           build_requirement_vocabularies)
+from repro.semantics.triple_distance import TripleDistance
+
+__all__ = [
+    "harvest_triples",
+    "vocabulary_hints",
+    "derive_distance",
+    "recover_index",
+]
+
+
+def _walk_triples(payload: Any) -> Iterator[Triple]:
+    """Yield every serialised triple found anywhere inside a JSON payload.
+
+    A wire triple is a dictionary holding ``subject`` / ``predicate`` /
+    ``object`` term dictionaries; the walk is generic so it finds them in
+    the embedding space's object list, the tree's leaf buckets, the
+    provenance map and the pending list alike — wherever the snapshot
+    format puts them now or later.
+    """
+    if isinstance(payload, dict):
+        keys = payload.keys()
+        if {"subject", "predicate", "object"} <= set(keys) and all(
+            isinstance(payload[position], dict)
+            for position in ("subject", "predicate", "object")
+        ):
+            try:
+                yield triple_from_dict(payload)
+                return
+            except (ParseError, KeyError, TypeError):
+                pass  # not a triple after all (term dicts may be malformed
+                      # or incomplete in arbitrary JSON); keep walking
+        for value in payload.values():
+            yield from _walk_triples(value)
+    elif isinstance(payload, list):
+        for value in payload:
+            yield from _walk_triples(value)
+
+
+def harvest_triples(snapshot_path: str | pathlib.Path,
+                    wal_path: str | pathlib.Path | None = None) -> List[Triple]:
+    """Every distinct triple in a snapshot and (optionally) a WAL, in file order."""
+    try:
+        payload = json.loads(pathlib.Path(snapshot_path).read_text())
+    except json.JSONDecodeError as error:
+        raise ParseError(f"snapshot is not valid JSON: {error}") from error
+    triples = list(_walk_triples(payload))
+    if wal_path is not None and pathlib.Path(wal_path).exists():
+        for _, record in iter_json_lines(wal_path, tolerate_torn_tail=True):
+            triple_payload = record.get("triple")
+            if isinstance(triple_payload, dict):
+                triples.extend(_walk_triples(triple_payload))
+    return list(dict.fromkeys(triples))
+
+
+def vocabulary_hints(triples: Iterable[Triple]) -> Tuple[List[str], Dict[str, List[str]]]:
+    """Actor names and per-prefix parameter values mentioned by ``triples``.
+
+    Subjects in the default (empty-prefix) vocabulary are actors; objects
+    whose prefix is one of the case study's parameter prefixes contribute
+    parameter values.  Both lists are deduplicated, first-seen order.
+    """
+    actors: Dict[str, None] = {}
+    parameters: Dict[str, Dict[str, None]] = {}
+    for triple in triples:
+        subject = triple.subject
+        if isinstance(subject, Concept) and subject.prefix == "":
+            actors.setdefault(subject.name)
+        obj = triple.object
+        if isinstance(obj, Concept) and obj.prefix in PARAMETER_PREFIXES:
+            parameters.setdefault(obj.prefix, {}).setdefault(obj.name)
+    return list(actors), {prefix: list(values) for prefix, values in parameters.items()}
+
+
+def derive_distance(snapshot_path: str | pathlib.Path,
+                    wal_path: str | pathlib.Path | None = None, *,
+                    extra_actors: Sequence[str] = ()) -> TripleDistance:
+    """The requirement-case-study distance matching a durable state on disk.
+
+    ``extra_actors`` lets the operator pre-register actors that future
+    inserts will mention but the stored corpus does not yet (terms unknown to
+    a vocabulary still work — the term distance falls back to a string
+    distance — but taxonomy placement gives them real semantics).
+    """
+    actors, parameter_values = vocabulary_hints(
+        harvest_triples(snapshot_path, wal_path)
+    )
+    for name in extra_actors:
+        if name and name not in actors:
+            actors.append(name)
+    return build_requirement_distance(
+        build_requirement_vocabularies(actors, parameter_values)
+    )
+
+
+def recover_index(snapshot_path: str | pathlib.Path,
+                  wal_path: str | pathlib.Path, *,
+                  extra_actors: Sequence[str] = (),
+                  compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
+                  ) -> IngestingIndex:
+    """Checkpoint + WAL-tail recovery with a snapshot-derived distance.
+
+    The convenience composition the CLI uses: :func:`derive_distance` over
+    the on-disk state, then :meth:`IngestingIndex.recover`.
+    """
+    distance = derive_distance(snapshot_path, wal_path, extra_actors=extra_actors)
+    return IngestingIndex.recover(
+        snapshot_path, wal_path, distance,
+        compaction_threshold=compaction_threshold,
+    )

@@ -1,0 +1,280 @@
+"""The HTTP transport: a threading stdlib server over :class:`ServerApp`.
+
+One :class:`SemTreeServer` binds one :class:`~repro.server.app.ServerApp`
+to a host/port.  It is built on :class:`http.server.ThreadingHTTPServer` —
+one thread per connection, which composes with the engine's worker pool and
+the ingest layer's reader/writer locking (inserts and queries already
+interleave safely in-process; HTTP threads are just more callers).
+
+The transport is deliberately dumb: route, read the JSON body, call the
+app, serialise the reply.  Every error — malformed JSON, schema violations,
+vocabulary misses, engine failures — becomes a structured JSON error body
+(:func:`repro.server.schemas.error_body`) with the status picked by
+:func:`~repro.server.schemas.status_for`; the transport itself only adds
+the routing errors (404/405), the body-size guard (413) and the
+content-type check (415).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import __version__
+from repro.server.app import ServerApp
+from repro.server.schemas import error_body, status_for
+
+__all__ = ["SemTreeServer", "MAX_BODY_BYTES"]
+
+#: Largest request body accepted, in bytes (a 4096-triple insert batch fits
+#: comfortably; anything bigger should be split).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection's requests into the bound :class:`ServerApp`."""
+
+    server_version = f"repro-semtree/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    #: Socket timeout per request, seconds.  Bounds how long a handler
+    #: thread can sit in a blocking read (a client that sends headers and
+    #: then stalls mid-body, or an idle keep-alive connection) — without
+    #: it, each such socket would pin a handler thread forever and an idle
+    #: keep-alive client would block the shutdown join indefinitely.
+    #: ``handle_one_request`` turns the timeout into connection close.
+    timeout = 30.0
+
+    # Set per server class in SemTreeServer.__init__.
+    app: ServerApp
+    quiet: bool = True
+
+    # -- routing ------------------------------------------------------------------------
+
+    @property
+    def _post_routes(self) -> Dict[str, Callable[[Any], Dict[str, Any]]]:
+        return {
+            "/v1/knn": self.app.handle_knn,
+            "/v1/range": self.app.handle_range,
+            "/v1/insert": self.app.handle_insert,
+        }
+
+    @property
+    def _get_routes(self) -> Dict[str, Callable[[], Dict[str, Any]]]:
+        return {
+            "/v1/metrics": self.app.metrics,
+            "/v1/healthz": self.app.health,
+            "/v1/index": self.app.index_info,
+        }
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        # GETs never read a body; if a client sent one anyway, the unread
+        # bytes must not be parsed as the next request on this connection.
+        self._close_if_body_pending()
+        handler = self._get_routes.get(self._route())
+        if handler is None:
+            self._send_routing_error()
+            return
+        try:
+            payload = handler()
+        except Exception as error:  # noqa: BLE001 - every failure becomes a body
+            self._send_json(status_for(error), error_body(error))
+            return
+        self._send_json(200, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        handler = self._post_routes.get(self._route())
+        if handler is None:
+            self._send_routing_error()
+            return
+        body, failure = self._read_json_body()
+        if failure is not None:
+            self._send_json(*failure)
+            return
+        try:
+            payload = handler(body)
+        except Exception as error:  # noqa: BLE001 - every failure becomes a body
+            self._send_json(status_for(error), error_body(error))
+            return
+        self._send_json(200, payload)
+
+    def _route(self) -> str:
+        return self.path.split("?", 1)[0].rstrip("/") or "/"
+
+    def _send_routing_error(self) -> None:
+        self._close_if_body_pending()
+        known = set(self._post_routes) | set(self._get_routes)
+        if self._route() in known:
+            self._send_json(405, {"error": {
+                "type": "MethodNotAllowed",
+                "message": f"{self.command} is not supported on {self._route()}",
+            }})
+        else:
+            self._send_json(404, {"error": {
+                "type": "NotFound",
+                "message": f"unknown endpoint {self._route()!r}; "
+                           "see docs/server.md for the API reference",
+            }})
+
+    # -- body plumbing ------------------------------------------------------------------
+
+    def _close_if_body_pending(self) -> None:
+        """Close after responding when an unread request body is on the socket.
+
+        Any error path that skips reading the body must not let the
+        connection be reused: the unread bytes would be parsed as the next
+        request line and desync every subsequent exchange.
+        """
+        if self.headers.get("Content-Length") or self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+
+    def _read_json_body(self) -> Tuple[Any, Optional[Tuple[int, Dict[str, Any]]]]:
+        content_type = self.headers.get("Content-Type", "application/json")
+        if "json" not in content_type:
+            self._close_if_body_pending()
+            return None, (415, {"error": {
+                "type": "UnsupportedMediaType",
+                "message": f"expected application/json, got {content_type!r}",
+            }})
+        # Bodies whose framing we cannot (chunked) or will not (missing
+        # length) read would desync the keep-alive connection — the unread
+        # bytes would be parsed as the next request line — so those error
+        # paths also close the connection.
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+            return None, (501, {"error": {
+                "type": "NotImplemented",
+                "message": "chunked transfer encoding is not supported; "
+                           "send a Content-Length",
+            }})
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else -1
+        except ValueError:
+            length = -1
+        if length < 0:
+            self.close_connection = True
+            return None, (411, {"error": {
+                "type": "LengthRequired",
+                "message": "a valid Content-Length header is required",
+            }})
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return None, (413, {"error": {
+                "type": "PayloadTooLarge",
+                "message": f"request body exceeds {MAX_BODY_BYTES} bytes",
+            }})
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw or b"null"), None
+        except json.JSONDecodeError as error:
+            return None, (400, {"error": {
+                "type": "InvalidJSON", "message": str(error),
+            }})
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Framing-error paths set close_connection; tell the client so
+            # it does not reuse a socket we are about to shut.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- logging ------------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+class SemTreeServer(ThreadingHTTPServer):
+    """The process-level front end: one app, one listening socket.
+
+    Parameters
+    ----------
+    app:
+        The :class:`ServerApp` to expose.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back from
+        :attr:`bound_port` — this is what the tests and benchmarks do).
+    quiet:
+        Suppress the stdlib per-request log lines (on by default).
+
+    request_timeout:
+        Per-request socket timeout in seconds (see ``_Handler.timeout``);
+        it bounds stalled readers *and* how long shutdown can wait on an
+        idle keep-alive connection.
+
+    Use :meth:`serve_background` for an in-process server (tests, examples,
+    benchmarks) and ``serve_forever()`` on the main thread for a real
+    deployment (:mod:`repro.server.__main__` does the latter, with signal
+    handlers for graceful shutdown).
+    """
+
+    # Handler threads must be non-daemon: ThreadingMixIn only *tracks*
+    # non-daemon threads (socketserver._Threads.append skips daemon ones),
+    # and close() relies on server_close() joining them so in-flight
+    # requests drain before the app is torn down beneath them.
+    daemon_threads = False
+
+    def __init__(self, app: ServerApp, *, host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True, request_timeout: float = 30.0):
+        handler = type("_BoundHandler", (_Handler,), {
+            "app": app, "quiet": quiet, "timeout": request_timeout,
+        })
+        super().__init__((host, port), handler)
+        self.app = app
+        self._serve_thread: Optional[threading.Thread] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The port actually bound (resolves ``port=0``)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.bound_port}"
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def serve_background(self) -> "SemTreeServer":
+        """Serve on a daemon thread; returns once the socket is accepting."""
+        if self._serve_thread is None or not self._serve_thread.is_alive():
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="semtree-http", daemon=True
+            )
+            self._serve_thread.start()
+        return self
+
+    def close(self, *, checkpoint: bool | None = None) -> Optional[int]:
+        """Stop accepting, drain, shut the app down (checkpoint-on-exit).
+
+        Returns the checkpointed ``wal_seq`` (see :meth:`ServerApp.close`).
+        """
+        if self._serve_thread is not None:
+            # shutdown() blocks until serve_forever() exits, so only call it
+            # when the serve loop is actually running on our thread.
+            self.shutdown()
+            self._serve_thread.join()
+            self._serve_thread = None
+        # server_close() joins every in-flight handler thread (tracked
+        # because daemon_threads is False), so accepted requests drain fully
+        # before the app — engine, compactor, WAL — is torn down beneath
+        # them; the per-request socket timeout bounds the wait on idle
+        # keep-alive connections.
+        self.server_close()
+        return self.app.close(checkpoint=checkpoint)
+
+    def __enter__(self) -> "SemTreeServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -59,6 +59,23 @@ class CacheStats:
         """Fraction of lookups served from the cache (0.0 with no lookups)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def to_dict(self) -> dict:
+        """Every counter plus the derived readings, snake_case.
+
+        This is the *single* dictionary form of the cache counters: both
+        :meth:`repro.service.engine.QueryEngine.statistics` and the server's
+        ``/v1/metrics`` payload publish it verbatim, so the two can never
+        drift apart (they used to: the engine hand-picked a subset and
+        dropped ``protected_size``).
+        """
+        payload = {field: getattr(self, field) for field in (
+            "hits", "misses", "evictions", "expirations", "invalidations",
+            "promotions", "size", "protected_size",
+        )}
+        payload["lookups"] = self.lookups
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
 
 class _Entry:
     __slots__ = ("value", "generation", "expires_at")

@@ -367,19 +367,13 @@ class QueryEngine:
     # -- observability ------------------------------------------------------------------
 
     def statistics(self) -> Dict[str, object]:
-        """Serving metrics merged with the result-cache counters."""
+        """Serving metrics merged with the result-cache counters.
+
+        The ``"cache"`` section is :meth:`CacheStats.to_dict` verbatim —
+        the same dictionary the server's ``/v1/metrics`` payload publishes.
+        """
         snapshot = self.metrics.snapshot()
-        cache_stats = self.cache.stats
-        snapshot["cache"] = {
-            "hits": cache_stats.hits,
-            "misses": cache_stats.misses,
-            "hit_rate": cache_stats.hit_rate,
-            "evictions": cache_stats.evictions,
-            "promotions": cache_stats.promotions,
-            "expirations": cache_stats.expirations,
-            "invalidations": cache_stats.invalidations,
-            "size": cache_stats.size,
-        }
+        snapshot["cache"] = self.cache.stats.to_dict()
         snapshot["workers"] = self.workers
         return snapshot
 

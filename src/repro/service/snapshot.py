@@ -36,8 +36,8 @@ from repro.io.serialization import (node_from_dict, node_to_dict, triple_from_di
                                     triple_to_dict)
 from repro.semantics.triple_distance import TripleDistance
 
-__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_index", "load_index",
-           "snapshot_wal_seq"]
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "config_to_dict", "save_index",
+           "load_index", "snapshot_wal_seq"]
 
 SNAPSHOT_FORMAT = "semtree-snapshot"
 SNAPSHOT_VERSION = 1
@@ -45,7 +45,7 @@ SNAPSHOT_VERSION = 1
 
 # -- configuration -----------------------------------------------------------------------
 
-def _config_to_dict(config: SemTreeConfig) -> Dict[str, Any]:
+def config_to_dict(config: SemTreeConfig) -> Dict[str, Any]:
     return {
         "dimensions": config.dimensions,
         "bucket_size": config.bucket_size,
@@ -98,7 +98,7 @@ def save_index(index: SemTreeIndex, path: str | pathlib.Path, *,
     payload = {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
-        "config": _config_to_dict(index.config),
+        "config": config_to_dict(index.config),
         "embedding": {
             "requested_dimensions": index.embedder.dimensions,
             "space": index.embedder.space.to_payload(triple_to_dict),

@@ -1,5 +1,6 @@
 """Synthetic workloads: point distributions and query batches for the
-efficiency experiments (Figures 3–7)."""
+efficiency experiments (Figures 3–7), plus the HTTP client and load
+generator that drive a live ``repro.server`` instance."""
 
 from repro.workloads.distributions import (
     clustered_points,
@@ -8,6 +9,7 @@ from repro.workloads.distributions import (
     sorted_points,
     uniform_points,
 )
+from repro.workloads.http_client import ServerClient, generate_load, query_payloads
 from repro.workloads.queries import (QueryWorkload, mixed_query_specs,
                                      perturbed_queries, uniform_queries)
 
@@ -21,4 +23,7 @@ __all__ = [
     "uniform_queries",
     "perturbed_queries",
     "mixed_query_specs",
+    "ServerClient",
+    "generate_load",
+    "query_payloads",
 ]

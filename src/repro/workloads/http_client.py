@@ -1,0 +1,292 @@
+"""A stdlib HTTP client and load generator for ``repro.server``.
+
+:class:`ServerClient` is the Python-side counterpart of the wire API in
+``docs/server.md``: one method per endpoint, triples passed as
+:class:`~repro.rdf.triple.Triple` objects and shipped in the lossless
+dictionary form, server-side failures surfaced as
+:class:`~repro.errors.ServerError` carrying the HTTP status and the
+structured error type the server reported.
+
+:func:`generate_load` is the benchmark driver: N client threads, each with
+its own connection, replaying a shared list of request payloads against a
+live server and reporting aggregate QPS plus client-observed latency
+percentiles.  ``benchmarks/bench_server_throughput.py`` sweeps it over
+thread counts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServerError, WorkloadError
+from repro.io.serialization import term_to_dict, triple_to_dict
+from repro.rdf.triple import Triple, TriplePattern
+from repro.service.metrics import percentile
+
+__all__ = ["ServerClient", "generate_load", "query_payloads"]
+
+
+def _pattern_payload(pattern: TriplePattern) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {}
+    for position in ("subject", "predicate", "object"):
+        term = getattr(pattern, position)
+        if term is not None:
+            # The lossless dictionary form, like query triples: str(term) is
+            # lossy (a literal's datatype is dropped, a concept name holding
+            # ':' reparses as prefix:name) and the server-side pattern match
+            # is strict equality, so a lossy round trip silently matches the
+            # wrong set.
+            payload[position] = term_to_dict(term)
+    return payload
+
+
+class ServerClient:
+    """A small, dependency-free client for one ``repro.server`` instance.
+
+    Thread-compatibility: one client may be shared across threads (it holds
+    no connection state), but the load generator gives each thread its own
+    instance to keep accounting separate.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One HTTP round trip; non-2xx responses raise :class:`ServerError`."""
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+            try:
+                return json.loads(raw)
+            except json.JSONDecodeError as error:
+                # A 2xx with a non-JSON body means whatever answered is not
+                # a repro server (wrong port, proxy); keep the one-type
+                # contract so wait_ready's retry loop can handle it.
+                raise ServerError(
+                    f"non-JSON response from {self.base_url}: "
+                    f"{raw[:120]!r}", status=response.status,
+                ) from error
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw).get("error", {})
+            except (json.JSONDecodeError, AttributeError):
+                payload = {}
+            raise ServerError(
+                payload.get("message", raw.decode("utf-8", "replace") or str(error)),
+                status=error.code, kind=payload.get("type"),
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServerError(f"cannot reach {self.base_url}: {error.reason}") from error
+        except OSError as error:
+            # TimeoutError from response.read() (a stalled response body) and
+            # other socket-level failures are OSErrors, not URLErrors; the
+            # module contract is that every transport failure surfaces as
+            # ServerError so callers (wait_ready included) can handle one type.
+            raise ServerError(
+                f"transport failure talking to {self.base_url}: {error!r}"
+            ) from error
+
+    # -- query payload builders (also used by the load generator) -----------------------
+
+    @staticmethod
+    def knn_payload(triple: Triple, k: int = 3, *,
+                    pattern: TriplePattern | None = None,
+                    deadline: float | None = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"triple": triple_to_dict(triple), "k": k}
+        if pattern is not None:
+            payload["pattern"] = _pattern_payload(pattern)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return payload
+
+    @staticmethod
+    def range_payload(triple: Triple, radius: float, *,
+                      pattern: TriplePattern | None = None,
+                      deadline: float | None = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"triple": triple_to_dict(triple), "radius": radius}
+        if pattern is not None:
+            payload["pattern"] = _pattern_payload(pattern)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return payload
+
+    # -- endpoints ----------------------------------------------------------------------
+
+    def knn(self, triple: Triple, k: int = 3, *, pattern: TriplePattern | None = None,
+            deadline: float | None = None) -> Dict[str, Any]:
+        """``POST /v1/knn`` with one query; returns the result object."""
+        return self.request("POST", "/v1/knn",
+                            self.knn_payload(triple, k, pattern=pattern,
+                                             deadline=deadline))
+
+    def knn_batch(self, payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """``POST /v1/knn`` with a batch of query payloads; returns the results."""
+        return self.request("POST", "/v1/knn", {"queries": list(payloads)})["results"]
+
+    def range(self, triple: Triple, radius: float, *,
+              pattern: TriplePattern | None = None,
+              deadline: float | None = None) -> Dict[str, Any]:
+        """``POST /v1/range`` with one query; returns the result object."""
+        return self.request("POST", "/v1/range",
+                            self.range_payload(triple, radius, pattern=pattern,
+                                               deadline=deadline))
+
+    def range_batch(self, payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """``POST /v1/range`` with a batch of query payloads; returns the results."""
+        return self.request("POST", "/v1/range", {"queries": list(payloads)})["results"]
+
+    def insert(self, triple: Triple, *, document_id: str | None = None) -> Dict[str, Any]:
+        """``POST /v1/insert`` with one triple; returns ``{"seq": ..., ...}``."""
+        payload: Dict[str, Any] = {"triple": triple_to_dict(triple)}
+        if document_id is not None:
+            payload["document_id"] = document_id
+        return self.request("POST", "/v1/insert", payload)
+
+    def insert_many(self, triples: Sequence[Triple], *,
+                    document_id: str | None = None) -> Dict[str, Any]:
+        """``POST /v1/insert`` with a batch; returns the acceptance summary."""
+        inserts: List[Dict[str, Any]] = []
+        for triple in triples:
+            entry: Dict[str, Any] = {"triple": triple_to_dict(triple)}
+            if document_id is not None:
+                entry["document_id"] = document_id
+            inserts.append(entry)
+        return self.request("POST", "/v1/insert", {"inserts": inserts})
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics`` — the unified metrics payload."""
+        return self.request("GET", "/v1/metrics")
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/healthz``."""
+        return self.request("GET", "/v1/healthz")
+
+    def index_info(self) -> Dict[str, Any]:
+        """``GET /v1/index``."""
+        return self.request("GET", "/v1/index")
+
+    def wait_ready(self, *, attempts: int = 50, delay: float = 0.1) -> Dict[str, Any]:
+        """Poll ``/v1/healthz`` until the server answers (boot synchronisation)."""
+        last_error: Optional[ServerError] = None
+        for _ in range(attempts):
+            try:
+                return self.health()
+            except ServerError as error:
+                last_error = error
+                time.sleep(delay)
+        raise ServerError(
+            f"server at {self.base_url} did not become ready: {last_error}"
+        )
+
+
+# -- the load generator --------------------------------------------------------------------
+
+def query_payloads(triples: Sequence[Triple], count: int, *, k: int = 3,
+                   radius: float = 0.1, knn_fraction: float = 0.6,
+                   repeat_fraction: float = 0.3,
+                   seed: int = 1) -> List[Tuple[str, Dict[str, Any]]]:
+    """A reproducible wire-level mixed workload: ``(endpoint, payload)`` pairs.
+
+    The HTTP twin of :func:`repro.workloads.queries.mixed_query_specs`, with
+    the same mixing rules (k-NN share, in-batch repeats feeding the cache).
+    """
+    import random
+
+    if not triples:
+        raise WorkloadError("cannot derive query payloads from an empty triple set")
+    if count < 1:
+        raise WorkloadError("count must be >= 1")
+    rng = random.Random(seed)
+    payloads: List[Tuple[str, Dict[str, Any]]] = []
+    for _ in range(count):
+        if payloads and rng.random() < repeat_fraction:
+            payloads.append(payloads[rng.randrange(len(payloads))])
+            continue
+        triple = triples[rng.randrange(len(triples))]
+        if rng.random() < knn_fraction:
+            payloads.append(("/v1/knn", ServerClient.knn_payload(triple, k)))
+        else:
+            payloads.append(("/v1/range", ServerClient.range_payload(triple, radius)))
+    return payloads
+
+
+def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]], *,
+                  threads: int = 4, timeout: float = 30.0,
+                  on_result: Callable[[Dict[str, Any]], None] | None = None,
+                  ) -> Dict[str, float]:
+    """Replay a wire workload from ``threads`` concurrent clients.
+
+    The payload list is split round-robin across the threads (every payload
+    is sent exactly once).  Latency is measured client-side per request;
+    the summary reports aggregate QPS over the whole run plus nearest-rank
+    percentiles in milliseconds.  ``on_result`` (optional) sees every
+    response body, called from the issuing thread.
+    """
+    if threads < 1:
+        raise WorkloadError(f"threads must be >= 1, got {threads}")
+    if not payloads:
+        raise WorkloadError("the load generator needs at least one payload")
+
+    shards: List[List[Tuple[str, Dict[str, Any]]]] = [[] for _ in range(threads)]
+    for position, entry in enumerate(payloads):
+        shards[position % threads].append(entry)
+
+    latencies: List[List[float]] = [[] for _ in range(threads)]
+    failures: List[Optional[Exception]] = [None] * threads
+
+    def worker(shard_index: int) -> None:
+        client = ServerClient(base_url, timeout=timeout)
+        for path, body in shards[shard_index]:
+            started = time.perf_counter()
+            try:
+                result = client.request("POST", path, body)
+                latencies[shard_index].append(time.perf_counter() - started)
+                if on_result is not None:
+                    on_result(result)
+            except Exception as error:  # noqa: BLE001 - reported to the caller
+                # Covers the callback too: a raising on_result must surface
+                # as a run failure, not silently abandon the shard.
+                failures[shard_index] = error
+                return
+
+    workers = [
+        threading.Thread(target=worker, args=(index,), name=f"load-gen-{index}")
+        for index in range(threads)
+    ]
+    started = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+
+    for failure in failures:
+        if failure is not None:
+            raise failure
+
+    samples = [sample for shard in latencies for sample in shard]
+    return {
+        "threads": float(threads),
+        "requests": float(len(samples)),
+        "wall_seconds": wall_seconds,
+        "qps": len(samples) / wall_seconds if wall_seconds > 0 else 0.0,
+        "latency_ms_mean": sum(samples) / len(samples) * 1000.0,
+        "latency_ms_p50": percentile(samples, 0.50) * 1000.0,
+        "latency_ms_p90": percentile(samples, 0.90) * 1000.0,
+        "latency_ms_p99": percentile(samples, 0.99) * 1000.0,
+    }

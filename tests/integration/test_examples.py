@@ -52,3 +52,11 @@ class TestExamples:
         assert "Answers equal a full rebuild: True" in output
         assert "Recovered service answers identically: True" in output
         assert "compactions" in output
+
+    def test_run_server(self):
+        output = run_example("run_server.py")
+        assert "listening on http://" in output
+        assert "Immediately queryable" in output
+        assert "served from cache on repeat" in output
+        assert "checkpointed through wal_seq" in output
+        assert "Recovered server still knows the HTTP-inserted triple: True" in output

@@ -1,0 +1,60 @@
+"""Deterministic triples and helpers shared by the server test suite."""
+
+from __future__ import annotations
+
+from repro.rdf import Triple
+
+ACTORS = ["OBSW001", "OBSW002", "OBSW003", "OBSW004"]
+
+BASE_TRIPLES = [
+    Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+    Triple.of("OBSW001", "Fun:send_msg", "MsgType:heartbeat"),
+    Triple.of("OBSW002", "Fun:enable_mode", "ModeType:safe-mode"),
+    Triple.of("OBSW002", "Fun:accept_cmd", "CmdType:shutdown"),
+    Triple.of("OBSW003", "Fun:withhold_tm", "TmType:volt-frame"),
+]
+
+INSERT_TRIPLES = [
+    Triple.of("OBSW003", "Fun:acquire_in", "InType:gps"),
+    Triple.of("OBSW003", "Fun:send_msg", "MsgType:pong"),
+    Triple.of("OBSW003", "Fun:transmit_tm", "TmType:new-frame"),
+    Triple.of("OBSW004", "Fun:accept_cmd", "CmdType:reset"),
+    Triple.of("OBSW004", "Fun:enable_mode", "ModeType:survival-mode"),
+    Triple.of("OBSW004", "Fun:block_cmd", "CmdType:start-up"),
+    Triple.of("OBSW004", "Fun:send_msg", "MsgType:ping"),
+    Triple.of("OBSW004", "Fun:transmit_tm", "TmType:temp-frame"),
+]
+
+QUERY_TRIPLES = [
+    Triple.of("OBSW003", "Fun:transmit_tm", "TmType:new-frame"),
+    Triple.of("OBSW001", "Fun:accept_cmd", "CmdType:start-up"),
+    Triple.of("OBSW004", "Fun:enable_mode", "ModeType:safe-mode"),
+    Triple.of("OBSW002", "Fun:send_msg", "MsgType:heartbeat"),
+]
+
+#: The pool the concurrent-client storm draws inserts from: distinct triples
+#: over signal values that are part of the shared vocabulary hints below, so
+#: a distance derived from the on-disk state after any prefix of the storm
+#: agrees with the suite's distance (Wu–Palmer depths are insensitive to
+#: sibling concepts that happen not to have been inserted yet).
+STREAM_TRIPLES = [
+    Triple.of(ACTORS[index % len(ACTORS)],
+              "Fun:raise_signal" if index % 2 == 0 else "Fun:clear_signal",
+              f"SigType:sig-{index:02d}")
+    for index in range(48)
+]
+
+#: Every triple any server test may store — the input to the vocabulary
+#: hints the suite's distance is built from.
+ALL_TRIPLES = BASE_TRIPLES + INSERT_TRIPLES + STREAM_TRIPLES
+
+
+def canonical(matches):
+    """Tie-insensitive canonical form, over engine matches or wire payloads."""
+    rows = []
+    for match in matches:
+        if isinstance(match, dict):
+            rows.append((round(match["distance"], 9), match["text"]))
+        else:
+            rows.append((round(match.distance, 9), str(match.triple)))
+    return sorted(rows)

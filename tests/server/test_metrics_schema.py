@@ -1,0 +1,107 @@
+"""The `/v1/metrics` payload schema is stable and uniformly snake_case.
+
+These tests lock down the unified metrics contract documented in
+``docs/server.md``: the exact key set of every section, the shared naming
+conventions (bare ``qps`` / ``wall_seconds`` in every section that has
+them, ``*_ms`` sub-dictionaries always present), and the guarantee that
+the ``cache`` section is byte-for-byte what
+``QueryEngine.statistics()["cache"]`` reports.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from server_corpus import INSERT_TRIPLES, QUERY_TRIPLES
+
+SNAKE_CASE = re.compile(r"^[a-z0-9_]+$")
+
+SERVING_KEYS = {
+    "queries", "executed", "served_from_cache", "timeouts", "errors",
+    "wall_seconds", "qps", "queries_by_kind", "partition_loads",
+    "latency_ms", "workers",
+}
+LATENCY_KEYS = {"mean", "p50", "p90", "p99", "max"}
+CACHE_KEYS = {
+    "hits", "misses", "lookups", "hit_rate", "evictions", "expirations",
+    "invalidations", "promotions", "size", "protected_size",
+}
+INGEST_KEYS = {
+    "inserts", "replayed", "wall_seconds", "qps", "compactions",
+    "points_compacted", "compaction_ms", "compaction_threshold",
+    "delta_points", "wal_records", "applied_seq", "last_seq",
+}
+COMPACTION_KEYS = {"mean", "max", "last"}
+INDEX_KEYS = {"generation", "points", "tree_points", "kernel", "dimensions"}
+SERVER_KEYS = {"uptime_seconds", "requests", "background_compaction"}
+
+
+def walk_keys(payload, path=""):
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            yield f"{path}.{key}" if path else key, key
+            yield from walk_keys(value, f"{path}.{key}" if path else key)
+    elif isinstance(payload, list):
+        for entry in payload:
+            yield from walk_keys(entry, path)
+
+
+class TestMetricsSchema:
+    def test_sections_and_keys_before_any_traffic(self, make_server):
+        _, client = make_server()
+        metrics = client.metrics()
+        assert set(metrics) == {"serving", "cache", "ingest", "index", "server"}
+        assert set(metrics["serving"]) == SERVING_KEYS
+        assert set(metrics["serving"]["latency_ms"]) == LATENCY_KEYS
+        assert set(metrics["cache"]) == CACHE_KEYS
+        assert set(metrics["ingest"]) == INGEST_KEYS
+        assert set(metrics["ingest"]["compaction_ms"]) == COMPACTION_KEYS
+        assert set(metrics["index"]) == INDEX_KEYS
+        assert set(metrics["server"]) == SERVER_KEYS
+
+    def test_schema_is_identical_under_traffic(self, make_server):
+        _, client = make_server(compaction_threshold=4)
+        client.insert_many(INSERT_TRIPLES)      # crosses the compaction threshold
+        for triple in QUERY_TRIPLES:
+            client.knn(triple, 3)
+            client.knn(triple, 3)               # cache hit
+            client.range(triple, 0.3)
+        metrics = client.metrics()
+        assert set(metrics["serving"]) == SERVING_KEYS
+        assert set(metrics["cache"]) == CACHE_KEYS
+        assert set(metrics["ingest"]) == INGEST_KEYS
+        assert set(metrics["ingest"]["compaction_ms"]) == COMPACTION_KEYS
+        assert metrics["serving"]["queries"] == 3 * len(QUERY_TRIPLES)
+        assert metrics["cache"]["hits"] >= len(QUERY_TRIPLES)
+        assert metrics["ingest"]["inserts"] == len(INSERT_TRIPLES)
+
+    def test_every_key_is_snake_case(self, make_server):
+        _, client = make_server()
+        client.knn(QUERY_TRIPLES[0], 2)
+        client.insert(INSERT_TRIPLES[0])
+        metrics = client.metrics()
+        # values under these prefixes are keyed by *data* (partition ids,
+        # endpoint names, query kinds), not schema fields
+        exempt = ("serving.partition_loads.", "serving.queries_by_kind.",
+                  "server.requests.")
+        for path, key in walk_keys(metrics):
+            if path.startswith(exempt):
+                continue
+            assert SNAKE_CASE.match(key), f"non-snake_case metrics key: {path}"
+
+    def test_payload_is_json_serialisable(self, make_server):
+        _, client = make_server()
+        client.knn(QUERY_TRIPLES[0], 2)
+        payload = client.metrics()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_cache_section_matches_engine_statistics(self, make_server):
+        server, client = make_server()
+        client.knn(QUERY_TRIPLES[0], 2)
+        client.knn(QUERY_TRIPLES[0], 2)
+        wire = client.metrics()["cache"]
+        direct = server.app.engine.statistics()["cache"]
+        assert set(wire) == set(direct)
+        for key in ("hits", "misses", "lookups", "size", "protected_size"):
+            assert wire[key] == direct[key]

@@ -1,0 +1,228 @@
+"""Unit tests of the wire request/response schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from server_corpus import BASE_TRIPLES
+from repro.core.semtree import SemanticMatch
+from repro.errors import SchemaError, VocabularyError
+from repro.io.serialization import match_from_dict, match_to_dict, triple_to_dict
+from repro.rdf import Triple
+from repro.rdf.terms import Concept, Literal
+from repro.server.schemas import (MAX_BATCH_QUERIES, error_body, parse_insert_request,
+                                  parse_pattern, parse_query_request, parse_term,
+                                  parse_triple, render_result, status_for)
+from repro.service.engine import QueryResult
+from repro.service.planner import QueryKind, QuerySpec
+
+
+def wire_triple(triple: Triple) -> dict:
+    return triple_to_dict(triple)
+
+
+class TestTerms:
+    def test_text_concept(self):
+        assert parse_term("Fun:accept_cmd") == Concept("accept_cmd", "Fun")
+
+    def test_text_literal(self):
+        assert parse_term('"42"') == Literal("42")
+
+    def test_dict_form(self):
+        assert parse_term({"kind": "concept", "name": "x", "prefix": "Fun"}) == \
+            Concept("x", "Fun")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(SchemaError, match="cannot be empty"):
+            parse_term("  ")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError, match="string or a term dictionary"):
+            parse_term(42, field="queries[0].triple.subject")
+
+    def test_bad_dict_rejected(self):
+        with pytest.raises(SchemaError, match="invalid term dictionary"):
+            parse_term({"kind": "wormhole"})
+
+    def test_non_string_dict_fields_rejected(self):
+        # A non-string name would pass Concept's truthiness check and blow
+        # up deep in the distance layer — after an insert's WAL append.
+        with pytest.raises(SchemaError, match="must be a string"):
+            parse_term({"kind": "concept", "name": 123})
+        with pytest.raises(SchemaError, match="must be a string"):
+            parse_term({"kind": "literal", "value": ["x"]})
+
+
+class TestTriples:
+    def test_string_terms(self):
+        triple = parse_triple({"subject": "OBSW001", "predicate": "Fun:send_msg",
+                               "object": "MsgType:ping"})
+        assert triple == Triple.of("OBSW001", "Fun:send_msg", "MsgType:ping")
+
+    def test_dict_terms_round_trip(self):
+        for triple in BASE_TRIPLES:
+            assert parse_triple(wire_triple(triple)) == triple
+
+    def test_missing_position(self):
+        with pytest.raises(SchemaError, match="missing required field 'object'"):
+            parse_triple({"subject": "a", "predicate": "b"})
+
+    def test_unknown_field(self):
+        with pytest.raises(SchemaError, match="unknown field"):
+            parse_triple({"subject": "a", "predicate": "b", "object": "c", "graph": "g"})
+
+    def test_variable_rejected(self):
+        # "?x" parses to a Variable, which a stored triple cannot hold.
+        with pytest.raises(SchemaError, match="variable"):
+            parse_triple({"subject": "?x", "predicate": "b", "object": "c"})
+
+    def test_non_object(self):
+        with pytest.raises(SchemaError, match="expected a JSON object"):
+            parse_triple(["s", "p", "o"])
+
+
+class TestPatterns:
+    def test_bound_subject(self):
+        pattern = parse_pattern({"subject": "OBSW001"})
+        assert pattern.matches(BASE_TRIPLES[0])
+        assert not pattern.matches(BASE_TRIPLES[2])
+
+    def test_star_is_wildcard(self):
+        pattern = parse_pattern({"subject": "OBSW001", "predicate": "*"})
+        assert pattern.predicate is None
+
+    def test_all_wildcards_rejected(self):
+        with pytest.raises(SchemaError, match="at least one bound position"):
+            parse_pattern({"subject": "*"})
+
+
+class TestQueryRequests:
+    def test_single_knn_defaults(self):
+        specs, batched = parse_query_request(
+            {"triple": wire_triple(BASE_TRIPLES[0])}, QueryKind.KNN
+        )
+        assert not batched
+        assert specs == [QuerySpec.k_nearest(BASE_TRIPLES[0], 3)]
+
+    def test_single_range(self):
+        specs, batched = parse_query_request(
+            {"triple": wire_triple(BASE_TRIPLES[0]), "radius": 0.25}, QueryKind.RANGE
+        )
+        assert not batched
+        assert specs[0].kind is QueryKind.RANGE and specs[0].radius == 0.25
+
+    def test_batch_envelope(self):
+        specs, batched = parse_query_request(
+            {"queries": [{"triple": wire_triple(t), "k": 2} for t in BASE_TRIPLES]},
+            QueryKind.KNN,
+        )
+        assert batched and len(specs) == len(BASE_TRIPLES)
+        assert all(spec.k == 2 for spec in specs)
+
+    def test_deadline_and_pattern(self):
+        specs, _ = parse_query_request(
+            {"triple": wire_triple(BASE_TRIPLES[0]), "k": 5,
+             "pattern": {"subject": "OBSW001"}, "deadline": 0.5},
+            QueryKind.KNN,
+        )
+        assert specs[0].deadline == 0.5 and specs[0].pattern is not None
+
+    def test_range_requires_radius(self):
+        with pytest.raises(SchemaError, match="missing required field 'radius'"):
+            parse_query_request({"triple": wire_triple(BASE_TRIPLES[0])},
+                                QueryKind.RANGE)
+
+    def test_knn_rejects_radius(self):
+        with pytest.raises(SchemaError, match="unknown field"):
+            parse_query_request(
+                {"triple": wire_triple(BASE_TRIPLES[0]), "radius": 0.2}, QueryKind.KNN
+            )
+
+    def test_bad_k(self):
+        with pytest.raises(SchemaError, match="k must be >= 1"):
+            parse_query_request({"triple": wire_triple(BASE_TRIPLES[0]), "k": 0},
+                                QueryKind.KNN)
+        with pytest.raises(SchemaError, match="expected an integer"):
+            parse_query_request({"triple": wire_triple(BASE_TRIPLES[0]), "k": True},
+                                QueryKind.KNN)
+
+    def test_bad_deadline(self):
+        with pytest.raises(SchemaError, match="positive"):
+            parse_query_request(
+                {"triple": wire_triple(BASE_TRIPLES[0]), "deadline": 0}, QueryKind.KNN
+            )
+
+    def test_field_path_points_into_batch(self):
+        with pytest.raises(SchemaError, match=r"queries\[1\]"):
+            parse_query_request(
+                {"queries": [{"triple": wire_triple(BASE_TRIPLES[0])},
+                             {"k": 3}]},
+                QueryKind.KNN,
+            )
+
+    def test_empty_batch(self):
+        with pytest.raises(SchemaError, match="at least one query"):
+            parse_query_request({"queries": []}, QueryKind.KNN)
+
+    def test_batch_cap(self):
+        queries = [{"triple": wire_triple(BASE_TRIPLES[0])}] * (MAX_BATCH_QUERIES + 1)
+        with pytest.raises(SchemaError, match="at most"):
+            parse_query_request({"queries": queries}, QueryKind.KNN)
+
+
+class TestInsertRequests:
+    def test_single(self):
+        inserts, batched = parse_insert_request(
+            {"triple": wire_triple(BASE_TRIPLES[0]), "document_id": "d1"}
+        )
+        assert not batched
+        assert inserts == [(BASE_TRIPLES[0], "d1")]
+
+    def test_batch(self):
+        inserts, batched = parse_insert_request(
+            {"inserts": [{"triple": wire_triple(t)} for t in BASE_TRIPLES]}
+        )
+        assert batched
+        assert [triple for triple, _ in inserts] == BASE_TRIPLES
+        assert all(document_id is None for _, document_id in inserts)
+
+    def test_document_id_type(self):
+        with pytest.raises(SchemaError, match="document_id"):
+            parse_insert_request({"triple": wire_triple(BASE_TRIPLES[0]),
+                                  "document_id": 7})
+
+
+class TestResponses:
+    def test_render_result_shape(self):
+        match = SemanticMatch(BASE_TRIPLES[0], 0.125, ("doc-1",))
+        result = QueryResult(spec=QuerySpec.k_nearest(BASE_TRIPLES[0], 1),
+                             matches=(match,), cached=True, latency_seconds=0.002)
+        payload = render_result(result)
+        assert payload["cached"] is True
+        assert payload["timed_out"] is False
+        assert payload["error"] is None
+        assert payload["latency_ms"] == pytest.approx(2.0)
+        assert payload["matches"][0]["text"] == str(BASE_TRIPLES[0])
+        assert payload["matches"][0]["documents"] == ["doc-1"]
+
+    def test_match_wire_round_trip(self):
+        match = SemanticMatch(BASE_TRIPLES[1], 0.5, ("a", "b"))
+        assert match_from_dict(match_to_dict(match)) == match
+
+
+class TestErrors:
+    def test_schema_error_is_400_with_field(self):
+        error = SchemaError("boom", field="queries[0].k")
+        assert status_for(error) == 400
+        assert error_body(error)["error"] == {
+            "type": "SchemaError", "message": "queries[0].k: boom",
+            "field": "queries[0].k",
+        }
+
+    def test_domain_error_is_400(self):
+        assert status_for(VocabularyError("unknown concept")) == 400
+
+    def test_unexpected_error_is_500(self):
+        error = ValueError("bug")
+        assert status_for(error) == 500
+        assert error_body(error)["error"] == {"type": "ValueError", "message": "bug"}
