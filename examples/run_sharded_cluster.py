@@ -1,0 +1,149 @@
+"""Launch a real sharded cluster: N shard processes + one coordinator.
+
+The walkthrough behind ``docs/cluster.md``:
+
+1. build a multi-partition requirements index, persist the checkpoint
+   snapshot every process boots from (vocabulary hints included, so each
+   process rebuilds the exact same semantic distance);
+2. spawn one ``python -m repro.server --shard Pk`` subprocess per
+   data-bearing partition, then one ``python -m repro.coordinator``
+   subprocess wired to their URLs;
+3. drive the coordinator with the stdlib client — single, batched and
+   range queries — and verify every answer equals the in-process
+   sequential search (the correctness oracle);
+4. kill one shard mid-service and show the structured partial-failure
+   error a coordinator returns instead of a silently partial answer;
+5. restart the shard and show exactness restored.
+
+Run with::
+
+    PYTHONPATH=src python examples/run_sharded_cluster.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.coordinator import (launch_coordinator, launch_shard, launch_shards,
+                               shutdown_processes)
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.errors import ServerError
+from repro.ingest import IngestingIndex
+from repro.requirements import (GeneratorConfig, RequirementsGenerator,
+                                build_requirement_distance,
+                                build_requirement_vocabularies)
+from repro.server.bootstrap import vocabulary_hints
+from repro.service.engine import QueryEngine
+from repro.service.planner import QuerySpec
+from repro.workloads import ServerClient
+
+
+def build_and_checkpoint(workdir: Path):
+    """A multi-partition corpus index, checkpointed for the fleet to boot from."""
+    config = GeneratorConfig(
+        documents=6, requirements_per_document=5, sentences_per_requirement=3,
+        actors=12, inconsistency_rate=0.25, restatement_rate=0.25, seed=41,
+    )
+    corpus = RequirementsGenerator(config).generate()
+    distance = build_requirement_distance(build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values
+    ))
+    index = SemTreeIndex(distance, SemTreeConfig(
+        dimensions=3, bucket_size=4, max_partitions=4, partition_capacity=24,
+    ))
+    for document in corpus.documents:
+        index.add_document(document.to_rdf_document())
+    index.build()
+    triples = list(dict.fromkeys(corpus.all_triples()))
+
+    actors, parameters = vocabulary_hints(triples)
+    with IngestingIndex(index, workdir / "wal.jsonl",
+                        vocabulary_hints={"actors": actors,
+                                          "parameters": parameters}) as live:
+        live.checkpoint(workdir / "snapshot.json")
+    return index, triples
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="semtree-sharded-"))
+    print(f"== building the corpus index (workdir: {workdir})")
+    index, triples = build_and_checkpoint(workdir)
+    snapshot = workdir / "snapshot.json"
+    partitions = [p.partition_id for p in index.tree.partitions if p.point_count > 0]
+    print(f"   {len(index)} points across partitions "
+          f"{', '.join(p.partition_id for p in index.tree.partitions)} "
+          f"(data-bearing: {', '.join(partitions)})")
+
+    fleet = []
+    try:
+        print(f"== launching {len(partitions)} shard processes")
+        shards = launch_shards(snapshot, partitions)
+        fleet.extend(shards)
+        for shard in shards:
+            print(f"   shard {shard.partition_id}: {shard.url} "
+                  f"(pid {shard.process.pid})")
+
+        print("== launching the coordinator")
+        coordinator = launch_coordinator(
+            snapshot, {shard.partition_id: shard.url for shard in shards}
+        )
+        fleet.append(coordinator)
+        print(f"   coordinator: {coordinator.url} (pid {coordinator.process.pid})")
+
+        client = ServerClient(coordinator.url)
+        oracle = QueryEngine(index, workers=1)
+
+        print("== mixed workload vs the sequential oracle")
+        checked = 0
+        for triple in triples[:10]:
+            wire = client.knn(triple, 4)
+            want = oracle.execute_sequential([QuerySpec.k_nearest(triple, 4)])[0]
+            assert [round(m["distance"], 12) for m in wire["matches"]] == \
+                   [round(m.distance, 12) for m in want.matches]
+            wire = client.range(triple, 0.2)
+            want = oracle.execute_sequential([QuerySpec.range_query(triple, 0.2)])[0]
+            assert sorted(round(m["distance"], 12) for m in wire["matches"]) == \
+                   sorted(round(m.distance, 12) for m in want.matches)
+            checked += 1
+        print(f"   {checked} k-NN + {checked} range queries: distances identical")
+
+        metrics = client.metrics()
+        fan_out = metrics["shards"]["fan_out_mean"]
+        print(f"   mean fan-out {fan_out:.2f} scans/query over "
+              f"{metrics['shards']['partitions']} partitions")
+
+        print("== killing one shard mid-service")
+        victim = shards[0]
+        victim.kill()
+        try:
+            client.knn(triples[11], 5)
+            raise AssertionError("a lost shard must fail the query")
+        except ServerError as error:
+            print(f"   structured failure: {error.kind} (HTTP {error.status}): "
+                  f"{str(error)[:80]}...")
+
+        print("== restarting the shard and healing the topology")
+        replacement = launch_shard(snapshot, victim.partition_id)
+        fleet.append(replacement)
+        # A fresh coordinator picks up the healed topology (a production
+        # deployment would update service discovery instead).
+        healed = {shard.partition_id: shard.url for shard in shards[1:]}
+        healed[replacement.partition_id] = replacement.url
+        coordinator2 = launch_coordinator(snapshot, healed)
+        fleet.append(coordinator2)
+        client2 = ServerClient(coordinator2.url)
+        wire = client2.knn(triples[11], 5)
+        want = oracle.execute_sequential([QuerySpec.k_nearest(triples[11], 5)])[0]
+        assert [round(m["distance"], 12) for m in wire["matches"]] == \
+               [round(m.distance, 12) for m in want.matches]
+        print("   exactness restored")
+        oracle.close()
+    finally:
+        print("== terminating the fleet")
+        shutdown_processes(fleet)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,9 @@ from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.message import Message, MessageKind
 from repro.cluster.network import MessageBus
 from repro.cluster.node import ComputeNode
+from repro.cluster.transport import (PartitionRouter, PartitionScan,
+                                     PartitionTransport, SimulatedBusRouter,
+                                     SimulatedClusterTransport)
 
 __all__ = [
     "SimulatedClock",
@@ -17,4 +20,9 @@ __all__ = [
     "MessageKind",
     "MessageBus",
     "ComputeNode",
+    "PartitionScan",
+    "PartitionTransport",
+    "PartitionRouter",
+    "SimulatedBusRouter",
+    "SimulatedClusterTransport",
 ]

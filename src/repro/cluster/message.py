@@ -29,6 +29,9 @@ class MessageKind(Enum):
     KNN_RESULT = "knn_result"
     RANGE_DESCEND = "range_descend"
     RANGE_RESULT = "range_result"
+    SCAN_KNN = "scan_knn"
+    SCAN_RANGE = "scan_range"
+    SCAN_RESULT = "scan_result"
     BUILD_PARTITION = "build_partition"
     MOVE_LEAF = "move_leaf"
     ACK = "ack"

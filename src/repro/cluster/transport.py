@@ -1,0 +1,254 @@
+"""Partition transports: how query front ends reach partition data.
+
+Historically :class:`~repro.core.distributed.DistributedSemTree` talked to
+:class:`~repro.cluster.cluster.SimulatedCluster` directly — every
+cross-partition hop was a hand-built :class:`Message` and the only possible
+deployment was the single-process simulation.  This module extracts that
+coupling into two small interfaces so distribution can be *real*:
+
+* :class:`PartitionRouter` — the seam the tree's own traversal algorithms
+  use when an insertion or a guided search crosses a
+  :class:`~repro.core.node.RemoteChild` pointer.  The traversal carries live
+  Python state from partition to partition, so the router is implemented by
+  the simulated bus (:class:`SimulatedBusRouter`), which keeps the paper's
+  message counting and latency accounting intact.
+
+* :class:`PartitionTransport` — the *scatter-gather* interface: one whole
+  partition scanned per call (k-NN or range over the partition's local
+  subtree only, remote links ignored).  Every partition scan is independent
+  and carries nothing but plain query parameters and plain results, which is
+  exactly what survives a process boundary.  Implementations:
+  :class:`SimulatedClusterTransport` (scans delivered through the simulated
+  message bus — the correctness/cost oracle) and
+  :class:`repro.coordinator.transport.HttpShardTransport` (scans POSTed to
+  per-partition shard servers — the real deployment).
+
+The union of local partition scans covers every stored point exactly once
+(each leaf lives in exactly one partition), so a front end that scans every
+partition and merges through the paper's result-set rules answers
+identically to the sequential traversal; see ``docs/cluster.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Tuple
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.message import Message, MessageKind
+from repro.core.knn import Neighbour
+from repro.core.point import LabeledPoint
+from repro.errors import PartitionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.distributed import DistributedSemTree
+
+__all__ = [
+    "PartitionScan",
+    "PartitionTransport",
+    "PartitionRouter",
+    "SimulatedBusRouter",
+    "SimulatedClusterTransport",
+    "FRONT_END_ID",
+]
+
+#: Bus identity of a scatter-gather front end (not a real partition: it owns
+#: no subtree, it only exchanges scan requests and results).
+FRONT_END_ID = "@front-end"
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionScan:
+    """The result of scanning one partition's local subtree.
+
+    ``neighbours`` are closest-first; for a k-NN scan they are the
+    partition-local top-k (the global top-k can only contain points from
+    partition-local top-k lists), for a range scan every local point within
+    the radius.  The counters mirror the sequential search states so fan-out
+    costs stay observable per partition.
+    """
+
+    partition_id: str
+    neighbours: Tuple[Neighbour, ...]
+    nodes_visited: int
+    points_examined: int
+    elapsed_seconds: float = 0.0
+
+
+class PartitionTransport(Protocol):
+    """Scatter-gather access to the partitions of one distributed index."""
+
+    def partition_ids(self) -> Tuple[str, ...]:
+        """Identifiers of every reachable partition, sorted."""
+        ...
+
+    def scan_knn(self, partition_id: str, query: LabeledPoint, k: int) -> PartitionScan:
+        """The partition-local k nearest neighbours of ``query``."""
+        ...
+
+    def scan_range(self, partition_id: str, query: LabeledPoint,
+                   radius: float) -> PartitionScan:
+        """Every partition-local point within ``radius`` of ``query``."""
+        ...
+
+    def close(self) -> None:
+        """Release connections/resources held by the transport."""
+        ...
+
+
+class PartitionRouter(Protocol):
+    """The tree-traversal seam: forward an in-flight operation to a partition.
+
+    Implementations deliver synchronously (the operation has completed in
+    the target partition when the call returns) because the sequential
+    algorithms of the paper interleave partition crossings with local work.
+    """
+
+    def continue_insert(self, source: str, target: str, point: LabeledPoint) -> None:
+        """Hand an insertion descending into a remote child to its partition."""
+        ...
+
+    def continue_knn(self, source: str, target: str, state) -> None:
+        """Continue a k-search in the partition hosting a remote child."""
+        ...
+
+    def continue_range(self, source: str, target: str, state) -> None:
+        """Continue a range search in the partition hosting a remote child."""
+        ...
+
+    def reply_found(self, kind: MessageKind, source: str, target: str,
+                    found: int) -> None:
+        """Send the result-count reply of a continued search (cost accounting)."""
+        ...
+
+    def ship_subtree(self, source: str, target: str, points: int) -> None:
+        """Account for moving a subtree into a freshly built partition."""
+        ...
+
+
+class SimulatedBusRouter:
+    """:class:`PartitionRouter` over the simulated message bus.
+
+    This is the original behaviour of the distributed tree, verbatim: every
+    crossing becomes a :class:`Message` charged to the simulated network,
+    delivery is synchronous, and the receiving partition's handler re-enters
+    the tree's traversal code.
+    """
+
+    def __init__(self, cluster: SimulatedCluster):
+        self.cluster = cluster
+
+    def continue_insert(self, source: str, target: str, point: LabeledPoint) -> None:
+        self.cluster.send(Message(
+            kind=MessageKind.INSERT, source=source, target=target,
+            payload={"point": point},
+        ))
+
+    def continue_knn(self, source: str, target: str, state) -> None:
+        self.cluster.send(Message(
+            kind=MessageKind.KNN_DESCEND, source=source, target=target,
+            payload={"state": state},
+        ))
+
+    def continue_range(self, source: str, target: str, state) -> None:
+        self.cluster.send(Message(
+            kind=MessageKind.RANGE_DESCEND, source=source, target=target,
+            payload={"state": state},
+        ))
+
+    def reply_found(self, kind: MessageKind, source: str, target: str,
+                    found: int) -> None:
+        self.cluster.send(Message(
+            kind=kind, source=source, target=target, payload={"found": found},
+        ))
+
+    def ship_subtree(self, source: str, target: str, points: int) -> None:
+        # One message to ship the subtree, one acknowledgement back.
+        self.cluster.send(Message(
+            kind=MessageKind.MOVE_LEAF, source=source, target=target,
+            payload={"points": points},
+        ))
+        self.cluster.send(Message(
+            kind=MessageKind.ACK, source=target, target=source,
+        ))
+
+
+class SimulatedClusterTransport:
+    """:class:`PartitionTransport` over the simulated cluster.
+
+    Scan requests and their results travel through the message bus — one
+    ``SCAN_*`` request plus one ``SCAN_RESULT`` reply per partition scanned,
+    charged with the configured network latencies — so the simulated cost
+    model covers scatter-gather serving exactly like it covers the guided
+    sequential traversal.  The scan itself runs in
+    :meth:`DistributedSemTree.scan_partition_knn <repro.core.distributed.DistributedSemTree.scan_partition_knn>`
+    / ``scan_partition_range``, the same code a shard server executes.
+    """
+
+    #: How many live transports share each bus's front-end registration —
+    #: the endpoint is registered once per bus and unregistered only when
+    #: the *last* transport over that bus closes (two transports over one
+    #: tree must not break each other).
+    _front_end_refs: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+    _refs_lock = threading.Lock()
+
+    def __init__(self, tree: "DistributedSemTree"):
+        self.tree = tree
+        self._closed = False
+        bus = tree.cluster.bus
+        with self._refs_lock:
+            count = self._front_end_refs.get(bus, 0)
+            if count == 0:
+                # The front end is a bus endpoint (so replies can be
+                # addressed to it) but not a partition: it lives on a
+                # synthetic node so it never competes for partition
+                # placement, and every exchange with a real partition is
+                # charged at remote latency.
+                bus.register(FRONT_END_ID, lambda message: None, FRONT_END_ID)
+            self._front_end_refs[bus] = count + 1
+
+    def partition_ids(self) -> Tuple[str, ...]:
+        return tuple(partition.partition_id for partition in self.tree.partitions)
+
+    def scan_knn(self, partition_id: str, query: LabeledPoint, k: int) -> PartitionScan:
+        return self._scan(MessageKind.SCAN_KNN, partition_id,
+                          {"query": query, "k": k})
+
+    def scan_range(self, partition_id: str, query: LabeledPoint,
+                   radius: float) -> PartitionScan:
+        return self._scan(MessageKind.SCAN_RANGE, partition_id,
+                          {"query": query, "radius": radius})
+
+    def _scan(self, kind: MessageKind, partition_id: str, payload: dict) -> PartitionScan:
+        started = time.perf_counter()
+        message = Message(kind=kind, source=FRONT_END_ID, target=partition_id,
+                          payload=dict(payload))
+        self.tree.cluster.send(message)
+        scan = message.payload.get("scan")
+        if not isinstance(scan, PartitionScan):  # pragma: no cover - defensive
+            raise PartitionError(
+                f"partition {partition_id!r} did not answer the scan request"
+            )
+        return PartitionScan(
+            partition_id=scan.partition_id,
+            neighbours=scan.neighbours,
+            nodes_visited=scan.nodes_visited,
+            points_examined=scan.points_examined,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        bus = self.tree.cluster.bus
+        with self._refs_lock:
+            count = self._front_end_refs.get(bus, 1) - 1
+            if count <= 0:
+                self._front_end_refs.pop(bus, None)
+                bus.unregister(FRONT_END_ID)
+            else:
+                self._front_end_refs[bus] = count

@@ -1,0 +1,147 @@
+"""``python -m repro.coordinator`` — the scatter-gather front end.
+
+Boot sequence:
+
+1. the checkpoint snapshot is parsed once; the semantic distance is rebuilt
+   from its persisted vocabulary hints (or harvested) and the full index is
+   loaded — the coordinator needs the FastMap space (query embedding), the
+   routing tree (partition pruning) and the provenance map;
+2. the shard topology is read (``--shards`` inline or ``--topology`` JSON
+   file) and every data-bearing partition is checked to be covered; unless
+   ``--skip-shard-check``, each shard's ``/v1/shard`` is probed to confirm
+   it serves the partition the topology claims;
+3. a :class:`~repro.coordinator.app.CoordinatorApp` (query engine over the
+   :class:`~repro.coordinator.sharded.ShardedIndex`) is bound to a
+   :class:`~repro.server.http.SemTreeServer`;
+4. SIGINT/SIGTERM drain in-flight queries and close the shard connections.
+
+Example::
+
+    python -m repro.server --snapshot snap.json --shard P0 --port 9000 &
+    python -m repro.server --snapshot snap.json --shard P1 --port 9001 &
+    python -m repro.coordinator --snapshot snap.json \
+        --shards "P0=http://127.0.0.1:9000,P1=http://127.0.0.1:9001" --port 8080
+
+See ``docs/cluster.md`` for the full deployment story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, Tuple
+
+from repro.coordinator.app import CoordinatorApp
+from repro.coordinator.sharded import ShardedIndex
+from repro.coordinator.topology import ShardTopology
+from repro.coordinator.transport import HttpShardTransport
+from repro.errors import ShardError
+from repro.server.__main__ import _serve_until_signalled
+from repro.server.bootstrap import derive_distance_from_state
+from repro.server.http import SemTreeServer
+from repro.service.snapshot import load_index_payload, read_snapshot_payload
+from repro.workloads.http_client import ServerClient
+
+__all__ = ["build_parser", "build_coordinator", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.coordinator",
+        description="Serve a SemTree index by scattering partition scans "
+                    "across per-partition shard servers.",
+    )
+    parser.add_argument("--snapshot", required=True,
+                        help="checkpoint snapshot (the same one the shards booted "
+                             "from); provides embedding, routing tree and provenance")
+    parser.add_argument("--shards", default=None,
+                        help="inline topology: P0=http://host:port,P1=...")
+    parser.add_argument("--topology", default=None,
+                        help="topology JSON file ({\"P0\": \"http://...\", ...})")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port (0 picks an ephemeral port)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="query-engine worker threads")
+    parser.add_argument("--scatter-workers", type=int, default=8,
+                        help="concurrent partition scans across all queries")
+    parser.add_argument("--shard-timeout", type=float, default=10.0,
+                        help="per-scan HTTP timeout in seconds")
+    parser.add_argument("--cache-capacity", type=int, default=1024,
+                        help="result-cache entries")
+    parser.add_argument("--cache-ttl", type=float, default=None,
+                        help="result-cache TTL in seconds (default: no expiry)")
+    parser.add_argument("--cache-segmented", action="store_true",
+                        help="use SLRU (probationary/protected) cache admission")
+    parser.add_argument("--default-deadline", type=float, default=None,
+                        help="per-query deadline in seconds applied when a request "
+                             "carries none")
+    parser.add_argument("--actors", default="",
+                        help="comma-separated extra actor names (as for the full "
+                             "server; must match what the snapshot writer used)")
+    parser.add_argument("--skip-shard-check", action="store_true",
+                        help="do not probe each shard's /v1/shard at boot")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request log lines")
+    return parser
+
+
+def _check_shards(topology: ShardTopology, timeout: float) -> None:
+    """Probe every shard once: reachable, and serving the claimed partition."""
+    for partition_id in topology.partition_ids:
+        url = topology.url_of(partition_id)
+        with ServerClient(url, timeout=timeout) as client:
+            client.wait_ready()
+            info = client.shard_info()
+        served = info.get("partition_id")
+        if served != partition_id:
+            raise ShardError(
+                f"topology mismatch: {url} serves partition {served!r}, "
+                f"the topology maps it to {partition_id!r}",
+                failed={partition_id: f"shard serves {served!r}"},
+            )
+
+
+def build_coordinator(argv: Optional[Sequence[str]] = None,
+                      ) -> Tuple[SemTreeServer, argparse.Namespace]:
+    """Parse arguments, load the snapshot, return a bound (not serving) server."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (args.shards is None) == (args.topology is None):
+        parser.error("exactly one of --shards / --topology is required")
+    topology = (ShardTopology.parse(args.shards) if args.shards is not None
+                else ShardTopology.from_file(args.topology))
+    if not args.skip_shard_check:
+        _check_shards(topology, args.shard_timeout)
+
+    payload = read_snapshot_payload(args.snapshot)
+    extra_actors = [name.strip() for name in args.actors.split(",") if name.strip()]
+    distance, _ = derive_distance_from_state(payload, extra_actors=extra_actors)
+    base = load_index_payload(payload, distance)
+
+    transport = HttpShardTransport(topology, timeout=args.shard_timeout)
+    index = ShardedIndex(base, transport, scatter_workers=args.scatter_workers)
+    app = CoordinatorApp(
+        index,
+        workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        cache_segmented=args.cache_segmented,
+        default_deadline=args.default_deadline,
+    )
+    server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
+    return server, args
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    server, args = build_coordinator(argv)
+    app = server.app
+    tree = app.index.base.tree
+    print(f"coordinating {len(app.index.base)} points over "
+          f"{len(app.index.transport.partition_ids())} shards "
+          f"({tree.partition_count} partitions in the snapshot)", flush=True)
+    return _serve_until_signalled(server, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,328 @@
+"""The sharded index: scatter-gather serving over a partition transport.
+
+:class:`ShardedIndex` is the coordinator's replacement for a local
+:class:`~repro.core.semtree.SemTreeIndex`: it implements the same serving
+protocol (:class:`~repro.service.planner.ServableIndex` — ``generation`` /
+``embed_query`` / ``search_k_nearest`` / ``search_range`` /
+``overlay_matches``), so a :class:`~repro.service.engine.QueryEngine` and
+therefore the whole HTTP front end serve it unchanged — result caching,
+batching, deadlines and metrics included.
+
+What changes is *where the tree search runs*.  The coordinator keeps the
+full snapshot in memory for the parts only it needs — the FastMap space
+(query embedding), the routing structure (partition pruning) and the
+provenance map (match dressing) — but every leaf scan is delegated through
+a :class:`~repro.cluster.transport.PartitionTransport`:
+
+* **k-NN**: every data-bearing partition is scanned concurrently (the
+  guided backward visit cannot be replicated without sequential round
+  trips; full fan-out buys parallelism at the price of scanning partitions
+  the sequential search would have pruned).  The gather folds per-partition
+  top-k lists through the paper's :class:`~repro.core.knn.ResultSet` — the
+  same radius-tightening merge the sequential search applies, in partition
+  order — so the merged top-k is exactly the sequential result.
+* **range**: the routing tree prunes first — only partitions the
+  sequential navigation rule (descend both children when
+  ``|P[SI] - Sv| < D``) would enter are scanned — then results are merged
+  and sorted by distance.
+
+Per-shard latency and fan-out counters are kept per scan and surfaced
+through :meth:`ShardedIndex.statistics` into the coordinator's
+``/v1/metrics``.
+
+Failure semantics: a scan that fails (shard down, timeout, topology
+mismatch) fails the *query* with a structured
+:class:`~repro.errors.ShardError` naming every failed partition and every
+partition that had already answered — never a silent partial answer, which
+would violate the exactness contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.transport import PartitionScan, PartitionTransport
+from repro.core.distributed import range_children
+from repro.core.knn import ResultSet
+from repro.core.node import Node, RemoteChild
+from repro.core.point import LabeledPoint
+from repro.core.semtree import SearchOutcome, SemanticMatch, SemTreeIndex
+from repro.errors import QueryError, ShardError
+from repro.rdf.triple import Triple
+from repro.service.metrics import percentile
+
+__all__ = ["ShardedIndex"]
+
+
+#: Latency samples retained per shard for the percentile gauges; bounded so
+#: a long-running coordinator's metrics stay O(1) in memory and the
+#: percentile sort stays cheap (same pattern as ServingMetrics).
+LATENCY_SAMPLE_LIMIT = 4096
+
+
+class _ShardStats:
+    """Per-shard observability: scan counts, failures, latency samples."""
+
+    __slots__ = ("scans", "failures", "latencies")
+
+    def __init__(self) -> None:
+        self.scans = 0
+        self.failures = 0
+        self.latencies: deque = deque(maxlen=LATENCY_SAMPLE_LIMIT)
+
+    def to_dict(self) -> Dict[str, object]:
+        samples = list(self.latencies)
+        return {
+            "scans": self.scans,
+            "failures": self.failures,
+            "latency_ms": {
+                "mean": (sum(samples) / len(samples) * 1000.0) if samples else 0.0,
+                "p50": percentile(samples, 0.50) * 1000.0 if samples else 0.0,
+                "p99": percentile(samples, 0.99) * 1000.0 if samples else 0.0,
+                "max": max(samples) * 1000.0 if samples else 0.0,
+            },
+        }
+
+
+class ShardedIndex:
+    """Scatter-gather serving over one snapshot and a partition transport.
+
+    Parameters
+    ----------
+    base:
+        The coordinator's in-memory copy of the snapshot (embedding space,
+        routing tree, provenance).  It must be the same snapshot the shards
+        booted from: the exactness guarantee is "identical to running the
+        sequential search over ``base``".
+    transport:
+        How partition scans reach the data — HTTP shard servers in
+        production (:class:`~repro.coordinator.transport.HttpShardTransport`),
+        the simulated cluster in tests
+        (:class:`~repro.cluster.transport.SimulatedClusterTransport`).
+    scatter_workers:
+        Concurrent scans in flight across all queries.  Thread-pool scatter:
+        each query's scans are submitted together and gathered in partition
+        order.
+    """
+
+    def __init__(self, base: SemTreeIndex, transport: PartitionTransport, *,
+                 scatter_workers: int = 8):
+        if scatter_workers < 1:
+            raise QueryError(f"scatter_workers must be >= 1, got {scatter_workers}")
+        self.base = base
+        self.transport = transport
+        self._data_partitions = tuple(
+            partition.partition_id for partition in base.tree.partitions
+            if partition.point_count > 0
+        )
+        missing = sorted(set(self._data_partitions) - set(transport.partition_ids()))
+        if missing:
+            raise ShardError(
+                "the transport does not cover every data-bearing partition "
+                f"of the snapshot; missing: {', '.join(missing)}",
+                failed={partition_id: "not in topology" for partition_id in missing},
+            )
+        self._executor = ThreadPoolExecutor(
+            max_workers=scatter_workers, thread_name_prefix="semtree-scatter"
+        )
+        self._stats_lock = threading.Lock()
+        self._shard_stats: Dict[str, _ShardStats] = {}
+        self._queries = 0
+        self._scans = 0
+        self._closed = False
+
+    # -- the serving protocol (ServableIndex) -------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The snapshot's generation; static — the sharded view is read-only."""
+        return self.base.generation
+
+    def embed_query(self, triple: Triple) -> LabeledPoint:
+        """Project a query triple with the coordinator's FastMap space."""
+        return self.base.embed_query(triple)
+
+    def search_k_nearest(self, point: LabeledPoint, k: int) -> SearchOutcome:
+        """Scatter a k-NN scan to every data partition; gather through ``Rs``.
+
+        The gather offers every per-partition candidate to one bounded
+        :class:`ResultSet` in partition order — each insertion tightens the
+        radius exactly like the sequential merge, and tie-breaking keeps the
+        earliest offer, mirroring the sequential first-come-first-retained
+        rule.
+        """
+        targets = self._data_partitions
+        scans = self._scatter(targets, lambda pid: self.transport.scan_knn(pid, point, k))
+        results = ResultSet(k)
+        nodes = points = 0
+        for scan in scans:
+            nodes += scan.nodes_visited
+            points += scan.points_examined
+            for neighbour in scan.neighbours:
+                results.offer(neighbour.point, neighbour.distance)
+        matches = tuple(self.base.to_match(n) for n in results.neighbours())
+        return SearchOutcome(
+            matches=matches,
+            visited_partitions=tuple(targets),
+            nodes_visited=nodes,
+            points_examined=points,
+            generation=self.base.generation,
+        )
+
+    def search_range(self, point: LabeledPoint, radius: float) -> SearchOutcome:
+        """Prune partitions with the routing tree, scatter, merge and sort."""
+        targets = self._range_targets(point, radius)
+        scans = self._scatter(
+            targets, lambda pid: self.transport.scan_range(pid, point, radius)
+        )
+        gathered = []
+        nodes = points = 0
+        for scan in scans:
+            nodes += scan.nodes_visited
+            points += scan.points_examined
+            gathered.extend(scan.neighbours)
+        gathered.sort(key=lambda neighbour: neighbour.distance)
+        matches = tuple(self.base.to_match(n) for n in gathered)
+        return SearchOutcome(
+            matches=matches,
+            visited_partitions=tuple(targets),
+            nodes_visited=nodes,
+            points_examined=points,
+            generation=self.base.generation,
+        )
+
+    def overlay_matches(self, kind: str, point: LabeledPoint, parameter: float,
+                        matches: Tuple[SemanticMatch, ...],
+                        generation: int) -> Optional[Tuple[SemanticMatch, ...]]:
+        """The sharded view is read-only: matches are always current."""
+        return tuple(matches)
+
+    # -- scatter ------------------------------------------------------------------------
+
+    def _scatter(self, targets: Tuple[str, ...],
+                 scan: Callable[[str], PartitionScan]) -> List[PartitionScan]:
+        """Run one scan per target concurrently; gather in partition order.
+
+        All-or-nothing: any failed partition fails the query with a
+        :class:`ShardError` whose details name the failed and the completed
+        partitions.
+        """
+        futures = {
+            partition_id: self._executor.submit(scan, partition_id)
+            for partition_id in targets
+        }
+        scans: Dict[str, PartitionScan] = {}
+        failed: Dict[str, str] = {}
+        for partition_id in targets:
+            try:
+                scans[partition_id] = futures[partition_id].result()
+            except ShardError as error:
+                failed[partition_id] = str(error)
+            except Exception as error:  # noqa: BLE001 - reported per partition
+                failed[partition_id] = f"{type(error).__name__}: {error}"
+        self._record(scans, failed)
+        if failed:
+            completed = sorted(scans)
+            raise ShardError(
+                f"{len(failed)} of {len(targets)} partition scans failed "
+                f"[{'; '.join(f'{pid}: {reason}' for pid, reason in sorted(failed.items()))}]"
+                f" (completed: {', '.join(completed) or 'none'}); the query "
+                "cannot be answered exactly without them",
+                failed=failed, completed=completed,
+            )
+        return [scans[partition_id] for partition_id in targets]
+
+    def _record(self, scans: Dict[str, PartitionScan], failed: Dict[str, str]) -> None:
+        with self._stats_lock:
+            self._queries += 1
+            self._scans += len(scans) + len(failed)
+            for partition_id, scan in scans.items():
+                stats = self._shard_stats.setdefault(partition_id, _ShardStats())
+                stats.scans += 1
+                stats.latencies.append(scan.elapsed_seconds)
+            for partition_id in failed:
+                stats = self._shard_stats.setdefault(partition_id, _ShardStats())
+                stats.failures += 1
+
+    # -- range partition pruning --------------------------------------------------------
+
+    def _range_targets(self, point: LabeledPoint, radius: float) -> Tuple[str, ...]:
+        """Partitions the sequential range navigation would enter.
+
+        Walks the coordinator's routing structure applying the paper's rule
+        (both children when the query ball straddles the splitting plane),
+        crossing remote links locally.  Partitions holding no points are
+        skipped — the sequential search enters them only to route, and a
+        shard scan of an empty subtree returns nothing by construction.
+        """
+        tree = self.base.tree
+        ordered: List[str] = []
+        seen = set()
+
+        def enter(partition_id: str) -> Optional[Node]:
+            if partition_id not in seen:
+                seen.add(partition_id)
+                ordered.append(partition_id)
+                return tree.partition(partition_id).root
+            return None
+
+        stack: List[Node] = []
+        root = enter(tree.ROOT_PARTITION_ID)
+        if root is not None:
+            stack.append(root)
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            for child in range_children(node, point, radius):
+                if isinstance(child, RemoteChild):
+                    crossed = enter(child.partition_id)
+                    if crossed is not None:
+                        stack.append(crossed)
+                elif isinstance(child, Node):
+                    stack.append(child)
+        data_bearing = set(self._data_partitions)
+        return tuple(pid for pid in ordered if pid in data_bearing)
+
+    # -- observability ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, object]:
+        """Scatter-gather counters: totals, fan-out, per-shard latency."""
+        with self._stats_lock:
+            per_shard = {
+                partition_id: stats.to_dict()
+                for partition_id, stats in sorted(self._shard_stats.items())
+            }
+            queries, scans = self._queries, self._scans
+        return {
+            "partitions": len(self._data_partitions),
+            "queries": queries,
+            "scans": scans,
+            "fan_out_mean": (scans / queries) if queries else 0.0,
+            "per_shard": per_shard,
+        }
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the scatter pool down and release the transport's connections."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        self.transport.close()
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIndex(partitions={len(self._data_partitions)}, "
+            f"transport={self.transport!r})"
+        )

@@ -1,0 +1,93 @@
+"""Cluster topology: which shard server serves which partition.
+
+A topology is a plain mapping ``partition_id → base_url``.  Operators write
+it either inline (``--shards "P0=http://10.0.0.1:9000,P1=http://10.0.0.2:9000"``)
+or as a JSON file (``{"P0": "http://...", ...}``); the launcher
+(:mod:`repro.coordinator.launcher`) builds one from the ports its shard
+subprocesses actually bound.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import ShardError
+
+__all__ = ["ShardTopology"]
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """An immutable ``partition_id → shard base URL`` mapping."""
+
+    shards: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ShardError("a topology needs at least one shard")
+        for partition_id, url in self.shards.items():
+            if not partition_id or not isinstance(partition_id, str):
+                raise ShardError(f"invalid partition id {partition_id!r}")
+            if not isinstance(url, str) or not url.startswith("http"):
+                raise ShardError(
+                    f"shard {partition_id!r} needs an http base URL, got {url!r}"
+                )
+        object.__setattr__(self, "shards", dict(self.shards))
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardTopology":
+        """Parse the inline ``P0=http://host:port,P1=...`` form."""
+        shards: Dict[str, str] = {}
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            partition_id, separator, url = entry.partition("=")
+            if not separator:
+                raise ShardError(
+                    f"cannot parse shard entry {entry!r}: expected "
+                    "PARTITION_ID=http://host:port"
+                )
+            shards[partition_id.strip()] = url.strip().rstrip("/")
+        return cls(shards)
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "ShardTopology":
+        """Load a ``{"P0": "http://...", ...}`` JSON file."""
+        try:
+            payload = json.loads(pathlib.Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise ShardError(f"topology file is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ShardError("a topology file must hold one JSON object")
+        return cls({str(key): str(value).rstrip("/") for key, value in payload.items()})
+
+    # -- queries ------------------------------------------------------------------------
+
+    def url_of(self, partition_id: str) -> str:
+        """Base URL of the shard serving ``partition_id``."""
+        try:
+            return self.shards[partition_id]
+        except KeyError:
+            raise ShardError(
+                f"no shard serves partition {partition_id!r} "
+                f"(topology covers: {', '.join(self.partition_ids)})"
+            ) from None
+
+    @property
+    def partition_ids(self) -> Tuple[str, ...]:
+        """Every partition the topology covers, sorted."""
+        return tuple(sorted(self.shards))
+
+    def missing(self, required: Iterable[str]) -> List[str]:
+        """Partitions in ``required`` that no shard serves (sorted)."""
+        return sorted(set(required) - set(self.shards))
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return f"ShardTopology({dict(self.shards)!r})"

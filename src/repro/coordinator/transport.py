@@ -1,0 +1,133 @@
+"""The HTTP shard transport: partition scans over real sockets.
+
+:class:`HttpShardTransport` implements the
+:class:`~repro.cluster.transport.PartitionTransport` protocol against a
+:class:`~repro.coordinator.topology.ShardTopology` of live shard servers.
+Each shard gets one :class:`~repro.workloads.ServerClient`, whose
+keep-alive transport holds one persistent connection per (shard, thread)
+pair — the scatter pool's threads each reuse their own sockets, so a
+fan-out of N scans costs N round trips, not N handshakes.
+
+Failures — connection refused, timeouts, non-2xx shard responses — surface
+as :class:`~repro.errors.ShardError` naming the partition and shard URL, so
+the scatter layer can assemble a structured partial-failure report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from repro.cluster.transport import PartitionScan
+from repro.core.knn import Neighbour
+from repro.core.point import LabeledPoint
+from repro.coordinator.topology import ShardTopology
+from repro.errors import ServerError, ShardError
+from repro.io.serialization import triple_from_dict
+from repro.workloads.http_client import ServerClient
+
+__all__ = ["HttpShardTransport"]
+
+
+class HttpShardTransport:
+    """Scatter-gather scans against per-partition shard servers.
+
+    Parameters
+    ----------
+    topology:
+        Which shard serves which partition.
+    timeout:
+        Per-scan HTTP timeout in seconds.  A shard that cannot answer
+        within it fails that scan with a :class:`ShardError` (the
+        coordinator reports the query as a partial failure rather than
+        hanging the whole fan-out).
+    """
+
+    def __init__(self, topology: ShardTopology, *, timeout: float = 10.0):
+        self.topology = topology
+        self.timeout = timeout
+        self._clients: Dict[str, ServerClient] = {
+            partition_id: ServerClient(url, timeout=timeout)
+            for partition_id, url in topology.shards.items()
+        }
+
+    # -- PartitionTransport -------------------------------------------------------------
+
+    def partition_ids(self) -> Tuple[str, ...]:
+        return self.topology.partition_ids
+
+    def scan_knn(self, partition_id: str, query: LabeledPoint, k: int) -> PartitionScan:
+        started = time.perf_counter()
+        payload = self._call(partition_id, "shard_knn",
+                             lambda client: client.shard_knn(query.coordinates, k))
+        return self._scan_from_payload(partition_id, payload,
+                                       time.perf_counter() - started)
+
+    def scan_range(self, partition_id: str, query: LabeledPoint,
+                   radius: float) -> PartitionScan:
+        started = time.perf_counter()
+        payload = self._call(partition_id, "shard_range",
+                             lambda client: client.shard_range(query.coordinates, radius))
+        return self._scan_from_payload(partition_id, payload,
+                                       time.perf_counter() - started)
+
+    def close(self) -> None:
+        # close_all, not close: the persistent sockets live in the scatter
+        # pool's worker threads, not in the thread tearing the transport down.
+        for client in self._clients.values():
+            client.close_all()
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _call(self, partition_id: str, operation: str, call) -> Dict:
+        client = self._clients.get(partition_id)
+        if client is None:
+            raise ShardError(
+                f"no shard serves partition {partition_id!r} "
+                f"(topology covers: {', '.join(self.topology.partition_ids)})",
+                failed={partition_id: "not in topology"},
+            )
+        try:
+            return call(client)
+        except ServerError as error:
+            raise ShardError(
+                f"{operation} on partition {partition_id} via {client.base_url} "
+                f"failed: {error}",
+                failed={partition_id: str(error)},
+            ) from error
+
+    def _scan_from_payload(self, partition_id: str, payload: Dict,
+                           elapsed_seconds: float) -> PartitionScan:
+        served = payload.get("partition_id")
+        if served != partition_id:
+            # A misconfigured topology (shard booted with the wrong --shard)
+            # would silently double-count one partition and drop another.
+            raise ShardError(
+                f"topology mismatch: the shard at "
+                f"{self._clients[partition_id].base_url} serves partition "
+                f"{served!r}, not {partition_id!r}",
+                failed={partition_id: f"shard serves {served!r}"},
+            )
+        neighbours = tuple(
+            Neighbour(
+                LabeledPoint.of(match["coordinates"],
+                                label=triple_from_dict(match["triple"])),
+                float(match["distance"]),
+            )
+            for match in payload.get("matches", ())
+        )
+        # elapsed_seconds is the *coordinator-observed* round trip (network
+        # hop included), matching what SimulatedClusterTransport reports —
+        # the per-shard latency gauges must point an operator at a slow
+        # shard path, not just at its server-side scan time (which the
+        # shard still reports in its own payload as latency_ms).
+        return PartitionScan(
+            partition_id=partition_id,
+            neighbours=neighbours,
+            nodes_visited=int(payload.get("nodes_visited", 0)),
+            points_examined=int(payload.get("points_examined", 0)),
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    def __repr__(self) -> str:
+        return f"HttpShardTransport(shards={len(self._clients)}, timeout={self.timeout})"

@@ -26,6 +26,14 @@ Costs are charged to the :class:`~repro.cluster.cluster.SimulatedCluster`:
 local work per visited node / examined point to the owning partition,
 message latencies to the network.  Wall-clock time is measured separately by
 the benchmark harness.
+
+Cross-partition hops go through a
+:class:`~repro.cluster.transport.PartitionRouter` (the simulated bus by
+default) rather than the cluster object directly, and every partition also
+supports *local-only* scans (:meth:`DistributedSemTree.scan_partition_knn` /
+``scan_partition_range`` and the underlying :func:`scan_subtree_knn` /
+:func:`scan_subtree_range`) — the unit of work a scatter-gather front end
+or a shard server executes; see :mod:`repro.cluster.transport`.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import numpy as np
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.message import Message, MessageKind
+from repro.cluster.transport import PartitionRouter, PartitionScan, SimulatedBusRouter
 from repro.core import kernels
 from repro.core.config import SemTreeConfig
 from repro.core.knn import KSearchState, Neighbour
@@ -46,7 +55,107 @@ from repro.core.point import LabeledPoint, euclidean_distance
 from repro.core.splitting import choose_split
 from repro.errors import IndexError_, PartitionError, QueryError
 
-__all__ = ["DistributedSemTree", "RangeSearchState"]
+__all__ = ["DistributedSemTree", "RangeSearchState", "range_children",
+           "scan_subtree_knn", "scan_subtree_range", "subtree_point_count"]
+
+
+def range_children(node: Node, query: LabeledPoint,
+                   radius: float) -> Tuple[ChildRef, ...]:
+    """The paper's range navigation rule for one routing node.
+
+    Both children when the query ball straddles the splitting plane
+    (``|P[SI] - Sv| < D``), the insertion-rule child otherwise.  The single
+    place the rule (and its corruption contract — a routing node with a
+    missing child fails loudly, never yields a silently-partial scan) is
+    written down: the sequential traversal, the shard-local scan and the
+    coordinator's partition pruning all call it, so they can never drift.
+    """
+    assert node.split_index is not None and node.split_value is not None
+    plane_distance = abs(query[node.split_index] - node.split_value)
+    if plane_distance < radius:
+        children: Tuple[Optional[ChildRef], ...] = (node.left, node.right)
+    else:
+        children = (node.child_for(query),)
+    for child in children:
+        if child is None:
+            raise IndexError_("routing node with a missing child")
+    return children  # type: ignore[return-value]
+
+
+# -- local-only subtree scans (the shard/scatter-gather unit of work) ----------------------
+
+def scan_subtree_knn(root: Node, state: KSearchState,
+                     kernel: str = kernels.DEFAULT_SCAN_KERNEL) -> KSearchState:
+    """K-search over the *local* nodes below ``root``; remote links are skipped.
+
+    Runs the paper's forward descent + backward visit with the usual pruning
+    rules, but never crosses a :class:`RemoteChild` — the caller (a shard
+    server, or a scatter-gather front end) owns exactly one partition's
+    subtree and other partitions are scanned independently.  The state's
+    result set therefore holds the partition-local top-k, whose union over
+    all partitions contains the global top-k.
+    """
+    # Stack entries: (node, pending_far_child) — ``None`` means forward phase.
+    stack: List[Tuple[Node, Optional[ChildRef]]] = [(root, None)]
+    while stack:
+        node, pending_far = stack.pop()
+        if pending_far is not None:
+            assert node.split_index is not None and node.split_value is not None
+            if isinstance(pending_far, Node) and state.must_visit_other_side(
+                node.split_index, node.split_value
+            ):
+                stack.append((pending_far, None))
+            continue
+        state.nodes_visited += 1
+        if node.is_leaf:
+            kernels.knn_scan_node(state, node, kernel)
+            continue
+        near_child = node.child_for(state.query)
+        far_child = node.other_child(near_child)
+        stack.append((node, far_child))
+        if isinstance(near_child, Node):
+            stack.append((near_child, None))
+    return state
+
+
+def scan_subtree_range(root: Node, state: "RangeSearchState",
+                       kernel: str = kernels.DEFAULT_SCAN_KERNEL) -> "RangeSearchState":
+    """Range search over the *local* nodes below ``root``; remote links skipped.
+
+    Applies the same navigation rule as the sequential search (both children
+    when the query ball straddles the splitting plane) within one
+    partition's subtree.
+    """
+    stack: List[Node] = [root]
+    while stack:
+        node = stack.pop()
+        state.nodes_visited += 1
+        if node.is_leaf:
+            state.examine_bucket(node, kernel)
+            continue
+        for child in range_children(node, state.query, state.radius):
+            if isinstance(child, Node):
+                stack.append(child)
+    return state
+
+
+def subtree_point_count(root: Node) -> int:
+    """Number of points stored in the local leaves below ``root``.
+
+    Shared by the build-partition procedure and shard boot, so the shard's
+    reported point count can never drift from the tree's own accounting.
+    """
+    total = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            total += len(node.bucket)
+            continue
+        for child in (node.left, node.right):
+            if isinstance(child, Node):
+                stack.append(child)
+    return total
 
 
 class RangeSearchState:
@@ -124,13 +233,18 @@ class DistributedSemTree:
     cluster:
         The simulated cluster hosting the partitions.  When omitted, a
         cluster with as many nodes as ``config.max_partitions`` is created.
+    router:
+        The :class:`~repro.cluster.transport.PartitionRouter` carrying
+        cross-partition hops (defaults to the simulated bus of ``cluster``).
     """
 
     ROOT_PARTITION_ID = "P0"
 
-    def __init__(self, config: SemTreeConfig, cluster: SimulatedCluster | None = None):
+    def __init__(self, config: SemTreeConfig, cluster: SimulatedCluster | None = None,
+                 router: PartitionRouter | None = None):
         self.config = config
         self.cluster = cluster or SimulatedCluster(node_count=max(config.max_partitions, 1))
+        self.router: PartitionRouter = router or SimulatedBusRouter(self.cluster)
         self._partitions: Dict[str, Partition] = {}
         self._partition_counter = itertools.count(1)
         self._size = 0
@@ -249,12 +363,9 @@ class DistributedSemTree:
             if isinstance(child, RemoteChild):
                 # Cp != Childp: delegate the insertion to the partition
                 # hosting the child, via the communication protocol.
-                self.cluster.send(Message(
-                    kind=MessageKind.INSERT,
-                    source=partition.partition_id,
-                    target=child.partition_id,
-                    payload={"point": point},
-                ))
+                self.router.continue_insert(
+                    partition.partition_id, child.partition_id, point
+                )
                 return
             node = child
             depth += 1
@@ -336,18 +447,9 @@ class DistributedSemTree:
             partition.record_stored(-moved_points)
             if moved_points:
                 self.cluster.record_points(partition.partition_id, -moved_points)
-            # One message to ship the subtree, one acknowledgement back.
-            self.cluster.send(Message(
-                kind=MessageKind.MOVE_LEAF,
-                source=partition.partition_id,
-                target=new_partition.partition_id,
-                payload={"points": moved_points},
-            ))
-            self.cluster.send(Message(
-                kind=MessageKind.ACK,
-                source=new_partition.partition_id,
-                target=partition.partition_id,
-            ))
+            self.router.ship_subtree(
+                partition.partition_id, new_partition.partition_id, moved_points
+            )
             self.cluster.charge_work(
                 partition.partition_id, self.config.point_visit_cost * moved_points
             )
@@ -387,17 +489,7 @@ class DistributedSemTree:
     @staticmethod
     def _subtree_points(root: Node) -> int:
         """Number of points stored in the local leaves of a subtree."""
-        total = 0
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                total += len(node.bucket)
-                continue
-            for child in (node.left, node.right):
-                if isinstance(child, Node):
-                    stack.append(child)
-        return total
+        return subtree_point_count(root)
 
     # -- k-nearest search -----------------------------------------------------------------------
 
@@ -422,12 +514,10 @@ class DistributedSemTree:
         state: KSearchState = message.payload["state"]
         state.partitions_visited += 1
         self._knn_traverse(partition, state)
-        self.cluster.send(Message(
-            kind=MessageKind.KNN_RESULT,
-            source=partition.partition_id,
-            target=message.source,
-            payload={"found": len(state.results)},
-        ))
+        self.router.reply_found(
+            MessageKind.KNN_RESULT, partition.partition_id, message.source,
+            len(state.results),
+        )
 
     def _knn_traverse(self, partition: Partition, state: KSearchState) -> None:
         """Iterative forward + backward k-search over the nodes of one partition.
@@ -465,12 +555,7 @@ class DistributedSemTree:
                     state: KSearchState) -> None:
         """Expand a child reference: push local nodes, delegate remote ones."""
         if isinstance(child, RemoteChild):
-            self.cluster.send(Message(
-                kind=MessageKind.KNN_DESCEND,
-                source=partition.partition_id,
-                target=child.partition_id,
-                payload={"state": state},
-            ))
+            self.router.continue_knn(partition.partition_id, child.partition_id, state)
             return
         stack.append((child, None))
 
@@ -497,12 +582,10 @@ class DistributedSemTree:
         state: RangeSearchState = message.payload["state"]
         state.partitions_visited += 1
         self._range_traverse(partition, state)
-        self.cluster.send(Message(
-            kind=MessageKind.RANGE_RESULT,
-            source=partition.partition_id,
-            target=message.source,
-            payload={"found": len(state.results)},
-        ))
+        self.router.reply_found(
+            MessageKind.RANGE_RESULT, partition.partition_id, message.source,
+            len(state.results),
+        )
 
     def _range_traverse(self, partition: Partition, state: RangeSearchState) -> None:
         state.note_partition(partition.partition_id)
@@ -517,29 +600,93 @@ class DistributedSemTree:
                     partition.partition_id, self.config.point_visit_cost * len(node.bucket)
                 )
                 continue
-            assert node.split_index is not None and node.split_value is not None
-            plane_distance = abs(state.query[node.split_index] - node.split_value)
-            if plane_distance < state.radius:
-                # The query ball straddles the plane: navigate both children
-                # (in parallel across partitions when the node is an edge node).
-                self._range_expand(partition, node.left, stack, state)
-                self._range_expand(partition, node.right, stack, state)
-            else:
-                self._range_expand(partition, node.child_for(state.query), stack, state)
+            # The query ball may straddle the plane: navigate both children
+            # (in parallel across partitions when the node is an edge node).
+            for child in range_children(node, state.query, state.radius):
+                self._range_expand(partition, child, stack, state)
 
-    def _range_expand(self, partition: Partition, child: Optional[ChildRef],
+    def _range_expand(self, partition: Partition, child: ChildRef,
                       stack: List[Node], state: RangeSearchState) -> None:
-        if child is None:
-            raise IndexError_("routing node with a missing child")
         if isinstance(child, RemoteChild):
-            self.cluster.send(Message(
-                kind=MessageKind.RANGE_DESCEND,
-                source=partition.partition_id,
-                target=child.partition_id,
-                payload={"state": state},
-            ))
+            self.router.continue_range(partition.partition_id, child.partition_id, state)
             return
         stack.append(child)
+
+    # -- whole-partition scans (scatter-gather serving) ---------------------------------------------
+
+    def scan_partition_knn(self, partition_id: str, query: LabeledPoint,
+                           k: int) -> KSearchState:
+        """The partition-local k-search of one partition (remote links skipped).
+
+        This is the unit of work a scatter-gather front end fans out —
+        in-process through :class:`~repro.cluster.transport.SimulatedClusterTransport`,
+        or over HTTP when the partition is served by a shard process.  Local
+        work is charged to the simulated clock exactly like the guided
+        traversal charges it.
+        """
+        if query.dimensions != self.config.dimensions:
+            raise QueryError(
+                f"query has {query.dimensions} dimensions, the index expects "
+                f"{self.config.dimensions}"
+            )
+        partition = self.partition(partition_id)
+        state = KSearchState(query=query, k=k)
+        state.partitions_visited = 1
+        state.note_partition(partition_id)
+        scan_subtree_knn(partition.root, state, self.config.scan_kernel)
+        self._charge_scan(partition_id, state.nodes_visited, state.points_examined)
+        return state
+
+    def scan_partition_range(self, partition_id: str, query: LabeledPoint,
+                             radius: float) -> RangeSearchState:
+        """The partition-local range search of one partition (remote links skipped)."""
+        if query.dimensions != self.config.dimensions:
+            raise QueryError(
+                f"query has {query.dimensions} dimensions, the index expects "
+                f"{self.config.dimensions}"
+            )
+        partition = self.partition(partition_id)
+        state = RangeSearchState(query, radius)
+        state.partitions_visited = 1
+        state.note_partition(partition_id)
+        scan_subtree_range(partition.root, state, self.config.scan_kernel)
+        self._charge_scan(partition_id, state.nodes_visited, state.points_examined)
+        return state
+
+    def _charge_scan(self, partition_id: str, nodes: int, points: int) -> None:
+        self.cluster.charge_work(
+            partition_id,
+            self.config.node_visit_cost * nodes + self.config.point_visit_cost * points,
+        )
+
+    def handle_scan_message(self, partition: Partition, message: Message) -> None:
+        """Bus callback: run a whole-partition scan and reply with its result.
+
+        The :class:`PartitionScan` travels back inside the request payload
+        (the simulated bus is synchronous); the ``SCAN_RESULT`` reply only
+        exists so the network cost of shipping the result is accounted.
+        """
+        payload = message.payload
+        if message.kind is MessageKind.SCAN_KNN:
+            state = self.scan_partition_knn(
+                partition.partition_id, payload["query"], payload["k"]
+            )
+            neighbours = tuple(state.results.neighbours())
+        else:
+            state = self.scan_partition_range(
+                partition.partition_id, payload["query"], payload["radius"]
+            )
+            neighbours = tuple(state.sorted_results())
+        payload["scan"] = PartitionScan(
+            partition_id=partition.partition_id,
+            neighbours=neighbours,
+            nodes_visited=state.nodes_visited,
+            points_examined=state.points_examined,
+        )
+        self.router.reply_found(
+            MessageKind.SCAN_RESULT, partition.partition_id, message.source,
+            len(neighbours),
+        )
 
     # -- introspection ------------------------------------------------------------------------------
 

@@ -164,7 +164,10 @@ class Partition:
             self.tree.handle_knn_message(self, message)
         elif message.kind is MessageKind.RANGE_DESCEND:
             self.tree.handle_range_message(self, message)
+        elif message.kind in (MessageKind.SCAN_KNN, MessageKind.SCAN_RANGE):
+            self.tree.handle_scan_message(self, message)
         elif message.kind in (MessageKind.KNN_RESULT, MessageKind.RANGE_RESULT,
+                              MessageKind.SCAN_RESULT,
                               MessageKind.ACK, MessageKind.MOVE_LEAF,
                               MessageKind.BUILD_PARTITION):
             # Result/acknowledgement traffic only exists for cost accounting;

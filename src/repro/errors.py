@@ -108,6 +108,29 @@ class ServerClosingError(ReproError):
     """
 
 
+class ShardError(ReproError):
+    """Raised when shard servers cannot answer a partition scan.
+
+    Carries the structured partial-failure report of a scatter-gather: which
+    partitions failed (and why) and which completed, so a caller knows
+    exactly how much of the fan-out succeeded.  Mapped to HTTP 502 — the
+    coordinator is healthy, a backend behind it is not.
+
+    Attributes
+    ----------
+    details:
+        ``{"failed": {partition_id: reason}, "completed": [partition_id]}``.
+    """
+
+    def __init__(self, message: str, *, failed: dict | None = None,
+                 completed: list | None = None):
+        self.details = {
+            "failed": dict(failed or {}),
+            "completed": list(completed or ()),
+        }
+        super().__init__(message)
+
+
 class ServerError(ReproError):
     """Raised by the HTTP client when the server reports a failure.
 

@@ -69,12 +69,19 @@ class IngestingIndex:
         Delta size at which :meth:`should_compact` turns true.
     metrics:
         Optional externally-owned :class:`IngestMetrics`.
+    vocabulary_hints:
+        Optional ``{"actors": [...], "parameters": {prefix: [...]}}``
+        description of the vocabularies the semantic distance was built
+        from; persisted into every checkpoint so a rebooting process can
+        rebuild the exact same distance
+        (:func:`repro.server.bootstrap.derive_distance`).
     """
 
     def __init__(self, base: SemTreeIndex, wal: WriteAheadLog | str | pathlib.Path, *,
                  applied_seq: int = 0,
                  compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
-                 metrics: IngestMetrics | None = None):
+                 metrics: IngestMetrics | None = None,
+                 vocabulary_hints: Optional[Dict[str, object]] = None):
         if not base.is_built:
             raise IndexError_("an IngestingIndex needs a built base index")
         if compaction_threshold < 1:
@@ -84,6 +91,7 @@ class IngestingIndex:
         self.base = base
         self.wal = wal if isinstance(wal, WriteAheadLog) else WriteAheadLog(wal)
         self.compaction_threshold = compaction_threshold
+        self.vocabulary_hints = vocabulary_hints
         self.metrics = metrics or IngestMetrics()
         self.delta = DeltaIndex(scan_kernel=base.config.scan_kernel)
         self._lock = ReadWriteLock()
@@ -223,7 +231,8 @@ class IngestingIndex:
             self.compact()
         with self._lock.write():
             applied = self._applied_seq
-            save_index(self.base, snapshot_path, wal_seq=applied)
+            save_index(self.base, snapshot_path, wal_seq=applied,
+                       vocabulary=self.vocabulary_hints)
         if truncate_wal:
             self.wal.truncate_through(applied)
         return applied

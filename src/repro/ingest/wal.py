@@ -69,18 +69,26 @@ class WriteAheadLog:
         loss, not just process death.  Off by default: the simulated-cluster
         benchmarks measure ingest throughput, and per-record fsync is the
         dominant cost on real disks.
+    keep_records:
+        When True the open-time scan retains every parsed record payload in
+        memory, so the first :meth:`replay` (and any vocabulary harvesting
+        in between, via :meth:`preloaded_payloads`) is served without
+        re-reading the file — the log is read exactly once at boot.  The
+        retained list is dropped after that first replay.
 
     Appends are serialised by an internal lock, so the log can be shared by
     concurrent inserter threads.
     """
 
-    def __init__(self, path: str | pathlib.Path, *, fsync: bool = False):
+    def __init__(self, path: str | pathlib.Path, *, fsync: bool = False,
+                 keep_records: bool = False):
         self.path = pathlib.Path(path)
         self.fsync = fsync
         self._lock = threading.Lock()
         self._torn_records = 0
         self._last_seq = 0
         self._record_count = 0
+        self._preloaded: Optional[list] = [] if keep_records else None
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if self.path.exists():
             self._scan_existing()
@@ -104,10 +112,14 @@ class WriteAheadLog:
             next_position = (newline + 1) if complete else len(data)
             text = data[position:next_position].decode("utf-8", errors="replace").strip()
             if text:
-                try:
-                    seq = int(json.loads(text)["seq"]) if complete else None
-                except (ValueError, KeyError, TypeError):
-                    seq = None
+                payload = None
+                seq = None
+                if complete:
+                    try:
+                        payload = json.loads(text)
+                        seq = int(payload["seq"])
+                    except (ValueError, KeyError, TypeError):
+                        seq = None
                 if seq is None:
                     if next_position >= len(data):
                         self._torn_records = 1
@@ -124,6 +136,8 @@ class WriteAheadLog:
                     )
                 self._last_seq = seq
                 self._record_count += 1
+                if self._preloaded is not None:
+                    self._preloaded.append(payload)
             position = next_position
             valid_end = next_position
         if valid_end < len(data):
@@ -143,6 +157,8 @@ class WriteAheadLog:
                 os.fsync(self._file.fileno())
             self._last_seq = seq
             self._record_count += 1
+            if self._preloaded is not None:
+                self._preloaded.append(record.to_dict())
             return seq
 
     def advance_to(self, seq: int) -> None:
@@ -159,8 +175,30 @@ class WriteAheadLog:
 
     # -- replaying ----------------------------------------------------------------------
 
+    def preloaded_payloads(self) -> list:
+        """The record payloads retained by ``keep_records`` (non-consuming).
+
+        Boot-time vocabulary harvesting walks these instead of re-reading
+        the file; empty when the log was opened without ``keep_records`` or
+        the retained list was already consumed by :meth:`replay`.
+        """
+        return list(self._preloaded or ())
+
     def replay(self, *, after: int = 0) -> Iterator[WalRecord]:
-        """Yield every durable record with ``seq > after``, in order."""
+        """Yield every durable record with ``seq > after``, in order.
+
+        A log opened with ``keep_records`` serves its first replay from the
+        payloads retained at open (and then drops them); records appended
+        since the open are covered too, because appends also extend the
+        retained list while it is alive.
+        """
+        if self._preloaded is not None:
+            payloads, self._preloaded = self._preloaded, None
+            for payload in payloads:
+                record = WalRecord.from_dict(payload)
+                if record.seq > after:
+                    yield record
+            return
         for _, payload in iter_json_lines(self.path, tolerate_torn_tail=True):
             record = WalRecord.from_dict(payload)
             if record.seq > after:

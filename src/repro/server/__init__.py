@@ -25,19 +25,25 @@ reference and ``docs/architecture.md`` for where this layer sits.
 """
 
 from repro.server.app import ServerApp
-from repro.server.bootstrap import derive_distance, harvest_triples, recover_index
+from repro.server.bootstrap import (derive_distance, harvest_triples, load_shard,
+                                    recover_index)
 from repro.server.http import SemTreeServer
 from repro.server.schemas import (parse_insert_request, parse_query_request,
-                                  parse_triple, render_result)
+                                  parse_shard_scan_request, parse_triple,
+                                  render_result)
+from repro.server.shard import ShardApp
 
 __all__ = [
     "ServerApp",
+    "ShardApp",
     "SemTreeServer",
     "derive_distance",
     "harvest_triples",
     "recover_index",
+    "load_shard",
     "parse_triple",
     "parse_query_request",
     "parse_insert_request",
+    "parse_shard_scan_request",
     "render_result",
 ]

@@ -1,22 +1,32 @@
 """``python -m repro.server`` — boot a SemTree server from durable state.
 
-Boot sequence:
+Boot sequence (full server, the default):
 
-1. :func:`~repro.server.bootstrap.derive_distance` rebuilds the semantic
-   distance from the triples in the checkpoint snapshot (+ WAL tail);
-2. :meth:`IngestingIndex.recover` restores the tree from the snapshot and
-   replays the WAL records after its ``wal_seq`` into the delta;
+1. the checkpoint snapshot is parsed once; the semantic distance is rebuilt
+   from its persisted vocabulary hints (or harvested from the stored
+   triples for older snapshots) — :func:`~repro.server.bootstrap.recover_index`;
+2. the tree is restored from the snapshot and the WAL records after its
+   ``wal_seq`` are replayed into the delta;
 3. a :class:`~repro.server.app.ServerApp` (query engine + background
    compactor) is bound to a :class:`~repro.server.http.SemTreeServer`;
 4. on SIGINT/SIGTERM the server stops accepting, drains in-flight queries,
    folds the delta, writes a checkpoint back to ``--snapshot`` and
    truncates the WAL (disable with ``--no-checkpoint-on-exit``).
 
-Example::
+Shard mode (``--shard P3``) boots the same process as a *partition shard*
+instead: only partition ``P3``'s subtree is loaded from the snapshot and
+the server exposes the raw scan endpoints ``/v1/shard/knn`` /
+``/v1/shard/range`` a :mod:`repro.coordinator` front end fans out to.  A
+shard holds no delta, so boot refuses a WAL whose tail is newer than the
+snapshot — checkpoint first, then launch the shards.
+
+Examples::
 
     python -m repro.server --snapshot snap.json --wal wal.jsonl --port 8080
+    python -m repro.server --snapshot snap.json --shard P1 --port 9001
 
-See ``docs/server.md`` for the endpoint reference and a curl quickstart.
+See ``docs/server.md`` for the endpoint reference and ``docs/cluster.md``
+for the sharded deployment topology.
 """
 
 from __future__ import annotations
@@ -27,9 +37,11 @@ import sys
 import threading
 from typing import Optional, Sequence, Tuple
 
+from repro.errors import IndexError_
 from repro.server.app import ServerApp
-from repro.server.bootstrap import recover_index
+from repro.server.bootstrap import load_shard, recover_index, wal_tail_seq
 from repro.server.http import SemTreeServer
+from repro.server.shard import ShardApp
 
 __all__ = ["build_parser", "build_server", "main"]
 
@@ -43,9 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--snapshot", required=True,
                         help="checkpoint snapshot to boot from (and to write the "
                              "shutdown checkpoint back to)")
-    parser.add_argument("--wal", required=True,
+    parser.add_argument("--wal", default=None,
                         help="write-ahead log; its tail (records after the snapshot's "
-                             "wal_seq) is replayed on boot, and live inserts append to it")
+                             "wal_seq) is replayed on boot, and live inserts append to "
+                             "it (required unless --shard)")
+    parser.add_argument("--shard", default=None, metavar="PARTITION_ID",
+                        help="serve one partition of the snapshot as a read-only "
+                             "shard (/v1/shard/knn, /v1/shard/range) instead of the "
+                             "full query API")
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=8080,
                         help="bind port (0 picks an ephemeral port)")
@@ -77,8 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_server(argv: Optional[Sequence[str]] = None) -> Tuple[SemTreeServer, argparse.Namespace]:
-    """Parse arguments, recover the index, return a bound (not serving) server."""
-    args = build_parser().parse_args(argv)
+    """Parse arguments, recover the index (or load the shard), return a bound server."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.shard is not None:
+        server = _build_shard_server(args)
+        return server, args
+    if args.wal is None:
+        parser.error("--wal is required (unless booting a --shard)")
     extra_actors = [name.strip() for name in args.actors.split(",") if name.strip()]
     index = recover_index(
         args.snapshot, args.wal, extra_actors=extra_actors,
@@ -98,14 +121,37 @@ def build_server(argv: Optional[Sequence[str]] = None) -> Tuple[SemTreeServer, a
     return server, args
 
 
+def _build_shard_server(args: argparse.Namespace) -> SemTreeServer:
+    """Boot the process as a read-only partition shard."""
+    tail = wal_tail_seq(args.wal)
+    boot = load_shard(args.snapshot, args.shard)
+    if tail > boot.wal_seq:
+        raise IndexError_(
+            f"the WAL tail reaches seq {tail} but the snapshot only covers "
+            f"seq {boot.wal_seq}: a shard has no delta to replay into — "
+            "checkpoint the full server first, then boot the shards"
+        )
+    return SemTreeServer(ShardApp(boot), host=args.host, port=args.port,
+                         quiet=args.quiet)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     server, args = build_server(argv)
+    if args.shard is not None:
+        app = server.app
+        print(f"shard {app.partition_id}: {app.boot.points} points "
+              f"(generation {app.boot.generation}, "
+              f"snapshot partitions {', '.join(app.boot.partition_ids)})", flush=True)
+        return _serve_until_signalled(server, args)
     index = server.app.index
     replayed = index.statistics()["replayed"]
     print(f"recovered {len(index)} points "
           f"(generation {index.generation}, applied_seq {index.applied_seq}, "
           f"replayed {replayed} WAL records)", flush=True)
+    return _serve_until_signalled(server, args)
 
+
+def _serve_until_signalled(server: SemTreeServer, args: argparse.Namespace) -> int:
     stop = threading.Event()
 
     def request_stop(signum, frame) -> None:
@@ -123,6 +169,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         wal_seq = server.close()
         if wal_seq is not None:
             print(f"checkpointed through wal_seq {wal_seq} to {args.snapshot}",
+                  flush=True)
+        elif getattr(args, "shard", None) is not None:
+            print("shard stopped (read-only: nothing to checkpoint)", flush=True)
+        elif getattr(args, "wal", None) is None:
+            # The coordinator CLI reuses this loop; it owns no durable state.
+            print("coordinator stopped (read-only: nothing to checkpoint)",
                   flush=True)
         else:
             print("stopped without a checkpoint (WAL remains the recovery source)",

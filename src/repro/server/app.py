@@ -97,6 +97,24 @@ class ServerApp:
         self._close_lock = threading.Lock()
         self._closed = False
 
+    # -- routing (consumed by repro.server.http) ----------------------------------------
+
+    def post_routes(self) -> Dict[str, Any]:
+        """Path → handler for POST endpoints (the transport's routing table)."""
+        return {
+            "/v1/knn": self.handle_knn,
+            "/v1/range": self.handle_range,
+            "/v1/insert": self.handle_insert,
+        }
+
+    def get_routes(self) -> Dict[str, Any]:
+        """Path → handler for GET endpoints."""
+        return {
+            "/v1/metrics": self.metrics,
+            "/v1/healthz": self.health,
+            "/v1/index": self.index_info,
+        }
+
     # -- bookkeeping --------------------------------------------------------------------
 
     def _count(self, endpoint: str) -> None:

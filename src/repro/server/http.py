@@ -18,6 +18,7 @@ content-type check (415).
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -51,23 +52,69 @@ class _Handler(BaseHTTPRequestHandler):
     app: ServerApp
     quiet: bool = True
 
+    # -- connection lifecycle -----------------------------------------------------------
+    # Keep-alive clients hold their connection open between requests; the
+    # handler thread then blocks awaiting the next request line.  So that
+    # shutdown does not have to sit out the full socket timeout per idle
+    # connection, each handler registers itself with the server and flags
+    # when it is busy serving a request: close() force-closes the idle ones
+    # (unblocking their reads immediately) and lets the busy ones drain.
+    # The idle→busy flip happens under the server's handler lock the moment
+    # a request line arrives, and the shutdown sweep shuts idle sockets
+    # under the same lock — so a request that won the race is drained, one
+    # that lost it fails before the app ever sees it.
+
+    _busy = False
+
+    def handle(self) -> None:
+        register = getattr(self.server, "track_handler", None)
+        if register is None:  # pragma: no cover - plain ThreadingHTTPServer
+            super().handle()
+            return
+        register(self)
+        try:
+            super().handle()
+        finally:
+            self.server.untrack_handler(self)
+
+    def handle_one_request(self) -> None:
+        """One request, with idle/busy tracking around the blocking read."""
+        lock = getattr(self.server, "_handlers_lock", None)
+        if lock is None:  # pragma: no cover - plain ThreadingHTTPServer
+            super().handle_one_request()
+            return
+        original_readline = self.rfile.readline
+
+        def tracking_readline(limit: int = -1) -> bytes:
+            data = original_readline(limit)
+            if data and not self._busy:
+                with lock:
+                    self._busy = True
+            return data
+
+        self.rfile.readline = tracking_readline
+        try:
+            super().handle_one_request()
+        finally:
+            self.rfile.readline = original_readline
+            self._busy = False
+            if getattr(self.server, "draining", False):
+                # The server is shutting down: do not return to an idle
+                # blocking read this connection's client may never end.
+                self.close_connection = True
+
     # -- routing ------------------------------------------------------------------------
+    # The app owns its routing tables (ServerApp, ShardApp and
+    # CoordinatorApp each expose their own endpoints); the transport just
+    # dispatches into them.
 
     @property
     def _post_routes(self) -> Dict[str, Callable[[Any], Dict[str, Any]]]:
-        return {
-            "/v1/knn": self.app.handle_knn,
-            "/v1/range": self.app.handle_range,
-            "/v1/insert": self.app.handle_insert,
-        }
+        return self.app.post_routes()
 
     @property
     def _get_routes(self) -> Dict[str, Callable[[], Dict[str, Any]]]:
-        return {
-            "/v1/metrics": self.app.metrics,
-            "/v1/healthz": self.app.health,
-            "/v1/index": self.app.index_info,
-        }
+        return self.app.get_routes()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
         # GETs never read a body; if a client sent one anyway, the unread
@@ -199,7 +246,11 @@ class SemTreeServer(ThreadingHTTPServer):
     Parameters
     ----------
     app:
-        The :class:`ServerApp` to expose.
+        The app to expose: a full :class:`ServerApp`, a
+        :class:`~repro.server.shard.ShardApp` (one partition's scan
+        endpoints) or a :class:`~repro.coordinator.app.CoordinatorApp`.
+        Any object exposing ``post_routes()`` / ``get_routes()`` /
+        ``close(checkpoint=...)`` binds.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (read it back from
         :attr:`bound_port` — this is what the tests and benchmarks do).
@@ -231,6 +282,41 @@ class SemTreeServer(ThreadingHTTPServer):
         super().__init__((host, port), handler)
         self.app = app
         self._serve_thread: Optional[threading.Thread] = None
+        self.draining = False
+        self._handlers_lock = threading.Lock()
+        self._live_handlers: set = set()
+
+    # -- connection tracking (see _Handler.handle) --------------------------------------
+
+    def track_handler(self, handler: BaseHTTPRequestHandler) -> None:
+        with self._handlers_lock:
+            self._live_handlers.add(handler)
+
+    def untrack_handler(self, handler: BaseHTTPRequestHandler) -> None:
+        with self._handlers_lock:
+            self._live_handlers.discard(handler)
+
+    def _close_idle_connections(self) -> None:
+        """Unblock handler threads parked on idle keep-alive connections.
+
+        A handler that is mid-request (``_busy``) is left alone — it drains
+        normally and closes its connection afterwards because ``draining``
+        is set.  Idle handlers are blocked reading a request line that may
+        never come; shutting their socket read side makes that read return
+        EOF immediately.  The whole sweep runs under the handlers lock, the
+        same lock a handler takes to flip idle→busy when a request line
+        arrives — so a request either wins the race (marked busy, drained)
+        or loses it (socket shut before the app ever sees it); it is never
+        aborted mid-execution.
+        """
+        with self._handlers_lock:
+            for handler in self._live_handlers:
+                if handler._busy:
+                    continue
+                try:
+                    handler.connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass  # already closed by the client
 
     @property
     def bound_port(self) -> int:
@@ -259,17 +345,20 @@ class SemTreeServer(ThreadingHTTPServer):
 
         Returns the checkpointed ``wal_seq`` (see :meth:`ServerApp.close`).
         """
+        self.draining = True
         if self._serve_thread is not None:
             # shutdown() blocks until serve_forever() exits, so only call it
             # when the serve loop is actually running on our thread.
             self.shutdown()
             self._serve_thread.join()
             self._serve_thread = None
-        # server_close() joins every in-flight handler thread (tracked
-        # because daemon_threads is False), so accepted requests drain fully
-        # before the app — engine, compactor, WAL — is torn down beneath
-        # them; the per-request socket timeout bounds the wait on idle
-        # keep-alive connections.
+        # Idle keep-alive connections are force-closed (their handler
+        # threads would otherwise block until the socket timeout); busy ones
+        # drain.  server_close() then joins every handler thread (tracked
+        # because daemon_threads is False), so accepted requests complete
+        # fully before the app — engine, compactor, WAL — is torn down
+        # beneath them.
+        self._close_idle_connections()
         self.server_close()
         return self.app.close(checkpoint=checkpoint)
 

@@ -26,8 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError, SchemaError, ServerClosingError
-from repro.io.serialization import match_to_dict, term_from_dict
+from repro.errors import ReproError, SchemaError, ServerClosingError, ShardError
+from repro.io.serialization import match_to_dict, term_from_dict, triple_to_dict
 from repro.rdf.terms import Term, term_from_text
 from repro.rdf.triple import Triple, TriplePattern
 from repro.service.engine import QueryResult
@@ -42,8 +42,10 @@ __all__ = [
     "parse_pattern",
     "parse_query_request",
     "parse_insert_request",
+    "parse_shard_scan_request",
     "render_result",
     "render_results",
+    "render_partition_scan",
     "error_body",
     "status_for",
 ]
@@ -216,6 +218,49 @@ def parse_query_request(body: Any, kind: QueryKind) -> Tuple[List[QuerySpec], bo
     return [_parse_query(body, kind, "body")], False
 
 
+# -- shard scan requests -------------------------------------------------------------------
+
+_SHARD_FIELDS = {
+    QueryKind.KNN: ("coordinates", "k"),
+    QueryKind.RANGE: ("coordinates", "radius"),
+}
+
+
+def parse_shard_scan_request(body: Any, kind: QueryKind) -> Tuple[Tuple[float, ...], float]:
+    """A shard scan body: embedded query coordinates plus ``k`` or ``radius``.
+
+    Shards never embed: the coordinator projects the query triple once and
+    ships raw coordinates, so a shard needs neither the semantic distance
+    nor the FastMap space.  Returns ``(coordinates, parameter)`` where the
+    parameter is ``k`` (as a float-free int) for k-NN scans and the radius
+    for range scans.
+    """
+    body = _require_object(body, "body")
+    _reject_unknown(body, _SHARD_FIELDS[kind], "body")
+    if "coordinates" not in body:
+        raise SchemaError("missing required field 'coordinates'", field="body")
+    raw = body["coordinates"]
+    if not isinstance(raw, list) or not raw:
+        raise SchemaError("expected a non-empty array of numbers",
+                          field="coordinates")
+    coordinates = tuple(
+        _number(value, f"coordinates[{position}]") for position, value in enumerate(raw)
+    )
+    if kind is QueryKind.KNN:
+        k = body.get("k", 3)
+        if isinstance(k, bool) or not isinstance(k, int):
+            raise SchemaError(f"expected an integer, got {type(k).__name__}", field="k")
+        if k < 1:
+            raise SchemaError(f"k must be >= 1, got {k}", field="k")
+        return coordinates, k
+    if "radius" not in body:
+        raise SchemaError("missing required field 'radius'", field="body")
+    radius = _number(body["radius"], "radius")
+    if radius < 0:
+        raise SchemaError("the range radius must be non-negative", field="radius")
+    return coordinates, radius
+
+
 # -- insert requests -----------------------------------------------------------------------
 
 def _parse_insert(payload: Any, field: str) -> Tuple[Triple, Optional[str]]:
@@ -298,6 +343,34 @@ def render_results(results: List[QueryResult], batched: bool) -> Dict[str, Any]:
     return render_result(results[0])
 
 
+def render_partition_scan(partition_id: str, neighbours, *, nodes_visited: int,
+                          points_examined: int,
+                          elapsed_seconds: float) -> Dict[str, Any]:
+    """One shard scan as a JSON-native dictionary.
+
+    Matches carry the lossless triple dictionary, the stored point's
+    embedded coordinates and the distance; shards do not know document
+    provenance (the coordinator owns the provenance map and dresses merged
+    results itself).  JSON floats round-trip exactly in Python, so the
+    coordinator's merge sees bit-identical distances.
+    """
+    return {
+        "partition_id": partition_id,
+        "matches": [
+            {
+                "triple": triple_to_dict(neighbour.point.label),
+                "text": str(neighbour.point.label),
+                "coordinates": list(neighbour.point.coordinates),
+                "distance": neighbour.distance,
+            }
+            for neighbour in neighbours
+        ],
+        "nodes_visited": nodes_visited,
+        "points_examined": points_examined,
+        "latency_ms": elapsed_seconds * 1000.0,
+    }
+
+
 # -- errors --------------------------------------------------------------------------------
 
 def status_for(error: Exception) -> int:
@@ -306,11 +379,14 @@ def status_for(error: Exception) -> int:
     Client-caused failures — malformed payloads, invalid parameters, unknown
     vocabulary terms — are :class:`~repro.errors.ReproError` subclasses and
     map to ``400``; a request reaching a shutting-down server is ``503``
-    (retryable, not the client's fault); anything else is a server-side
-    ``500``.
+    (retryable, not the client's fault); a scatter-gather that lost one or
+    more shard backends is ``502`` (the front end is healthy, a backend is
+    not); anything else is a server-side ``500``.
     """
     if isinstance(error, ServerClosingError):
         return 503
+    if isinstance(error, ShardError):
+        return 502
     return 400 if isinstance(error, ReproError) else 500
 
 

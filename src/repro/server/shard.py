@@ -1,0 +1,225 @@
+"""Shard server mode: one process serving raw scans of one partition.
+
+In the real deployment story (see ``docs/cluster.md``) each partition of
+the distributed SemTree is served by its own process.  A shard is
+deliberately the dumbest tier of the stack: it holds one partition's
+subtree (booted from a checkpoint snapshot by
+:func:`~repro.server.bootstrap.load_shard`), and answers whole-partition
+scans — :func:`~repro.core.distributed.scan_subtree_knn` /
+``scan_subtree_range`` over embedded coordinates the coordinator ships.  No
+semantic distance, no FastMap space, no query cache, no WAL: exactness and
+caching live in the coordinator, durability in the checkpoint the shard
+booted from.
+
+:class:`ShardApp` exposes the same route-table surface as
+:class:`~repro.server.app.ServerApp`, so the same
+:class:`~repro.server.http.SemTreeServer` transport binds either.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.core.distributed import scan_subtree_knn, scan_subtree_range
+from repro.core.knn import KSearchState
+from repro.core.point import LabeledPoint
+from repro.errors import SchemaError, ServerClosingError
+from repro.io.serialization import json_ready
+from repro.server.bootstrap import ShardBoot
+from repro.server.schemas import parse_shard_scan_request, render_partition_scan
+from repro.service.planner import QueryKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.semtree import SemTreeIndex
+
+__all__ = ["ShardApp"]
+
+
+class ShardApp:
+    """Endpoint logic of one partition shard.
+
+    Parameters
+    ----------
+    boot:
+        The partition subtree and its metadata, from
+        :func:`~repro.server.bootstrap.load_shard` (CLI path) or
+        :meth:`from_index` (in-process tests and benchmarks).
+    """
+
+    def __init__(self, boot: ShardBoot):
+        self.boot = boot
+        self.partition_id = boot.partition_id
+        self.root = boot.root
+        self.config = boot.config
+        self._started = time.monotonic()
+        self._requests: Counter = Counter()
+        self._nodes_visited = 0
+        self._points_examined = 0
+        self._scan_seconds = 0.0
+        self._stats_lock = threading.Lock()
+        self._closed = False
+
+    @classmethod
+    def from_index(cls, index: "SemTreeIndex", partition_id: str) -> "ShardApp":
+        """Build a shard over one partition of an in-process built index.
+
+        The subtree is shared, not copied: the caller must not mutate the
+        index while the shard serves (exactly the contract a snapshot-booted
+        shard gets for free).
+        """
+        tree = index.tree
+        partition = tree.partition(partition_id)
+        boot = ShardBoot(
+            partition_id=partition_id,
+            root=partition.root,
+            config=tree.config,
+            points=partition.point_count,
+            generation=index.generation,
+            wal_seq=0,
+            partition_ids=tuple(p.partition_id for p in tree.partitions),
+        )
+        return cls(boot)
+
+    # -- routing (consumed by repro.server.http) ----------------------------------------
+
+    def post_routes(self) -> Dict[str, Callable[[Any], Dict[str, Any]]]:
+        return {
+            "/v1/shard/knn": self.handle_shard_knn,
+            "/v1/shard/range": self.handle_shard_range,
+        }
+
+    def get_routes(self) -> Dict[str, Callable[[], Dict[str, Any]]]:
+        return {
+            "/v1/shard": self.shard_info,
+            "/v1/healthz": self.health,
+            "/v1/metrics": self.metrics,
+        }
+
+    # -- scan endpoints -----------------------------------------------------------------
+
+    def handle_shard_knn(self, body: Any) -> Dict[str, Any]:
+        """``POST /v1/shard/knn`` — partition-local top-k for raw coordinates."""
+        return self._handle_scan(QueryKind.KNN, body, "shard_knn")
+
+    def handle_shard_range(self, body: Any) -> Dict[str, Any]:
+        """``POST /v1/shard/range`` — partition-local ball scan for raw coordinates."""
+        return self._handle_scan(QueryKind.RANGE, body, "shard_range")
+
+    def _handle_scan(self, kind: QueryKind, body: Any, endpoint: str) -> Dict[str, Any]:
+        self._check_open()
+        coordinates, parameter = parse_shard_scan_request(body, kind)
+        if len(coordinates) != self.config.dimensions:
+            raise SchemaError(
+                f"expected {self.config.dimensions} coordinates "
+                f"(the partition's embedded space), got {len(coordinates)}",
+                field="coordinates",
+            )
+        query = LabeledPoint.of(coordinates)
+        started = time.perf_counter()
+        if kind is QueryKind.KNN:
+            state = KSearchState(query=query, k=int(parameter))
+            scan_subtree_knn(self.root, state, self.config.scan_kernel)
+            neighbours = state.results.neighbours()
+        else:
+            # Deferred import keeps module import light; RangeSearchState
+            # lives beside the traversal it belongs to.
+            from repro.core.distributed import RangeSearchState
+
+            state = RangeSearchState(query, parameter)
+            scan_subtree_range(self.root, state, self.config.scan_kernel)
+            neighbours = state.sorted_results()
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._requests[endpoint] += 1
+            self._nodes_visited += state.nodes_visited
+            self._points_examined += state.points_examined
+            self._scan_seconds += elapsed
+        return render_partition_scan(
+            self.partition_id, neighbours,
+            nodes_visited=state.nodes_visited,
+            points_examined=state.points_examined,
+            elapsed_seconds=elapsed,
+        )
+
+    # -- observability endpoints --------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/healthz`` — liveness plus which partition this shard owns."""
+        with self._stats_lock:
+            self._requests["healthz"] += 1
+        return {
+            "status": "closing" if self._closed else "ok",
+            "role": "shard",
+            "partition_id": self.partition_id,
+            "points": self.boot.points,
+            "generation": self.boot.generation,
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def shard_info(self) -> Dict[str, Any]:
+        """``GET /v1/shard`` — what is being served: partition, shape, kernel."""
+        self._check_open()
+        with self._stats_lock:
+            self._requests["shard"] += 1
+        return json_ready({
+            "partition_id": self.partition_id,
+            "points": self.boot.points,
+            "generation": self.boot.generation,
+            "wal_seq": self.boot.wal_seq,
+            "snapshot_partitions": list(self.boot.partition_ids),
+            "dimensions": self.config.dimensions,
+            "kernel": self.config.scan_kernel,
+        })
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics`` — the shard metrics payload (one ``shard`` section)."""
+        with self._stats_lock:
+            self._requests["metrics"] += 1
+            requests = dict(self._requests)
+            scans = requests.get("shard_knn", 0) + requests.get("shard_range", 0)
+            shard = {
+                "partition_id": self.partition_id,
+                "points": self.boot.points,
+                "scans": scans,
+                "nodes_visited": self._nodes_visited,
+                "points_examined": self._points_examined,
+                "scan_seconds": self._scan_seconds,
+                "requests": requests,
+                "uptime_seconds": time.monotonic() - self._started,
+            }
+        return json_ready({"shard": shard})
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; scan endpoints refuse further work."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServerClosingError("the shard is shutting down")
+
+    def close(self, *, checkpoint: bool | None = None) -> Optional[int]:
+        """Shut the shard down.  A shard owns no durable state: nothing to flush.
+
+        ``checkpoint`` is accepted (and ignored) so the HTTP transport can
+        close any app type uniformly.
+        """
+        self._closed = True
+        return None
+
+    def __enter__(self) -> "ShardApp":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardApp(partition={self.partition_id!r}, points={self.boot.points}, "
+            f"closed={self._closed})"
+        )

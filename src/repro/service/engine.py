@@ -42,7 +42,7 @@ import functools
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.semtree import SemanticMatch
@@ -65,7 +65,11 @@ class QueryResult:
 
     ``cached`` is True when the result was served without running a tree
     search for this spec — a result-cache hit or an in-batch duplicate of
-    another query.
+    another query.  ``exception`` carries the original exception behind a
+    non-empty ``error`` string (when the failure was an exception rather
+    than a deadline), so front ends can map typed failures — e.g. a
+    coordinator's :class:`~repro.errors.ShardError` — onto transport
+    semantics instead of parsing the message.
     """
 
     spec: QuerySpec
@@ -74,6 +78,8 @@ class QueryResult:
     latency_seconds: float = 0.0
     timed_out: bool = False
     error: Optional[str] = None
+    exception: Optional[BaseException] = field(default=None, compare=False,
+                                               repr=False)
 
     @property
     def ok(self) -> bool:
@@ -266,7 +272,8 @@ class QueryEngine:
                 self._record(result)
             else:
                 result = QueryResult(spec=spec, matches=(), cached=False,
-                                     error=f"{type(value).__name__}: {value}")
+                                     error=f"{type(value).__name__}: {value}",
+                                     exception=value)
                 self._record(result)
             results.append(result)
         return results

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.config import CapacityPolicy, SemTreeConfig, SplitStrategy
@@ -36,8 +36,10 @@ from repro.io.serialization import (node_from_dict, node_to_dict, triple_from_di
                                     triple_to_dict)
 from repro.semantics.triple_distance import TripleDistance
 
-__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "config_to_dict", "save_index",
-           "load_index", "snapshot_wal_seq"]
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "config_to_dict",
+           "config_from_dict", "save_index",
+           "load_index", "load_index_payload", "read_snapshot_payload",
+           "snapshot_wal_seq", "snapshot_vocabulary"]
 
 SNAPSHOT_FORMAT = "semtree-snapshot"
 SNAPSHOT_VERSION = 1
@@ -61,7 +63,8 @@ def config_to_dict(config: SemTreeConfig) -> Dict[str, Any]:
     }
 
 
-def _config_from_dict(payload: Dict[str, Any]) -> SemTreeConfig:
+def config_from_dict(payload: Dict[str, Any]) -> SemTreeConfig:
+    """Inverse of :func:`config_to_dict` (shared by index and shard boot)."""
     fields = dict(payload)
     fields["capacity_policy"] = CapacityPolicy(fields["capacity_policy"])
     fields["split_strategy"] = SplitStrategy(fields["split_strategy"])
@@ -80,13 +83,21 @@ def _partition_order(partition_id: str) -> Tuple[int, Any]:
 # -- saving ------------------------------------------------------------------------------
 
 def save_index(index: SemTreeIndex, path: str | pathlib.Path, *,
-               wal_seq: int | None = None) -> None:
+               wal_seq: int | None = None,
+               vocabulary: Dict[str, Any] | None = None) -> None:
     """Write a built index to ``path`` as one JSON snapshot.
 
     ``wal_seq`` is recorded by live-ingestion checkpoints
     (:meth:`repro.ingest.ingesting.IngestingIndex.checkpoint`): the highest
     write-ahead-log sequence number whose insert is folded into the
     snapshotted tree.  Recovery replays only the WAL records after it.
+
+    ``vocabulary`` optionally records the hints the semantic distance was
+    built from (``{"actors": [...], "parameters": {prefix: [...]}}``), so a
+    rebooting process reproduces the exact same distance — including the
+    string-distance fallback for terms inserted at runtime that the saving
+    process's vocabularies did not know (see
+    :func:`repro.server.bootstrap.derive_distance`).
 
     Raises
     ------
@@ -121,6 +132,8 @@ def save_index(index: SemTreeIndex, path: str | pathlib.Path, *,
     }
     if wal_seq is not None:
         payload["wal_seq"] = int(wal_seq)
+    if vocabulary is not None:
+        payload["vocabulary"] = vocabulary
     # Write-then-rename: a snapshot is a recovery point (the live-ingestion
     # checkpoint truncates the WAL against it), so a crash mid-write must
     # leave the previous snapshot intact, never a torn file.
@@ -147,18 +160,20 @@ def snapshot_wal_seq(path: str | pathlib.Path) -> int:
     return int(payload.get("wal_seq", 0))
 
 
+def snapshot_vocabulary(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The vocabulary hints recorded in a snapshot payload (``None`` when absent)."""
+    vocabulary = payload.get("vocabulary")
+    return vocabulary if isinstance(vocabulary, dict) else None
+
+
 # -- loading -----------------------------------------------------------------------------
 
-def load_index(path: str | pathlib.Path, distance: TripleDistance, *,
-               cluster: SimulatedCluster | None = None) -> SemTreeIndex:
-    """Rebuild a warm index from a snapshot written by :func:`save_index`.
+def read_snapshot_payload(path: str | pathlib.Path) -> Dict[str, Any]:
+    """Parse and validate a snapshot file into its JSON payload.
 
-    ``distance`` must be the semantic distance the snapshotted index was
-    built with; ``cluster`` optionally re-hosts the partitions (a fresh
-    simulated cluster is created otherwise, as in the constructor).
-
-    The loaded index answers k-NN and range queries identically to the
-    index that was saved, and supports further incremental inserts.
+    The single place snapshot files are parsed: boot paths that need the
+    payload more than once (vocabulary derivation + index load) read it here
+    and pass the dictionary on, so the file is parsed exactly once.
     """
     try:
         payload = json.loads(pathlib.Path(path).read_text())
@@ -171,8 +186,27 @@ def load_index(path: str | pathlib.Path, distance: TripleDistance, *,
             f"unsupported snapshot version {payload.get('version')!r} "
             f"(expected {SNAPSHOT_VERSION})"
         )
+    return payload
 
-    config = _config_from_dict(payload["config"])
+
+def load_index(path: str | pathlib.Path, distance: TripleDistance, *,
+               cluster: SimulatedCluster | None = None) -> SemTreeIndex:
+    """Rebuild a warm index from a snapshot written by :func:`save_index`.
+
+    ``distance`` must be the semantic distance the snapshotted index was
+    built with; ``cluster`` optionally re-hosts the partitions (a fresh
+    simulated cluster is created otherwise, as in the constructor).
+
+    The loaded index answers k-NN and range queries identically to the
+    index that was saved, and supports further incremental inserts.
+    """
+    return load_index_payload(read_snapshot_payload(path), distance, cluster=cluster)
+
+
+def load_index_payload(payload: Dict[str, Any], distance: TripleDistance, *,
+                       cluster: SimulatedCluster | None = None) -> SemTreeIndex:
+    """Rebuild a warm index from an already-parsed snapshot payload."""
+    config = config_from_dict(payload["config"])
     index = SemTreeIndex(distance, config, cluster=cluster)
     index.embedder.dimensions = int(payload["embedding"]["requested_dimensions"])
     index.embedder.restore(

@@ -7,6 +7,17 @@ dictionary form, server-side failures surfaced as
 :class:`~repro.errors.ServerError` carrying the HTTP status and the
 structured error type the server reported.
 
+The transport keeps one persistent connection per thread (the server
+speaks HTTP/1.1 with Content-Length framing, so keep-alive is free):
+repeated requests skip the TCP handshake, which is what makes a
+coordinator→shard fan-out viable and measurably speeds the load
+generator.  A request that hits a *stale* keep-alive socket — the server
+closed an idle connection between requests — is retried exactly once on a
+fresh connection; the retry only fires for idempotent requests (GETs and
+the read-only query/scan POSTs) whose failure arrived before a byte of
+response on a previously-used socket, so a non-idempotent insert is never
+replayed blindly.
+
 :func:`generate_load` is the benchmark driver: N client threads, each with
 its own connection, replaying a shared list of request payloads against a
 live server and reporting aggregate QPS plus client-observed latency
@@ -16,11 +27,11 @@ thread counts.
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServerError, WorkloadError
@@ -29,6 +40,18 @@ from repro.rdf.triple import Triple, TriplePattern
 from repro.service.metrics import percentile
 
 __all__ = ["ServerClient", "generate_load", "query_payloads"]
+
+#: Connection failures that can hit a reused keep-alive socket before any
+#: response byte arrives; safe to retry once on a fresh connection — for
+#: idempotent requests only (the server may have processed a request whose
+#: response was lost, so replaying a write could apply it twice).
+_STALE_SOCKET_ERRORS = (http.client.RemoteDisconnected, http.client.BadStatusLine,
+                        BrokenPipeError, ConnectionResetError, ConnectionAbortedError)
+
+#: POST endpoints that are pure reads: replaying one cannot change state.
+_IDEMPOTENT_POST_PATHS = frozenset(
+    {"/v1/knn", "/v1/range", "/v1/shard/knn", "/v1/shard/range"}
+)
 
 
 def _pattern_payload(pattern: TriplePattern) -> Dict[str, Any]:
@@ -48,14 +71,79 @@ def _pattern_payload(pattern: TriplePattern) -> Dict[str, Any]:
 class ServerClient:
     """A small, dependency-free client for one ``repro.server`` instance.
 
-    Thread-compatibility: one client may be shared across threads (it holds
-    no connection state), but the load generator gives each thread its own
-    instance to keep accounting separate.
+    Thread-compatibility: one client may be shared across threads — the
+    persistent connection lives in thread-local storage, so every thread
+    reuses its *own* socket.  The load generator still gives each thread its
+    own instance to keep accounting separate.
     """
 
     def __init__(self, base_url: str, *, timeout: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ServerError(f"unsupported URL scheme {parsed.scheme!r} "
+                              f"in {base_url!r} (only http is spoken)")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._path_prefix = parsed.path.rstrip("/")
+        self._local = threading.local()
+        # Every live connection across all threads, so close_all() can
+        # actually release the sockets other threads opened (the thread-
+        # local slot alone is invisible from the closing thread).
+        self._connections_lock = threading.Lock()
+        self._connections: set = set()
+
+    # -- the persistent per-thread connection -------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._local.connection = connection
+            self._local.served = 0
+            with self._connections_lock:
+                self._connections.add(connection)
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            with self._connections_lock:
+                self._connections.discard(connection)
+            connection.close()
+        self._local.connection = None
+        self._local.served = 0
+
+    def close(self) -> None:
+        """Close the calling thread's persistent connection (if any).
+
+        Other threads' connections are untouched (they live in their own
+        thread-local slots; use :meth:`close_all` at teardown to release
+        every socket the client ever opened).
+        """
+        self._drop_connection()
+
+    def close_all(self) -> None:
+        """Close every connection this client holds, across all threads.
+
+        Teardown-only: a thread with a request in flight on one of these
+        sockets sees it fail (and its thread-local slot is repaired on the
+        next use by the stale-socket handling).
+        """
+        self._drop_connection()
+        with self._connections_lock:
+            connections, self._connections = set(self._connections), set()
+        for connection in connections:
+            connection.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- transport ----------------------------------------------------------------------
 
@@ -63,43 +151,78 @@ class ServerClient:
                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """One HTTP round trip; non-2xx responses raise :class:`ServerError`."""
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        request = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                raw = response.read()
-            try:
-                return json.loads(raw)
-            except json.JSONDecodeError as error:
-                # A 2xx with a non-JSON body means whatever answered is not
-                # a repro server (wrong port, proxy); keep the one-type
-                # contract so wait_ready's retry loop can handle it.
-                raise ServerError(
-                    f"non-JSON response from {self.base_url}: "
-                    f"{raw[:120]!r}", status=response.status,
-                ) from error
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+        # http.client derives Content-Length from the bytes body; GETs carry
+        # no body and no length header (a "Content-Length: 0" would make the
+        # server treat the request as having an unread body and drop the
+        # keep-alive connection).
+        headers = {"Content-Type": "application/json"}
+        idempotent = method in ("GET", "HEAD") or path in _IDEMPOTENT_POST_PATHS
+        response, raw = self._round_trip(method, f"{self._path_prefix}{path}",
+                                         data, headers, idempotent=idempotent)
+        if response.status >= 400:
             try:
                 payload = json.loads(raw).get("error", {})
             except (json.JSONDecodeError, AttributeError):
                 payload = {}
             raise ServerError(
-                payload.get("message", raw.decode("utf-8", "replace") or str(error)),
-                status=error.code, kind=payload.get("type"),
-            ) from error
-        except urllib.error.URLError as error:
-            raise ServerError(f"cannot reach {self.base_url}: {error.reason}") from error
-        except OSError as error:
-            # TimeoutError from response.read() (a stalled response body) and
-            # other socket-level failures are OSErrors, not URLErrors; the
-            # module contract is that every transport failure surfaces as
-            # ServerError so callers (wait_ready included) can handle one type.
+                payload.get("message",
+                            raw.decode("utf-8", "replace") or response.reason),
+                status=response.status, kind=payload.get("type"),
+            )
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            # A 2xx with a non-JSON body means whatever answered is not
+            # a repro server (wrong port, proxy); keep the one-type
+            # contract so wait_ready's retry loop can handle it.
             raise ServerError(
-                f"transport failure talking to {self.base_url}: {error!r}"
+                f"non-JSON response from {self.base_url}: "
+                f"{raw[:120]!r}", status=response.status,
             ) from error
+
+    def _round_trip(self, method: str, path: str, data: Optional[bytes],
+                    headers: Dict[str, str], *,
+                    idempotent: bool) -> Tuple[http.client.HTTPResponse, bytes]:
+        """Send one request over the thread's connection, reading the full body.
+
+        A stale keep-alive socket (the server closed an idle connection, and
+        the failure arrived before any response byte) is retried exactly
+        once on a fresh connection — but only for *idempotent* requests: a
+        reused-socket close proves the server shut the connection, not that
+        it never processed the request, so a write (``/v1/insert``) whose
+        response was lost must surface as an error for the caller to
+        reconcile, never be silently replayed.  A failure on a *fresh*
+        connection is a real connectivity problem and surfaces immediately.
+        """
+        for attempt in (1, 2):
+            connection = self._connection()
+            reused = self._local.served > 0
+            try:
+                connection.request(method, path, body=data, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except _STALE_SOCKET_ERRORS as error:
+                self._drop_connection()
+                if idempotent and reused and attempt == 1:
+                    continue
+                raise ServerError(
+                    f"cannot reach {self.base_url}: {error!r}"
+                ) from error
+            except (http.client.HTTPException, ConnectionError, TimeoutError,
+                    OSError) as error:
+                # Timeouts and other socket-level failures are never retried
+                # here: the request may have reached the server (an insert
+                # could have been applied), so replaying it blindly is not
+                # this transport's call to make.
+                self._drop_connection()
+                raise ServerError(
+                    f"transport failure talking to {self.base_url}: {error!r}"
+                ) from error
+            self._local.served += 1
+            if response.will_close:
+                self._drop_connection()
+            return response, raw
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- query payload builders (also used by the load generator) -----------------------
 
@@ -167,6 +290,22 @@ class ServerClient:
                 entry["document_id"] = document_id
             inserts.append(entry)
         return self.request("POST", "/v1/insert", {"inserts": inserts})
+
+    # -- shard endpoints (partition scans over raw coordinates) -------------------------
+
+    def shard_knn(self, coordinates: Sequence[float], k: int = 3) -> Dict[str, Any]:
+        """``POST /v1/shard/knn`` against a shard server; returns the scan."""
+        return self.request("POST", "/v1/shard/knn",
+                            {"coordinates": list(coordinates), "k": k})
+
+    def shard_range(self, coordinates: Sequence[float], radius: float) -> Dict[str, Any]:
+        """``POST /v1/shard/range`` against a shard server; returns the scan."""
+        return self.request("POST", "/v1/shard/range",
+                            {"coordinates": list(coordinates), "radius": radius})
+
+    def shard_info(self) -> Dict[str, Any]:
+        """``GET /v1/shard`` — which partition the shard serves."""
+        return self.request("GET", "/v1/shard")
 
     def metrics(self) -> Dict[str, Any]:
         """``GET /v1/metrics`` — the unified metrics payload."""
@@ -251,18 +390,21 @@ def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]],
 
     def worker(shard_index: int) -> None:
         client = ServerClient(base_url, timeout=timeout)
-        for path, body in shards[shard_index]:
-            started = time.perf_counter()
-            try:
-                result = client.request("POST", path, body)
-                latencies[shard_index].append(time.perf_counter() - started)
-                if on_result is not None:
-                    on_result(result)
-            except Exception as error:  # noqa: BLE001 - reported to the caller
-                # Covers the callback too: a raising on_result must surface
-                # as a run failure, not silently abandon the shard.
-                failures[shard_index] = error
-                return
+        try:
+            for path, body in shards[shard_index]:
+                started = time.perf_counter()
+                try:
+                    result = client.request("POST", path, body)
+                    latencies[shard_index].append(time.perf_counter() - started)
+                    if on_result is not None:
+                        on_result(result)
+                except Exception as error:  # noqa: BLE001 - reported to the caller
+                    # Covers the callback too: a raising on_result must surface
+                    # as a run failure, not silently abandon the shard.
+                    failures[shard_index] = error
+                    return
+        finally:
+            client.close()
 
     workers = [
         threading.Thread(target=worker, args=(index,), name=f"load-gen-{index}")

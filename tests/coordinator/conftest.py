@@ -1,0 +1,67 @@
+"""Shared fixtures for the coordinator (scatter-gather) test suite.
+
+Two deployment shapes are exercised:
+
+* **in-process HTTP shards** — one :class:`SemTreeServer` per partition
+  over a :class:`ShardApp`, on ephemeral loopback ports.  Real sockets and
+  real wire schemas, without subprocess start-up cost; used by most tests.
+* **real subprocesses** — ``python -m repro.server --shard`` /
+  ``python -m repro.coordinator`` via :mod:`repro.coordinator.launcher`;
+  used by the acceptance oracle in ``test_subprocess_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from coordinator_corpus import build_corpus_index
+from repro.coordinator import HttpShardTransport, ShardTopology
+from repro.server import ShardApp, SemTreeServer
+
+
+@pytest.fixture(scope="module")
+def corpus_index():
+    """One built multi-partition index per test module (building is slow)."""
+    index, triples = build_corpus_index()
+    data_partitions = [
+        partition.partition_id for partition in index.tree.partitions
+        if partition.point_count > 0
+    ]
+    assert len(data_partitions) >= 2, "the corpus must span multiple partitions"
+    return index, triples, data_partitions
+
+
+@pytest.fixture
+def shard_fleet(corpus_index):
+    """In-process HTTP shard servers for every data partition of the index.
+
+    Yields ``(servers_by_partition, topology)``; everything is torn down at
+    test exit (servers the test already closed are skipped).
+    """
+    index, _, data_partitions = corpus_index
+    servers = {}
+    for partition_id in data_partitions:
+        app = ShardApp.from_index(index, partition_id)
+        servers[partition_id] = SemTreeServer(app).serve_background()
+    topology = ShardTopology({
+        partition_id: server.url for partition_id, server in servers.items()
+    })
+    yield servers, topology
+    for server in servers.values():
+        if not server.app.closed:
+            server.close()
+
+
+@pytest.fixture
+def make_transport():
+    """Factory for HTTP shard transports that are closed at test exit."""
+    transports = []
+
+    def build(topology: ShardTopology, **kwargs) -> HttpShardTransport:
+        transport = HttpShardTransport(topology, **kwargs)
+        transports.append(transport)
+        return transport
+
+    yield build
+    for transport in transports:
+        transport.close()

@@ -1,0 +1,86 @@
+"""Deterministic corpus and equivalence helpers for the coordinator suite.
+
+The corpus is big enough to force several data-bearing partitions (the
+whole point of the sharded deployment) and deliberately *contains exact
+distance ties* — distinct triples projecting to equal distances — because
+tie handling is where a naive scatter-gather diverges from the sequential
+search.
+
+``assert_equivalent`` encodes the exactness contract of
+``docs/cluster.md``: identical distance lists (exact floats, no rounding),
+identical triple sets within every fully-included tie group, and the same
+number of results at the boundary distance (which triples of an exactly-
+tied boundary group survive a k-truncation is traversal-order latitude the
+sequential engine itself has).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.requirements import (GeneratorConfig, RequirementsGenerator,
+                                build_requirement_distance,
+                                build_requirement_vocabularies)
+
+
+def build_corpus_index(*, max_partitions: int = 4, dimensions: int = 3,
+                       bucket_size: int = 4, partition_capacity: int = 24):
+    """A built index over a synthetic requirements corpus, plus its triples."""
+    config = GeneratorConfig(
+        documents=6, requirements_per_document=5, sentences_per_requirement=3,
+        actors=12, inconsistency_rate=0.25, restatement_rate=0.25, seed=41,
+    )
+    corpus = RequirementsGenerator(config).generate()
+    vocabularies = build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values
+    )
+    distance = build_requirement_distance(vocabularies)
+    index = SemTreeIndex(distance, SemTreeConfig(
+        dimensions=dimensions, bucket_size=bucket_size,
+        max_partitions=max_partitions, partition_capacity=partition_capacity,
+    ))
+    for document in corpus.documents:
+        index.add_document(document.to_rdf_document())
+    index.build()
+    triples = list(dict.fromkeys(corpus.all_triples()))
+    return index, triples
+
+
+def rows_of(matches):
+    """Normalise engine matches or wire payloads to ``(distance, text)`` rows."""
+    rows = []
+    for match in matches:
+        if isinstance(match, dict):
+            rows.append((match["distance"], match["text"]))
+        else:
+            rows.append((match.distance, str(match.triple)))
+    return rows
+
+
+def tie_groups(rows):
+    """Group rows by exact distance, texts sorted within each group."""
+    return [
+        (distance, sorted(text for _, text in group))
+        for distance, group in itertools.groupby(rows, key=lambda row: row[0])
+    ]
+
+
+def assert_equivalent(actual, expected, *, truncated: bool):
+    """Assert two result lists are equal under the exactness contract.
+
+    ``truncated`` is True for k-NN results (the k-th boundary may cut
+    through an exact tie group); range results are never truncated, so
+    their comparison is fully strict.
+    """
+    rows_a, rows_b = rows_of(actual), rows_of(expected)
+    assert [distance for distance, _ in rows_a] == [distance for distance, _ in rows_b], \
+        (rows_a, rows_b)
+    groups_a, groups_b = tie_groups(rows_a), tie_groups(rows_b)
+    assert len(groups_a) == len(groups_b)
+    strict = groups_a if not truncated else groups_a[:-1]
+    for (distance_a, texts_a), (distance_b, texts_b) in zip(strict, groups_b):
+        assert distance_a == distance_b and texts_a == texts_b, (groups_a, groups_b)
+    if truncated and groups_a:
+        assert groups_a[-1][0] == groups_b[-1][0]
+        assert len(groups_a[-1][1]) == len(groups_b[-1][1])

@@ -60,3 +60,10 @@ class TestExamples:
         assert "served from cache on repeat" in output
         assert "checkpointed through wal_seq" in output
         assert "Recovered server still knows the HTTP-inserted triple: True" in output
+
+    def test_run_sharded_cluster(self):
+        output = run_example("run_sharded_cluster.py")
+        assert "launching the coordinator" in output
+        assert "distances identical" in output
+        assert "structured failure: ShardError (HTTP 502)" in output
+        assert "exactness restored" in output

@@ -1,0 +1,81 @@
+"""ServerClient keep-alive: connection reuse, stale-socket retry, shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from server_corpus import BASE_TRIPLES, QUERY_TRIPLES
+from repro.errors import ServerError
+
+
+def test_requests_reuse_one_connection(make_server):
+    _, client = make_server()
+    for _ in range(3):
+        client.health()
+    connection = client._local.connection
+    assert connection is not None
+    assert client._local.served == 3
+    client.knn(QUERY_TRIPLES[0], 3)
+    # Still the same socket: POSTs and GETs share the persistent connection.
+    assert client._local.connection is connection
+    assert client._local.served == 4
+
+
+def test_connections_are_per_thread(make_server):
+    _, client = make_server()
+    client.health()
+    main_connection = client._local.connection
+    seen = {}
+
+    def worker():
+        client.health()
+        seen["connection"] = client._local.connection
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert seen["connection"] is not main_connection
+    assert client._local.connection is main_connection
+
+
+def test_close_drops_only_this_threads_connection(make_server):
+    _, client = make_server()
+    client.health()
+    assert client._local.connection is not None
+    client.close()
+    assert client._local.connection is None
+    # And the client transparently reconnects afterwards.
+    assert client.health()["status"] == "ok"
+
+
+def test_stale_keepalive_socket_is_retried_once(make_server):
+    """A server-side connection drop between requests must be invisible."""
+    server, client = make_server()
+    assert client.health()["status"] == "ok"
+    # Shut the server side of every idle keep-alive socket, simulating an
+    # idle-timeout or a rolling restart closing connections under us.
+    server._close_idle_connections()
+    # The next request hits the dead socket, retries on a fresh connection
+    # and succeeds without surfacing an error.
+    assert client.health()["status"] == "ok"
+
+
+def test_fresh_connection_failure_is_not_retried(make_server):
+    server, client = make_server()
+    server.close(checkpoint=False)
+    with pytest.raises(ServerError):
+        client.health()
+
+
+def test_keepalive_responses_stay_correct_under_reuse(make_server):
+    """A burst of mixed requests down one socket: framing never desyncs."""
+    _, client = make_server()
+    for round_ in range(5):
+        result = client.knn(QUERY_TRIPLES[round_ % len(QUERY_TRIPLES)], 3)
+        assert result["error"] is None and len(result["matches"]) == 3
+        insert = client.insert(BASE_TRIPLES[0])
+        assert insert["seq"] >= 1
+        assert client.health()["status"] == "ok"
+    assert client._local.served == 15
