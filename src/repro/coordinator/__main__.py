@@ -36,6 +36,7 @@ from repro.coordinator.sharded import ShardedIndex
 from repro.coordinator.topology import ShardTopology
 from repro.coordinator.transport import HttpShardTransport
 from repro.errors import ShardError
+from repro.obs.logging import configure_logging
 from repro.server.__main__ import _serve_until_signalled
 from repro.server.bootstrap import derive_distance_from_state
 from repro.server.http import SemTreeServer
@@ -81,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "server; must match what the snapshot writer used)")
     parser.add_argument("--skip-shard-check", action="store_true",
                         help="do not probe each shard's /v1/shard at boot")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log executed queries slower than this many "
+                             "milliseconds as structured JSON on repro.slow_query "
+                             "(default: REPRO_SLOW_QUERY_MS, unset = disabled)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request log lines")
     return parser
@@ -128,6 +133,7 @@ def build_coordinator(argv: Optional[Sequence[str]] = None,
         cache_ttl=args.cache_ttl,
         cache_segmented=args.cache_segmented,
         default_deadline=args.default_deadline,
+        slow_query_ms=args.slow_query_ms,
     )
     server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
     return server, args
@@ -135,6 +141,9 @@ def build_coordinator(argv: Optional[Sequence[str]] = None,
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     server, args = build_coordinator(argv)
+    # Configured here, not in build_coordinator, so embedding the builder
+    # (tests, notebooks) never rewires the process's logging.
+    configure_logging(level=30 if args.quiet else 20)
     app = server.app
     tree = app.index.base.tree
     print(f"coordinating {len(app.index.base)} points over "

@@ -22,9 +22,15 @@ import time
 from collections import Counter
 from typing import Any, Callable, Dict, Optional
 
+from repro import __version__
 from repro.coordinator.sharded import ShardedIndex
 from repro.errors import ServerClosingError, ShardError
 from repro.io.serialization import json_ready
+from repro.obs import export as obs_export
+from repro.obs.logging import SlowQueryLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import span
+from repro.server.app import _observe_slow_queries
 from repro.server.schemas import parse_query_request, render_results
 from repro.service.engine import QueryEngine
 from repro.service.planner import QueryKind
@@ -50,7 +56,9 @@ class CoordinatorApp:
     def __init__(self, index: ShardedIndex, *, workers: int = 4,
                  cache_capacity: int = 1024, cache_ttl: float | None = None,
                  cache_segmented: bool = False,
-                 default_deadline: float | None = None):
+                 default_deadline: float | None = None,
+                 registry: MetricsRegistry | None = None,
+                 slow_query_ms: float | None = None):
         self.index = index
         self.engine = QueryEngine(
             index, workers=workers, cache_capacity=cache_capacity,
@@ -62,6 +70,27 @@ class CoordinatorApp:
         self._requests_lock = threading.Lock()
         self._close_lock = threading.Lock()
         self._closed = False
+        self.slow_query_log = SlowQueryLog(slow_query_ms)
+        self.registry = registry or MetricsRegistry()
+        self._bind_registry()
+
+    def _bind_registry(self) -> None:
+        """Same contract as :meth:`ServerApp._bind_registry`: the exposition
+        reads the identical locked counters the JSON payload reports."""
+        self.engine.metrics.bind_registry(self.registry)
+        obs_export.bind_cache(self.registry, self.engine.cache)
+        obs_export.bind_runtime(self.registry, role="coordinator",
+                                version=__version__)
+        obs_export.bind_http_requests(self.registry, self.request_counts)
+        self.index.bind_registry(self.registry)
+        self.registry.gauge(
+            "repro_engine_workers", "Query-engine worker threads.",
+        ).set(float(self.engine.workers))
+
+    def request_counts(self) -> Dict[str, int]:
+        """Requests received so far, by endpoint (a stable read surface)."""
+        with self._requests_lock:
+            return dict(self._requests)
 
     # -- routing (consumed by repro.server.http) ----------------------------------------
 
@@ -106,8 +135,11 @@ class CoordinatorApp:
     def _handle_query(self, kind: QueryKind, body: Any, endpoint: str) -> Dict[str, Any]:
         self._check_open()
         self._count(endpoint)
-        specs, batched = parse_query_request(body, kind)
+        with span("parse"):
+            specs, batched = parse_query_request(body, kind)
         results = self.engine.execute_batch(specs)
+        if self.slow_query_log.enabled:
+            _observe_slow_queries(self.slow_query_log, results)
         if not batched and isinstance(results[0].exception, ShardError):
             # A lost shard on a single query is a backend failure, not a
             # result: surface it as HTTP 502 with the structured
@@ -116,7 +148,8 @@ class CoordinatorApp:
             # (Batched responses keep per-result error fields — one dead
             # shard must not discard the batch's healthy answers.)
             raise results[0].exception
-        return render_results(results, batched)
+        with span("render"):
+            return render_results(results, batched)
 
     # -- observability endpoints --------------------------------------------------------
 
@@ -173,6 +206,15 @@ class CoordinatorApp:
                 "generation": self.index.generation,
             },
         })
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` — text exposition v0.0.4.
+
+        Rendered from the same registry whose callbacks read the counters
+        behind :meth:`metrics`, so the two formats cannot disagree.
+        """
+        self._count("metrics")
+        return self.registry.render()
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -51,6 +51,7 @@ from repro.core.node import Node, RemoteChild
 from repro.core.point import LabeledPoint
 from repro.core.semtree import SearchOutcome, SemanticMatch, SemTreeIndex
 from repro.errors import QueryError, ShardError
+from repro.obs.tracing import capture_context, resume_context, span
 from repro.rdf.triple import Triple
 from repro.service.metrics import percentile
 
@@ -132,6 +133,7 @@ class ShardedIndex:
         self._shard_stats: Dict[str, _ShardStats] = {}
         self._queries = 0
         self._scans = 0
+        self._roundtrip_histogram = None
         self._closed = False
 
     # -- the serving protocol (ServableIndex) -------------------------------------------
@@ -156,14 +158,15 @@ class ShardedIndex:
         """
         targets = self._data_partitions
         scans = self._scatter(targets, lambda pid: self.transport.scan_knn(pid, point, k))
-        results = ResultSet(k)
-        nodes = points = 0
-        for scan in scans:
-            nodes += scan.nodes_visited
-            points += scan.points_examined
-            for neighbour in scan.neighbours:
-                results.offer(neighbour.point, neighbour.distance)
-        matches = tuple(self.base.to_match(n) for n in results.neighbours())
+        with span("gather", partitions=len(targets)):
+            results = ResultSet(k)
+            nodes = points = 0
+            for scan in scans:
+                nodes += scan.nodes_visited
+                points += scan.points_examined
+                for neighbour in scan.neighbours:
+                    results.offer(neighbour.point, neighbour.distance)
+            matches = tuple(self.base.to_match(n) for n in results.neighbours())
         return SearchOutcome(
             matches=matches,
             visited_partitions=tuple(targets),
@@ -178,14 +181,15 @@ class ShardedIndex:
         scans = self._scatter(
             targets, lambda pid: self.transport.scan_range(pid, point, radius)
         )
-        gathered = []
-        nodes = points = 0
-        for scan in scans:
-            nodes += scan.nodes_visited
-            points += scan.points_examined
-            gathered.extend(scan.neighbours)
-        gathered.sort(key=lambda neighbour: neighbour.distance)
-        matches = tuple(self.base.to_match(n) for n in gathered)
+        with span("gather", partitions=len(targets)):
+            gathered = []
+            nodes = points = 0
+            for scan in scans:
+                nodes += scan.nodes_visited
+                points += scan.points_examined
+                gathered.extend(scan.neighbours)
+            gathered.sort(key=lambda neighbour: neighbour.distance)
+            matches = tuple(self.base.to_match(n) for n in gathered)
         return SearchOutcome(
             matches=matches,
             visited_partitions=tuple(targets),
@@ -210,19 +214,28 @@ class ShardedIndex:
         :class:`ShardError` whose details name the failed and the completed
         partitions.
         """
-        futures = {
-            partition_id: self._executor.submit(scan, partition_id)
-            for partition_id in targets
-        }
-        scans: Dict[str, PartitionScan] = {}
-        failed: Dict[str, str] = {}
-        for partition_id in targets:
-            try:
-                scans[partition_id] = futures[partition_id].result()
-            except ShardError as error:
-                failed[partition_id] = str(error)
-            except Exception as error:  # noqa: BLE001 - reported per partition
-                failed[partition_id] = f"{type(error).__name__}: {error}"
+        def traced_scan(partition_id: str) -> PartitionScan:
+            # Scatter-pool threads carry the submitting request's trace, so
+            # per-shard round trips land in the right span tree.
+            with resume_context(trace_context):
+                with span("shard_scan", partition=partition_id):
+                    return scan(partition_id)
+
+        with span("scatter", partitions=len(targets)):
+            trace_context = capture_context()
+            futures = {
+                partition_id: self._executor.submit(traced_scan, partition_id)
+                for partition_id in targets
+            }
+            scans: Dict[str, PartitionScan] = {}
+            failed: Dict[str, str] = {}
+            for partition_id in targets:
+                try:
+                    scans[partition_id] = futures[partition_id].result()
+                except ShardError as error:
+                    failed[partition_id] = str(error)
+                except Exception as error:  # noqa: BLE001 - reported per partition
+                    failed[partition_id] = f"{type(error).__name__}: {error}"
         self._record(scans, failed)
         if failed:
             completed = sorted(scans)
@@ -246,6 +259,81 @@ class ShardedIndex:
             for partition_id in failed:
                 stats = self._shard_stats.setdefault(partition_id, _ShardStats())
                 stats.failures += 1
+            histogram = self._roundtrip_histogram
+        if histogram is not None:
+            for partition_id, scan in scans.items():
+                histogram.labels(partition_id).observe(scan.elapsed_seconds)
+
+    # -- exposition ---------------------------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Mirror the scatter-gather counters into a Prometheus registry.
+
+        Same contract as :meth:`ServiceMetrics.bind_registry`: scrape-time
+        callbacks read the locked state behind :meth:`statistics`; per-shard
+        round trips additionally feed a labelled histogram.
+        """
+        def locked(attribute: str):
+            def read() -> float:
+                with self._stats_lock:
+                    return float(getattr(self, attribute))
+            return read
+
+        registry.gauge(
+            "repro_shard_partitions", "Data-bearing partitions behind the coordinator.",
+        ).set(float(len(self._data_partitions)))
+        registry.counter(
+            "repro_scatter_queries_total", "Queries scattered across the shard fleet.",
+        ).set_function(locked("_queries"))
+        registry.counter(
+            "repro_shard_scans_total", "Partition scans issued, by partition.",
+            ("partition",),
+        ).set_callback(lambda: self._per_shard_totals("scans"))
+        registry.counter(
+            "repro_shard_scan_failures_total", "Failed partition scans, by partition.",
+            ("partition",),
+        ).set_callback(lambda: self._per_shard_totals("failures"))
+        with self._stats_lock:
+            self._roundtrip_histogram = registry.histogram(
+                "repro_shard_roundtrip_seconds",
+                "Coordinator-observed shard scan round trip, by partition.",
+                ("partition",),
+            )
+        client_stats = getattr(self.transport, "client_stats", None)
+        if client_stats is not None:
+            # HTTP deployments only (the simulated transport has no sockets):
+            # connection-reuse counters per shard, read at scrape time.
+            def per_shard(counter: str):
+                def read() -> Dict[Tuple[str, ...], float]:
+                    return {(partition_id,): float(stats.get(counter, 0))
+                            for partition_id, stats in client_stats().items()}
+                return read
+
+            registry.counter(
+                "repro_transport_requests_total",
+                "Shard HTTP requests issued by the coordinator, by partition.",
+                ("partition",),
+            ).set_callback(per_shard("requests"))
+            registry.counter(
+                "repro_transport_connections_opened_total",
+                "TCP connections the shard transport opened, by partition.",
+                ("partition",),
+            ).set_callback(per_shard("connections_opened"))
+            registry.counter(
+                "repro_transport_requests_reused_total",
+                "Shard requests served over a reused keep-alive socket.",
+                ("partition",),
+            ).set_callback(per_shard("requests_reused"))
+            registry.counter(
+                "repro_transport_stale_retries_total",
+                "Shard requests retried once after a stale keep-alive socket.",
+                ("partition",),
+            ).set_callback(per_shard("stale_retries"))
+
+    def _per_shard_totals(self, attribute: str) -> Dict[Tuple[str, ...], float]:
+        with self._stats_lock:
+            return {(partition_id,): float(getattr(stats, attribute))
+                    for partition_id, stats in self._shard_stats.items()}
 
     # -- range partition pruning --------------------------------------------------------
 

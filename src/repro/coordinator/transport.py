@@ -77,6 +77,16 @@ class HttpShardTransport:
         for client in self._clients.values():
             client.close_all()
 
+    def client_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-partition transport counters (requests, reuse, retries).
+
+        Surfaces whether the fan-out actually rides keep-alive sockets: a
+        healthy steady state shows ``requests_reused`` tracking ``requests``
+        and ``connections_opened`` stuck near the thread count.
+        """
+        return {partition_id: client.stats()
+                for partition_id, client in self._clients.items()}
+
     # -- plumbing -----------------------------------------------------------------------
 
     def _call(self, partition_id: str, operation: str, call) -> Dict:

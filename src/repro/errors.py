@@ -83,6 +83,10 @@ class WorkloadError(ReproError):
     """Raised when a synthetic workload cannot be generated as requested."""
 
 
+class ObservabilityError(ReproError):
+    """Raised for invalid metric registrations or malformed expositions."""
+
+
 class SchemaError(ReproError):
     """Raised when a wire payload does not match the server's request schema.
 

@@ -1,0 +1,177 @@
+"""Structured JSON logging with trace-id correlation, plus the slow-query log.
+
+Log records are rendered as one JSON object per line: timestamp, level,
+logger, message, the active trace id (from :mod:`repro.obs.tracing`, or an
+explicit ``trace_id`` extra), and any other ``extra`` fields the caller
+attached.  Libraries log through :func:`get_logger` without configuring
+anything — records are dropped unless an entry point called
+:func:`configure_logging`, so embedding the server in tests or benchmarks
+stays silent by default while ``caplog`` still sees every record.
+
+:class:`SlowQueryLog` is the threshold-configurable slow-query channel:
+any executed query slower than the threshold is logged at WARNING on
+``repro.slow_query`` with its shape, visited partitions, and span
+breakdown.  The default threshold comes from ``REPRO_SLOW_QUERY_MS``
+(unset == disabled).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+from typing import IO, Dict, Optional, Sequence
+
+from repro.obs import tracing
+
+__all__ = [
+    "JsonLogFormatter",
+    "SlowQueryLog",
+    "configure_logging",
+    "get_logger",
+]
+
+SLOW_QUERY_ENV = "REPRO_SLOW_QUERY_MS"
+SLOW_QUERY_LOGGER = "repro.slow_query"
+
+#: Attributes every LogRecord carries; anything else came in via ``extra``.
+_STANDARD_ATTRS = frozenset(vars(logging.makeLogRecord({}))) | {
+    "message", "asctime", "taskName",
+}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as a single JSON object with trace correlation."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, object] = {
+            "ts": self.formatTime(record, datefmt="%Y-%m-%dT%H:%M:%S")
+                  + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None)
+        if trace_id is None:
+            trace = tracing.current_trace()
+            trace_id = trace.trace_id if trace is not None else None
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_ATTRS or key in payload:
+                continue
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+    def formatTime(self, record, datefmt=None):  # noqa: N802 (logging API)
+        import time as _time
+        return _time.strftime(datefmt or "%Y-%m-%dT%H:%M:%S",
+                              _time.gmtime(record.created))
+
+
+_configure_lock = threading.Lock()
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro``-namespaced logger for ``name``."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: int = logging.INFO,
+                      stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Attach the JSON handler to the ``repro`` logger tree (idempotent).
+
+    Entry points (``__main__`` modules, tools) call this once; library code
+    never does, so importing ``repro`` cannot hijack a host application's
+    logging configuration.
+    """
+    root = logging.getLogger("repro")
+    with _configure_lock:
+        root.setLevel(level)
+        for handler in root.handlers:
+            if getattr(handler, "_repro_json_handler", False):
+                handler.setLevel(level)
+                return root
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(JsonLogFormatter())
+        handler.setLevel(level)
+        handler._repro_json_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+        root.propagate = False
+    return root
+
+
+def _threshold_from_env() -> Optional[float]:
+    raw = os.environ.get(SLOW_QUERY_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+class SlowQueryLog:
+    """Log executed queries slower than a millisecond threshold.
+
+    ``threshold_ms=None`` (the default) reads ``REPRO_SLOW_QUERY_MS`` from
+    the environment; when that is unset too, the log is disabled and
+    :meth:`observe` is a cheap comparison.
+    """
+
+    def __init__(self, threshold_ms: Optional[float] = None,
+                 logger: Optional[logging.Logger] = None):
+        self.threshold_ms = threshold_ms if threshold_ms is not None else _threshold_from_env()
+        self._logger = logger or logging.getLogger(SLOW_QUERY_LOGGER)
+        self._lock = threading.Lock()
+        self._logged = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a threshold is configured."""
+        return self.threshold_ms is not None
+
+    @property
+    def logged(self) -> int:
+        """How many slow queries have been logged."""
+        with self._lock:
+            return self._logged
+
+    def observe(self, *, kind: str, latency_seconds: float,
+                query: Optional[Dict[str, object]] = None,
+                visited_partitions: Sequence[str] = (),
+                cached: bool = False,
+                trace: Optional[tracing.Trace] = None) -> bool:
+        """Log one served query if it crossed the threshold; returns whether it did."""
+        threshold = self.threshold_ms
+        if threshold is None:
+            return False
+        latency_ms = latency_seconds * 1000.0
+        if latency_ms < threshold:
+            return False
+        with self._lock:
+            self._logged += 1
+        if trace is None:
+            trace = tracing.current_trace()
+        extra: Dict[str, object] = {
+            "event": "slow_query",
+            "kind": kind,
+            "latency_ms": latency_ms,
+            "threshold_ms": threshold,
+            "cached": cached,
+            "visited_partitions": list(visited_partitions),
+        }
+        if query:
+            extra["query"] = query
+        if trace is not None:
+            extra["trace_id"] = trace.trace_id
+            extra["spans"] = trace.to_dict()["spans"]
+        self._logger.warning("slow query: %s took %.1f ms", kind, latency_ms,
+                             extra=extra)
+        return True

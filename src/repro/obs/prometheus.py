@@ -1,0 +1,264 @@
+"""Prometheus text exposition v0.0.4: rendering, parsing, validation.
+
+:func:`render_exposition` turns a :class:`~repro.obs.registry.MetricsRegistry`
+into the text format scraped at ``GET /v1/metrics?format=prometheus``.  The
+parser and validator exist so tests and the CI smoke step can round-trip
+the output instead of string-matching it: :func:`parse_exposition` rebuilds
+the family/sample structure from text (undoing label escaping), and
+:func:`validate_exposition` checks the invariants a Prometheus server would
+enforce — unique series, monotone histogram buckets, ``+Inf`` bucket equal
+to ``_count``, a ``_sum`` for every ``_count``.
+
+Only the subset of the format this library emits is supported; the parser
+is a test oracle, not a general Prometheus client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "ParsedFamily",
+    "ParsedSample",
+    "parse_exposition",
+    "render_exposition",
+    "validate_exposition",
+]
+
+#: The content type Prometheus scrapers negotiate for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SERIES_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _unescape(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        char = value[i]
+        if char == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(char)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ObservabilityError(f"unparseable sample value: {text!r}")
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """Render every family in ``registry`` as text exposition v0.0.4."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help_text:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help_text)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.collect():
+            if sample.labels:
+                rendered = ",".join(
+                    f'{name}="{_escape_label_value(value)}"'
+                    for name, value in sample.labels
+                )
+                series = f"{sample.name}{{{rendered}}}"
+            else:
+                series = sample.name
+            lines.append(f"{series} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+class ParsedSample:
+    """One series line of an exposition: name, labels, numeric value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str], value: float):
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"ParsedSample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+class ParsedFamily:
+    """One metric family reconstructed from an exposition."""
+
+    __slots__ = ("name", "kind", "help_text", "samples")
+
+    def __init__(self, name: str, kind: str = "untyped", help_text: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.samples: List[ParsedSample] = []
+
+    def __repr__(self) -> str:
+        return f"ParsedFamily({self.name!r}, {self.kind!r}, {len(self.samples)} samples)"
+
+
+def _family_for(series_name: str, families: Dict[str, ParsedFamily]) -> ParsedFamily:
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = series_name[: -len(suffix)] if series_name.endswith(suffix) else None
+        if base and base in families and families[base].kind == "histogram":
+            return families[base]
+    if series_name not in families:
+        families[series_name] = ParsedFamily(series_name)
+    return families[series_name]
+
+
+def parse_exposition(text: str) -> Dict[str, ParsedFamily]:
+    """Parse exposition text back into ``{family_name: ParsedFamily}``."""
+    families: Dict[str, ParsedFamily] = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(None, 1)
+            name = parts[0]
+            family = families.setdefault(name, ParsedFamily(name))
+            family.help_text = _unescape(parts[1]) if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise ObservabilityError(f"line {line_number}: malformed TYPE line: {raw_line!r}")
+            name, kind = parts
+            family = families.setdefault(name, ParsedFamily(name))
+            family.kind = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SERIES_LINE.match(line)
+        if not match:
+            raise ObservabilityError(f"line {line_number}: malformed series line: {raw_line!r}")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(label_text):
+                labels[pair.group(1)] = _unescape(pair.group(2))
+                consumed = pair.end()
+            remainder = label_text[consumed:].strip().strip(",")
+            if remainder:
+                raise ObservabilityError(
+                    f"line {line_number}: malformed labels {label_text!r}")
+        sample = ParsedSample(match.group("name"), labels,
+                              _parse_value(match.group("value")))
+        _family_for(sample.name, families).samples.append(sample)
+    return families
+
+
+def _series_key(sample: ParsedSample) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    return sample.name, tuple(sorted(sample.labels.items()))
+
+
+def validate_exposition(families: Dict[str, ParsedFamily]) -> List[str]:
+    """Invariant violations in a parsed exposition (empty list == valid)."""
+    problems: List[str] = []
+    seen: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], str] = {}
+    for family in families.values():
+        if family.kind not in ("counter", "gauge", "histogram", "untyped"):
+            problems.append(f"{family.name}: unknown type {family.kind!r}")
+        for sample in family.samples:
+            key = _series_key(sample)
+            if key in seen:
+                problems.append(f"duplicate series: {sample.name}{sample.labels}")
+            seen[key] = family.name
+            if family.kind == "counter" and sample.value < 0:
+                problems.append(f"{sample.name}: negative counter value {sample.value}")
+        if family.kind == "histogram":
+            problems.extend(_validate_histogram(family))
+    return problems
+
+
+def _validate_histogram(family: ParsedFamily) -> List[str]:
+    problems: List[str] = []
+    groups: Dict[Tuple[Tuple[str, str], ...], Dict[str, List[ParsedSample]]] = {}
+    for sample in family.samples:
+        labels = {k: v for k, v in sample.labels.items() if k != "le"}
+        group = groups.setdefault(tuple(sorted(labels.items())), {})
+        if sample.name == f"{family.name}_bucket":
+            group.setdefault("buckets", []).append(sample)
+        elif sample.name == f"{family.name}_sum":
+            group.setdefault("sum", []).append(sample)
+        elif sample.name == f"{family.name}_count":
+            group.setdefault("count", []).append(sample)
+        else:
+            problems.append(f"{family.name}: unexpected series {sample.name}")
+    for labels, group in groups.items():
+        where = f"{family.name}{dict(labels)}"
+        buckets = group.get("buckets", [])
+        if not buckets:
+            problems.append(f"{where}: histogram without buckets")
+            continue
+        bounds: List[Tuple[float, float]] = []
+        for sample in buckets:
+            if "le" not in sample.labels:
+                problems.append(f"{where}: bucket without 'le' label")
+                continue
+            bounds.append((_parse_value(sample.labels["le"]), sample.value))
+        bounds.sort(key=lambda pair: pair[0])
+        counts = [count for _, count in bounds]
+        if counts != sorted(counts):
+            problems.append(f"{where}: bucket counts are not monotone: {counts}")
+        if not bounds or not math.isinf(bounds[-1][0]):
+            problems.append(f"{where}: missing +Inf bucket")
+        count_samples = group.get("count", [])
+        sum_samples = group.get("sum", [])
+        if len(count_samples) != 1:
+            problems.append(f"{where}: expected exactly one _count series")
+        if len(sum_samples) != 1:
+            problems.append(f"{where}: expected exactly one _sum series")
+        if count_samples and bounds and math.isinf(bounds[-1][0]):
+            if bounds[-1][1] != count_samples[0].value:
+                problems.append(
+                    f"{where}: +Inf bucket {bounds[-1][1]} != _count {count_samples[0].value}")
+    return problems

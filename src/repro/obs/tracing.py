@@ -1,0 +1,226 @@
+"""Context-local request tracing with per-stage spans.
+
+One :class:`Trace` lives for the duration of one request.  The handler
+activates it (:func:`activate`), after which any code on the same thread
+can open named spans with the :func:`span` context manager — no plumbing
+of trace objects through call signatures.  Crossing a thread pool is
+explicit: the submitter calls :func:`capture_context` and the worker wraps
+its body in :func:`resume_context`, which restores both the trace and the
+parent span so worker-side spans hang off the right node of the tree.
+
+When no trace is active every tracing entry point is a cheap no-op (one
+``ContextVar.get``), which is what keeps the instrumentation overhead on
+the warm query path within noise.
+
+The wire contract (implemented by the HTTP layers, documented in
+``docs/observability.md``): the trace id travels in the ``X-Trace-Id``
+header and is echoed on every response; sending ``X-Debug-Trace: 1``
+returns the recorded span tree in a ``debug.trace`` response section.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Trace",
+    "activate",
+    "capture_context",
+    "current_trace",
+    "new_trace_id",
+    "record_span",
+    "resume_context",
+    "span",
+]
+
+_CURRENT_TRACE: ContextVar[Optional["Trace"]] = ContextVar("repro_trace", default=None)
+_CURRENT_SPAN: ContextVar[Optional[int]] = ContextVar("repro_span", default=None)
+
+_TRACE_ID_MAX_LENGTH = 128
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-character trace id."""
+    return uuid.uuid4().hex
+
+
+def sanitize_trace_id(candidate: Optional[str]) -> str:
+    """A usable trace id: the client's if plausible, a fresh one otherwise.
+
+    Client-supplied ids are untrusted header input headed for logs and
+    response payloads, so anything empty, oversized, or containing
+    non-printable/whitespace characters is replaced rather than rejected.
+    """
+    if candidate:
+        candidate = candidate.strip()
+        if (0 < len(candidate) <= _TRACE_ID_MAX_LENGTH
+                and all(33 <= ord(char) < 127 for char in candidate)):
+            return candidate
+    return new_trace_id()
+
+
+class _Span:
+    __slots__ = ("span_id", "parent_id", "name", "started", "ended", "meta")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 started: float, meta: Optional[Dict[str, object]]):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.started = started
+        self.ended: Optional[float] = None
+        self.meta = meta
+
+
+class Trace:
+    """A per-request span recorder, safe to share across worker threads."""
+
+    __slots__ = ("trace_id", "started", "_lock", "_spans", "_next_id")
+
+    def __init__(self, trace_id: Optional[str] = None):
+        self.trace_id = trace_id or new_trace_id()
+        self.started = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: List[_Span] = []
+        self._next_id = 0
+
+    # -- recording ----------------------------------------------------------------------
+
+    def begin(self, name: str, parent_id: Optional[int],
+              meta: Optional[Dict[str, object]] = None) -> int:
+        """Open a span; returns its id for :meth:`finish`."""
+        now = time.perf_counter()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self._spans.append(_Span(span_id, parent_id, name, now, meta))
+        return span_id
+
+    def finish(self, span_id: int) -> None:
+        """Close the span opened by :meth:`begin`."""
+        now = time.perf_counter()
+        with self._lock:
+            for recorded in reversed(self._spans):
+                if recorded.span_id == span_id:
+                    recorded.ended = now
+                    return
+
+    def add(self, name: str, started: float, ended: float,
+            parent_id: Optional[int] = None,
+            meta: Optional[Dict[str, object]] = None) -> int:
+        """Record an already-measured interval (e.g. queue wait) as a span."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            recorded = _Span(span_id, parent_id, name, started, meta)
+            recorded.ended = ended
+            self._spans.append(recorded)
+        return span_id
+
+    # -- reading ------------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """The span tree, times in milliseconds relative to trace start.
+
+        Spans still open when this is called are reported up to "now" and
+        flagged ``in_progress`` — the serializer span, for instance, cannot
+        observe its own completion.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            spans = [(s.span_id, s.parent_id, s.name, s.started, s.ended, s.meta)
+                     for s in self._spans]
+        nodes: Dict[int, Dict[str, object]] = {}
+        roots: List[Dict[str, object]] = []
+        for span_id, parent_id, name, started, ended, meta in spans:
+            node: Dict[str, object] = {
+                "name": name,
+                "start_ms": (started - self.started) * 1000.0,
+                "duration_ms": ((ended if ended is not None else now) - started) * 1000.0,
+            }
+            if ended is None:
+                node["in_progress"] = True
+            if meta:
+                node["meta"] = dict(meta)
+            node["children"] = []
+            nodes[span_id] = node
+            parent = nodes.get(parent_id) if parent_id is not None else None
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return {
+            "trace_id": self.trace_id,
+            "duration_ms": (now - self.started) * 1000.0,
+            "spans": roots,
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"Trace({self.trace_id!r}, spans={len(self._spans)})"
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active on this thread, or ``None``."""
+    return _CURRENT_TRACE.get()
+
+
+@contextmanager
+def activate(trace: Optional[Trace]):
+    """Make ``trace`` the ambient trace for the duration of the block."""
+    trace_token = _CURRENT_TRACE.set(trace)
+    span_token = _CURRENT_SPAN.set(None)
+    try:
+        yield trace
+    finally:
+        _CURRENT_SPAN.reset(span_token)
+        _CURRENT_TRACE.reset(trace_token)
+
+
+@contextmanager
+def span(name: str, **meta: object):
+    """Record a named span around the block; a no-op when no trace is active."""
+    trace = _CURRENT_TRACE.get()
+    if trace is None:
+        yield None
+        return
+    span_id = trace.begin(name, _CURRENT_SPAN.get(), meta or None)
+    token = _CURRENT_SPAN.set(span_id)
+    try:
+        yield trace
+    finally:
+        _CURRENT_SPAN.reset(token)
+        trace.finish(span_id)
+
+
+def record_span(name: str, started: float, ended: float, **meta: object) -> None:
+    """Record an already-measured interval under the current span (no-op untraced)."""
+    trace = _CURRENT_TRACE.get()
+    if trace is not None:
+        trace.add(name, started, ended, _CURRENT_SPAN.get(), meta or None)
+
+
+def capture_context() -> Tuple[Optional[Trace], Optional[int]]:
+    """Snapshot ``(trace, parent span)`` for hand-off to a worker thread."""
+    return _CURRENT_TRACE.get(), _CURRENT_SPAN.get()
+
+
+@contextmanager
+def resume_context(context: Tuple[Optional[Trace], Optional[int]]):
+    """Restore a captured trace context inside a worker thread."""
+    trace, span_id = context
+    if trace is None:
+        yield None
+        return
+    trace_token = _CURRENT_TRACE.set(trace)
+    span_token = _CURRENT_SPAN.set(span_id)
+    try:
+        yield trace
+    finally:
+        _CURRENT_SPAN.reset(span_token)
+        _CURRENT_TRACE.reset(trace_token)

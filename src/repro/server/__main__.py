@@ -38,6 +38,7 @@ import threading
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import IndexError_
+from repro.obs.logging import configure_logging
 from repro.server.app import ServerApp
 from repro.server.bootstrap import load_shard, recover_index, wal_tail_seq
 from repro.server.http import SemTreeServer
@@ -88,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--actors", default="",
                         help="comma-separated extra actor names future inserts may "
                              "mention (stored actors are read from the snapshot)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log executed queries slower than this many "
+                             "milliseconds as structured JSON on repro.slow_query "
+                             "(default: REPRO_SLOW_QUERY_MS, unset = disabled)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request log lines")
     return parser
@@ -116,6 +121,7 @@ def build_server(argv: Optional[Sequence[str]] = None) -> Tuple[SemTreeServer, a
         default_deadline=args.default_deadline,
         checkpoint_path=None if args.no_checkpoint_on_exit else args.snapshot,
         background_compaction=not args.no_background_compaction,
+        slow_query_ms=args.slow_query_ms,
     )
     server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
     return server, args
@@ -137,6 +143,11 @@ def _build_shard_server(args: argparse.Namespace) -> SemTreeServer:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     server, args = build_server(argv)
+    # Structured JSON logs on stderr: access lines, slow queries, warnings.
+    # --quiet keeps warnings only (matching the old silent default).
+    # Configured here, not in build_server, so embedding the builder (tests,
+    # notebooks) never rewires the process's logging.
+    configure_logging(level=30 if args.quiet else 20)
     if args.shard is not None:
         app = server.app
         print(f"shard {app.partition_id}: {app.boot.points} points "

@@ -30,10 +30,15 @@ import time
 from collections import Counter
 from typing import Any, Dict, Optional
 
+from repro import __version__
 from repro.errors import QueryError, ServerClosingError
 from repro.ingest.compactor import BackgroundCompactor
 from repro.ingest.ingesting import IngestingIndex
 from repro.io.serialization import json_ready
+from repro.obs import export as obs_export
+from repro.obs.logging import SlowQueryLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import current_trace, span
 from repro.server.schemas import (PartialInsertError, parse_insert_request,
                                   parse_query_request, render_results)
 from repro.service.engine import QueryEngine
@@ -46,6 +51,36 @@ __all__ = ["ServerApp"]
 #: the first sample lands.
 _EMPTY_LATENCY = {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
 _EMPTY_COMPACTION = {"mean": 0.0, "max": 0.0, "last": 0.0}
+
+
+def _query_shape(spec) -> Dict[str, Any]:
+    """The slow-query log's description of one query (no payload data)."""
+    shape: Dict[str, Any] = {"kind": spec.kind.value}
+    if spec.kind is QueryKind.KNN:
+        shape["k"] = spec.k
+    else:
+        shape["radius"] = spec.radius
+    if spec.pattern is not None:
+        shape["pattern"] = repr(spec.pattern)
+    if spec.deadline is not None:
+        shape["deadline"] = spec.deadline
+    return shape
+
+
+def _observe_slow_queries(log: SlowQueryLog, results) -> None:
+    """Feed executed results through the slow-query log (shared by apps)."""
+    trace = current_trace()
+    for result in results:
+        if result.cached:
+            continue
+        log.observe(
+            kind=result.spec.kind.value,
+            latency_seconds=result.latency_seconds,
+            query=_query_shape(result.spec),
+            visited_partitions=result.visited_partitions,
+            cached=result.cached,
+            trace=trace,
+        )
 
 
 class ServerApp:
@@ -73,7 +108,9 @@ class ServerApp:
                  cache_segmented: bool = False,
                  default_deadline: float | None = None,
                  checkpoint_path: str | pathlib.Path | None = None,
-                 background_compaction: bool = True):
+                 background_compaction: bool = True,
+                 registry: MetricsRegistry | None = None,
+                 slow_query_ms: float | None = None):
         if not isinstance(index, IngestingIndex):
             raise QueryError(
                 "ServerApp serves an IngestingIndex (wrap the built index so "
@@ -96,6 +133,38 @@ class ServerApp:
         self._requests_lock = threading.Lock()
         self._close_lock = threading.Lock()
         self._closed = False
+        self.slow_query_log = SlowQueryLog(slow_query_ms)
+        self.registry = registry or MetricsRegistry()
+        self._bind_registry()
+
+    def _bind_registry(self) -> None:
+        """Expose every subsystem through the Prometheus registry.
+
+        The JSON payload and the exposition read the same locked counters
+        (callback-backed instruments), so the two formats cannot disagree.
+        """
+        self.engine.metrics.bind_registry(self.registry)
+        self.index.metrics.bind_registry(self.registry)
+        obs_export.bind_cache(self.registry, self.engine.cache)
+        obs_export.bind_runtime(self.registry, role="server", version=__version__)
+        obs_export.bind_http_requests(self.registry, self.request_counts)
+        self.registry.gauge(
+            "repro_index_points", "Points currently queryable (tree + delta).",
+        ).set_function(lambda: float(len(self.index)))
+        self.registry.gauge(
+            "repro_index_delta_points", "Points in the live delta segment.",
+        ).set_function(lambda: float(len(self.index.delta)))
+        self.registry.gauge(
+            "repro_index_generation", "Index epoch (bumped by every mutation).",
+        ).set_function(lambda: float(self.index.generation))
+        self.registry.gauge(
+            "repro_engine_workers", "Query-engine worker threads.",
+        ).set(float(self.engine.workers))
+
+    def request_counts(self) -> Dict[str, int]:
+        """Requests received so far, by endpoint (a stable read surface)."""
+        with self._requests_lock:
+            return dict(self._requests)
 
     # -- routing (consumed by repro.server.http) ----------------------------------------
 
@@ -143,9 +212,13 @@ class ServerApp:
     def _handle_query(self, kind: QueryKind, body: Any, endpoint: str) -> Dict[str, Any]:
         self._check_open()
         self._count(endpoint)
-        specs, batched = parse_query_request(body, kind)
+        with span("parse"):
+            specs, batched = parse_query_request(body, kind)
         results = self.engine.execute_batch(specs)
-        return render_results(results, batched)
+        if self.slow_query_log.enabled:
+            _observe_slow_queries(self.slow_query_log, results)
+        with span("render"):
+            return render_results(results, batched)
 
     # -- the write endpoint -------------------------------------------------------------
 
@@ -260,6 +333,15 @@ class ServerApp:
             "index": index,
             "server": server,
         })
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` — text exposition v0.0.4.
+
+        Rendered from the same registry whose callbacks read the counters
+        behind :meth:`metrics`, so the two formats cannot disagree.
+        """
+        self._count("metrics")
+        return self.registry.render()
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -20,10 +20,15 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import __version__
+from repro.obs import logging as obs_logging
+from repro.obs import prometheus as obs_prometheus
+from repro.obs.tracing import Trace, activate, current_trace, sanitize_trace_id, span
 from repro.server.app import ServerApp
 from repro.server.schemas import error_body, status_for
 
@@ -32,6 +37,11 @@ __all__ = ["SemTreeServer", "MAX_BODY_BYTES"]
 #: Largest request body accepted, in bytes (a 4096-triple insert batch fits
 #: comfortably; anything bigger should be split).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Header values accepted as "yes" for the ``X-Debug-Trace`` opt-in.
+_DEBUG_TRACE_VALUES = frozenset({"1", "true", "yes", "on"})
+
+_access_log = obs_logging.get_logger("repro.access")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -47,6 +57,13 @@ class _Handler(BaseHTTPRequestHandler):
     #: keep-alive client would block the shutdown join indefinitely.
     #: ``handle_one_request`` turns the timeout into connection close.
     timeout = 30.0
+
+    #: Disable Nagle's algorithm on accepted sockets.  The request/response
+    #: exchange here is small writes in both directions; Nagle batching
+    #: interacts with the peer's delayed ACKs into a ~40 ms stall per
+    #: exchange, which was the bulk of the 44 ms per-request floor the
+    #: benchmarks measured (ROADMAP Open item 1).
+    disable_nagle_algorithm = True
 
     # Set per server class in SemTreeServer.__init__.
     app: ServerApp
@@ -117,38 +134,121 @@ class _Handler(BaseHTTPRequestHandler):
         return self.app.get_routes()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._observe_request(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._observe_request(self._handle_post)
+
+    # -- request observability ----------------------------------------------------------
+
+    def _observe_request(self, method_body: Callable[[Trace], None]) -> None:
+        """Run one request under a fresh trace and emit the access log line.
+
+        The trace id is the client's ``X-Trace-Id`` when plausible (how the
+        coordinator stitches its id through the shard fleet) or freshly
+        generated; every response echoes it back in the same header.
+        """
+        trace = Trace(sanitize_trace_id(self.headers.get("X-Trace-Id")))
+        self._last_status: Optional[int] = None
+        started = time.perf_counter()
+        with activate(trace):
+            with span("request", method=self.command, path=self._route()):
+                method_body(trace)
+        _access_log.info(
+            "%s %s -> %s", self.command, self._route(), self._last_status,
+            extra={
+                "event": "http_request",
+                "method": self.command,
+                "path": self._route(),
+                "status": self._last_status,
+                "duration_ms": (time.perf_counter() - started) * 1000.0,
+                "client": f"{self.client_address[0]}:{self.client_address[1]}",
+                "trace_id": trace.trace_id,
+            },
+        )
+
+    def _debug_trace_requested(self) -> bool:
+        value = self.headers.get("X-Debug-Trace", "")
+        return value.strip().lower() in _DEBUG_TRACE_VALUES
+
+    def _attach_debug(self, payload: Dict[str, Any], trace: Trace) -> Dict[str, Any]:
+        """Add the ``debug.trace`` section when the client opted in.
+
+        The span tree is rendered here, before serialisation, so the
+        ``serialize`` span of *this* request necessarily reports itself
+        in-progress; its cost is visible as the request/handle gap instead.
+        """
+        if self._debug_trace_requested() and isinstance(payload, dict):
+            return {**payload, "debug": {"trace": trace.to_dict()}}
+        return payload
+
+    def _handle_get(self, trace: Trace) -> None:
         # GETs never read a body; if a client sent one anyway, the unread
         # bytes must not be parsed as the next request on this connection.
         self._close_if_body_pending()
-        handler = self._get_routes.get(self._route())
+        route = self._route()
+        handler = self._get_routes.get(route)
         if handler is None:
             self._send_routing_error()
             return
+        requested_format = self._query_params().get("format")
+        if route == "/v1/metrics" and requested_format not in (None, "json"):
+            self._send_metrics_exposition(requested_format)
+            return
         try:
-            payload = handler()
+            with span("handle", endpoint=route):
+                payload = handler()
         except Exception as error:  # noqa: BLE001 - every failure becomes a body
             self._send_json(status_for(error), error_body(error))
             return
-        self._send_json(200, payload)
+        self._send_json(200, self._attach_debug(payload, trace))
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
-        handler = self._post_routes.get(self._route())
+    def _handle_post(self, trace: Trace) -> None:
+        route = self._route()
+        handler = self._post_routes.get(route)
         if handler is None:
             self._send_routing_error()
             return
-        body, failure = self._read_json_body()
+        with span("read_body"):
+            body, failure = self._read_json_body()
         if failure is not None:
             self._send_json(*failure)
             return
         try:
-            payload = handler(body)
+            with span("handle", endpoint=route):
+                payload = handler(body)
         except Exception as error:  # noqa: BLE001 - every failure becomes a body
             self._send_json(status_for(error), error_body(error))
             return
-        self._send_json(200, payload)
+        self._send_json(200, self._attach_debug(payload, trace))
+
+    def _send_metrics_exposition(self, requested_format: str) -> None:
+        renderer = getattr(self.app, "metrics_prometheus", None)
+        if requested_format != "prometheus" or renderer is None:
+            self._send_json(400, {"error": {
+                "type": "QueryError",
+                "message": f"unknown metrics format {requested_format!r}; "
+                           "expected 'json' or 'prometheus'",
+            }})
+            return
+        try:
+            with span("handle", endpoint="/v1/metrics"):
+                text = renderer()
+        except Exception as error:  # noqa: BLE001 - every failure becomes a body
+            self._send_json(status_for(error), error_body(error))
+            return
+        self._send_text(200, text, obs_prometheus.CONTENT_TYPE)
 
     def _route(self) -> str:
         return self.path.split("?", 1)[0].rstrip("/") or "/"
+
+    def _query_params(self) -> Dict[str, str]:
+        """The request's query-string parameters (last value wins)."""
+        if "?" not in self.path:
+            return {}
+        parsed = urllib.parse.parse_qs(self.path.split("?", 1)[1],
+                                       keep_blank_values=True)
+        return {key: values[-1] for key, values in parsed.items()}
 
     def _send_routing_error(self) -> None:
         self._close_if_body_pending()
@@ -222,10 +322,22 @@ class _Handler(BaseHTTPRequestHandler):
             }})
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        with span("serialize"):
+            body = json.dumps(payload).encode("utf-8")
+            self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        with span("serialize"):
+            self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace = current_trace()
+        if trace is not None:
+            self.send_header("X-Trace-Id", trace.trace_id)
         if self.close_connection:
             # Framing-error paths set close_connection; tell the client so
             # it does not reuse a socket we are about to shut.

@@ -23,11 +23,15 @@ import time
 from collections import Counter
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
+from repro import __version__
 from repro.core.distributed import scan_subtree_knn, scan_subtree_range
 from repro.core.knn import KSearchState
 from repro.core.point import LabeledPoint
 from repro.errors import SchemaError, ServerClosingError
 from repro.io.serialization import json_ready
+from repro.obs import export as obs_export
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import span
 from repro.server.bootstrap import ShardBoot
 from repro.server.schemas import parse_shard_scan_request, render_partition_scan
 from repro.service.planner import QueryKind
@@ -49,7 +53,7 @@ class ShardApp:
         :meth:`from_index` (in-process tests and benchmarks).
     """
 
-    def __init__(self, boot: ShardBoot):
+    def __init__(self, boot: ShardBoot, *, registry: MetricsRegistry | None = None):
         self.boot = boot
         self.partition_id = boot.partition_id
         self.root = boot.root
@@ -61,6 +65,36 @@ class ShardApp:
         self._scan_seconds = 0.0
         self._stats_lock = threading.Lock()
         self._closed = False
+        self.registry = registry or MetricsRegistry()
+        self._bind_registry()
+
+    def _bind_registry(self) -> None:
+        def locked(attribute: str):
+            def read() -> float:
+                with self._stats_lock:
+                    return float(getattr(self, attribute))
+            return read
+
+        obs_export.bind_runtime(self.registry, role="shard", version=__version__)
+        obs_export.bind_http_requests(self.registry, self.request_counts)
+        self.registry.gauge(
+            "repro_shard_points", "Points in this shard's partition subtree.",
+        ).labels().set(float(self.boot.points))
+        self.registry.counter(
+            "repro_shard_nodes_visited_total", "Tree nodes visited by partition scans.",
+        ).set_function(locked("_nodes_visited"))
+        self.registry.counter(
+            "repro_shard_points_examined_total", "Points examined by partition scans.",
+        ).set_function(locked("_points_examined"))
+        self._scan_histogram = self.registry.histogram(
+            "repro_shard_scan_seconds", "Duration of one partition scan, by kind.",
+            ("kind",),
+        )
+
+    def request_counts(self) -> Dict[str, int]:
+        """Requests received so far, by endpoint (a stable read surface)."""
+        with self._stats_lock:
+            return dict(self._requests)
 
     @classmethod
     def from_index(cls, index: "SemTreeIndex", partition_id: str) -> "ShardApp":
@@ -119,19 +153,21 @@ class ShardApp:
             )
         query = LabeledPoint.of(coordinates)
         started = time.perf_counter()
-        if kind is QueryKind.KNN:
-            state = KSearchState(query=query, k=int(parameter))
-            scan_subtree_knn(self.root, state, self.config.scan_kernel)
-            neighbours = state.results.neighbours()
-        else:
-            # Deferred import keeps module import light; RangeSearchState
-            # lives beside the traversal it belongs to.
-            from repro.core.distributed import RangeSearchState
+        with span("shard_scan", partition=self.partition_id, kind=kind.value):
+            if kind is QueryKind.KNN:
+                state = KSearchState(query=query, k=int(parameter))
+                scan_subtree_knn(self.root, state, self.config.scan_kernel)
+                neighbours = state.results.neighbours()
+            else:
+                # Deferred import keeps module import light; RangeSearchState
+                # lives beside the traversal it belongs to.
+                from repro.core.distributed import RangeSearchState
 
-            state = RangeSearchState(query, parameter)
-            scan_subtree_range(self.root, state, self.config.scan_kernel)
-            neighbours = state.sorted_results()
+                state = RangeSearchState(query, parameter)
+                scan_subtree_range(self.root, state, self.config.scan_kernel)
+                neighbours = state.sorted_results()
         elapsed = time.perf_counter() - started
+        self._scan_histogram.labels(kind.value).observe(elapsed)
         with self._stats_lock:
             self._requests[endpoint] += 1
             self._nodes_visited += state.nodes_visited
@@ -191,6 +227,12 @@ class ShardApp:
                 "uptime_seconds": time.monotonic() - self._started,
             }
         return json_ready({"shard": shard})
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` — text exposition v0.0.4."""
+        with self._stats_lock:
+            self._requests["metrics"] += 1
+        return self.registry.render()
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -47,6 +47,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.semtree import SemanticMatch
 from repro.errors import QueryError
+from repro.obs.tracing import capture_context, record_span, resume_context, span
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import (PlannedQuery, QueryKind, QueryPlanner, QuerySpec,
@@ -80,6 +81,8 @@ class QueryResult:
     error: Optional[str] = None
     exception: Optional[BaseException] = field(default=None, compare=False,
                                                repr=False)
+    visited_partitions: Tuple[str, ...] = field(default=(), compare=False,
+                                                repr=False)
 
     @property
     def ok(self) -> bool:
@@ -165,8 +168,16 @@ class QueryEngine:
             return []
         if self._closed:
             raise QueryError("the engine has been closed")
+        # One umbrella span for the whole serve path: its children (plan,
+        # cache_lookup, queue_wait, execute, finalise) account for the
+        # stages, while the umbrella itself guarantees the engine's share
+        # of a request is fully covered in the trace even between stages.
+        with span("serve_batch", queries=len(specs)):
+            return self._serve_batch(specs)
 
-        unique, assignment = self.planner.plan_batch(specs)
+    def _serve_batch(self, specs: List[QuerySpec]) -> List[QueryResult]:
+        with span("plan", queries=len(specs)):
+            unique, assignment = self.planner.plan_batch(specs)
         generation = self.index.generation
 
         # Deduplicated queries run once but every duplicate keeps its own
@@ -185,15 +196,23 @@ class QueryEngine:
         # misses to the pool so they run while we collect in order.
         outcomes: List[Optional[Tuple[str, object]]] = []
         pending: Dict[int, Tuple[Future, float]] = {}
-        for position, planned in enumerate(unique):
-            cached_matches = self.cache.get(planned.cache_key, generation)
-            if cached_matches is not None:
-                outcomes.append(("hit", cached_matches))
-            else:
-                outcomes.append(None)
-                pending[position] = (
-                    self._executor.submit(self._run, planned), time.perf_counter()
-                )
+        trace_context = capture_context()
+        # One span for the whole lookup/submit phase, not one per query:
+        # span() is cheap when untraced, but not per-query-on-the-warm-path
+        # cheap (a cache hit serves in single-digit microseconds).
+        with span("cache_lookup", queries=len(unique)):
+            for position, planned in enumerate(unique):
+                cached_matches = self.cache.get(planned.cache_key, generation)
+                if cached_matches is not None:
+                    outcomes.append(("hit", cached_matches))
+                else:
+                    outcomes.append(None)
+                    submitted_at = time.perf_counter()
+                    pending[position] = (
+                        self._executor.submit(self._traced_run, planned,
+                                              trace_context, submitted_at),
+                        submitted_at,
+                    )
 
         # Phase 2: gather the in-flight searches, enforcing deadlines.
         for position, (future, submitted_at) in pending.items():
@@ -232,50 +251,55 @@ class QueryEngine:
             # Overlay + post-processing once per distinct query; duplicates
             # share the cache key, hence the pattern and parameters too.
             if position not in served:
-                served[position] = self._finalise(unique[position], raw, raw_generation)
+                served[position] = self._finalise(unique[position], raw,
+                                                  raw_generation)
             return served[position]
 
+        # One span for the whole fan-out/finalise phase — like the lookup
+        # phase, per-query spans would dominate the cost of serving a hit.
         results: List[QueryResult] = []
-        for input_index, (spec, position) in enumerate(zip(specs, assignment)):
-            outcome = outcomes[position]
-            assert outcome is not None
-            tag, value = outcome
-            is_first = first_input_of[position] == input_index
-            if tag == "hit":
-                result = QueryResult(spec=spec,
-                                     matches=serve(position, tuple(value), generation),
-                                     cached=True)
-                self._record(result)
-            elif tag == "executed":
-                execution, completion_seconds = value
-                own_deadline = spec.deadline or self.default_deadline
-                if own_deadline is not None and completion_seconds > own_deadline:
-                    # The shared execution finished, but not within THIS
-                    # duplicate's budget.
+        with span("finalise", queries=len(specs)):
+            for input_index, (spec, position) in enumerate(zip(specs, assignment)):
+                outcome = outcomes[position]
+                assert outcome is not None
+                tag, value = outcome
+                is_first = first_input_of[position] == input_index
+                if tag == "hit":
+                    result = QueryResult(spec=spec,
+                                         matches=serve(position, tuple(value), generation),
+                                         cached=True)
+                    self._record(result)
+                elif tag == "executed":
+                    execution, completion_seconds = value
+                    own_deadline = spec.deadline or self.default_deadline
+                    if own_deadline is not None and completion_seconds > own_deadline:
+                        # The shared execution finished, but not within THIS
+                        # duplicate's budget.
+                        result = QueryResult(spec=spec, matches=(), cached=False,
+                                             timed_out=True, error="deadline exceeded")
+                        self._record(result)
+                    else:
+                        result = QueryResult(
+                            spec=spec,
+                            matches=serve(position, execution.matches, execution.generation),
+                            cached=not is_first,
+                            latency_seconds=execution.elapsed if is_first else 0.0,
+                            visited_partitions=execution.visited_partitions,
+                        )
+                        self._record(
+                            result,
+                            visited_partitions=execution.visited_partitions if is_first else (),
+                        )
+                elif tag == "timeout":
                     result = QueryResult(spec=spec, matches=(), cached=False,
                                          timed_out=True, error="deadline exceeded")
                     self._record(result)
                 else:
-                    result = QueryResult(
-                        spec=spec,
-                        matches=serve(position, execution.matches, execution.generation),
-                        cached=not is_first,
-                        latency_seconds=execution.elapsed if is_first else 0.0,
-                    )
-                    self._record(
-                        result,
-                        visited_partitions=execution.visited_partitions if is_first else (),
-                    )
-            elif tag == "timeout":
-                result = QueryResult(spec=spec, matches=(), cached=False,
-                                     timed_out=True, error="deadline exceeded")
-                self._record(result)
-            else:
-                result = QueryResult(spec=spec, matches=(), cached=False,
-                                     error=f"{type(value).__name__}: {value}",
-                                     exception=value)
-                self._record(result)
-            results.append(result)
+                    result = QueryResult(spec=spec, matches=(), cached=False,
+                                         error=f"{type(value).__name__}: {value}",
+                                         exception=value)
+                    self._record(result)
+                results.append(result)
         return results
 
     def execute_sequential(self, specs: Sequence[QuerySpec]) -> List[QueryResult]:
@@ -302,6 +326,22 @@ class QueryEngine:
     def _fetch_size(spec: QuerySpec) -> int:
         """How many k-NN candidates to retrieve before the pattern filter."""
         return spec.k if spec.pattern is None else spec.k * PATTERN_OVERSAMPLE
+
+    def _traced_run(self, planned: PlannedQuery,
+                    trace_context, submitted_at: float) -> _Execution:
+        """Worker-thread wrapper around :meth:`_run` with observability.
+
+        Records the queue wait (submission until a worker picked the task
+        up) as a metric and — when the submitter carried a trace — as a
+        span, then runs the search inside an ``execute`` span attached to
+        the submitter's span tree.
+        """
+        started = time.perf_counter()
+        self.metrics.record_queue_wait(started - submitted_at)
+        with resume_context(trace_context):
+            record_span("queue_wait", submitted_at, started)
+            with span("execute", kind=planned.spec.kind.value):
+                return self._run(planned)
 
     def _run(self, planned: PlannedQuery) -> _Execution:
         """One index search (worker-thread body); deterministic per planned query.

@@ -13,31 +13,60 @@ anyway.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import Counter, deque
-from typing import Callable, Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.errors import EvaluationError
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["IngestMetrics", "ServiceMetrics", "percentile"]
 
 
 def percentile(samples: Iterable[float], fraction: float) -> float:
-    """Nearest-rank percentile of a sample set (``fraction`` in [0, 1]).
+    """Linearly interpolated percentile of a sample set (``fraction`` in [0, 1]).
+
+    Uses the standard "exclusive of bounds" interpolation (numpy's
+    ``linear`` method): the rank ``fraction * (n - 1)`` is split into its
+    integer neighbours and the two order statistics are blended.  An empty
+    sample set yields ``0.0`` — serving dashboards want a zeroed latency
+    block before traffic, not an exception — and a single sample is every
+    percentile of itself.
 
     Raises
     ------
     EvaluationError
-        If the sample set is empty or the fraction is out of range.
+        If the fraction is out of range.
     """
     if not 0.0 <= fraction <= 1.0:
         raise EvaluationError(f"percentile fraction must be in [0, 1], got {fraction}")
     ordered = sorted(samples)
     if not ordered:
-        raise EvaluationError("cannot take a percentile of an empty sample set")
-    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+        return 0.0
+    rank = fraction * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def _latency_block(samples: list) -> Dict[str, float]:
+    """The standard ``*_ms`` sub-dictionary over a list of seconds samples."""
+    if not samples:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": sum(samples) / len(samples) * 1000.0,
+        "p50": percentile(samples, 0.50) * 1000.0,
+        "p90": percentile(samples, 0.90) * 1000.0,
+        "p99": percentile(samples, 0.99) * 1000.0,
+        "max": max(samples) * 1000.0,
+    }
 
 
 class ServiceMetrics:
@@ -51,6 +80,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._started_at: Optional[float] = None
         self._latencies: deque = deque(maxlen=max_samples)
+        self._queue_waits: deque = deque(maxlen=max_samples)
         self._queries = 0
         self._executed = 0
         self._served_from_cache = 0
@@ -58,6 +88,8 @@ class ServiceMetrics:
         self._errors = 0
         self._by_kind: Counter = Counter()
         self._partition_loads: Counter = Counter()
+        self._latency_family = None
+        self._queue_wait_histogram = None
 
     # -- recording ----------------------------------------------------------------------
 
@@ -91,10 +123,84 @@ class ServiceMetrics:
                 self._timeouts += 1
             if failed:
                 self._errors += 1
-            if not cached and not timed_out and not failed:
+            executed_ok = not cached and not timed_out and not failed
+            if executed_ok:
                 self._latencies.append(latency_seconds)
             for partition_id in visited_partitions:
                 self._partition_loads[partition_id] += 1
+            latency_family = self._latency_family
+        if executed_ok and latency_family is not None:
+            latency_family.labels(kind).observe(latency_seconds)
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """Record how long one query waited for a pool worker to pick it up.
+
+        Queue wait is the engine's saturation signal: execute time measures
+        the tree search, queue wait measures everything the pool could not
+        absorb.  Recorded per executed (non-cached) query.
+        """
+        with self._lock:
+            self._queue_waits.append(seconds)
+            histogram = self._queue_wait_histogram
+        if histogram is not None:
+            histogram.observe(seconds)
+
+    # -- exposition ---------------------------------------------------------------------
+
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
+        """Mirror these counters into a Prometheus-style registry.
+
+        Counters and per-kind/per-partition totals are callback-backed —
+        every scrape re-reads the same locked state :meth:`snapshot`
+        reports, so the JSON payload and the exposition cannot disagree.
+        Latency and queue-wait distributions are additionally observed into
+        fixed-bucket histograms (percentile-over-window has no faithful
+        Prometheus equivalent).
+        """
+        def locked(attribute: str) -> Callable[[], float]:
+            def read() -> float:
+                with self._lock:
+                    return float(getattr(self, attribute))
+            return read
+
+        registry.counter(
+            "repro_queries_total", "Queries served, by query kind.", ("kind",),
+        ).set_callback(self._kind_totals)
+        registry.counter(
+            "repro_queries_executed_total",
+            "Queries that ran a tree search (cache misses).",
+        ).set_function(locked("_executed"))
+        registry.counter(
+            "repro_queries_cached_total", "Queries served from the result cache.",
+        ).set_function(locked("_served_from_cache"))
+        registry.counter(
+            "repro_query_timeouts_total", "Queries that missed their deadline.",
+        ).set_function(locked("_timeouts"))
+        registry.counter(
+            "repro_query_errors_total", "Queries that failed with an error.",
+        ).set_function(locked("_errors"))
+        registry.counter(
+            "repro_partition_visits_total",
+            "Tree-search visits, by partition.", ("partition",),
+        ).set_callback(self._partition_totals)
+        with self._lock:
+            self._latency_family = registry.histogram(
+                "repro_query_latency_seconds",
+                "Latency of executed (non-cached) queries, by kind.", ("kind",),
+            )
+            self._queue_wait_histogram = registry.histogram(
+                "repro_queue_wait_seconds",
+                "Time an executed query waited for a pool worker.",
+            ).labels()
+
+    def _kind_totals(self) -> Dict[Tuple[str, ...], float]:
+        with self._lock:
+            return {(kind,): float(count) for kind, count in self._by_kind.items()}
+
+    def _partition_totals(self) -> Dict[Tuple[str, ...], float]:
+        with self._lock:
+            return {(partition_id,): float(count)
+                    for partition_id, count in self._partition_loads.items()}
 
     # -- readings -----------------------------------------------------------------------
 
@@ -114,6 +220,7 @@ class ServiceMetrics:
         with self._lock:
             elapsed = (self._clock() - self._started_at) if self._started_at is not None else 0.0
             latencies = list(self._latencies)
+            queue_waits = list(self._queue_waits)
             queries = self._queries
             snapshot: Dict[str, object] = {
                 "queries": queries,
@@ -127,13 +234,8 @@ class ServiceMetrics:
                 "partition_loads": dict(self._partition_loads),
             }
         if latencies:
-            snapshot["latency_ms"] = {
-                "mean": sum(latencies) / len(latencies) * 1000.0,
-                "p50": percentile(latencies, 0.50) * 1000.0,
-                "p90": percentile(latencies, 0.90) * 1000.0,
-                "p99": percentile(latencies, 0.99) * 1000.0,
-                "max": max(latencies) * 1000.0,
-            }
+            snapshot["latency_ms"] = _latency_block(latencies)
+        snapshot["queue_wait_ms"] = _latency_block(queue_waits)
         return snapshot
 
     def __repr__(self) -> str:
@@ -167,6 +269,7 @@ class IngestMetrics:
         self._compactions = 0
         self._points_compacted = 0
         self._compaction_seconds: deque = deque(maxlen=max_samples)
+        self._compaction_histogram = None
 
     def record_insert(self, count: int = 1) -> None:
         """Record ``count`` accepted inserts."""
@@ -187,6 +290,39 @@ class IngestMetrics:
             self._compactions += 1
             self._points_compacted += points
             self._compaction_seconds.append(seconds)
+            histogram = self._compaction_histogram
+        if histogram is not None:
+            histogram.observe(seconds)
+
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
+        """Mirror the write-path counters into a Prometheus-style registry.
+
+        Same contract as :meth:`ServiceMetrics.bind_registry`: counters are
+        scrape-time reads of the locked state behind :meth:`snapshot`;
+        compaction latency additionally feeds a histogram.
+        """
+        def locked(attribute: str) -> Callable[[], float]:
+            def read() -> float:
+                with self._lock:
+                    return float(getattr(self, attribute))
+            return read
+
+        registry.counter(
+            "repro_inserts_total", "Accepted triple inserts.",
+        ).set_function(locked("_inserts"))
+        registry.counter(
+            "repro_wal_replayed_total", "WAL records replayed at recovery.",
+        ).set_function(locked("_replayed"))
+        registry.counter(
+            "repro_compactions_total", "Delta-into-tree compactions.",
+        ).set_function(locked("_compactions"))
+        registry.counter(
+            "repro_points_compacted_total", "Points folded into the tree by compactions.",
+        ).set_function(locked("_points_compacted"))
+        with self._lock:
+            self._compaction_histogram = registry.histogram(
+                "repro_compaction_seconds", "Duration of one compaction.",
+            ).labels()
 
     @property
     def inserts(self) -> int:

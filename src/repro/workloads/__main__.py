@@ -1,0 +1,114 @@
+"""``python -m repro.workloads`` — drive a live server with a mixed workload.
+
+The CLI face of :func:`~repro.workloads.http_client.generate_load`: harvest
+query triples from the snapshot the server booted from, build a
+reproducible k-NN/range mix, replay it from N client threads, and print
+the throughput summary.  With ``--trace-sample`` one extra request is sent
+with ``X-Debug-Trace`` after the timed run and its span tree is printed —
+the quickest way to see where a request's wall time goes (see
+``docs/observability.md``).
+
+Example::
+
+    python -m repro.workloads --url http://127.0.0.1:8080 \
+        --snapshot snap.json --count 500 --threads 8 --trace-sample
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.server.bootstrap import harvest_triples
+from repro.workloads.http_client import ServerClient, generate_load, query_payloads
+
+__all__ = ["build_parser", "main", "print_span_tree"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Replay a reproducible mixed query workload against a "
+                    "live repro.server (or coordinator) instance.",
+    )
+    parser.add_argument("--url", required=True,
+                        help="base URL of the server, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--snapshot", required=True,
+                        help="checkpoint snapshot to harvest query triples from "
+                             "(the one the server booted from)")
+    parser.add_argument("--wal", default=None,
+                        help="optional WAL whose triples are harvested too")
+    parser.add_argument("--count", type=int, default=200,
+                        help="number of requests to send")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="concurrent client threads")
+    parser.add_argument("--k", type=int, default=3, help="k for k-NN queries")
+    parser.add_argument("--radius", type=float, default=0.1,
+                        help="radius for range queries")
+    parser.add_argument("--knn-fraction", type=float, default=0.6,
+                        help="share of k-NN queries in the mix")
+    parser.add_argument("--repeat-fraction", type=float, default=0.3,
+                        help="share of repeated queries (cache hits)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload mixing seed")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request HTTP timeout in seconds")
+    parser.add_argument("--trace-sample", action="store_true",
+                        help="after the run, send one request with X-Debug-Trace "
+                             "and print its span tree")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw summary as JSON instead of text")
+    return parser
+
+
+def print_span_tree(node, *, indent: int = 0, out=sys.stdout) -> None:
+    """Render one span node (and its children) as an indented tree."""
+    meta = node.get("meta") or {}
+    detail = "".join(f" {key}={value}" for key, value in sorted(meta.items()))
+    flag = " (in progress)" if node.get("in_progress") else ""
+    print(f"{'  ' * indent}{node['name']:<12} "
+          f"{node['duration_ms']:8.2f} ms  "
+          f"@{node['start_ms']:.2f}{detail}{flag}", file=out)
+    for child in node.get("children", ()):
+        print_span_tree(child, indent=indent + 1, out=out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    triples = harvest_triples(args.snapshot, args.wal)
+    payloads = query_payloads(
+        triples, args.count, k=args.k, radius=args.radius,
+        knn_fraction=args.knn_fraction, repeat_fraction=args.repeat_fraction,
+        seed=args.seed,
+    )
+    with ServerClient(args.url, timeout=args.timeout) as client:
+        client.wait_ready()
+    summary = generate_load(args.url, payloads, threads=args.threads,
+                            timeout=args.timeout,
+                            trace_sample=args.trace_sample)
+    trace = summary.pop("trace_sample", None)
+    if args.as_json:
+        print(json.dumps({**summary, "trace_sample": trace}, indent=2))
+        return 0
+    print(f"{int(summary['requests'])} requests over "
+          f"{int(summary['threads'])} threads in "
+          f"{summary['wall_seconds']:.2f}s -> {summary['qps']:.1f} qps")
+    print(f"latency ms: mean {summary['latency_ms_mean']:.2f}  "
+          f"p50 {summary['latency_ms_p50']:.2f}  "
+          f"p90 {summary['latency_ms_p90']:.2f}  "
+          f"p99 {summary['latency_ms_p99']:.2f}")
+    if args.trace_sample:
+        if trace is None:
+            print("trace sample: server returned no debug.trace section")
+        else:
+            print(f"trace sample {trace['trace_id']} "
+                  f"({trace['duration_ms']:.2f} ms):")
+            for root in trace["spans"]:
+                print_span_tree(root, indent=1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 import urllib.parse
@@ -36,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServerError, WorkloadError
 from repro.io.serialization import term_to_dict, triple_to_dict
+from repro.obs.tracing import current_trace
 from repro.rdf.triple import Triple, TriplePattern
 from repro.service.metrics import percentile
 
@@ -93,6 +95,20 @@ class ServerClient:
         # local slot alone is invisible from the closing thread).
         self._connections_lock = threading.Lock()
         self._connections: set = set()
+        self._stats_lock = threading.Lock()
+        self._stats = {"requests": 0, "connections_opened": 0,
+                       "requests_reused": 0, "stale_retries": 0}
+
+    def _note(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[counter] += amount
+
+    def stats(self) -> Dict[str, int]:
+        """Transport counters: requests, opened connections, keep-alive reuse
+        (``requests_reused``) and one-shot stale-socket retries — enough to
+        tell whether the 44 ms-floor fix (TCP_NODELAY + reuse) is working."""
+        with self._stats_lock:
+            return dict(self._stats)
 
     # -- the persistent per-thread connection -------------------------------------------
 
@@ -147,18 +163,32 @@ class ServerClient:
 
     # -- transport ----------------------------------------------------------------------
 
+    def _headers(self, extra: Optional[Dict[str, str]]) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        # Trace propagation: a request issued while a trace is active carries
+        # its ID, so coordinator→shard hops (HttpShardTransport uses this
+        # client) and client-side spans land in the same trace as the server
+        # logs.  No header when untraced — the server mints its own.
+        trace = current_trace()
+        if trace is not None:
+            headers["X-Trace-Id"] = trace.trace_id
+        if extra:
+            headers.update(extra)
+        return headers
+
     def request(self, method: str, path: str,
-                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                body: Optional[Dict[str, Any]] = None, *,
+                headers: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
         """One HTTP round trip; non-2xx responses raise :class:`ServerError`."""
         data = json.dumps(body).encode("utf-8") if body is not None else None
         # http.client derives Content-Length from the bytes body; GETs carry
         # no body and no length header (a "Content-Length: 0" would make the
         # server treat the request as having an unread body and drop the
         # keep-alive connection).
-        headers = {"Content-Type": "application/json"}
         idempotent = method in ("GET", "HEAD") or path in _IDEMPOTENT_POST_PATHS
         response, raw = self._round_trip(method, f"{self._path_prefix}{path}",
-                                         data, headers, idempotent=idempotent)
+                                         data, self._headers(headers),
+                                         idempotent=idempotent)
         if response.status >= 400:
             try:
                 payload = json.loads(raw).get("error", {})
@@ -198,12 +228,22 @@ class ServerClient:
             connection = self._connection()
             reused = self._local.served > 0
             try:
+                if connection.sock is None:
+                    # Connect eagerly so TCP_NODELAY is set before the first
+                    # byte: a small POST otherwise sits in Nagle's buffer
+                    # waiting on the peer's delayed ACK (the ~44 ms floor
+                    # described in ROADMAP Open item 1).
+                    connection.connect()
+                    connection.sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    self._note("connections_opened")
                 connection.request(method, path, body=data, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
             except _STALE_SOCKET_ERRORS as error:
                 self._drop_connection()
                 if idempotent and reused and attempt == 1:
+                    self._note("stale_retries")
                     continue
                 raise ServerError(
                     f"cannot reach {self.base_url}: {error!r}"
@@ -219,6 +259,10 @@ class ServerClient:
                     f"transport failure talking to {self.base_url}: {error!r}"
                 ) from error
             self._local.served += 1
+            with self._stats_lock:
+                self._stats["requests"] += 1
+                if reused:
+                    self._stats["requests_reused"] += 1
             if response.will_close:
                 self._drop_connection()
             return response, raw
@@ -311,6 +355,21 @@ class ServerClient:
         """``GET /v1/metrics`` — the unified metrics payload."""
         return self.request("GET", "/v1/metrics")
 
+    def request_text(self, path: str, *,
+                     headers: Optional[Dict[str, str]] = None) -> str:
+        """One GET returning the raw body as text (non-JSON endpoints)."""
+        response, raw = self._round_trip(
+            "GET", f"{self._path_prefix}{path}", None,
+            self._headers(headers), idempotent=True)
+        if response.status >= 400:
+            raise ServerError(raw.decode("utf-8", "replace") or response.reason,
+                              status=response.status)
+        return raw.decode("utf-8")
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` — the text exposition."""
+        return self.request_text("/v1/metrics?format=prometheus")
+
     def health(self) -> Dict[str, Any]:
         """``GET /v1/healthz``."""
         return self.request("GET", "/v1/healthz")
@@ -367,14 +426,21 @@ def query_payloads(triples: Sequence[Triple], count: int, *, k: int = 3,
 def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]], *,
                   threads: int = 4, timeout: float = 30.0,
                   on_result: Callable[[Dict[str, Any]], None] | None = None,
-                  ) -> Dict[str, float]:
+                  trace_sample: bool = False) -> Dict[str, Any]:
     """Replay a wire workload from ``threads`` concurrent clients.
 
     The payload list is split round-robin across the threads (every payload
     is sent exactly once).  Latency is measured client-side per request;
-    the summary reports aggregate QPS over the whole run plus nearest-rank
+    the summary reports aggregate QPS over the whole run plus interpolated
     percentiles in milliseconds.  ``on_result`` (optional) sees every
     response body, called from the issuing thread.
+
+    With ``trace_sample=True`` one extra request (the first payload) is sent
+    *after* the timed run with ``X-Debug-Trace`` set, and the server's span
+    tree lands in the summary under ``"trace_sample"`` — the quickest way to
+    see where one request's wall time goes without touching the measured
+    QPS.  (Run after, not during: the debug round trip serialises the whole
+    span tree into the response and must not pollute the latency samples.)
     """
     if threads < 1:
         raise WorkloadError(f"threads must be >= 1, got {threads}")
@@ -422,7 +488,7 @@ def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]],
             raise failure
 
     samples = [sample for shard in latencies for sample in shard]
-    return {
+    summary: Dict[str, Any] = {
         "threads": float(threads),
         "requests": float(len(samples)),
         "wall_seconds": wall_seconds,
@@ -432,3 +498,10 @@ def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]],
         "latency_ms_p90": percentile(samples, 0.90) * 1000.0,
         "latency_ms_p99": percentile(samples, 0.99) * 1000.0,
     }
+    if trace_sample:
+        path, body = payloads[0]
+        with ServerClient(base_url, timeout=timeout) as client:
+            response = client.request("POST", path, body,
+                                      headers={"X-Debug-Trace": "1"})
+        summary["trace_sample"] = response.get("debug", {}).get("trace")
+    return summary

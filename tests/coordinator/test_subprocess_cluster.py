@@ -120,6 +120,63 @@ def test_concurrent_clients_stay_exact(cluster):
     assert not failures, failures
 
 
+def test_debug_trace_covers_the_fan_out_wall_time(cluster):
+    """Acceptance: one traced query across the real subprocess fleet.
+
+    The returned span tree must account for >= 95% of the handled wall
+    time, carry the client's trace id end to end, and show one
+    coordinator-side scan span per data partition.
+    """
+    import http.client
+    import json
+    import urllib.parse
+
+    coordinator, shards, _, triples = cluster
+    body = ServerClient.knn_payload(triples[2], 6)
+    parsed = urllib.parse.urlsplit(coordinator.url)
+    connection = http.client.HTTPConnection(parsed.hostname, parsed.port,
+                                            timeout=30)
+    try:
+        connection.request(
+            "POST", "/v1/knn", body=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json",
+                     "X-Trace-Id": "fleet-acceptance-1",
+                     "X-Debug-Trace": "1"})
+        response = connection.getresponse()
+        headers = dict(response.getheaders())
+        payload = json.loads(response.read())
+    finally:
+        connection.close()
+    assert response.status == 200
+    assert headers["X-Trace-Id"] == "fleet-acceptance-1"
+    trace = payload["debug"]["trace"]
+    assert trace["trace_id"] == "fleet-acceptance-1"
+
+    def walk(node):
+        yield node
+        for child in node["children"]:
+            yield from walk(child)
+
+    (request,) = trace["spans"]
+    nodes = list(walk(request))
+    scanned = {node["meta"]["partition"] for node in nodes
+               if node["name"] == "shard_scan"}
+    assert scanned == {shard.partition_id for shard in shards}
+
+    (handle,) = [node for node in nodes if node["name"] == "handle"]
+    intervals = sorted(
+        (child["start_ms"], child["start_ms"] + child["duration_ms"])
+        for child in handle["children"])
+    covered, cursor = 0.0, None
+    for start, end in intervals:
+        if cursor is None or start > cursor:
+            covered += end - start
+        elif end > cursor:
+            covered += end - cursor
+        cursor = end if cursor is None else max(cursor, end)
+    assert covered / handle["duration_ms"] >= 0.95, trace
+
+
 def test_killed_shard_surfaces_as_structured_error_and_503_free(cluster):
     """Run LAST in the module: it kills a shard for good.
 

@@ -1,0 +1,129 @@
+"""Tests for JSON logging, trace correlation, and the slow-query log."""
+
+import io
+import json
+import logging
+
+from repro.obs.logging import (
+    SLOW_QUERY_ENV,
+    JsonLogFormatter,
+    SlowQueryLog,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.tracing import Trace, activate, span
+
+
+def format_record(**kwargs):
+    record = logging.makeLogRecord({
+        "name": "repro.test", "levelno": logging.INFO, "levelname": "INFO",
+        "msg": "hello %s", "args": ("world",), **kwargs,
+    })
+    return json.loads(JsonLogFormatter().format(record))
+
+
+class TestJsonFormatter:
+    def test_basic_fields(self):
+        payload = format_record()
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "hello world"
+        assert payload["ts"].endswith("Z")
+
+    def test_extras_are_included(self):
+        payload = format_record(event="boot", port=8080)
+        assert payload["event"] == "boot"
+        assert payload["port"] == 8080
+
+    def test_ambient_trace_id_is_attached(self):
+        with activate(Trace("trace-42")):
+            payload = format_record()
+        assert payload["trace_id"] == "trace-42"
+
+    def test_explicit_trace_id_wins(self):
+        with activate(Trace("ambient")):
+            payload = format_record(trace_id="explicit")
+        assert payload["trace_id"] == "explicit"
+
+    def test_unserialisable_extras_fall_back_to_repr(self):
+        payload = format_record(thing=object())
+        assert "object object" in payload["thing"]
+
+    def test_exceptions_are_rendered(self):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+            payload = format_record(exc_info=sys.exc_info())
+        assert "ValueError: boom" in payload["exception"]
+
+
+class TestConfigureLogging:
+    def test_idempotent_single_handler(self):
+        stream = io.StringIO()
+        root = logging.getLogger("repro")
+        saved = (list(root.handlers), root.propagate, root.level)
+        try:
+            configure_logging(logging.INFO, stream=stream)
+            configure_logging(logging.DEBUG, stream=stream)
+            json_handlers = [handler for handler in root.handlers
+                             if getattr(handler, "_repro_json_handler", False)]
+            assert len(json_handlers) == 1
+            assert json_handlers[0].level == logging.DEBUG
+            assert root.propagate is False
+        finally:
+            # Restore the session's logging state: configure_logging turns
+            # propagation off, which would hide later caplog assertions on
+            # "repro.*" loggers in unrelated tests.
+            root.handlers[:], root.propagate, level = saved
+            root.setLevel(level)
+
+    def test_get_logger_namespaces(self):
+        assert get_logger("access").name == "repro.access"
+        assert get_logger("repro.access").name == "repro.access"
+
+
+class TestSlowQueryLog:
+    def test_disabled_without_threshold(self, monkeypatch):
+        monkeypatch.delenv(SLOW_QUERY_ENV, raising=False)
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.observe(kind="knn", latency_seconds=99.0) is False
+        assert log.logged == 0
+
+    def test_threshold_from_environment(self, monkeypatch):
+        monkeypatch.setenv(SLOW_QUERY_ENV, "250")
+        assert SlowQueryLog().threshold_ms == 250.0
+        monkeypatch.setenv(SLOW_QUERY_ENV, "not a number")
+        assert SlowQueryLog().threshold_ms is None
+
+    def test_logs_only_above_threshold(self, caplog):
+        # An explicit logger outside the "repro" tree: configure_logging
+        # (exercised above) sets propagate=False on "repro", which would
+        # hide records from caplog's root handler.
+        log = SlowQueryLog(threshold_ms=50.0,
+                           logger=logging.getLogger("test.slow_query"))
+        with caplog.at_level(logging.WARNING, logger="test.slow_query"):
+            assert log.observe(kind="knn", latency_seconds=0.010) is False
+            assert log.observe(kind="knn", latency_seconds=0.200) is True
+        assert log.logged == 1
+        (record,) = caplog.records
+        assert record.kind == "knn"
+        assert record.latency_ms == 200.0
+
+    def test_span_breakdown_is_attached(self, caplog):
+        log = SlowQueryLog(threshold_ms=0.0,
+                           logger=logging.getLogger("test.slow_query"))
+        trace = Trace("slow-1")
+        with activate(trace):
+            with span("execute"):
+                pass
+            with caplog.at_level(logging.WARNING, logger="test.slow_query"):
+                log.observe(kind="range", latency_seconds=0.001,
+                            query={"kind": "range", "radius": 0.1},
+                            visited_partitions=("P0", "P1"))
+        (record,) = caplog.records
+        assert record.trace_id == "slow-1"
+        assert record.visited_partitions == ["P0", "P1"]
+        assert [node["name"] for node in record.spans] == ["execute"]
+        assert record.query == {"kind": "range", "radius": 0.1}

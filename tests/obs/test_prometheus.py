@@ -1,0 +1,132 @@
+"""Render → parse → validate round trips of the text exposition."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def round_trip(registry):
+    text = render_exposition(registry)
+    families = parse_exposition(text)
+    assert validate_exposition(families) == [], text
+    return text, families
+
+
+class TestRoundTrip:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests served.").inc(5)
+        registry.gauge("temperature", "Degrees.").set(-3.5)
+        text, families = round_trip(registry)
+        assert "# TYPE requests_total counter" in text
+        assert families["requests_total"].samples[0].value == 5.0
+        assert families["temperature"].samples[0].value == -3.5
+        assert families["requests_total"].help_text == "Requests served."
+
+    def test_label_escaping_survives(self):
+        registry = MetricsRegistry()
+        family = registry.counter("weird_total", "help", ("pattern",))
+        nasty = 'back\\slash "quoted"\nnewline'
+        family.labels(nasty).inc()
+        _, families = round_trip(registry)
+        labels = families["weird_total"].samples[0].labels
+        assert labels["pattern"] == nasty
+
+    def test_help_text_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline two \\ backslash").inc()
+        _, families = round_trip(registry)
+        assert families["c_total"].help_text == "line one\nline two \\ backslash"
+
+    def test_histogram_series_structure(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", "help",
+                                       ("kind",), buckets=(0.1, 1.0))
+        histogram.labels("knn").observe(0.05)
+        histogram.labels("knn").observe(0.5)
+        histogram.labels("knn").observe(3.0)
+        text, families = round_trip(registry)
+        family = families["latency_seconds"]
+        assert family.kind == "histogram"
+        buckets = {sample.labels["le"]: sample.value
+                   for sample in family.samples
+                   if sample.name == "latency_seconds_bucket"}
+        assert buckets == {"0.1": 1.0, "1.0": 2.0, "+Inf": 3.0}
+        count = [sample for sample in family.samples
+                 if sample.name == "latency_seconds_count"]
+        assert len(count) == 1 and count[0].value == 3.0
+        # a histogram with labels keeps the le label alongside them
+        assert all(sample.labels.get("kind") == "knn"
+                   for sample in family.samples)
+
+    def test_special_float_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("inf_gauge", "help").set(math.inf)
+        registry.gauge("ninf_gauge", "help").set(-math.inf)
+        _, families = round_trip(registry)
+        assert families["inf_gauge"].samples[0].value == math.inf
+        assert families["ninf_gauge"].samples[0].value == -math.inf
+
+    def test_content_type_pins_the_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestValidator:
+    def test_flags_non_monotone_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition(parse_exposition(text))
+        assert any("monotone" in problem for problem in problems)
+
+    def test_flags_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition(parse_exposition(text))
+        assert any("+Inf" in problem for problem in problems)
+
+    def test_flags_inf_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition(parse_exposition(text))
+        assert any("_count" in problem for problem in problems)
+
+    def test_flags_duplicate_series(self):
+        text = "# TYPE c counter\nc 1\nc 2\n"
+        problems = validate_exposition(parse_exposition(text))
+        assert any("duplicate" in problem for problem in problems)
+
+    def test_flags_negative_counter(self):
+        text = "# TYPE c counter\nc -1\n"
+        problems = validate_exposition(parse_exposition(text))
+        assert any("negative" in problem for problem in problems)
+
+    def test_malformed_series_line_raises(self):
+        with pytest.raises(ObservabilityError):
+            parse_exposition("not a metric line at all!\n")
+
+    def test_malformed_labels_raise(self):
+        with pytest.raises(ObservabilityError):
+            parse_exposition('c{oops} 1\n')

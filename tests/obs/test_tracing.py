@@ -1,0 +1,132 @@
+"""Tests for the context-local span recorder."""
+
+import concurrent.futures
+import time
+
+from repro.obs.tracing import (
+    Trace,
+    activate,
+    capture_context,
+    current_trace,
+    new_trace_id,
+    record_span,
+    resume_context,
+    sanitize_trace_id,
+    span,
+)
+
+
+class TestTraceIds:
+    def test_new_ids_are_unique_hex(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert first != second
+        assert len(first) == 32
+        int(first, 16)  # parses as hex
+
+    def test_sanitize_accepts_plausible_client_ids(self):
+        assert sanitize_trace_id("abc-123") == "abc-123"
+        assert sanitize_trace_id("  padded  ") == "padded"
+
+    def test_sanitize_replaces_garbage(self):
+        assert sanitize_trace_id(None) != ""
+        assert sanitize_trace_id("") not in ("", None)
+        assert sanitize_trace_id("has space") != "has space"
+        assert sanitize_trace_id("x" * 200) != "x" * 200
+        assert sanitize_trace_id("\x00\x01") not in ("\x00\x01",)
+
+
+class TestSpans:
+    def test_span_is_noop_without_active_trace(self):
+        assert current_trace() is None
+        with span("anything") as trace:
+            assert trace is None
+        record_span("also_nothing", 0.0, 1.0)  # must not raise
+
+    def test_nested_spans_build_a_tree(self):
+        trace = Trace("t1")
+        with activate(trace):
+            with span("request"):
+                with span("parse"):
+                    pass
+                with span("handle", endpoint="/v1/knn"):
+                    with span("execute"):
+                        pass
+        tree = trace.to_dict()
+        assert tree["trace_id"] == "t1"
+        (request,) = tree["spans"]
+        assert request["name"] == "request"
+        assert [child["name"] for child in request["children"]] == \
+            ["parse", "handle"]
+        (execute,) = request["children"][1]["children"]
+        assert execute["name"] == "execute"
+        assert request["children"][1]["meta"] == {"endpoint": "/v1/knn"}
+
+    def test_durations_are_positive_and_nested(self):
+        trace = Trace()
+        with activate(trace):
+            with span("outer"):
+                time.sleep(0.01)
+        (outer,) = trace.to_dict()["spans"]
+        assert outer["duration_ms"] >= 10.0
+        assert "in_progress" not in outer
+
+    def test_unfinished_span_reported_in_progress(self):
+        trace = Trace()
+        trace.begin("open_ended", None)
+        (node,) = trace.to_dict()["spans"]
+        assert node["in_progress"] is True
+
+    def test_record_span_attaches_measured_interval(self):
+        trace = Trace()
+        with activate(trace):
+            with span("handle"):
+                start = time.perf_counter() - 0.05
+                record_span("queue_wait", start, time.perf_counter())
+        (handle,) = trace.to_dict()["spans"]
+        (queue_wait,) = handle["children"]
+        assert queue_wait["name"] == "queue_wait"
+        assert queue_wait["duration_ms"] >= 45.0
+
+    def test_activation_restores_previous_state(self):
+        outer = Trace("outer")
+        inner = Trace("inner")
+        with activate(outer):
+            with span("outer_span"):
+                with activate(inner):
+                    assert current_trace() is inner
+                    # the inner trace does not inherit the outer parent span
+                    with span("inner_span"):
+                        pass
+                assert current_trace() is outer
+        assert [node["name"] for node in inner.to_dict()["spans"]] == \
+            ["inner_span"]
+
+
+class TestThreadHandoff:
+    def test_worker_spans_parent_under_the_submitting_span(self):
+        trace = Trace()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            with activate(trace):
+                with span("scatter"):
+                    context = capture_context()
+
+                    def scan(partition):
+                        with resume_context(context):
+                            with span("shard_scan", partition=partition):
+                                return partition
+
+                    futures = [pool.submit(scan, p) for p in ("P0", "P1")]
+                    for future in futures:
+                        future.result()
+        (scatter,) = trace.to_dict()["spans"]
+        names = sorted(child["meta"]["partition"]
+                       for child in scatter["children"])
+        assert names == ["P0", "P1"]
+        assert all(child["name"] == "shard_scan"
+                   for child in scatter["children"])
+
+    def test_resume_of_empty_context_is_noop(self):
+        with resume_context((None, None)) as trace:
+            assert trace is None
+            with span("ignored"):
+                pass

@@ -20,7 +20,7 @@ SNAKE_CASE = re.compile(r"^[a-z0-9_]+$")
 SERVING_KEYS = {
     "queries", "executed", "served_from_cache", "timeouts", "errors",
     "wall_seconds", "qps", "queries_by_kind", "partition_loads",
-    "latency_ms", "workers",
+    "latency_ms", "queue_wait_ms", "workers",
 }
 LATENCY_KEYS = {"mean", "p50", "p90", "p99", "max"}
 CACHE_KEYS = {
@@ -54,6 +54,7 @@ class TestMetricsSchema:
         assert set(metrics) == {"serving", "cache", "ingest", "index", "server"}
         assert set(metrics["serving"]) == SERVING_KEYS
         assert set(metrics["serving"]["latency_ms"]) == LATENCY_KEYS
+        assert set(metrics["serving"]["queue_wait_ms"]) == LATENCY_KEYS
         assert set(metrics["cache"]) == CACHE_KEYS
         assert set(metrics["ingest"]) == INGEST_KEYS
         assert set(metrics["ingest"]["compaction_ms"]) == COMPACTION_KEYS
@@ -105,3 +106,78 @@ class TestMetricsSchema:
         assert set(wire) == set(direct)
         for key in ("hits", "misses", "lookups", "size", "protected_size"):
             assert wire[key] == direct[key]
+
+
+class TestPrometheusExposition:
+    """``?format=prometheus`` serves the same numbers in exposition v0.0.4."""
+
+    CORE_FAMILIES = {
+        "repro_build_info", "repro_uptime_seconds", "repro_http_requests_total",
+        "repro_queries_total", "repro_queries_executed_total",
+        "repro_query_latency_seconds", "repro_queue_wait_seconds",
+        "repro_cache_hits_total", "repro_cache_misses_total",
+        "repro_inserts_total", "repro_index_points", "repro_index_generation",
+    }
+
+    def scrape(self, client):
+        from repro.obs.prometheus import parse_exposition, validate_exposition
+
+        text = client.metrics_prometheus()
+        families = parse_exposition(text)
+        assert validate_exposition(families) == [], text
+        return families
+
+    def test_round_trip_is_valid_and_has_core_series(self, make_server):
+        _, client = make_server()
+        client.insert_many(INSERT_TRIPLES)
+        for triple in QUERY_TRIPLES:
+            client.knn(triple, 3)
+            client.knn(triple, 3)
+        families = self.scrape(client)
+        missing = self.CORE_FAMILIES - set(families)
+        assert not missing, f"missing core families: {sorted(missing)}"
+
+    def test_formats_report_the_same_counters(self, make_server):
+        """The JSON payload and the exposition read the same locked state."""
+        _, client = make_server()
+        client.insert_many(INSERT_TRIPLES)
+        for triple in QUERY_TRIPLES:
+            client.knn(triple, 3)
+            client.knn(triple, 3)
+            client.range(triple, 0.3)
+        payload = client.metrics()
+        families = self.scrape(client)
+
+        def series(name, **labels):
+            for sample in families[name].samples:
+                if all(sample.labels.get(k) == v for k, v in labels.items()):
+                    return sample.value
+            raise AssertionError(f"no series {name} with {labels}")
+
+        assert series("repro_queries_executed_total") == payload["serving"]["executed"]
+        assert series("repro_queries_cached_total") == \
+            payload["serving"]["served_from_cache"]
+        assert series("repro_cache_hits_total") == payload["cache"]["hits"]
+        assert series("repro_cache_misses_total") == payload["cache"]["misses"]
+        assert series("repro_inserts_total") == payload["ingest"]["inserts"]
+        assert series("repro_index_points") == payload["index"]["points"]
+        by_kind = payload["serving"]["queries_by_kind"]
+        for kind, count in by_kind.items():
+            assert series("repro_queries_total", kind=kind) == count
+        # The latency histogram's _count equals the executed-query tally
+        # (cache hits never observe a latency sample).
+        executed = sum(
+            sample.value
+            for sample in families["repro_query_latency_seconds"].samples
+            if sample.name.endswith("_count")
+        )
+        assert executed == payload["serving"]["executed"]
+
+    def test_unknown_format_is_a_400(self, make_server):
+        import pytest
+
+        from repro.errors import ServerError
+
+        _, client = make_server()
+        with pytest.raises(ServerError):
+            client.request_text("/v1/metrics?format=openmetrics")

@@ -27,13 +27,36 @@ class TestPercentile:
     def test_unordered_input(self):
         assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
 
-    def test_empty_rejected(self):
-        with pytest.raises(EvaluationError):
-            percentile([], 0.5)
+    def test_empty_returns_zero(self):
+        # Zero, not an exception: a snapshot taken before any traffic must
+        # render a zeroed latency block, not crash the metrics endpoint.
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 1.0) == 0.0
+
+    def test_single_sample(self):
+        # Every fraction of a one-sample distribution is that sample.
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_linear_interpolation_between_ranks(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        # rank = fraction * (n - 1): p50 of four samples sits halfway
+        # between the 2nd and 3rd order statistics.
+        assert percentile(samples, 0.5) == pytest.approx(2.5)
+        assert percentile(samples, 0.25) == pytest.approx(1.75)
+        assert percentile(samples, 0.9) == pytest.approx(3.7)
+
+    def test_two_samples_midpoint(self):
+        assert percentile([10.0, 20.0], 0.5) == pytest.approx(15.0)
 
     def test_out_of_range_fraction_rejected(self):
         with pytest.raises(EvaluationError):
             percentile([1.0], 1.5)
+        with pytest.raises(EvaluationError):
+            percentile([1.0], -0.1)
 
 
 class TestServiceMetrics:

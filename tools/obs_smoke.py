@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""CI observability smoke: boot a server, scrape it, validate the exposition.
+
+Boots a real :class:`~repro.server.http.SemTreeServer` over a small
+synthetic corpus on an ephemeral loopback port, then checks the
+observability surface end to end:
+
+1. ``GET /v1/metrics?format=prometheus`` answers with the v0.0.4 content
+   type, parses, and passes every exposition invariant
+   (:func:`~repro.obs.prometheus.validate_exposition`);
+2. the core metric families are present;
+3. the exposition agrees with the JSON ``/v1/metrics`` payload on the
+   shared counters (the two are rendered from the same registry);
+4. a request with ``X-Debug-Trace`` returns a span tree carrying the
+   client's ``X-Trace-Id``.
+
+Exit status 0 on success, 1 with one line per failure — what the CI
+observability job keys off.  Run from the repository root::
+
+    PYTHONPATH=src python tools/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.ingest import IngestingIndex
+from repro.obs.prometheus import CONTENT_TYPE, parse_exposition, validate_exposition
+from repro.requirements import (
+    GeneratorConfig,
+    RequirementsGenerator,
+    build_requirement_distance,
+    build_requirement_vocabularies,
+)
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.server import SemTreeServer, ServerApp
+
+CORE_FAMILIES = {
+    "repro_build_info",
+    "repro_uptime_seconds",
+    "repro_http_requests_total",
+    "repro_queries_total",
+    "repro_queries_executed_total",
+    "repro_query_latency_seconds",
+    "repro_queue_wait_seconds",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_inserts_total",
+    "repro_index_points",
+    "repro_index_generation",
+    "repro_engine_workers",
+}
+
+
+def build_server(tmp_dir: Path):
+    corpus = RequirementsGenerator(GeneratorConfig(
+        documents=4, requirements_per_document=4, sentences_per_requirement=2,
+        actors=8, seed=7,
+    )).generate()
+    vocabularies = build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values)
+    index = SemTreeIndex(build_requirement_distance(vocabularies), SemTreeConfig(
+        dimensions=3, bucket_size=4, max_partitions=2, partition_capacity=16,
+    ))
+    triples = []
+    for document in corpus.documents:
+        rdf_document = document.to_rdf_document()
+        triples.extend(rdf_document.triples)
+        index.add_document(rdf_document)
+    index.build()
+    live = IngestingIndex(index, tmp_dir / "wal.jsonl")
+    app = ServerApp(live, workers=2,
+                    checkpoint_path=tmp_dir / "snapshot.json")
+    return SemTreeServer(app).serve_background(), triples
+
+
+def fetch(url: str, *, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def post(url: str, payload: dict, *, headers: dict | None = None):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), \
+            json.loads(response.read())
+
+
+def run_smoke() -> list[str]:
+    problems: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        server, triples = build_server(Path(tmp))
+        try:
+            # Traffic first, so counters and histograms are non-trivial.
+            from repro.workloads import ServerClient
+
+            with ServerClient(server.url) as client:
+                for triple in triples[:4]:
+                    client.knn(triple, 3)
+                    client.knn(triple, 3)       # cache hit
+
+            status, headers, raw = fetch(
+                f"{server.url}/v1/metrics?format=prometheus")
+            if status != 200:
+                problems.append(f"prometheus endpoint answered {status}")
+            if headers.get("Content-Type") != CONTENT_TYPE:
+                problems.append(
+                    f"wrong content type: {headers.get('Content-Type')!r}")
+            families = parse_exposition(raw.decode("utf-8"))
+            problems.extend(validate_exposition(families))
+            missing = CORE_FAMILIES - set(families)
+            if missing:
+                problems.append(f"missing core families: {sorted(missing)}")
+
+            # The JSON payload and the exposition must agree.
+            metrics = json.loads(fetch(f"{server.url}/v1/metrics")[2])
+
+            def value_of(name):
+                return families[name].samples[0].value
+            if value_of("repro_queries_executed_total") != \
+                    metrics["serving"]["executed"]:
+                problems.append("executed-query counter disagrees with JSON")
+            if value_of("repro_cache_hits_total") != metrics["cache"]["hits"]:
+                problems.append("cache-hit counter disagrees with JSON")
+
+            # Tracing: opt-in span tree with the client's trace id.
+            from repro.io.serialization import triple_to_dict
+            status, headers, traced = post(
+                f"{server.url}/v1/knn",
+                {"triple": triple_to_dict(triples[0]), "k": 2},
+                headers={"X-Trace-Id": "obs-smoke-1", "X-Debug-Trace": "1"})
+            if headers.get("X-Trace-Id") != "obs-smoke-1":
+                problems.append("X-Trace-Id was not echoed")
+            trace = traced.get("debug", {}).get("trace")
+            if not trace or trace.get("trace_id") != "obs-smoke-1":
+                problems.append("debug trace missing or with wrong trace id")
+            elif not trace.get("spans"):
+                problems.append("debug trace has no spans")
+        finally:
+            server.close(checkpoint=False)
+    return problems
+
+
+def main() -> int:
+    problems = run_smoke()
+    for problem in problems:
+        print(f"obs smoke: {problem}", file=sys.stderr)
+    if not problems:
+        print("obs smoke: exposition valid, core series present, "
+              "formats agree, tracing round-trips")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
