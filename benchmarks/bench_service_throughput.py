@@ -13,16 +13,39 @@ while sweeping the worker count.  Expected shape: warm beats cold by a wide
 margin (a cache hit skips the tree entirely), results are bit-identical to
 the sequential baseline everywhere, and the repeated workload reports a
 non-zero cache hit rate.
+
+A second report (``service_observability_overhead``) prices the deep
+observability machinery with interleaved A/B rounds:
+
+* warm batches with no profiler, with an *idle* (constructed, never
+  started) :class:`~repro.obs.profile.SamplingProfiler`, and with the
+  profiler actively sampling;
+* the range-scan kernel with per-query cost accounting on
+  (``cost=SearchCost()``) versus off (``cost=None`` — the kernels skip the
+  counters entirely), which is the one code path where the accounting has
+  a real off-switch (k-NN accounting is unconditional).
+
+The CI perf-smoke gate fails if cost accounting costs more than 5% of the
+scan throughput or if an idle profiler is measurable at all (same 5%
+noise allowance) on the warm serving path.
+
+Quick mode (``SERVICE_BENCH_QUICK=1``, used by the CI perf-smoke job)
+shrinks the sweep and the round counts so the whole module stays fast.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+import statistics
+from typing import Dict, List
 
 import pytest
 
 from repro.core import SemTreeConfig, SemTreeIndex
+from repro.core.cost import SearchCost
+from repro.core.kdtree import KDTree
 from repro.evaluation import Experiment, measure
+from repro.obs.profile import SamplingProfiler
 from repro.requirements import (GeneratorConfig, RequirementsGenerator,
                                 build_requirement_distance,
                                 build_requirement_vocabularies)
@@ -31,9 +54,18 @@ from repro.workloads import mixed_query_specs
 
 from .conftest import write_report
 
-WORKER_COUNTS = (1, 2, 4, 8)
-BATCH_SIZE = 256
+QUICK = bool(os.environ.get("SERVICE_BENCH_QUICK"))
+WORKER_COUNTS = (1, 2) if QUICK else (1, 2, 4, 8)
+BATCH_SIZE = 64 if QUICK else 256
 BENCH_WORKERS = 4
+
+#: Interleaved A/B rounds for the overhead report; medians go in the
+#: committed series, the gates compare best-of-round (noise-robust).
+OVERHEAD_ROUNDS = 3 if QUICK else 9
+WARM_REPEATS = 2 if QUICK else 6
+RANGE_REPEATS = 2 if QUICK else 6
+RANGE_RADIUS = 0.3
+OVERHEAD_BUDGET = 0.05
 
 
 def _build_index() -> tuple:
@@ -128,3 +160,123 @@ def test_report_service_throughput(results_dir):
 
     write_report(results_dir, experiment,
                  ["sequential_qps", "cold_qps", "warm_qps", "cache_hit_rate"])
+
+
+# -- instrumentation overhead -------------------------------------------------------------
+
+def _measure_profiler_overhead(index, specs) -> Dict[str, List[float]]:
+    """Warm-batch wall times, interleaved: no profiler / idle / sampling.
+
+    "Idle" means constructed but never started — the gate below pins down
+    that merely wiring the profiler into the process costs nothing on the
+    serving path (and would catch a future change that hooks an inactive
+    profiler into query execution).
+    """
+    times: Dict[str, List[float]] = {"off": [], "idle": [], "sampling": []}
+    with QueryEngine(index, workers=BENCH_WORKERS) as engine:
+        engine.execute_batch(specs)                 # populate the cache once
+
+        def warm():
+            for _ in range(WARM_REPEATS):
+                engine.execute_batch(specs)
+
+        idle = SamplingProfiler()
+        sampler = SamplingProfiler()
+        for _ in range(OVERHEAD_ROUNDS):
+            times["off"].append(measure(warm).wall_seconds)
+            assert not idle.running
+            times["idle"].append(measure(warm).wall_seconds)
+            sampler.start()
+            try:
+                times["sampling"].append(measure(warm).wall_seconds)
+            finally:
+                sampler.stop()
+    return times
+
+
+def _measure_cost_accounting_overhead(index) -> Dict[str, List[float]]:
+    """Range-scan wall times, interleaved: accounting on versus off.
+
+    The range kernels skip every counter when ``cost is None``, so this is
+    an honest A/B of the same traversal with and without accounting.
+    """
+    points = index.tree.points()
+    tree = KDTree.build_balanced(points, bucket_size=index.config.bucket_size,
+                                 scan_kernel=index.config.scan_kernel)
+    queries = points[::3][:48]
+
+    def scan(accounted: bool):
+        def run():
+            for _ in range(RANGE_REPEATS):
+                for query in queries:
+                    cost = SearchCost() if accounted else None
+                    tree.range_query_state(query, RANGE_RADIUS, cost=cost)
+        return run
+
+    times: Dict[str, List[float]] = {"bare": [], "accounted": []}
+    for _ in range(OVERHEAD_ROUNDS):
+        times["bare"].append(measure(scan(False)).wall_seconds)
+        times["accounted"].append(measure(scan(True)).wall_seconds)
+    return times
+
+
+def test_report_observability_overhead(results_dir):
+    """The CI gate: observability must be (nearly) free when not in use.
+
+    Fails when per-query cost accounting costs more than
+    ``OVERHEAD_BUDGET`` of the range-scan throughput, or when an idle
+    profiler shows up at all on the warm serving path.  The gates compare
+    best-of-round throughput (interleaved rounds, so drift hits both arms
+    alike); the committed series carries every round for trend tracking.
+    """
+    index, triples = _build_index()
+    specs = _workload(triples)
+
+    profiler_times = _measure_profiler_overhead(index, specs)
+    cost_times = _measure_cost_accounting_overhead(index)
+
+    warm_queries = WARM_REPEATS * len(specs)
+    warm_qps = {mode: [warm_queries / max(t, 1e-9) for t in samples]
+                for mode, samples in profiler_times.items()}
+    scan_queries = RANGE_REPEATS * 48
+    scan_qps = {mode: [scan_queries / max(t, 1e-9) for t in samples]
+                for mode, samples in cost_times.items()}
+
+    experiment = Experiment(
+        experiment_id="service_observability_overhead",
+        description="Instrumentation overhead: warm-batch QPS with the profiler "
+                    "off/idle/sampling, range-scan QPS with cost accounting on/off "
+                    f"({OVERHEAD_ROUNDS} interleaved rounds)",
+        swept_parameter="round",
+    )
+    series = experiment.series_named("overhead")
+    for i in range(OVERHEAD_ROUNDS):
+        series.add(
+            i,
+            warm_qps_profiler_off=warm_qps["off"][i],
+            warm_qps_profiler_idle=warm_qps["idle"][i],
+            warm_qps_profiler_sampling=warm_qps["sampling"][i],
+            range_qps_cost_accounted=scan_qps["accounted"][i],
+            range_qps_cost_bare=scan_qps["bare"][i],
+        )
+
+    floor = 1.0 - OVERHEAD_BUDGET
+    # Gate 1: an idle profiler must not be measurable on the warm path.
+    assert max(warm_qps["idle"]) >= floor * max(warm_qps["off"]), (
+        f"idle profiler is measurable: "
+        f"{max(warm_qps['idle']):.0f} vs {max(warm_qps['off']):.0f} warm QPS")
+    # Gate 2: cost accounting stays within budget on the real scan path.
+    assert max(scan_qps["accounted"]) >= floor * max(scan_qps["bare"]), (
+        f"cost accounting over budget: "
+        f"{max(scan_qps['accounted']):.0f} vs {max(scan_qps['bare']):.0f} scan QPS")
+    # An actively sampling profiler is allowed to cost something; report the
+    # median overhead so the trajectory is visible in the committed JSON.
+    sampling_overhead = 1.0 - (statistics.median(warm_qps["sampling"])
+                               / statistics.median(warm_qps["off"]))
+    print(f"\nsampling profiler overhead on warm batches: "
+          f"{sampling_overhead:+.1%} (informational)")
+
+    write_report(results_dir, experiment,
+                 ["warm_qps_profiler_off", "warm_qps_profiler_idle",
+                  "warm_qps_profiler_sampling",
+                  "range_qps_cost_accounted", "range_qps_cost_bare"])

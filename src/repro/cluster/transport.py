@@ -34,11 +34,12 @@ from __future__ import annotations
 import threading
 import time
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, Tuple
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.message import Message, MessageKind
+from repro.core.cost import SearchCost
 from repro.core.knn import Neighbour
 from repro.core.point import LabeledPoint
 from repro.errors import PartitionError
@@ -76,6 +77,7 @@ class PartitionScan:
     nodes_visited: int
     points_examined: int
     elapsed_seconds: float = 0.0
+    cost: SearchCost = field(default_factory=SearchCost)
 
 
 class PartitionTransport(Protocol):
@@ -238,6 +240,7 @@ class SimulatedClusterTransport:
             nodes_visited=scan.nodes_visited,
             points_examined=scan.points_examined,
             elapsed_seconds=time.perf_counter() - started,
+            cost=scan.cost,
         )
 
     def close(self) -> None:

@@ -37,6 +37,7 @@ from repro.coordinator.topology import ShardTopology
 from repro.coordinator.transport import HttpShardTransport
 from repro.errors import ShardError
 from repro.obs.logging import configure_logging
+from repro.obs.profile import SamplingProfiler
 from repro.server.__main__ import _serve_until_signalled
 from repro.server.bootstrap import derive_distance_from_state
 from repro.server.http import SemTreeServer
@@ -86,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="log executed queries slower than this many "
                              "milliseconds as structured JSON on repro.slow_query "
                              "(default: REPRO_SLOW_QUERY_MS, unset = disabled)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run a continuous sampling profiler; read it back "
+                             "at GET /v1/debug/profile")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request log lines")
     return parser
@@ -134,6 +138,7 @@ def build_coordinator(argv: Optional[Sequence[str]] = None,
         cache_segmented=args.cache_segmented,
         default_deadline=args.default_deadline,
         slow_query_ms=args.slow_query_ms,
+        profiler=SamplingProfiler().start() if args.profile else None,
     )
     server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
     return server, args

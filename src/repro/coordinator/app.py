@@ -27,7 +27,9 @@ from repro.coordinator.sharded import ShardedIndex
 from repro.errors import ServerClosingError, ShardError
 from repro.io.serialization import json_ready
 from repro.obs import export as obs_export
+from repro.obs.history import MetricsHistory
 from repro.obs.logging import SlowQueryLog
+from repro.obs.profile import SamplingProfiler, profile_endpoint
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import span
 from repro.server.app import _observe_slow_queries
@@ -58,7 +60,9 @@ class CoordinatorApp:
                  cache_segmented: bool = False,
                  default_deadline: float | None = None,
                  registry: MetricsRegistry | None = None,
-                 slow_query_ms: float | None = None):
+                 slow_query_ms: float | None = None,
+                 profiler: SamplingProfiler | None = None,
+                 history_interval: float = 5.0):
         self.index = index
         self.engine = QueryEngine(
             index, workers=workers, cache_capacity=cache_capacity,
@@ -73,6 +77,9 @@ class CoordinatorApp:
         self.slow_query_log = SlowQueryLog(slow_query_ms)
         self.registry = registry or MetricsRegistry()
         self._bind_registry()
+        self.profiler = profiler
+        self.history = MetricsHistory(
+            self.registry, interval=history_interval).start()
 
     def _bind_registry(self) -> None:
         """Same contract as :meth:`ServerApp._bind_registry`: the exposition
@@ -106,6 +113,22 @@ class CoordinatorApp:
             "/v1/healthz": self.health,
             "/v1/topology": self.topology,
         }
+
+    def get_param_routes(self) -> Dict[str, Callable[[Dict[str, str]], Any]]:
+        return {
+            "/v1/debug/profile": self.debug_profile,
+            "/v1/history": self.history_payload,
+        }
+
+    def debug_profile(self, params: Dict[str, str]):
+        """``GET /v1/debug/profile`` — sample the coordinator, render the profile."""
+        self._count("debug_profile")
+        return profile_endpoint(params, self.profiler)
+
+    def history_payload(self, params: Dict[str, str]) -> Dict[str, Any]:
+        """``GET /v1/history`` — the coordinator's metrics history ring buffer."""
+        self._count("history")
+        return self.history.payload()
 
     # -- bookkeeping --------------------------------------------------------------------
 
@@ -228,6 +251,9 @@ class CoordinatorApp:
             if self._closed:
                 return None
             self._closed = True
+        self.history.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         self.engine.close(wait=True)
         self.index.close()
         return None

@@ -45,13 +45,14 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.transport import PartitionScan, PartitionTransport
+from repro.core.cost import SearchCost
 from repro.core.distributed import range_children
 from repro.core.knn import ResultSet
 from repro.core.node import Node, RemoteChild
 from repro.core.point import LabeledPoint
 from repro.core.semtree import SearchOutcome, SemanticMatch, SemTreeIndex
 from repro.errors import QueryError, ShardError
-from repro.obs.tracing import capture_context, resume_context, span
+from repro.obs.tracing import annotate_span, capture_context, resume_context, span
 from repro.rdf.triple import Triple
 from repro.service.metrics import percentile
 
@@ -161,9 +162,11 @@ class ShardedIndex:
         with span("gather", partitions=len(targets)):
             results = ResultSet(k)
             nodes = points = 0
+            total_cost = SearchCost()
             for scan in scans:
                 nodes += scan.nodes_visited
                 points += scan.points_examined
+                total_cost.add(scan.cost)
                 for neighbour in scan.neighbours:
                     results.offer(neighbour.point, neighbour.distance)
             matches = tuple(self.base.to_match(n) for n in results.neighbours())
@@ -173,6 +176,7 @@ class ShardedIndex:
             nodes_visited=nodes,
             points_examined=points,
             generation=self.base.generation,
+            cost=total_cost,
         )
 
     def search_range(self, point: LabeledPoint, radius: float) -> SearchOutcome:
@@ -184,9 +188,11 @@ class ShardedIndex:
         with span("gather", partitions=len(targets)):
             gathered = []
             nodes = points = 0
+            total_cost = SearchCost()
             for scan in scans:
                 nodes += scan.nodes_visited
                 points += scan.points_examined
+                total_cost.add(scan.cost)
                 gathered.extend(scan.neighbours)
             gathered.sort(key=lambda neighbour: neighbour.distance)
             matches = tuple(self.base.to_match(n) for n in gathered)
@@ -196,6 +202,7 @@ class ShardedIndex:
             nodes_visited=nodes,
             points_examined=points,
             generation=self.base.generation,
+            cost=total_cost,
         )
 
     def overlay_matches(self, kind: str, point: LabeledPoint, parameter: float,
@@ -219,7 +226,9 @@ class ShardedIndex:
             # per-shard round trips land in the right span tree.
             with resume_context(trace_context):
                 with span("shard_scan", partition=partition_id):
-                    return scan(partition_id)
+                    result = scan(partition_id)
+                    annotate_span(cost=result.cost.to_dict())
+                    return result
 
         with span("scatter", partitions=len(targets)):
             trace_context = capture_context()

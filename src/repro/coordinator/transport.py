@@ -19,6 +19,7 @@ import time
 from typing import Dict, Tuple
 
 from repro.cluster.transport import PartitionScan
+from repro.core.cost import SearchCost
 from repro.core.knn import Neighbour
 from repro.core.point import LabeledPoint
 from repro.coordinator.topology import ShardTopology
@@ -137,6 +138,10 @@ class HttpShardTransport:
             nodes_visited=int(payload.get("nodes_visited", 0)),
             points_examined=int(payload.get("points_examined", 0)),
             elapsed_seconds=elapsed_seconds,
+            # Absent from older shards' payloads: from_dict reads missing
+            # keys as zero, so a mixed-version fleet degrades to undercounting
+            # instead of failing the scan.
+            cost=SearchCost.from_dict(payload.get("cost")),
         )
 
     def __repr__(self) -> str:

@@ -48,6 +48,7 @@ from repro.cluster.message import Message, MessageKind
 from repro.cluster.transport import PartitionRouter, PartitionScan, SimulatedBusRouter
 from repro.core import kernels
 from repro.core.config import SemTreeConfig
+from repro.core.cost import SearchCost
 from repro.core.knn import KSearchState, Neighbour
 from repro.core.node import ChildRef, Node, RemoteChild
 from repro.core.partition import Partition
@@ -170,6 +171,7 @@ class RangeSearchState:
         self.nodes_visited = 0
         self.points_examined = 0
         self.partitions_visited = 0
+        self.cost = SearchCost()
         self.visited_partition_ids: List[str] = []
         self._visited_partition_set: set[str] = set()
         self._query_array = None
@@ -198,6 +200,7 @@ class RangeSearchState:
         rule, so both sides of a merged read agree on boundary points.
         """
         self.points_examined += 1
+        self.cost.distance_computations += 1
         distance = euclidean_distance(self.query, point)
         if distance <= self.radius:
             self.results.append(Neighbour(point, distance))
@@ -212,7 +215,8 @@ class RangeSearchState:
         ``"scalar"`` kernel walks :meth:`examine_point` per point.
         """
         found, examined = kernels.range_scan_node(self.query, self.radius, node, kernel,
-                                                  query_array=self.query_array())
+                                                  query_array=self.query_array(),
+                                                  cost=self.cost)
         self.points_examined += examined
         self.results.extend(found)
         return len(found)
@@ -682,6 +686,7 @@ class DistributedSemTree:
             neighbours=neighbours,
             nodes_visited=state.nodes_visited,
             points_examined=state.points_examined,
+            cost=state.cost,
         )
         self.router.reply_found(
             MessageKind.SCAN_RESULT, partition.partition_id, message.source,

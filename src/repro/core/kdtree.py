@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core import kernels
 from repro.core.config import SemTreeConfig, SplitStrategy
+from repro.core.cost import SearchCost
 from repro.core.kernels import DEFAULT_SCAN_KERNEL, validate_scan_kernel
 from repro.core.knn import KSearchState, Neighbour
 from repro.core.node import Node, RemoteChild
@@ -244,8 +245,15 @@ class KDTree:
         """Return every stored point within ``radius`` of ``query``, closest first."""
         return self.range_query_state(query, radius)[0]
 
-    def range_query_state(self, query: LabeledPoint, radius: float) -> Tuple[List[Neighbour], int]:
-        """Run the range search; return ``(results, nodes_visited)``."""
+    def range_query_state(self, query: LabeledPoint, radius: float,
+                          cost: Optional[SearchCost] = None,
+                          ) -> Tuple[List[Neighbour], int]:
+        """Run the range search; return ``(results, nodes_visited)``.
+
+        ``cost``, when given, accumulates the leaf scans' work counters
+        (:class:`~repro.core.cost.SearchCost`) without changing the return
+        shape existing callers rely on.
+        """
         if query.dimensions != self.dimensions:
             raise QueryError(
                 f"query has {query.dimensions} dimensions, the tree expects {self.dimensions}"
@@ -264,7 +272,7 @@ class KDTree:
             split_index = node.split_index
             if split_index is None:  # leaf
                 found, _ = kernels.range_scan_node(query, radius, node, scan_kernel,
-                                                   query_array=query_array)
+                                                   query_array=query_array, cost=cost)
                 results.extend(found)
                 continue
             offset = query_coords[split_index] - node.split_value

@@ -48,6 +48,7 @@ from repro.core.point import euclidean_distance
 from repro.errors import IndexError_
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.cost import SearchCost
     from repro.core.knn import KSearchState
     from repro.core.node import Node
     from repro.core.point import LabeledPoint
@@ -163,12 +164,18 @@ def knn_scan_points(state: "KSearchState", points: Sequence["LabeledPoint"],
         matrix = coordinate_matrix(points)
     sq = squared_distances(matrix, state.query_array())
     state.points_examined += n
+    cost = state.cost
+    cost.kernel_batches += 1
+    cost.buckets_scanned += 1
+    cost.squared_distance_rows += n
     radius = state.results.current_radius
     if radius != float("inf"):
         mask = sq <= radius * radius * _PREFILTER_SLACK
         # Backward visits mostly find nothing; count before allocating the
         # index array so the no-survivor case exits after one scan.
-        if not np.count_nonzero(mask):
+        survivors = int(np.count_nonzero(mask))
+        cost.pruned_by_radius += n - survivors
+        if not survivors:
             return 0
         candidates = np.nonzero(mask)[0]
         candidate_sq = sq[candidates]
@@ -188,6 +195,7 @@ def knn_scan_points(state: "KSearchState", points: Sequence["LabeledPoint"],
     offer = state.results.offer
     for index in indices:
         point = points[index]
+        cost.distance_computations += 1
         if offer(point, euclidean_distance(query, point)):
             retained += 1
     return retained
@@ -199,6 +207,7 @@ def knn_scan_points(state: "KSearchState", points: Sequence["LabeledPoint"],
 def range_scan_node(query: "LabeledPoint", radius: float, node: "Node",
                     kernel: str,
                     query_array: Optional[np.ndarray] = None,
+                    cost: Optional["SearchCost"] = None,
                     ) -> Tuple[List["Neighbour"], int]:
     """Scan one leaf's bucket for a range search.
 
@@ -207,15 +216,22 @@ def range_scan_node(query: "LabeledPoint", radius: float, node: "Node",
     insertion order exactly like the scalar path).  ``query_array`` lets a
     traversal convert the query coordinates once and reuse them per leaf;
     buckets below the vectorization cutoff skip the matrix build entirely.
+    ``cost``, when given, accumulates the scan's work counters.
     """
     if kernel == "scalar" or len(node.bucket) < RANGE_VECTOR_MIN:
-        return _range_scan_scalar(query, radius, node.bucket)
+        return _range_scan_scalar(query, radius, node.bucket, cost=cost)
     return range_scan_points(query, radius, node.bucket, node.bucket_matrix(),
-                             query_array=query_array)
+                             query_array=query_array, cost=cost)
 
 
 def _range_scan_scalar(query: "LabeledPoint", radius: float,
-                       points: Sequence["LabeledPoint"]) -> Tuple[List[Neighbour], int]:
+                       points: Sequence["LabeledPoint"],
+                       cost: Optional["SearchCost"] = None,
+                       ) -> Tuple[List[Neighbour], int]:
+    if cost is not None:
+        cost.buckets_scanned += 1
+        cost.scalar_fallbacks += 1
+        cost.distance_computations += len(points)
     found: List[Neighbour] = []
     for point in points:
         distance = euclidean_distance(query, point)
@@ -228,13 +244,14 @@ def range_scan_points(query: "LabeledPoint", radius: float,
                       points: Sequence["LabeledPoint"],
                       matrix: Optional[np.ndarray] = None,
                       query_array: Optional[np.ndarray] = None,
+                      cost: Optional["SearchCost"] = None,
                       ) -> Tuple[List[Neighbour], int]:
     """Vectorized range bucket scan (inclusive ``distance <= radius`` rule)."""
     n = len(points)
     if n == 0:
         return [], 0
     if n < RANGE_VECTOR_MIN:
-        return _range_scan_scalar(query, radius, points)
+        return _range_scan_scalar(query, radius, points, cost=cost)
     if matrix is None:
         matrix = coordinate_matrix(points)
     if query_array is None:
@@ -243,7 +260,14 @@ def range_scan_points(query: "LabeledPoint", radius: float,
     mask = sq <= radius * radius * _PREFILTER_SLACK
     # Most leaves of a selective range query hold no hits at all; count
     # before allocating the index array so that case exits after one scan.
-    if not np.count_nonzero(mask):
+    survivors = int(np.count_nonzero(mask))
+    if cost is not None:
+        cost.kernel_batches += 1
+        cost.buckets_scanned += 1
+        cost.squared_distance_rows += n
+        cost.pruned_by_radius += n - survivors
+        cost.distance_computations += survivors
+    if not survivors:
         return [], n
     found = []
     for index in np.nonzero(mask)[0].tolist():

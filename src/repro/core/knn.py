@@ -33,6 +33,7 @@ from typing import Any, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.cost import SearchCost
 from repro.core.point import LabeledPoint, euclidean_distance
 from repro.errors import QueryError
 
@@ -147,6 +148,9 @@ class KSearchState:
         ``Rs``, the bounded result set.
     nodes_visited / points_examined / partitions_visited:
         Reproduction-side counters used by tests and benchmarks.
+    cost:
+        Fine-grained work counters (:class:`~repro.core.cost.SearchCost`):
+        exact distance computations, prefilter prunes, kernel batches.
     """
 
     query: LabeledPoint
@@ -155,6 +159,7 @@ class KSearchState:
     nodes_visited: int = 0
     points_examined: int = 0
     partitions_visited: int = 0
+    cost: SearchCost = field(default_factory=SearchCost)
     visited_partition_ids: List[str] = field(default_factory=list)
     _visited_partition_set: Set[str] = field(default_factory=set, init=False, repr=False)
     _query_array: Optional[np.ndarray] = field(default=None, init=False, repr=False)
@@ -203,6 +208,7 @@ class KSearchState:
     def examine(self, point: LabeledPoint) -> bool:
         """Offer one stored point to the result set; returns True if retained."""
         self.points_examined += 1
+        self.cost.distance_computations += 1
         return self.results.offer(point, euclidean_distance(self.query, point))
 
     def examine_bucket(self, points: List[LabeledPoint]) -> int:
@@ -211,4 +217,6 @@ class KSearchState:
         This is the ``"scalar"`` scan kernel — the per-point correctness
         oracle.  The vectorized path is :func:`repro.core.kernels.knn_scan_node`.
         """
+        self.cost.buckets_scanned += 1
+        self.cost.scalar_fallbacks += 1
         return sum(1 for point in points if self.examine(point))

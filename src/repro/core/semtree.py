@@ -19,11 +19,12 @@ regime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.config import SemTreeConfig
+from repro.core.cost import SearchCost
 from repro.core.distributed import DistributedSemTree
 from repro.core.knn import Neighbour
 from repro.core.point import LabeledPoint
@@ -70,7 +71,10 @@ class SearchOutcome:
     ``generation`` is the index generation the matches were computed at; the
     serving layer keys its result cache on it and the live-ingestion overlay
     (:meth:`repro.ingest.ingesting.IngestingIndex.overlay_matches`) uses it
-    to detect a compaction racing with the read.
+    to detect a compaction racing with the read.  ``cost`` carries the
+    search's fine-grained work counters
+    (:class:`~repro.core.cost.SearchCost`); for a scatter-gather search it is
+    the cluster-wide sum over every shard scanned.
     """
 
     matches: Tuple[SemanticMatch, ...]
@@ -78,6 +82,7 @@ class SearchOutcome:
     nodes_visited: int
     points_examined: int
     generation: int
+    cost: SearchCost = field(default_factory=SearchCost)
 
 
 class SemTreeIndex:
@@ -279,6 +284,7 @@ class SemTreeIndex:
             nodes_visited=state.nodes_visited,
             points_examined=state.points_examined,
             generation=self._generation,
+            cost=state.cost,
         )
 
     def search_range(self, point: LabeledPoint, radius: float) -> SearchOutcome:
@@ -290,6 +296,7 @@ class SemTreeIndex:
             nodes_visited=state.nodes_visited,
             points_examined=state.points_examined,
             generation=self._generation,
+            cost=state.cost,
         )
 
     def overlay_matches(self, kind: str, point: LabeledPoint, parameter: float,

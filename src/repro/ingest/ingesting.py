@@ -265,6 +265,7 @@ class IngestingIndex:
             nodes_visited=state.nodes_visited,
             points_examined=state.points_examined,
             generation=generation,
+            cost=state.cost,
         )
 
     def search_range(self, point: LabeledPoint, radius: float) -> SearchOutcome:
@@ -279,6 +280,7 @@ class IngestingIndex:
             nodes_visited=state.nodes_visited,
             points_examined=state.points_examined,
             generation=generation,
+            cost=state.cost,
         )
 
     def overlay_matches(self, kind: str, point: LabeledPoint, parameter: float,

@@ -11,33 +11,44 @@ Three pillars, threaded through every serving layer:
   and returned in an opt-in ``debug.trace`` response section.
 * :mod:`repro.obs.logging` — structured JSON logs correlated by trace id,
   plus the threshold-configurable slow-query log.
+* :mod:`repro.obs.profile` — a sampling profiler over
+  ``sys._current_frames()`` behind ``GET /v1/debug/profile``.
+* :mod:`repro.obs.history` + :mod:`repro.obs.top` — an in-process ring
+  buffer of registry deltas (``GET /v1/history``) and the live terminal
+  view that polls it.
 
 See ``docs/observability.md`` for the full contract.
 """
 
+from repro.obs.history import MetricsHistory
 from repro.obs.logging import (JsonLogFormatter, SlowQueryLog,
                                configure_logging, get_logger)
+from repro.obs.profile import SamplingProfiler, profile_endpoint
 from repro.obs.prometheus import (CONTENT_TYPE, parse_exposition,
                                   render_exposition, validate_exposition)
 from repro.obs.registry import (DEFAULT_LATENCY_BUCKETS, MetricsRegistry)
-from repro.obs.tracing import (Trace, activate, capture_context, current_trace,
-                               new_trace_id, record_span, resume_context,
-                               sanitize_trace_id, span)
+from repro.obs.tracing import (Trace, activate, annotate_span, capture_context,
+                               current_trace, new_trace_id, record_span,
+                               resume_context, sanitize_trace_id, span)
 
 __all__ = [
     "CONTENT_TYPE",
     "DEFAULT_LATENCY_BUCKETS",
     "JsonLogFormatter",
+    "MetricsHistory",
     "MetricsRegistry",
+    "SamplingProfiler",
     "SlowQueryLog",
     "Trace",
     "activate",
+    "annotate_span",
     "capture_context",
     "configure_logging",
     "current_trace",
     "get_logger",
     "new_trace_id",
     "parse_exposition",
+    "profile_endpoint",
     "record_span",
     "render_exposition",
     "resume_context",

@@ -18,7 +18,7 @@ from typing import Callable, Dict, Mapping
 
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["bind_cache", "bind_http_requests", "bind_runtime"]
+__all__ = ["bind_cache", "bind_http_requests", "bind_runtime", "bind_wire_bytes"]
 
 
 def bind_runtime(registry: MetricsRegistry, *, role: str, version: str) -> None:
@@ -46,6 +46,16 @@ def bind_http_requests(registry: MetricsRegistry,
         ("endpoint",),
     ).set_callback(lambda: {(endpoint,): float(count)
                             for endpoint, count in counts().items()})
+
+
+def bind_wire_bytes(registry: MetricsRegistry,
+                    totals: Callable[[], Mapping[str, int]]) -> None:
+    """Expose HTTP body bytes moved, from a live ``{"in": n, "out": n}`` reader."""
+    registry.counter(
+        "repro_http_bytes_total", "HTTP body bytes moved, by direction.",
+        ("direction",),
+    ).set_callback(lambda: {(direction,): float(count)
+                            for direction, count in totals().items()})
 
 
 def bind_cache(registry: MetricsRegistry, cache) -> None:

@@ -1,0 +1,269 @@
+"""In-process metrics history: a ring buffer of registry deltas.
+
+:class:`MetricsHistory` scrapes a :class:`~repro.obs.registry.MetricsRegistry`
+every ``interval`` seconds, diffs the scrape against the previous one, and
+keeps the derived rates — QPS, latency quantiles from histogram-bucket
+deltas, cache hit rate, queue wait, scatter fan-out, distance computations
+— in a fixed-size deque.  That gives every node a short-term "what just
+happened" record (served as ``GET /v1/history``, rendered live by
+``python -m repro.obs.top``) without any external time-series database.
+
+Quantiles from deltas: two consecutive cumulative scrapes of a histogram
+bracket the observations that landed *between* them, so subtracting the
+bucket counts yields the latency distribution of just that window.  The
+reported quantile is the upper bound of the bucket where the quantile
+falls — the same estimate Prometheus's ``histogram_quantile`` makes.
+
+Everything works on whichever families the registry actually has: a query
+server derives latency from ``repro_query_latency_seconds``, a shard falls
+back to ``repro_shard_scan_seconds``, and series a role does not export
+simply render as ``null`` in its entries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["DEFAULT_CAPACITY", "DEFAULT_INTERVAL", "MetricsHistory"]
+
+#: Snapshot cadence in seconds and entries kept: 5 s × 360 = a 30-minute window.
+DEFAULT_INTERVAL = 5.0
+DEFAULT_CAPACITY = 360
+
+#: Histogram families consulted for the latency series, in preference order.
+_LATENCY_FAMILIES = ("repro_query_latency_seconds", "repro_shard_scan_seconds")
+
+_Scrape = Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
+
+
+def _scrape(registry: MetricsRegistry) -> _Scrape:
+    """Flatten the registry into ``{(sample name, labels): value}``."""
+    flat: _Scrape = {}
+    for family in registry.collect():
+        for sample in family.collect():
+            flat[(sample.name, sample.labels)] = sample.value
+    return flat
+
+
+def _delta(current: _Scrape, previous: _Scrape, name: str,
+           match: Optional[Dict[str, str]] = None) -> float:
+    """Summed increase of every series named ``name`` since ``previous``.
+
+    Per-series, so a counter family growing a new label child between
+    scrapes contributes its full value (its previous reading is 0).
+    Negative per-series deltas (a restarted backing counter) clamp to 0.
+    ``match`` restricts to series whose labels include every given pair.
+    """
+    total = 0.0
+    for (sample_name, labels), value in current.items():
+        if sample_name != name:
+            continue
+        if match is not None:
+            attached = dict(labels)
+            if any(attached.get(k) != v for k, v in match.items()):
+                continue
+        total += max(0.0, value - previous.get((sample_name, labels), 0.0))
+    return total
+
+
+def _bucket_deltas(current: _Scrape, previous: _Scrape,
+                   family: str) -> List[Tuple[float, float]]:
+    """Per-bucket (non-cumulative) observation deltas, sorted by bound."""
+    by_bound: Dict[float, float] = {}
+    for (sample_name, labels), value in current.items():
+        if sample_name != f"{family}_bucket":
+            continue
+        bound = dict(labels).get("le")
+        if bound is None:
+            continue
+        numeric = float("inf") if bound == "+Inf" else float(bound)
+        increase = max(0.0, value - previous.get((sample_name, labels), 0.0))
+        by_bound[numeric] = by_bound.get(numeric, 0.0) + increase
+    bounds = sorted(by_bound)
+    # Cumulative -> per-bucket within the window.
+    deltas: List[Tuple[float, float]] = []
+    below = 0.0
+    for bound in bounds:
+        deltas.append((bound, max(0.0, by_bound[bound] - below)))
+        below = by_bound[bound]
+    return deltas
+
+
+def _quantile(deltas: List[Tuple[float, float]], q: float) -> Optional[float]:
+    """The q-quantile's bucket upper bound, in seconds; None when empty."""
+    total = sum(count for _, count in deltas)
+    if total <= 0:
+        return None
+    target = q * total
+    seen = 0.0
+    last_finite = 0.0
+    for bound, count in deltas:
+        seen += count
+        if bound != float("inf"):
+            last_finite = bound
+        if seen >= target:
+            return last_finite if bound == float("inf") else bound
+    return last_finite
+
+
+class MetricsHistory:
+    """A background scraper keeping the last ``capacity`` registry deltas.
+
+    Parameters
+    ----------
+    registry:
+        The registry to scrape (shared with the Prometheus exposition,
+        so history and scrapes can never disagree).
+    interval:
+        Seconds between snapshots.
+    capacity:
+        Entries retained; the deque drops the oldest beyond it.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 interval: float = DEFAULT_INTERVAL,
+                 capacity: int = DEFAULT_CAPACITY):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.registry = registry
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self._entries: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._previous: Optional[_Scrape] = None
+        self._previous_at: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def start(self) -> "MetricsHistory":
+        """Take the baseline scrape and start the snapshot thread."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+        self._baseline()
+        thread = threading.Thread(target=self._run, name="repro-history",
+                                  daemon=True)
+        with self._lock:
+            self._thread = thread
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the snapshot thread; recorded entries remain readable."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover - keep the thread alive
+                # A scrape callback raising must not kill the history
+                # thread; the next interval retries against live state.
+                continue
+
+    # -- snapshotting -------------------------------------------------------------------
+
+    def _baseline(self) -> None:
+        scrape = _scrape(self.registry)
+        with self._lock:
+            self._previous = scrape
+            self._previous_at = time.monotonic()
+
+    def tick(self) -> Dict[str, Any]:
+        """Take one snapshot now and append its entry (also used by tests)."""
+        now = time.monotonic()
+        scrape = _scrape(self.registry)
+        with self._lock:
+            previous = self._previous
+            previous_at = self._previous_at
+            self._previous = scrape
+            self._previous_at = now
+        if previous is None or previous_at is None:
+            entry = self._entry(scrape, scrape, self.interval)
+        else:
+            entry = self._entry(scrape, previous, max(now - previous_at, 1e-9))
+        with self._lock:
+            self._entries.append(entry)
+        return entry
+
+    def _entry(self, current: _Scrape, previous: _Scrape,
+               elapsed: float) -> Dict[str, Any]:
+        latency_family = next(
+            (name for name in _LATENCY_FAMILIES
+             if any(key[0] == f"{name}_count" for key in current)), None)
+        queries = _delta(current, previous, "repro_queries_total")
+        if queries == 0.0 and latency_family is not None:
+            # Shards have no query counter; executed scans stand in.
+            queries = _delta(current, previous, f"{latency_family}_count")
+
+        entry: Dict[str, Any] = {
+            "ts": time.time(),
+            "elapsed_seconds": elapsed,
+            "queries": queries,
+            "qps": queries / elapsed,
+            "p50_ms": None,
+            "p99_ms": None,
+            "cache_hit_rate": None,
+            "queue_wait_ms": None,
+            "fan_out": None,
+            "distance_computations": _delta(
+                current, previous, "repro_query_cost_total",
+                {"counter": "distance_computations"}),
+        }
+
+        if latency_family is not None:
+            deltas = _bucket_deltas(current, previous, latency_family)
+            p50 = _quantile(deltas, 0.50)
+            p99 = _quantile(deltas, 0.99)
+            entry["p50_ms"] = p50 * 1000.0 if p50 is not None else None
+            entry["p99_ms"] = p99 * 1000.0 if p99 is not None else None
+
+        hits = _delta(current, previous, "repro_cache_hits_total")
+        misses = _delta(current, previous, "repro_cache_misses_total")
+        if hits + misses > 0:
+            entry["cache_hit_rate"] = hits / (hits + misses)
+
+        wait_sum = _delta(current, previous, "repro_queue_wait_seconds_sum")
+        wait_count = _delta(current, previous, "repro_queue_wait_seconds_count")
+        if wait_count > 0:
+            entry["queue_wait_ms"] = wait_sum / wait_count * 1000.0
+
+        scatters = _delta(current, previous, "repro_scatter_queries_total")
+        scans = _delta(current, previous, "repro_shard_scans_total")
+        if scatters > 0:
+            entry["fan_out"] = scans / scatters
+        return entry
+
+    # -- reading ------------------------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The recorded entries, oldest first (a copy)."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def payload(self) -> Dict[str, Any]:
+        """The ``GET /v1/history`` response body."""
+        return {
+            "interval_seconds": self.interval,
+            "capacity": self.capacity,
+            "entries": self.entries(),
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            count = len(self._entries)
+        return (f"MetricsHistory(interval={self.interval}, "
+                f"capacity={self.capacity}, entries={count})")

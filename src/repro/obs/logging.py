@@ -147,8 +147,15 @@ class SlowQueryLog:
                 query: Optional[Dict[str, object]] = None,
                 visited_partitions: Sequence[str] = (),
                 cached: bool = False,
-                trace: Optional[tracing.Trace] = None) -> bool:
-        """Log one served query if it crossed the threshold; returns whether it did."""
+                trace: Optional[tracing.Trace] = None,
+                cost: Optional[Dict[str, int]] = None) -> bool:
+        """Log one served query if it crossed the threshold; returns whether it did.
+
+        ``cost`` is the query's cost-counter breakdown (already a plain
+        dictionary) — attached so a slow-query record explains *why* it was
+        slow (distance computations, buckets scanned) and not just how long
+        it took.
+        """
         threshold = self.threshold_ms
         if threshold is None:
             return False
@@ -169,6 +176,8 @@ class SlowQueryLog:
         }
         if query:
             extra["query"] = query
+        if cost:
+            extra["cost"] = dict(cost)
         if trace is not None:
             extra["trace_id"] = trace.trace_id
             extra["spans"] = trace.to_dict()["spans"]

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 __all__ = [
     "Trace",
     "activate",
+    "annotate_span",
     "capture_context",
     "current_trace",
     "new_trace_id",
@@ -122,6 +123,24 @@ class Trace:
             self._spans.append(recorded)
         return span_id
 
+    def annotate(self, span_id: int, meta: Dict[str, object]) -> None:
+        """Merge extra metadata into an already-open (or closed) span.
+
+        Some annotations — a search's cost counters, for instance — are only
+        known after the span's body has run, when :meth:`begin` has already
+        fixed the initial meta dict.  Unknown ids are ignored.
+        """
+        if not meta:
+            return
+        with self._lock:
+            for recorded in reversed(self._spans):
+                if recorded.span_id == span_id:
+                    if recorded.meta is None:
+                        recorded.meta = dict(meta)
+                    else:
+                        recorded.meta.update(meta)
+                    return
+
     # -- reading ------------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -203,6 +222,20 @@ def record_span(name: str, started: float, ended: float, **meta: object) -> None
     trace = _CURRENT_TRACE.get()
     if trace is not None:
         trace.add(name, started, ended, _CURRENT_SPAN.get(), meta or None)
+
+
+def annotate_span(**meta: object) -> None:
+    """Merge metadata into the *current* span (no-op when untraced).
+
+    Used for facts only known after the span body ran — e.g. the per-query
+    cost counters a search accumulated inside an ``execute`` span.
+    """
+    trace = _CURRENT_TRACE.get()
+    if trace is None:
+        return
+    span_id = _CURRENT_SPAN.get()
+    if span_id is not None:
+        trace.annotate(span_id, meta)
 
 
 def capture_context() -> Tuple[Optional[Trace], Optional[int]]:

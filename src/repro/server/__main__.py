@@ -39,6 +39,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import IndexError_
 from repro.obs.logging import configure_logging
+from repro.obs.profile import SamplingProfiler
 from repro.server.app import ServerApp
 from repro.server.bootstrap import load_shard, recover_index, wal_tail_seq
 from repro.server.http import SemTreeServer
@@ -93,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="log executed queries slower than this many "
                              "milliseconds as structured JSON on repro.slow_query "
                              "(default: REPRO_SLOW_QUERY_MS, unset = disabled)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run a continuous sampling profiler; read it back "
+                             "at GET /v1/debug/profile")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request log lines")
     return parser
@@ -122,6 +126,7 @@ def build_server(argv: Optional[Sequence[str]] = None) -> Tuple[SemTreeServer, a
         checkpoint_path=None if args.no_checkpoint_on_exit else args.snapshot,
         background_compaction=not args.no_background_compaction,
         slow_query_ms=args.slow_query_ms,
+        profiler=SamplingProfiler().start() if args.profile else None,
     )
     server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
     return server, args
@@ -137,8 +142,11 @@ def _build_shard_server(args: argparse.Namespace) -> SemTreeServer:
             f"seq {boot.wal_seq}: a shard has no delta to replay into — "
             "checkpoint the full server first, then boot the shards"
         )
-    return SemTreeServer(ShardApp(boot), host=args.host, port=args.port,
-                         quiet=args.quiet)
+    app = ShardApp(
+        boot, slow_query_ms=args.slow_query_ms,
+        profiler=SamplingProfiler().start() if args.profile else None,
+    )
+    return SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

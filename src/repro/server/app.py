@@ -36,7 +36,9 @@ from repro.ingest.compactor import BackgroundCompactor
 from repro.ingest.ingesting import IngestingIndex
 from repro.io.serialization import json_ready
 from repro.obs import export as obs_export
+from repro.obs.history import MetricsHistory
 from repro.obs.logging import SlowQueryLog
+from repro.obs.profile import SamplingProfiler, profile_endpoint
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import current_trace, span
 from repro.server.schemas import (PartialInsertError, parse_insert_request,
@@ -80,6 +82,7 @@ def _observe_slow_queries(log: SlowQueryLog, results) -> None:
             visited_partitions=result.visited_partitions,
             cached=result.cached,
             trace=trace,
+            cost=result.cost.to_dict() if result.cost is not None else None,
         )
 
 
@@ -110,7 +113,9 @@ class ServerApp:
                  checkpoint_path: str | pathlib.Path | None = None,
                  background_compaction: bool = True,
                  registry: MetricsRegistry | None = None,
-                 slow_query_ms: float | None = None):
+                 slow_query_ms: float | None = None,
+                 profiler: SamplingProfiler | None = None,
+                 history_interval: float = 5.0):
         if not isinstance(index, IngestingIndex):
             raise QueryError(
                 "ServerApp serves an IngestingIndex (wrap the built index so "
@@ -136,6 +141,11 @@ class ServerApp:
         self.slow_query_log = SlowQueryLog(slow_query_ms)
         self.registry = registry or MetricsRegistry()
         self._bind_registry()
+        # A continuously running profiler (--profile) is optional; the
+        # on-demand /v1/debug/profile endpoint works without one.
+        self.profiler = profiler
+        self.history = MetricsHistory(
+            self.registry, interval=history_interval).start()
 
     def _bind_registry(self) -> None:
         """Expose every subsystem through the Prometheus registry.
@@ -182,6 +192,13 @@ class ServerApp:
             "/v1/metrics": self.metrics,
             "/v1/healthz": self.health,
             "/v1/index": self.index_info,
+        }
+
+    def get_param_routes(self) -> Dict[str, Any]:
+        """Path → handler for GET endpoints that consume the query string."""
+        return {
+            "/v1/debug/profile": self.debug_profile,
+            "/v1/history": self.history_payload,
         }
 
     # -- bookkeeping --------------------------------------------------------------------
@@ -334,6 +351,16 @@ class ServerApp:
             "server": server,
         })
 
+    def debug_profile(self, params: Dict[str, str]):
+        """``GET /v1/debug/profile`` — sample the process and render the profile."""
+        self._count("debug_profile")
+        return profile_endpoint(params, self.profiler)
+
+    def history_payload(self, params: Dict[str, str]) -> Dict[str, Any]:
+        """``GET /v1/history`` — the in-process metrics history ring buffer."""
+        self._count("history")
+        return self.history.payload()
+
     def metrics_prometheus(self) -> str:
         """``GET /v1/metrics?format=prometheus`` — text exposition v0.0.4.
 
@@ -365,6 +392,9 @@ class ServerApp:
             if self._closed:
                 return None
             self._closed = True
+        self.history.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         if self.compactor is not None:
             self.compactor.stop()
         self.engine.close(wait=True)

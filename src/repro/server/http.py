@@ -26,6 +26,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import __version__
+from repro.obs import export as obs_export
 from repro.obs import logging as obs_logging
 from repro.obs import prometheus as obs_prometheus
 from repro.obs.tracing import Trace, activate, current_trace, sanitize_trace_id, span
@@ -133,6 +134,17 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_routes(self) -> Dict[str, Callable[[], Dict[str, Any]]]:
         return self.app.get_routes()
 
+    @property
+    def _get_param_routes(self) -> Dict[str, Callable[[Dict[str, str]], Any]]:
+        """GET endpoints that consume the query string (optional per app).
+
+        A handler here receives the parsed query parameters and returns
+        either a JSON-native dictionary or a ``(content_type, text)`` pair
+        for non-JSON payloads (a collapsed-stack profile, for instance).
+        """
+        table = getattr(self.app, "get_param_routes", None)
+        return table() if table is not None else {}
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
         self._observe_request(self._handle_get)
 
@@ -187,6 +199,20 @@ class _Handler(BaseHTTPRequestHandler):
         # bytes must not be parsed as the next request on this connection.
         self._close_if_body_pending()
         route = self._route()
+        param_handler = self._get_param_routes.get(route)
+        if param_handler is not None:
+            try:
+                with span("handle", endpoint=route):
+                    payload = param_handler(self._query_params())
+            except Exception as error:  # noqa: BLE001 - every failure becomes a body
+                self._send_json(status_for(error), error_body(error))
+                return
+            if isinstance(payload, tuple):
+                content_type, text = payload
+                self._send_text(200, text, content_type)
+            else:
+                self._send_json(200, self._attach_debug(payload, trace))
+            return
         handler = self._get_routes.get(route)
         if handler is None:
             self._send_routing_error()
@@ -252,7 +278,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_routing_error(self) -> None:
         self._close_if_body_pending()
-        known = set(self._post_routes) | set(self._get_routes)
+        known = (set(self._post_routes) | set(self._get_routes)
+                 | set(self._get_param_routes))
         if self._route() in known:
             self._send_json(405, {"error": {
                 "type": "MethodNotAllowed",
@@ -314,6 +341,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "message": f"request body exceeds {MAX_BODY_BYTES} bytes",
             }})
         raw = self.rfile.read(length)
+        record = getattr(self.server, "record_wire_bytes", None)
+        if record is not None:
+            record("in", len(raw))
         try:
             return json.loads(raw or b"null"), None
         except json.JSONDecodeError as error:
@@ -332,6 +362,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self._last_status = status
+        record = getattr(self.server, "record_wire_bytes", None)
+        if record is not None:
+            record("out", len(body))
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -397,6 +430,22 @@ class SemTreeServer(ThreadingHTTPServer):
         self.draining = False
         self._handlers_lock = threading.Lock()
         self._live_handlers: set = set()
+        self._wire_lock = threading.Lock()
+        self._wire_bytes: Dict[str, int] = {"in": 0, "out": 0}
+        registry = getattr(app, "registry", None)
+        if registry is not None:
+            obs_export.bind_wire_bytes(registry, self.wire_bytes)
+
+    # -- wire accounting (fed by _Handler) ----------------------------------------------
+
+    def record_wire_bytes(self, direction: str, count: int) -> None:
+        with self._wire_lock:
+            self._wire_bytes[direction] += count
+
+    def wire_bytes(self) -> Dict[str, int]:
+        """HTTP body bytes moved so far, keyed ``in`` / ``out``."""
+        with self._wire_lock:
+            return dict(self._wire_bytes)
 
     # -- connection tracking (see _Handler.handle) --------------------------------------
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.cost import SearchCost
 from repro.errors import ReproError, SchemaError, ServerClosingError, ShardError
 from repro.io.serialization import match_to_dict, term_from_dict, triple_to_dict
 from repro.rdf.terms import Term, term_from_text
@@ -344,17 +345,19 @@ def render_results(results: List[QueryResult], batched: bool) -> Dict[str, Any]:
 
 
 def render_partition_scan(partition_id: str, neighbours, *, nodes_visited: int,
-                          points_examined: int,
-                          elapsed_seconds: float) -> Dict[str, Any]:
+                          points_examined: int, elapsed_seconds: float,
+                          cost: Optional[SearchCost] = None) -> Dict[str, Any]:
     """One shard scan as a JSON-native dictionary.
 
     Matches carry the lossless triple dictionary, the stored point's
     embedded coordinates and the distance; shards do not know document
     provenance (the coordinator owns the provenance map and dresses merged
     results itself).  JSON floats round-trip exactly in Python, so the
-    coordinator's merge sees bit-identical distances.
+    coordinator's merge sees bit-identical distances.  The ``cost``
+    counters cross the wire so the coordinator can report cluster-wide
+    work; older shards simply omit the key.
     """
-    return {
+    payload = {
         "partition_id": partition_id,
         "matches": [
             {
@@ -369,6 +372,9 @@ def render_partition_scan(partition_id: str, neighbours, *, nodes_visited: int,
         "points_examined": points_examined,
         "latency_ms": elapsed_seconds * 1000.0,
     }
+    if cost is not None:
+        payload["cost"] = cost.to_dict()
+    return payload
 
 
 # -- errors --------------------------------------------------------------------------------

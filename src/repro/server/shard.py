@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro import __version__
 from repro.core.distributed import scan_subtree_knn, scan_subtree_range
@@ -30,8 +30,11 @@ from repro.core.point import LabeledPoint
 from repro.errors import SchemaError, ServerClosingError
 from repro.io.serialization import json_ready
 from repro.obs import export as obs_export
+from repro.obs.history import MetricsHistory
+from repro.obs.logging import SlowQueryLog
+from repro.obs.profile import SamplingProfiler, profile_endpoint
 from repro.obs.registry import MetricsRegistry
-from repro.obs.tracing import span
+from repro.obs.tracing import annotate_span, span
 from repro.server.bootstrap import ShardBoot
 from repro.server.schemas import parse_shard_scan_request, render_partition_scan
 from repro.service.planner import QueryKind
@@ -53,7 +56,10 @@ class ShardApp:
         :meth:`from_index` (in-process tests and benchmarks).
     """
 
-    def __init__(self, boot: ShardBoot, *, registry: MetricsRegistry | None = None):
+    def __init__(self, boot: ShardBoot, *, registry: MetricsRegistry | None = None,
+                 slow_query_ms: Optional[float] = None,
+                 profiler: SamplingProfiler | None = None,
+                 history_interval: float = 5.0):
         self.boot = boot
         self.partition_id = boot.partition_id
         self.root = boot.root
@@ -63,10 +69,17 @@ class ShardApp:
         self._nodes_visited = 0
         self._points_examined = 0
         self._scan_seconds = 0.0
+        self._cost_totals: Counter = Counter()
         self._stats_lock = threading.Lock()
         self._closed = False
+        # threshold_ms=None falls back to REPRO_SLOW_QUERY_MS, matching the
+        # serving tier — a slow *scan* is a slow query from the shard's view.
+        self.slow_queries = SlowQueryLog(slow_query_ms)
         self.registry = registry or MetricsRegistry()
         self._bind_registry()
+        self.profiler = profiler
+        self.history = MetricsHistory(
+            self.registry, interval=history_interval).start()
 
     def _bind_registry(self) -> None:
         def locked(attribute: str):
@@ -90,6 +103,16 @@ class ShardApp:
             "repro_shard_scan_seconds", "Duration of one partition scan, by kind.",
             ("kind",),
         )
+        self.registry.counter(
+            "repro_query_cost_total",
+            "Search cost counters accumulated by partition scans.",
+            ("counter",),
+        ).set_callback(self._cost_counter_totals)
+
+    def _cost_counter_totals(self) -> Dict[Tuple[str, ...], float]:
+        with self._stats_lock:
+            return {(name,): float(value)
+                    for name, value in self._cost_totals.items()}
 
     def request_counts(self) -> Dict[str, int]:
         """Requests received so far, by endpoint (a stable read surface)."""
@@ -132,6 +155,24 @@ class ShardApp:
             "/v1/metrics": self.metrics,
         }
 
+    def get_param_routes(self) -> Dict[str, Callable[[Dict[str, str]], Any]]:
+        return {
+            "/v1/debug/profile": self.debug_profile,
+            "/v1/history": self.history_payload,
+        }
+
+    def debug_profile(self, params: Dict[str, str]):
+        """``GET /v1/debug/profile`` — sample the shard process, render the profile."""
+        with self._stats_lock:
+            self._requests["debug_profile"] += 1
+        return profile_endpoint(params, self.profiler)
+
+    def history_payload(self, params: Dict[str, str]) -> Dict[str, Any]:
+        """``GET /v1/history`` — the shard's metrics history ring buffer."""
+        with self._stats_lock:
+            self._requests["history"] += 1
+        return self.history.payload()
+
     # -- scan endpoints -----------------------------------------------------------------
 
     def handle_shard_knn(self, body: Any) -> Dict[str, Any]:
@@ -166,6 +207,8 @@ class ShardApp:
                 state = RangeSearchState(query, parameter)
                 scan_subtree_range(self.root, state, self.config.scan_kernel)
                 neighbours = state.sorted_results()
+            cost_counters = state.cost.to_dict()
+            annotate_span(cost=cost_counters)
         elapsed = time.perf_counter() - started
         self._scan_histogram.labels(kind.value).observe(elapsed)
         with self._stats_lock:
@@ -173,11 +216,18 @@ class ShardApp:
             self._nodes_visited += state.nodes_visited
             self._points_examined += state.points_examined
             self._scan_seconds += elapsed
+            for counter_name, value in cost_counters.items():
+                if value:
+                    self._cost_totals[counter_name] += value
+        self.slow_queries.observe(kind=endpoint, latency_seconds=elapsed,
+                                  visited_partitions=(self.partition_id,),
+                                  cost=cost_counters)
         return render_partition_scan(
             self.partition_id, neighbours,
             nodes_visited=state.nodes_visited,
             points_examined=state.points_examined,
             elapsed_seconds=elapsed,
+            cost=state.cost,
         )
 
     # -- observability endpoints --------------------------------------------------------
@@ -223,6 +273,7 @@ class ShardApp:
                 "nodes_visited": self._nodes_visited,
                 "points_examined": self._points_examined,
                 "scan_seconds": self._scan_seconds,
+                "cost": dict(self._cost_totals),
                 "requests": requests,
                 "uptime_seconds": time.monotonic() - self._started,
             }
@@ -252,6 +303,9 @@ class ShardApp:
         close any app type uniformly.
         """
         self._closed = True
+        self.history.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         return None
 
     def __enter__(self) -> "ShardApp":

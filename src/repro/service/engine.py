@@ -45,9 +45,11 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.core.cost import SearchCost
 from repro.core.semtree import SemanticMatch
 from repro.errors import QueryError
-from repro.obs.tracing import capture_context, record_span, resume_context, span
+from repro.obs.tracing import (annotate_span, capture_context, record_span,
+                               resume_context, span)
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import (PlannedQuery, QueryKind, QueryPlanner, QuerySpec,
@@ -83,6 +85,9 @@ class QueryResult:
                                                repr=False)
     visited_partitions: Tuple[str, ...] = field(default=(), compare=False,
                                                 repr=False)
+    #: Work counters of the search behind this result (``None`` when no
+    #: search ran for this spec — a cache hit or an in-batch duplicate).
+    cost: Optional[SearchCost] = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -109,6 +114,7 @@ class _Execution:
     elapsed: float
     completed_at: float
     generation: int
+    cost: SearchCost = field(default_factory=SearchCost)
 
 
 class QueryEngine:
@@ -285,6 +291,7 @@ class QueryEngine:
                             cached=not is_first,
                             latency_seconds=execution.elapsed if is_first else 0.0,
                             visited_partitions=execution.visited_partitions,
+                            cost=execution.cost if is_first else None,
                         )
                         self._record(
                             result,
@@ -317,6 +324,8 @@ class QueryEngine:
                 matches=self._finalise(planned, execution.matches, execution.generation),
                 cached=False,
                 latency_seconds=execution.elapsed,
+                visited_partitions=execution.visited_partitions,
+                cost=execution.cost,
             ))
         return results
 
@@ -341,7 +350,11 @@ class QueryEngine:
         with resume_context(trace_context):
             record_span("queue_wait", submitted_at, started)
             with span("execute", kind=planned.spec.kind.value):
-                return self._run(planned)
+                execution = self._run(planned)
+                # The cost counters only exist once the search ran, so they
+                # are merged into the execute span post-hoc.
+                annotate_span(cost=execution.cost.to_dict())
+                return execution
 
     def _run(self, planned: PlannedQuery) -> _Execution:
         """One index search (worker-thread body); deterministic per planned query.
@@ -364,6 +377,7 @@ class QueryEngine:
             elapsed=completed_at - started,
             completed_at=completed_at,
             generation=outcome.generation,
+            cost=outcome.cost,
         )
 
     def _finalise(self, planned: PlannedQuery, raw: Tuple[SemanticMatch, ...],
@@ -386,6 +400,9 @@ class QueryEngine:
             )
             if merged is not None:
                 break
+            # A compaction raced the read: the cached tree-side matches are
+            # unsalvageable and the search re-runs under the new epoch.
+            self.metrics.record_overlay_retry()
             execution = self._run(planned)
             raw, generation = execution.matches, execution.generation
             self.cache.put(planned.cache_key, raw, generation)
@@ -409,6 +426,7 @@ class QueryEngine:
             timed_out=result.timed_out,
             failed=result.error is not None and not result.timed_out,
             visited_partitions=visited_partitions,
+            cost=result.cost if not result.cached else None,
         )
 
     # -- observability ------------------------------------------------------------------

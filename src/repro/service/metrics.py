@@ -24,7 +24,15 @@ from repro.errors import EvaluationError
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
 
-__all__ = ["IngestMetrics", "ServiceMetrics", "percentile"]
+__all__ = ["COST_HISTOGRAM_BUCKETS", "IngestMetrics", "ServiceMetrics", "percentile"]
+
+#: Count-scale buckets for per-query work histograms (distance computations
+#: per executed query): powers of four from 1 to ~1M cover a handful-of-points
+#: toy index through a multi-million-point deployment.
+COST_HISTOGRAM_BUCKETS: Tuple[float, ...] = (
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+    1048576.0,
+)
 
 
 def percentile(samples: Iterable[float], fraction: float) -> float:
@@ -88,19 +96,26 @@ class ServiceMetrics:
         self._errors = 0
         self._by_kind: Counter = Counter()
         self._partition_loads: Counter = Counter()
+        self._cost_totals: Counter = Counter()
+        self._overlay_retries = 0
         self._latency_family = None
         self._queue_wait_histogram = None
+        self._distance_family = None
 
     # -- recording ----------------------------------------------------------------------
 
     def record(self, kind: str, latency_seconds: float, *, cached: bool,
                timed_out: bool = False, failed: bool = False,
-               visited_partitions: Iterable[str] = ()) -> None:
+               visited_partitions: Iterable[str] = (),
+               cost=None) -> None:
         """Record one served query.
 
         ``visited_partitions`` are the identities of the partitions the tree
         search entered (empty for cache hits), feeding the per-partition
-        load counters.
+        load counters.  ``cost`` is the search's
+        :class:`~repro.core.cost.SearchCost` (``None`` when no search ran —
+        a cache hit or an in-batch duplicate); its counters accumulate into
+        the per-process work totals and the distance-computation histogram.
 
         Only successfully *executed* queries contribute a latency sample:
         cache hits would flood the percentiles with ~0 values and mask the
@@ -128,9 +143,22 @@ class ServiceMetrics:
                 self._latencies.append(latency_seconds)
             for partition_id in visited_partitions:
                 self._partition_loads[partition_id] += 1
+            if cost is not None:
+                for counter_name, value in cost.to_dict().items():
+                    if value:
+                        self._cost_totals[counter_name] += value
             latency_family = self._latency_family
+            distance_family = self._distance_family
         if executed_ok and latency_family is not None:
             latency_family.labels(kind).observe(latency_seconds)
+        if cost is not None and distance_family is not None:
+            distance_family.labels(kind).observe(float(cost.distance_computations))
+
+    def record_overlay_retry(self) -> None:
+        """Record one overlay recheck: a compaction raced the read and the
+        cached/stale tree-side matches had to be recomputed."""
+        with self._lock:
+            self._overlay_retries += 1
 
     def record_queue_wait(self, seconds: float) -> None:
         """Record how long one query waited for a pool worker to pick it up.
@@ -183,6 +211,15 @@ class ServiceMetrics:
             "repro_partition_visits_total",
             "Tree-search visits, by partition.", ("partition",),
         ).set_callback(self._partition_totals)
+        registry.counter(
+            "repro_query_cost_total",
+            "Per-query work counters summed over executed searches, "
+            "by cost counter.", ("counter",),
+        ).set_callback(self._cost_counter_totals)
+        registry.counter(
+            "repro_overlay_retries_total",
+            "Overlay rechecks forced by a compaction racing a read.",
+        ).set_function(locked("_overlay_retries"))
         with self._lock:
             self._latency_family = registry.histogram(
                 "repro_query_latency_seconds",
@@ -192,6 +229,11 @@ class ServiceMetrics:
                 "repro_queue_wait_seconds",
                 "Time an executed query waited for a pool worker.",
             ).labels()
+            self._distance_family = registry.histogram(
+                "repro_query_distance_computations",
+                "Exact distance computations per executed query, by kind.",
+                ("kind",), buckets=COST_HISTOGRAM_BUCKETS,
+            )
 
     def _kind_totals(self) -> Dict[Tuple[str, ...], float]:
         with self._lock:
@@ -201,6 +243,11 @@ class ServiceMetrics:
         with self._lock:
             return {(partition_id,): float(count)
                     for partition_id, count in self._partition_loads.items()}
+
+    def _cost_counter_totals(self) -> Dict[Tuple[str, ...], float]:
+        with self._lock:
+            return {(counter_name,): float(total)
+                    for counter_name, total in self._cost_totals.items()}
 
     # -- readings -----------------------------------------------------------------------
 
@@ -228,10 +275,12 @@ class ServiceMetrics:
                 "served_from_cache": self._served_from_cache,
                 "timeouts": self._timeouts,
                 "errors": self._errors,
+                "overlay_retries": self._overlay_retries,
                 "wall_seconds": elapsed,
                 "qps": queries / elapsed if elapsed > 0 else 0.0,
                 "queries_by_kind": dict(self._by_kind),
                 "partition_loads": dict(self._partition_loads),
+                "cost": dict(self._cost_totals),
             }
         if latencies:
             snapshot["latency_ms"] = _latency_block(latencies)

@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-sample", action="store_true",
                         help="after the run, send one request with X-Debug-Trace "
                              "and print its span tree")
+    parser.add_argument("--cost-sample", action="store_true",
+                        help="after the run, send one request with X-Debug-Trace "
+                             "and print its per-span cost counters (distance "
+                             "computations, buckets scanned, ...)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the raw summary as JSON instead of text")
     return parser
@@ -87,10 +91,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         client.wait_ready()
     summary = generate_load(args.url, payloads, threads=args.threads,
                             timeout=args.timeout,
-                            trace_sample=args.trace_sample)
+                            trace_sample=args.trace_sample,
+                            cost_sample=args.cost_sample)
     trace = summary.pop("trace_sample", None)
+    costs = summary.pop("cost_sample", None)
     if args.as_json:
-        print(json.dumps({**summary, "trace_sample": trace}, indent=2))
+        payload = dict(summary)
+        if args.trace_sample:
+            payload["trace_sample"] = trace
+        if args.cost_sample:
+            payload["cost_sample"] = costs
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"{int(summary['requests'])} requests over "
           f"{int(summary['threads'])} threads in "
@@ -107,6 +118,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"({trace['duration_ms']:.2f} ms):")
             for root in trace["spans"]:
                 print_span_tree(root, indent=1)
+    if args.cost_sample:
+        if not costs:
+            print("cost sample: no cost annotations in the sampled request "
+                  "(a cached result runs no search)")
+        else:
+            print("cost sample:")
+            for entry in costs:
+                label = entry["span"]
+                if entry.get("partition") is not None:
+                    label += f"[{entry['partition']}]"
+                breakdown = "  ".join(
+                    f"{name}={value}"
+                    for name, value in sorted(entry["cost"].items()))
+                indent = "    " if entry.get("partition") is not None else "  "
+                print(f"{indent}{label}: {breakdown}")
     return 0
 
 

@@ -41,7 +41,7 @@ from repro.obs.tracing import current_trace
 from repro.rdf.triple import Triple, TriplePattern
 from repro.service.metrics import percentile
 
-__all__ = ["ServerClient", "generate_load", "query_payloads"]
+__all__ = ["ServerClient", "generate_load", "query_payloads", "trace_costs"]
 
 #: Connection failures that can hit a reused keep-alive socket before any
 #: response byte arrives; safe to retry once on a fresh connection — for
@@ -423,10 +423,55 @@ def query_payloads(triples: Sequence[Triple], count: int, *, k: int = 3,
     return payloads
 
 
+def trace_costs(trace: Optional[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Every span of a ``debug.trace`` tree carrying cost counters, flattened.
+
+    Returns ``{"span", "depth", "cost", ["partition"]}`` entries in tree
+    order — the ``execute`` span's cluster-wide totals first, then each
+    ``shard_scan``'s per-partition share on a sharded deployment.
+    """
+    found: List[Dict[str, Any]] = []
+
+    def visit(node: Dict[str, Any], depth: int) -> None:
+        meta = node.get("meta") or {}
+        cost = meta.get("cost")
+        if isinstance(cost, dict):
+            entry: Dict[str, Any] = {
+                "span": node.get("name"), "depth": depth, "cost": dict(cost),
+            }
+            if meta.get("partition") is not None:
+                entry["partition"] = meta["partition"]
+            found.append(entry)
+        for child in node.get("children", ()):
+            visit(child, depth + 1)
+
+    if trace:
+        for root in trace.get("spans", ()):
+            visit(root, 0)
+    return found
+
+
+def _uncached_variant(body: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of ``body`` whose cache key no workload payload shares.
+
+    The load run caches every payload it sends, and a cached result runs
+    no search — sampling one verbatim would always report empty costs.
+    Bumping ``k`` (or nudging ``radius``) keeps the query representative
+    while forcing a real execution.
+    """
+    variant = dict(body)
+    if "k" in variant:
+        variant["k"] = int(variant["k"]) + 1
+    elif "radius" in variant:
+        variant["radius"] = float(variant["radius"]) * 1.0009765625
+    return variant
+
+
 def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]], *,
                   threads: int = 4, timeout: float = 30.0,
                   on_result: Callable[[Dict[str, Any]], None] | None = None,
-                  trace_sample: bool = False) -> Dict[str, Any]:
+                  trace_sample: bool = False,
+                  cost_sample: bool = False) -> Dict[str, Any]:
     """Replay a wire workload from ``threads`` concurrent clients.
 
     The payload list is split round-robin across the threads (every payload
@@ -441,6 +486,12 @@ def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]],
     see where one request's wall time goes without touching the measured
     QPS.  (Run after, not during: the debug round trip serialises the whole
     span tree into the response and must not pollute the latency samples.)
+    ``cost_sample=True`` rides the same debug round trip and additionally
+    reports that request's per-span cost counters under ``"cost_sample"``.
+    Because the timed run itself caches every workload payload — and a
+    cache hit runs no search, so carries no cost — the cost sample sends
+    an *uncached variant* of the first payload (``k`` bumped by one, or
+    ``radius`` nudged) so the traced request demonstrably executes.
     """
     if threads < 1:
         raise WorkloadError(f"threads must be >= 1, got {threads}")
@@ -498,10 +549,16 @@ def generate_load(base_url: str, payloads: Sequence[Tuple[str, Dict[str, Any]]],
         "latency_ms_p90": percentile(samples, 0.90) * 1000.0,
         "latency_ms_p99": percentile(samples, 0.99) * 1000.0,
     }
-    if trace_sample:
+    if trace_sample or cost_sample:
         path, body = payloads[0]
+        if cost_sample:
+            body = _uncached_variant(body)
         with ServerClient(base_url, timeout=timeout) as client:
             response = client.request("POST", path, body,
                                       headers={"X-Debug-Trace": "1"})
-        summary["trace_sample"] = response.get("debug", {}).get("trace")
+        trace = response.get("debug", {}).get("trace")
+        if trace_sample:
+            summary["trace_sample"] = trace
+        if cost_sample:
+            summary["cost_sample"] = trace_costs(trace)
     return summary

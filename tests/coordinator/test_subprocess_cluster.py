@@ -177,6 +177,91 @@ def test_debug_trace_covers_the_fan_out_wall_time(cluster):
     assert covered / handle["duration_ms"] >= 0.95, trace
 
 
+def test_cost_annotations_match_the_sequential_oracle(cluster):
+    """Acceptance: cluster-wide cost accounting is exact, not approximate.
+
+    A traced k-NN query across the real subprocess fleet must return
+    per-span cost annotations whose cluster-wide distance-computation
+    total equals the sequential oracle's count — the sum of in-process
+    per-partition scans over the same embedded query.  The k-NN scatter
+    scans every data-bearing partition with an independent top-k state,
+    which is exactly what the oracle below replays, so the totals must be
+    *equal*, not merely close.
+    """
+    import http.client
+    import json
+    import urllib.parse
+
+    from repro.core.distributed import scan_subtree_knn
+    from repro.core.knn import KSearchState
+
+    coordinator, shards, index, triples = cluster
+    # A parameterisation no other test sends: the result must be computed,
+    # not served from the coordinator's cache (a cache hit runs no search
+    # and therefore carries no cost annotation).
+    triple, k = triples[1], 5
+    body = ServerClient.knn_payload(triple, k)
+    parsed = urllib.parse.urlsplit(coordinator.url)
+    connection = http.client.HTTPConnection(parsed.hostname, parsed.port,
+                                            timeout=30)
+    try:
+        connection.request(
+            "POST", "/v1/knn", body=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json",
+                     "X-Debug-Trace": "1"})
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+    finally:
+        connection.close()
+    assert response.status == 200
+
+    def walk(node):
+        yield node
+        for child in node["children"]:
+            yield from walk(child)
+
+    (request,) = payload["debug"]["trace"]["spans"]
+    nodes = list(walk(request))
+
+    (execute,) = [node for node in nodes if node["name"] == "execute"]
+    total = execute["meta"]["cost"]
+    assert total["distance_computations"] > 0
+
+    # The execute-span total is the sum of the per-shard scan annotations.
+    scan_costs = {node["meta"]["partition"]: node["meta"]["cost"]
+                  for node in nodes if node["name"] == "shard_scan"}
+    assert set(scan_costs) == {shard.partition_id for shard in shards}
+    for counter, value in total.items():
+        assert value == sum(cost[counter] for cost in scan_costs.values())
+
+    # The oracle: replay each partition's scan in-process over the same
+    # embedded coordinates and kernel the fleet used.
+    point = index.embed_query(triple)
+    oracle = 0
+    for partition in index.tree.partitions:
+        if partition.point_count == 0:
+            continue
+        state = KSearchState(query=point, k=k)
+        scan_subtree_knn(partition.root, state, index.config.scan_kernel)
+        oracle += state.cost.distance_computations
+    assert total["distance_computations"] == oracle
+
+
+def test_every_tier_serves_profile_and_history(cluster):
+    """/v1/debug/profile and /v1/history answer on coordinator and shards."""
+    coordinator, shards, _, triples = cluster
+    for managed in [coordinator, *shards]:
+        client = ServerClient(managed.url)
+        try:
+            profile = client.request("GET", "/v1/debug/profile?seconds=0.05")
+            assert profile["source"] == "on_demand"
+            assert profile["samples"] > 0
+            history = client.request("GET", "/v1/history")
+            assert set(history) == {"interval_seconds", "capacity", "entries"}
+        finally:
+            client.close()
+
+
 def test_killed_shard_surfaces_as_structured_error_and_503_free(cluster):
     """Run LAST in the module: it kills a shard for good.
 

@@ -1,0 +1,155 @@
+"""Tests for the stdlib sampling profiler (repro.obs.profile)."""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.errors import QueryError
+from repro.obs.profile import (DEFAULT_HZ, MAX_HZ, MAX_PROFILE_SECONDS,
+                               SamplingProfiler, profile_endpoint)
+
+
+def _busy_repro_loop(stop: threading.Event) -> None:
+    """CPU work whose frames live in a ``repro``-named module.
+
+    The loop body calls into :mod:`repro.core.cost`, so any sample taken
+    while this thread runs carries at least one ``repro.`` frame.
+    """
+    from repro.core.cost import SearchCost
+
+    while not stop.is_set():
+        cost = SearchCost()
+        for _ in range(50):
+            cost.add(SearchCost(distance_computations=1))
+
+
+@pytest.fixture
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=_busy_repro_loop, args=(stop,), daemon=True)
+    thread.start()
+    yield thread
+    stop.set()
+    thread.join(timeout=5.0)
+
+
+class TestSamplingProfiler:
+    def test_samples_running_repro_code(self, busy_thread):
+        profiler = SamplingProfiler(hz=200).start()
+        time.sleep(0.3)
+        profiler.stop()
+        assert profiler.total_samples > 0
+        assert profiler.wall_seconds() > 0.0
+        stacks = profiler.snapshot()
+        # The busy thread's stack must appear, with its frames root-first.
+        busy = [stack for stack in stacks
+                if any(label.startswith("repro.core.cost") for label in stack)]
+        assert busy, sorted(stacks)
+        for stack in busy:
+            assert stack[0].endswith("_busy_repro_loop") or \
+                stack[0].startswith("threading."), stack
+
+    def test_collapsed_format_is_flamegraph_ready(self, busy_thread):
+        profiler = SamplingProfiler(hz=200).start()
+        time.sleep(0.2)
+        profiler.stop()
+        collapsed = profiler.collapsed()
+        assert collapsed.endswith("\n")
+        for line in collapsed.strip().splitlines():
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert frames  # ;-joined labels
+        assert "repro.core.cost" in collapsed
+
+    def test_start_and_stop_are_idempotent(self):
+        profiler = SamplingProfiler(hz=50)
+        assert not profiler.running
+        profiler.start()
+        first = profiler._thread
+        profiler.start()
+        assert profiler._thread is first  # no second sampler thread
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_hz_is_clamped(self):
+        assert SamplingProfiler(hz=0).hz == 1
+        assert SamplingProfiler(hz=10**6).hz == MAX_HZ
+        assert SamplingProfiler().hz == DEFAULT_HZ
+
+    def test_top_self_and_cumulative_attribution(self):
+        profiler = SamplingProfiler()
+        # White-box: inject a deterministic sample set.  Stacks are
+        # root-first, so the *last* label is the executing function.
+        profiler._samples = Counter({
+            ("main", "serve", "scan"): 6,
+            ("main", "serve"): 3,
+            ("main",): 1,
+        })
+        profiler._total = 10
+        rows = {row["function"]: row for row in profiler.top()}
+        assert rows["scan"]["self"] == 6
+        assert rows["scan"]["cumulative"] == 6
+        assert rows["serve"]["self"] == 3
+        assert rows["serve"]["cumulative"] == 9
+        assert rows["main"]["self"] == 1
+        assert rows["main"]["cumulative"] == 10
+        assert rows["scan"]["self_fraction"] == pytest.approx(0.6)
+        assert rows["serve"]["cumulative_fraction"] == pytest.approx(0.9)
+
+    def test_empty_profiler_renders_empty(self):
+        profiler = SamplingProfiler()
+        assert profiler.collapsed() == ""
+        assert profiler.top() == []
+        assert profiler.total_samples == 0
+
+
+class TestProfileEndpoint:
+    def test_on_demand_top_payload(self, busy_thread):
+        payload = profile_endpoint({"seconds": "0.1", "hz": "200"})
+        assert payload["source"] == "on_demand"
+        assert payload["hz"] == 200
+        assert payload["samples"] > 0
+        assert payload["wall_seconds"] >= 0.1
+        assert all({"function", "self", "cumulative"} <= set(row)
+                   for row in payload["functions"])
+
+    def test_on_demand_collapsed_is_a_text_tuple(self, busy_thread):
+        content_type, text = profile_endpoint(
+            {"seconds": "0.1", "format": "collapsed"})
+        assert content_type.startswith("text/plain")
+        assert text == "" or text.endswith("\n")
+
+    def test_continuous_profiler_is_read_without_interruption(self, busy_thread):
+        continuous = SamplingProfiler(hz=200).start()
+        try:
+            time.sleep(0.2)
+            payload = profile_endpoint({}, continuous)
+            assert payload["source"] == "continuous"
+            assert payload["samples"] > 0
+            assert continuous.running  # reading did not stop collection
+            # An explicit seconds= asks for a fresh on-demand burst even
+            # when a continuous profiler is running.
+            burst = profile_endpoint({"seconds": "0.05"}, continuous)
+            assert burst["source"] == "on_demand"
+        finally:
+            continuous.stop()
+
+    def test_seconds_is_capped(self):
+        payload = profile_endpoint({"seconds": "0.01"})
+        assert payload["wall_seconds"] < MAX_PROFILE_SECONDS
+
+    @pytest.mark.parametrize("params, message", [
+        ({"format": "svg"}, "unknown profile format"),
+        ({"seconds": "nope"}, "seconds must be a number"),
+        ({"seconds": "-1"}, "seconds must be positive"),
+        ({"hz": "0"}, "hz must be positive"),
+    ])
+    def test_bad_parameters_raise_query_errors(self, params, message):
+        with pytest.raises(QueryError, match=message):
+            profile_endpoint(params)

@@ -6,6 +6,7 @@ import threading
 import pytest
 
 from repro.errors import ObservabilityError
+from repro.obs.prometheus import parse_exposition, validate_exposition
 from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
 
@@ -149,6 +150,65 @@ class TestRegistry:
         assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0
         assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
         assert not any(math.isinf(b) for b in DEFAULT_LATENCY_BUCKETS)
+
+    def test_scrapes_race_child_creation_and_observations(self):
+        """Stress: scrapers versus writers on one registry, no locks dropped.
+
+        Scrape threads render the Prometheus exposition and walk
+        ``collect()`` (the JSON path) while writer threads keep creating
+        new labelled children and observing histograms.  Nothing may
+        raise, every exposition snapshot must parse cleanly, and the
+        counters visible in successive scrapes must be monotone.
+        """
+        registry = MetricsRegistry()
+        counter = registry.counter("stress_total", "help", ("kind",))
+        histogram = registry.histogram("stress_seconds", "help", ("kind",),
+                                       buckets=(0.001, 0.01, 0.1))
+        rounds, writers, scrapers = 400, 4, 3
+        start = threading.Barrier(writers + scrapers)
+        errors = []
+        totals_seen = []
+
+        def write(worker: int):
+            try:
+                start.wait()
+                for i in range(rounds):
+                    # A fresh label every few iterations races child
+                    # creation against the scrapers' family walks.
+                    counter.labels(f"w{worker}-{i % 17}").inc()
+                    histogram.labels(f"w{worker}-{i % 5}").observe(0.004)
+            except Exception as error:  # noqa: BLE001 - join reports it
+                errors.append(error)
+
+        def scrape():
+            try:
+                start.wait()
+                seen = []
+                for _ in range(rounds // 4):
+                    families = parse_exposition(registry.render())
+                    assert validate_exposition(families) == []
+                    total = sum(sample.value
+                                for sample in families["stress_total"].samples)
+                    seen.append(total)
+                    for family in registry.collect():
+                        for sample in family.collect():
+                            assert sample.value >= 0.0
+                totals_seen.append(seen)
+            except Exception as error:  # noqa: BLE001 - join reports it
+                errors.append(error)
+
+        threads = [threading.Thread(target=write, args=(w,))
+                   for w in range(writers)]
+        threads += [threading.Thread(target=scrape) for _ in range(scrapers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        for seen in totals_seen:
+            assert seen == sorted(seen)  # counters never move backwards
+        final = sum(sample.value for sample in counter.collect())
+        assert final == writers * rounds
 
     def test_concurrent_observations_are_not_lost(self):
         registry = MetricsRegistry()

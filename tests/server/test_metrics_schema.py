@@ -19,8 +19,8 @@ SNAKE_CASE = re.compile(r"^[a-z0-9_]+$")
 
 SERVING_KEYS = {
     "queries", "executed", "served_from_cache", "timeouts", "errors",
-    "wall_seconds", "qps", "queries_by_kind", "partition_loads",
-    "latency_ms", "queue_wait_ms", "workers",
+    "overlay_retries", "wall_seconds", "qps", "queries_by_kind",
+    "partition_loads", "cost", "latency_ms", "queue_wait_ms", "workers",
 }
 LATENCY_KEYS = {"mean", "p50", "p90", "p99", "max"}
 CACHE_KEYS = {

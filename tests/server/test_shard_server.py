@@ -68,6 +68,29 @@ class TestScanEndpoints:
             client.knn(BASE_TRIPLES[0], 3)
         assert excinfo.value.status == 404
 
+    def test_scans_accumulate_cost_counters(self, shard):
+        index, partition_id, _, client = shard
+        point = index.embed_query(BASE_TRIPLES[0])
+        wire = client.shard_knn(point.coordinates, 3)
+        assert wire["cost"]["distance_computations"] > 0
+        metrics = client.metrics()
+        cost = metrics["shard"]["cost"]
+        assert cost["distance_computations"] >= \
+            wire["cost"]["distance_computations"]
+        exposition = client.metrics_prometheus()
+        assert 'repro_query_cost_total{counter="distance_computations"}' \
+            in exposition
+
+    def test_profile_and_history_endpoints(self, shard):
+        _, _, server, client = shard
+        profile = client.request("GET", "/v1/debug/profile?seconds=0.05")
+        assert profile["source"] == "on_demand"
+        assert profile["samples"] > 0
+        point_history = client.request("GET", "/v1/history")
+        assert set(point_history) == {"interval_seconds", "capacity", "entries"}
+        server.app.history.tick()
+        assert client.request("GET", "/v1/history")["entries"]
+
     def test_health_and_info_and_metrics(self, shard):
         index, partition_id, _, client = shard
         health = client.health()
@@ -163,3 +186,34 @@ class TestSnapshotBoot:
         _, snapshot = checkpoint
         with pytest.raises(SystemExit):
             build_server(["--snapshot", str(snapshot)])
+
+    def test_cli_shard_honours_slow_query_ms(self, checkpoint):
+        # Regression: shard mode used to drop --slow-query-ms on the floor.
+        _, snapshot = checkpoint
+        server, _ = build_server(["--snapshot", str(snapshot),
+                                  "--shard", "P0", "--slow-query-ms", "5"])
+        try:
+            assert server.app.slow_queries.enabled
+            assert server.app.slow_queries.threshold_ms == 5.0
+        finally:
+            server.close()
+
+    def test_cli_shard_reads_slow_query_env(self, checkpoint, monkeypatch):
+        _, snapshot = checkpoint
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "7.5")
+        server, _ = build_server(["--snapshot", str(snapshot), "--shard", "P0"])
+        try:
+            assert server.app.slow_queries.threshold_ms == 7.5
+        finally:
+            server.close()
+
+    def test_cli_shard_profile_flag_runs_a_continuous_profiler(self, checkpoint):
+        _, snapshot = checkpoint
+        server, _ = build_server(["--snapshot", str(snapshot),
+                                  "--shard", "P0", "--profile"])
+        try:
+            assert server.app.profiler is not None
+            assert server.app.profiler.running
+        finally:
+            server.close()
+        assert not server.app.profiler.running  # close() stops sampling

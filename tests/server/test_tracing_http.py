@@ -143,6 +143,21 @@ class TestDebugTrace:
         assert sample is not None
         assert "request" in set(span_names(sample["spans"][0]))
 
+    def test_client_cost_sample_misses_the_cache(self, make_server):
+        # The timed run caches every payload it sends; a verbatim replay
+        # would be a cache hit and report no cost.  The sample must send
+        # an uncached variant so its trace carries real cost counters.
+        from repro.workloads import generate_load
+
+        server, _ = make_server()
+        payloads = [("/v1/knn", ServerClient.knn_payload(QUERY_TRIPLES[0], 3))]
+        summary = generate_load(server.url, payloads, threads=1,
+                                cost_sample=True)
+        costs = summary["cost_sample"]
+        assert costs, "cost sample hit the cache and reported no counters"
+        assert any(entry["cost"].get("distance_computations", 0) > 0
+                   for entry in costs)
+
 
 class TestSlowQueryLog:
     def test_slow_queries_are_logged_with_trace_id(self, make_server, caplog):

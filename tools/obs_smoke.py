@@ -8,11 +8,20 @@ observability surface end to end:
 1. ``GET /v1/metrics?format=prometheus`` answers with the v0.0.4 content
    type, parses, and passes every exposition invariant
    (:func:`~repro.obs.prometheus.validate_exposition`);
-2. the core metric families are present;
+2. the core metric families are present — including the per-query cost
+   counters (``repro_query_cost_total``);
 3. the exposition agrees with the JSON ``/v1/metrics`` payload on the
    shared counters (the two are rendered from the same registry);
 4. a request with ``X-Debug-Trace`` returns a span tree carrying the
-   client's ``X-Trace-Id``.
+   client's ``X-Trace-Id`` and a cost annotation on its ``execute`` span;
+5. ``GET /v1/debug/profile`` returns collapsed stacks with ``repro.*``
+   frames, and ``GET /v1/history`` records the traffic just generated.
+
+A second stage launches a *real* shard fleet (``python -m repro.server
+--shard`` subprocesses plus a ``python -m repro.coordinator``) and checks
+the same surface across processes: cluster-wide cost annotations in a
+traced response, cost counters in the shard exposition, and the profile /
+history endpoints on every tier.
 
 Exit status 0 on success, 1 with one line per failure — what the CI
 observability job keys off.  Run from the repository root::
@@ -43,9 +52,11 @@ CORE_FAMILIES = {
     "repro_build_info",
     "repro_uptime_seconds",
     "repro_http_requests_total",
+    "repro_http_bytes_total",
     "repro_queries_total",
     "repro_queries_executed_total",
     "repro_query_latency_seconds",
+    "repro_query_cost_total",
     "repro_queue_wait_seconds",
     "repro_cache_hits_total",
     "repro_cache_misses_total",
@@ -54,6 +65,21 @@ CORE_FAMILIES = {
     "repro_index_generation",
     "repro_engine_workers",
 }
+
+
+def walk_spans(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from walk_spans(child)
+
+
+def cost_of(trace, span_name: str):
+    """The ``cost`` annotation of the first span named ``span_name``."""
+    for root in trace.get("spans", ()):
+        for node in walk_spans(root):
+            if node.get("name") == span_name:
+                return (node.get("meta") or {}).get("cost")
+    return None
 
 
 def build_server(tmp_dir: Path):
@@ -130,11 +156,12 @@ def run_smoke() -> list[str]:
             if value_of("repro_cache_hits_total") != metrics["cache"]["hits"]:
                 problems.append("cache-hit counter disagrees with JSON")
 
-            # Tracing: opt-in span tree with the client's trace id.
+            # Tracing: opt-in span tree with the client's trace id, whose
+            # execute span carries the query's cost-counter annotation.
             from repro.io.serialization import triple_to_dict
             status, headers, traced = post(
                 f"{server.url}/v1/knn",
-                {"triple": triple_to_dict(triples[0]), "k": 2},
+                {"triple": triple_to_dict(triples[0]), "k": 7},
                 headers={"X-Trace-Id": "obs-smoke-1", "X-Debug-Trace": "1"})
             if headers.get("X-Trace-Id") != "obs-smoke-1":
                 problems.append("X-Trace-Id was not echoed")
@@ -143,18 +170,153 @@ def run_smoke() -> list[str]:
                 problems.append("debug trace missing or with wrong trace id")
             elif not trace.get("spans"):
                 problems.append("debug trace has no spans")
+            else:
+                cost = cost_of(trace, "execute")
+                if not cost or cost.get("distance_computations", 0) <= 0:
+                    problems.append(
+                        f"traced execute span has no cost annotation: {cost}")
+
+            # Cost counters must reach the exposition too.
+            families = parse_exposition(
+                fetch(f"{server.url}/v1/metrics?format=prometheus")[2]
+                .decode("utf-8"))
+            cost_series = {
+                dict(sample.labels).get("counter"): sample.value
+                for sample in families["repro_query_cost_total"].samples
+            } if "repro_query_cost_total" in families else {}
+            if cost_series.get("distance_computations", 0) <= 0:
+                problems.append(
+                    f"exposition cost counters are empty: {cost_series}")
+
+            # Sampling profiler: collapsed stacks with repro frames.
+            status, _, collapsed = fetch(
+                f"{server.url}/v1/debug/profile?seconds=0.3&format=collapsed")
+            if status != 200:
+                problems.append(f"profile endpoint answered {status}")
+            lines = collapsed.decode("utf-8").strip().splitlines()
+            if not lines:
+                problems.append("profile returned no stacks")
+            elif not any("repro." in line for line in lines):
+                problems.append("no repro frames in the profile")
+
+            # History: force one window to close, then read it back.
+            server.app.history.tick()
+            status, _, raw_history = fetch(f"{server.url}/v1/history")
+            history = json.loads(raw_history)
+            entries = history.get("entries", [])
+            if not entries:
+                problems.append("history has no entries after a tick")
+            elif entries[-1].get("queries", 0) <= 0:
+                problems.append(f"history recorded no queries: {entries[-1]}")
         finally:
             server.close(checkpoint=False)
     return problems
 
 
+def run_fleet_smoke() -> list[str]:
+    """The same surface across a real coordinator + shard subprocess fleet."""
+    from repro.coordinator import (launch_coordinator, launch_shards,
+                                   shutdown_processes)
+    from repro.core import SemTreeConfig, SemTreeIndex
+    from repro.io.serialization import triple_to_dict
+    from repro.server.bootstrap import vocabulary_hints
+
+    problems: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-fleet-") as tmp:
+        tmp_dir = Path(tmp)
+        corpus = RequirementsGenerator(GeneratorConfig(
+            documents=5, requirements_per_document=4,
+            sentences_per_requirement=2, actors=8, seed=11,
+        )).generate()
+        vocabularies = build_requirement_vocabularies(
+            corpus.actor_names, corpus.parameter_values)
+        index = SemTreeIndex(
+            build_requirement_distance(vocabularies),
+            SemTreeConfig(dimensions=3, bucket_size=4, max_partitions=4,
+                          partition_capacity=16))
+        triples = []
+        for document in corpus.documents:
+            rdf_document = document.to_rdf_document()
+            triples.extend(rdf_document.triples)
+            index.add_document(rdf_document)
+        index.build()
+        actors, parameters = vocabulary_hints(triples)
+        live = IngestingIndex(
+            index, tmp_dir / "wal.jsonl",
+            vocabulary_hints={"actors": actors, "parameters": parameters})
+        snapshot = tmp_dir / "snapshot.json"
+        live.checkpoint(snapshot)
+        live.close()
+
+        data_partitions = [p.partition_id for p in index.tree.partitions
+                           if p.point_count > 0]
+        if len(data_partitions) < 2:
+            return [f"fleet corpus built only {len(data_partitions)} "
+                    "data partitions"]
+        fleet = []
+        try:
+            shards = launch_shards(snapshot, data_partitions)
+            fleet.extend(shards)
+            coordinator = launch_coordinator(
+                snapshot, {shard.partition_id: shard.url for shard in shards})
+            fleet.append(coordinator)
+
+            _, _, traced = post(
+                f"{coordinator.url}/v1/knn",
+                {"triple": triple_to_dict(triples[0]), "k": 5},
+                headers={"X-Debug-Trace": "1"})
+            trace = traced.get("debug", {}).get("trace", {})
+            cost = cost_of(trace, "execute")
+            if not cost or cost.get("distance_computations", 0) <= 0:
+                problems.append(
+                    f"fleet execute span has no cost annotation: {cost}")
+            scan_costs = [
+                (node.get("meta") or {}).get("cost")
+                for root in trace.get("spans", ())
+                for node in walk_spans(root)
+                if node.get("name") == "shard_scan"
+            ]
+            if len(scan_costs) != len(shards) or not all(scan_costs):
+                problems.append(
+                    f"expected {len(shards)} annotated shard_scan spans, "
+                    f"got {scan_costs}")
+            elif cost and cost.get("distance_computations") != sum(
+                    c.get("distance_computations", 0) for c in scan_costs):
+                problems.append(
+                    "cluster-wide cost does not sum the shard scans")
+
+            # Cost counters in the shard exposition; profile + history on
+            # every tier of the fleet.
+            for managed in fleet:
+                exposition = parse_exposition(fetch(
+                    f"{managed.url}/v1/metrics?format=prometheus")[2]
+                    .decode("utf-8"))
+                if "repro_query_cost_total" not in exposition:
+                    problems.append(
+                        f"{managed.role}: no cost counters in exposition")
+                status, _, collapsed = fetch(
+                    f"{managed.url}/v1/debug/profile"
+                    "?seconds=0.2&format=collapsed")
+                if status != 200 or not collapsed.decode("utf-8").strip():
+                    problems.append(f"{managed.role}: empty profile")
+                status, _, raw_history = fetch(f"{managed.url}/v1/history")
+                history = json.loads(raw_history)
+                if status != 200 or "entries" not in history:
+                    problems.append(f"{managed.role}: bad history payload")
+        finally:
+            shutdown_processes(fleet)
+    return problems
+
+
 def main() -> int:
     problems = run_smoke()
+    problems += run_fleet_smoke()
     for problem in problems:
         print(f"obs smoke: {problem}", file=sys.stderr)
     if not problems:
-        print("obs smoke: exposition valid, core series present, "
-              "formats agree, tracing round-trips")
+        print("obs smoke: exposition valid, core series present, formats "
+              "agree, tracing round-trips, cost accounting sums across the "
+              "fleet, profile and history answer on every tier")
     return 1 if problems else 0
 
 
