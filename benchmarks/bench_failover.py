@@ -1,0 +1,219 @@
+"""Failover cost — replicated fleet throughput, healthy vs one replica down.
+
+The robustness question the replica story must answer with numbers: what
+does running two replicas per partition cost when nothing fails, and what
+does it buy when something does?  For each replica count this benchmark
+
+1. checkpoints the requirements corpus index and boots a **real fleet** —
+   ``replicas`` shard processes per data partition plus a ``python -m
+   repro.coordinator`` with a one-strike circuit breaker,
+2. measures the steady-state mixed k-NN/range wire workload
+   (``healthy`` series),
+3. SIGKILLs one partition's primary replica and replays a fresh workload
+   (``one_replica_down`` series) with ``allow_partial`` set, recording how
+   many answers came back degraded and how many scans were retried.
+
+Shape expectations encoded below: with two replicas the kill is invisible
+— zero degraded answers (failover re-scans the survivor, answers stay
+exact) at the price of counted retries; with one replica the same kill
+turns every query over the dead partition into a degraded answer.  Either
+way availability stays 1.0 — ``generate_load`` raises on any failed
+request, so the report completing *is* the availability floor.
+
+Quick mode (``FAILOVER_BENCH_QUICK=1``, used by the CI chaos-smoke job)
+shrinks the corpus and workload so the file doubles as a degraded-mode
+smoke test of the replicated fleet.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core import SemTreeConfig, SemTreeIndex
+from repro.coordinator import (launch_coordinator, launch_replica_fleet,
+                               shutdown_processes)
+from repro.evaluation import Experiment
+from repro.ingest import IngestingIndex
+from repro.requirements import (GeneratorConfig, RequirementsGenerator,
+                                build_requirement_distance,
+                                build_requirement_vocabularies)
+from repro.server.bootstrap import vocabulary_hints
+from repro.workloads import ServerClient, generate_load, query_payloads
+
+from .conftest import write_report
+
+QUICK = bool(os.environ.get("FAILOVER_BENCH_QUICK"))
+
+REPLICA_COUNTS: Tuple[int, ...] = (1, 2)
+REQUEST_COUNT = 48 if QUICK else 240
+CLIENT_THREADS = 4
+
+
+def _build_corpus_index() -> Tuple[SemTreeIndex, List]:
+    config = GeneratorConfig(
+        documents=4 if QUICK else 8, requirements_per_document=6,
+        sentences_per_requirement=3, actors=16, inconsistency_rate=0.2,
+        restatement_rate=0.2, seed=31,
+    )
+    corpus = RequirementsGenerator(config).generate()
+    vocabularies = build_requirement_vocabularies(
+        corpus.actor_names, corpus.parameter_values
+    )
+    index = SemTreeIndex(build_requirement_distance(vocabularies), SemTreeConfig(
+        dimensions=4, bucket_size=8, max_partitions=4, partition_capacity=48,
+    ))
+    for document in corpus.documents:
+        index.add_document(document.to_rdf_document())
+    index.build()
+    triples = list(dict.fromkeys(corpus.all_triples()))
+    return index, triples
+
+
+def _checkpoint(index: SemTreeIndex, triples, tmp_path):
+    actors, parameters = vocabulary_hints(triples)
+    live = IngestingIndex(
+        index, tmp_path / "wal.jsonl",
+        vocabulary_hints={"actors": actors, "parameters": parameters},
+    )
+    snapshot = tmp_path / "snapshot.json"
+    live.checkpoint(snapshot)
+    live.close()
+    return snapshot
+
+
+def _partial_payloads(payloads):
+    """The same workload with ``allow_partial`` set on every request."""
+    return [(path, {**body, "allow_partial": True}) for path, body in payloads]
+
+
+def _launch_fleet(snapshot, index, replicas: int):
+    """``replicas`` shard processes per data partition + coordinator."""
+    data_partitions = [
+        partition.partition_id for partition in index.tree.partitions
+        if partition.point_count > 0
+    ]
+    fleet = launch_replica_fleet(snapshot, data_partitions, replicas=replicas)
+    processes = [managed for group in fleet.values() for managed in group]
+    coordinator = launch_coordinator(
+        snapshot,
+        {pid: [managed.url for managed in group]
+         for pid, group in fleet.items()},
+        extra_args=["--failure-threshold", "1"],
+    )
+    processes.append(coordinator)
+    return fleet, coordinator, processes
+
+
+def _run_counted(url: str, payloads) -> Dict[str, float]:
+    """One load run, additionally counting degraded answers and retries."""
+    degraded = [0]
+
+    def tally(result):
+        if result.get("degraded"):
+            degraded[0] += 1
+
+    summary = generate_load(url, payloads, threads=CLIENT_THREADS,
+                            on_result=tally)
+    summary["degraded_answers"] = float(degraded[0])
+    summary["availability"] = 1.0  # generate_load raised otherwise
+    with ServerClient(url) as client:
+        failover = client.metrics()["shards"]["failover"]
+    summary["shard_retries"] = float(
+        sum(entry["retries"] for entry in failover.values()))
+    summary["circuit_opens"] = float(
+        sum(entry["circuit_opens"] for entry in failover.values()))
+    return summary
+
+
+def _measure(snapshot, index, replicas: int, *, kill: bool,
+             seed: int) -> Dict[str, float]:
+    fleet, coordinator, processes = _launch_fleet(snapshot, index, replicas)
+    try:
+        triples = _TRIPLES_CACHE[id(index)]
+        payloads = query_payloads(triples, REQUEST_COUNT, k=3, radius=0.15,
+                                  repeat_fraction=0.0, seed=seed)
+        if kill:
+            victim_partition = sorted(fleet)[0]
+            fleet[victim_partition][0].kill()
+            payloads = _partial_payloads(payloads)
+        summary = _run_counted(coordinator.url, payloads)
+        summary["replica_processes"] = float(
+            sum(len(group) for group in fleet.values()))
+        return summary
+    finally:
+        shutdown_processes(processes)
+
+
+#: ``_measure`` needs the triple list matching each index; keyed by id()
+#: because SemTreeIndex is not hashable.
+_TRIPLES_CACHE: Dict[int, List] = {}
+
+
+# -- pytest-benchmark case ----------------------------------------------------------------
+
+@pytest.mark.benchmark(group="failover")
+def test_replicated_fleet_round_trips(benchmark, tmp_path):
+    index, triples = _build_corpus_index()
+    snapshot = _checkpoint(index, triples, tmp_path)
+    payloads = query_payloads(triples, REQUEST_COUNT, k=3, radius=0.15,
+                              repeat_fraction=0.0, seed=47)
+    _, coordinator, processes = _launch_fleet(snapshot, index, replicas=2)
+    try:
+        benchmark.pedantic(
+            lambda: generate_load(coordinator.url, payloads,
+                                  threads=CLIENT_THREADS),
+            rounds=2 if QUICK else 3, iterations=1,
+        )
+    finally:
+        shutdown_processes(processes)
+
+
+# -- the report itself --------------------------------------------------------------------
+
+def test_report_failover(results_dir, tmp_path):
+    experiment = Experiment(
+        experiment_id="failover",
+        description="Replicated fleet under failure: steady-state throughput "
+                    "and a mid-fleet replica SIGKILL, vs replicas per "
+                    f"partition, over {REQUEST_COUNT} mixed k-NN/range "
+                    "requests",
+        swept_parameter="replicas_per_partition",
+    )
+    index, triples = _build_corpus_index()
+    _TRIPLES_CACHE[id(index)] = triples
+    snapshot = _checkpoint(index, triples, tmp_path)
+
+    experiment.run_sweep(
+        "healthy", REPLICA_COUNTS,
+        lambda count: _measure(snapshot, index, int(count), kill=False,
+                               seed=61),
+    )
+    experiment.run_sweep(
+        "one_replica_down", REPLICA_COUNTS,
+        lambda count: _measure(snapshot, index, int(count), kill=True,
+                               seed=67),
+    )
+
+    healthy = experiment.series["healthy"]
+    degraded = experiment.series["one_replica_down"]
+    assert all(count == REQUEST_COUNT for count in healthy.values("requests"))
+    assert all(qps > 0 for qps in healthy.values("qps"))
+    assert all(value == 1.0 for value in degraded.values("availability"))
+    # One replica: the killed partition's scans have nowhere to go — every
+    # query over it degrades.  Two replicas: failover hides the kill
+    # completely (zero degraded answers) at the price of counted retries.
+    by_replicas = dict(zip(degraded.values("replica_processes"),
+                           zip(degraded.values("degraded_answers"),
+                               degraded.values("shard_retries"))))
+    solo_degraded, _ = by_replicas[min(by_replicas)]
+    duo_degraded, duo_retries = by_replicas[max(by_replicas)]
+    assert solo_degraded > 0, "a dead un-replicated shard must degrade answers"
+    assert duo_degraded == 0, "two replicas must absorb the kill exactly"
+    assert duo_retries >= 1, "the absorption must show up as retries"
+
+    write_report(results_dir, experiment,
+                 ["qps", "latency_ms_p99", "availability",
+                  "degraded_answers", "shard_retries", "circuit_opens"])

@@ -25,8 +25,8 @@ guarantee and the failure semantics.
 
 from repro.coordinator.app import CoordinatorApp
 from repro.coordinator.launcher import (ManagedProcess, launch_coordinator,
-                                        launch_shard, launch_shards,
-                                        shutdown_processes)
+                                        launch_replica_fleet, launch_shard,
+                                        launch_shards, shutdown_processes)
 from repro.coordinator.sharded import ShardedIndex
 from repro.coordinator.topology import ShardTopology
 from repro.coordinator.transport import HttpShardTransport
@@ -39,6 +39,7 @@ __all__ = [
     "ManagedProcess",
     "launch_shard",
     "launch_shards",
+    "launch_replica_fleet",
     "launch_coordinator",
     "shutdown_processes",
 ]

@@ -38,7 +38,7 @@ from repro.coordinator.transport import HttpShardTransport
 from repro.errors import ShardError
 from repro.obs.logging import configure_logging
 from repro.obs.profile import SamplingProfiler
-from repro.server.__main__ import _serve_until_signalled
+from repro.server.__main__ import _fault_plan, _serve_until_signalled
 from repro.server.bootstrap import derive_distance_from_state
 from repro.server.http import SemTreeServer
 from repro.service.snapshot import load_index_payload, read_snapshot_payload
@@ -69,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="concurrent partition scans across all queries")
     parser.add_argument("--shard-timeout", type=float, default=10.0,
                         help="per-scan HTTP timeout in seconds")
+    parser.add_argument("--failure-threshold", type=int, default=3,
+                        help="consecutive scan failures that open a replica's "
+                             "circuit breaker")
+    parser.add_argument("--reset-timeout", type=float, default=5.0,
+                        help="seconds an open circuit waits before letting one "
+                             "probe scan through")
+    parser.add_argument("--hedge-delay", type=float, default=None,
+                        help="send a duplicate scan to another replica when the "
+                             "first takes longer than this many seconds "
+                             "(default: no hedging)")
     parser.add_argument("--cache-capacity", type=int, default=1024,
                         help="result-cache entries")
     parser.add_argument("--cache-ttl", type=float, default=None,
@@ -90,25 +100,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="run a continuous sampling profiler; read it back "
                              "at GET /v1/debug/profile")
+    parser.add_argument("--max-queue-depth", type=int, default=None,
+                        help="admission control: reject queries with 503 + "
+                             "Retry-After once this many are outstanding in the "
+                             "engine (default: unbounded)")
+    parser.add_argument("--client-rate", type=float, default=None,
+                        help="admission control: per-client (X-Client-Id header) "
+                             "sustained queries/second (default: unlimited)")
+    parser.add_argument("--client-burst", type=int, default=10,
+                        help="per-client token-bucket burst size (with "
+                             "--client-rate)")
+    parser.add_argument("--faults", default=None,
+                        help="fault-injection plan: JSON text or a path to a "
+                             "JSON file (default: $REPRO_FAULTS; testing only)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request log lines")
     return parser
 
 
 def _check_shards(topology: ShardTopology, timeout: float) -> None:
-    """Probe every shard once: reachable, and serving the claimed partition."""
+    """Probe every replica once: reachable, and serving the claimed partition."""
     for partition_id in topology.partition_ids:
-        url = topology.url_of(partition_id)
-        with ServerClient(url, timeout=timeout) as client:
-            client.wait_ready()
-            info = client.shard_info()
-        served = info.get("partition_id")
-        if served != partition_id:
-            raise ShardError(
-                f"topology mismatch: {url} serves partition {served!r}, "
-                f"the topology maps it to {partition_id!r}",
-                failed={partition_id: f"shard serves {served!r}"},
-            )
+        for url in topology.replicas_of(partition_id):
+            with ServerClient(url, timeout=timeout) as client:
+                client.wait_ready()
+                info = client.shard_info()
+            served = info.get("partition_id")
+            if served != partition_id:
+                raise ShardError(
+                    f"topology mismatch: {url} serves partition {served!r}, "
+                    f"the topology maps it to {partition_id!r}",
+                    failed={partition_id: f"shard serves {served!r}"},
+                )
 
 
 def build_coordinator(argv: Optional[Sequence[str]] = None,
@@ -128,7 +151,16 @@ def build_coordinator(argv: Optional[Sequence[str]] = None,
     distance, _ = derive_distance_from_state(payload, extra_actors=extra_actors)
     base = load_index_payload(payload, distance)
 
-    transport = HttpShardTransport(topology, timeout=args.shard_timeout)
+    # One plan poisons both sides the coordinator owns: its scan transport
+    # ("scan" operations) and its own HTTP surface ("handle" operations).
+    fault_plan = _fault_plan(args)
+    transport = HttpShardTransport(
+        topology, timeout=args.shard_timeout,
+        failure_threshold=args.failure_threshold,
+        reset_timeout=args.reset_timeout,
+        hedge_delay=args.hedge_delay,
+        fault_plan=fault_plan,
+    )
     index = ShardedIndex(base, transport, scatter_workers=args.scatter_workers)
     app = CoordinatorApp(
         index,
@@ -139,8 +171,12 @@ def build_coordinator(argv: Optional[Sequence[str]] = None,
         default_deadline=args.default_deadline,
         slow_query_ms=args.slow_query_ms,
         profiler=SamplingProfiler().start() if args.profile else None,
+        max_queue_depth=args.max_queue_depth,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
     )
-    server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
+    server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet,
+                           fault_plan=fault_plan)
     return server, args
 
 

@@ -32,8 +32,10 @@ from repro.obs.logging import SlowQueryLog
 from repro.obs.profile import SamplingProfiler, profile_endpoint
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import span
-from repro.server.app import _observe_slow_queries
+from repro.server.app import _observe_slow_queries, _strictest_deadline
+from repro.server.context import current_context
 from repro.server.schemas import parse_query_request, render_results
+from repro.service.admission import AdmissionController
 from repro.service.engine import QueryEngine
 from repro.service.planner import QueryKind
 
@@ -53,6 +55,10 @@ class CoordinatorApp:
         Passed through to :class:`QueryEngine` (worker threads here issue
         scatters; the scatter pool inside the sharded index bounds the
         total scan concurrency).
+    max_queue_depth / client_rate / client_burst:
+        Admission control, same semantics as :class:`ServerApp`'s (bound on
+        outstanding scatters, per-``X-Client-Id`` rate limits); off by
+        default.
     """
 
     def __init__(self, index: ShardedIndex, *, workers: int = 4,
@@ -62,12 +68,19 @@ class CoordinatorApp:
                  registry: MetricsRegistry | None = None,
                  slow_query_ms: float | None = None,
                  profiler: SamplingProfiler | None = None,
-                 history_interval: float = 5.0):
+                 history_interval: float = 5.0,
+                 max_queue_depth: int | None = None,
+                 client_rate: float | None = None,
+                 client_burst: int = 10):
         self.index = index
         self.engine = QueryEngine(
             index, workers=workers, cache_capacity=cache_capacity,
             cache_ttl=cache_ttl, cache_segmented=cache_segmented,
             default_deadline=default_deadline,
+        )
+        self.admission = AdmissionController(
+            self.engine, max_queue_depth=max_queue_depth,
+            client_rate=client_rate, client_burst=client_burst,
         )
         self._started = time.monotonic()
         self._requests: Counter = Counter()
@@ -90,6 +103,7 @@ class CoordinatorApp:
                                 version=__version__)
         obs_export.bind_http_requests(self.registry, self.request_counts)
         self.index.bind_registry(self.registry)
+        self.admission.bind_registry(self.registry)
         self.registry.gauge(
             "repro_engine_workers", "Query-engine worker threads.",
         ).set(float(self.engine.workers))
@@ -160,6 +174,12 @@ class CoordinatorApp:
         self._count(endpoint)
         with span("parse"):
             specs, batched = parse_query_request(body, kind)
+        if self.admission.enabled:
+            self.admission.admit(
+                queries=len(specs),
+                deadline=_strictest_deadline(specs, self.engine.default_deadline),
+                client_id=current_context().client_id,
+            )
         results = self.engine.execute_batch(specs)
         if self.slow_query_log.enabled:
             _observe_slow_queries(self.slow_query_log, results)
@@ -177,32 +197,57 @@ class CoordinatorApp:
     # -- observability endpoints --------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        """``GET /v1/healthz`` — liveness plus the fan-out vitals."""
+        """``GET /v1/healthz`` — liveness plus the fan-out vitals.
+
+        When the transport tracks replica circuit breakers, the payload
+        carries per-partition replica health and the overall ``status``
+        downgrades to ``"degraded"`` while any partition has no replica
+        with a closed circuit — a load balancer can pull a coordinator
+        whose answers would start failing (or going partial), without
+        waiting for a query to hit the dead partition.
+        """
         self._count("healthz")
-        return {
-            "status": "closing" if self._closed else "ok",
+        status = "closing" if self._closed else "ok"
+        payload: Dict[str, Any] = {
+            "status": status,
             "role": "coordinator",
             "points": len(self.index.base),
             "generation": self.index.generation,
             "shards": len(self.index.transport.partition_ids()),
             "uptime_seconds": time.monotonic() - self._started,
         }
+        replica_health = getattr(self.index.transport, "replica_health", None)
+        if callable(replica_health):
+            health = replica_health()
+            payload["partitions"] = health
+            if status == "ok" and any(
+                    entry.get("healthy", 0) == 0 for entry in health.values()):
+                payload["status"] = "degraded"
+        return json_ready(payload)
 
     def topology(self) -> Dict[str, Any]:
-        """``GET /v1/topology`` — which shard serves which partition."""
+        """``GET /v1/topology`` — which replicas serve which partition."""
         self._check_open()
         self._count("topology")
         transport = self.index.transport
-        shards = getattr(getattr(transport, "topology", None), "shards", None)
+        topology = getattr(transport, "topology", None)
+        shards = getattr(topology, "shards", None)
         tree = self.index.base.tree
-        return json_ready({
+        payload: Dict[str, Any] = {
             "partitions": list(transport.partition_ids()),
             "shards": dict(shards) if shards is not None else {},
             "points_per_partition": {
                 partition.partition_id: partition.point_count
                 for partition in tree.partitions
             },
-        })
+        }
+        replicas_of = getattr(topology, "replicas_of", None)
+        if callable(replicas_of):
+            payload["replicas_per_partition"] = {
+                partition_id: len(replicas_of(partition_id))
+                for partition_id in transport.partition_ids()
+            }
+        return json_ready(payload)
 
     def metrics(self) -> Dict[str, Any]:
         """``GET /v1/metrics`` — serving + cache + scatter-gather payload.
@@ -227,6 +272,7 @@ class CoordinatorApp:
                 "requests": requests,
                 "points": len(self.index.base),
                 "generation": self.index.generation,
+                "admission": self.admission.snapshot(),
             },
         })
 

@@ -30,11 +30,18 @@ Per-shard latency and fan-out counters are kept per scan and surfaced
 through :meth:`ShardedIndex.statistics` into the coordinator's
 ``/v1/metrics``.
 
-Failure semantics: a scan that fails (shard down, timeout, topology
-mismatch) fails the *query* with a structured
+Failure semantics: by default a scan that fails (shard down, timeout,
+topology mismatch) fails the *query* with a structured
 :class:`~repro.errors.ShardError` naming every failed partition and every
-partition that had already answered — never a silent partial answer, which
-would violate the exactness contract.
+partition that had already answered — never a *silent* partial answer,
+which would violate the exactness contract.  Queries may opt in to
+graceful degradation (``allow_partial=True``): the gather then folds the
+surviving partitions' scans and attaches a structured ``degraded`` marker
+(partitions answered / partitions missed with reasons) to the outcome, so
+the caller knows exactly how much of the fan-out is reflected in the
+answer.  A degraded answer is still exact *over the partitions that
+answered*; only when every targeted partition fails does a partial query
+raise.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -134,6 +141,7 @@ class ShardedIndex:
         self._shard_stats: Dict[str, _ShardStats] = {}
         self._queries = 0
         self._scans = 0
+        self._degraded = 0
         self._roundtrip_histogram = None
         self._closed = False
 
@@ -148,7 +156,13 @@ class ShardedIndex:
         """Project a query triple with the coordinator's FastMap space."""
         return self.base.embed_query(triple)
 
-    def search_k_nearest(self, point: LabeledPoint, k: int) -> SearchOutcome:
+    #: Duck-typed capability flag the query engine checks before passing
+    #: ``allow_partial`` through — a local SemTreeIndex has no partitions to
+    #: lose, so the flag is a harmless no-op there.
+    supports_partial = True
+
+    def search_k_nearest(self, point: LabeledPoint, k: int, *,
+                         allow_partial: bool = False) -> SearchOutcome:
         """Scatter a k-NN scan to every data partition; gather through ``Rs``.
 
         The gather offers every per-partition candidate to one bounded
@@ -158,7 +172,10 @@ class ShardedIndex:
         rule.
         """
         targets = self._data_partitions
-        scans = self._scatter(targets, lambda pid: self.transport.scan_knn(pid, point, k))
+        scans, degraded = self._scatter(
+            targets, lambda pid: self.transport.scan_knn(pid, point, k),
+            allow_partial=allow_partial,
+        )
         with span("gather", partitions=len(targets)):
             results = ResultSet(k)
             nodes = points = 0
@@ -172,18 +189,21 @@ class ShardedIndex:
             matches = tuple(self.base.to_match(n) for n in results.neighbours())
         return SearchOutcome(
             matches=matches,
-            visited_partitions=tuple(targets),
+            visited_partitions=tuple(scan.partition_id for scan in scans),
             nodes_visited=nodes,
             points_examined=points,
             generation=self.base.generation,
             cost=total_cost,
+            degraded=degraded,
         )
 
-    def search_range(self, point: LabeledPoint, radius: float) -> SearchOutcome:
+    def search_range(self, point: LabeledPoint, radius: float, *,
+                     allow_partial: bool = False) -> SearchOutcome:
         """Prune partitions with the routing tree, scatter, merge and sort."""
         targets = self._range_targets(point, radius)
-        scans = self._scatter(
-            targets, lambda pid: self.transport.scan_range(pid, point, radius)
+        scans, degraded = self._scatter(
+            targets, lambda pid: self.transport.scan_range(pid, point, radius),
+            allow_partial=allow_partial,
         )
         with span("gather", partitions=len(targets)):
             gathered = []
@@ -198,11 +218,12 @@ class ShardedIndex:
             matches = tuple(self.base.to_match(n) for n in gathered)
         return SearchOutcome(
             matches=matches,
-            visited_partitions=tuple(targets),
+            visited_partitions=tuple(scan.partition_id for scan in scans),
             nodes_visited=nodes,
             points_examined=points,
             generation=self.base.generation,
             cost=total_cost,
+            degraded=degraded,
         )
 
     def overlay_matches(self, kind: str, point: LabeledPoint, parameter: float,
@@ -214,12 +235,18 @@ class ShardedIndex:
     # -- scatter ------------------------------------------------------------------------
 
     def _scatter(self, targets: Tuple[str, ...],
-                 scan: Callable[[str], PartitionScan]) -> List[PartitionScan]:
+                 scan: Callable[[str], PartitionScan], *,
+                 allow_partial: bool = False,
+                 ) -> Tuple[List[PartitionScan], Optional[Dict[str, object]]]:
         """Run one scan per target concurrently; gather in partition order.
 
-        All-or-nothing: any failed partition fails the query with a
-        :class:`ShardError` whose details name the failed and the completed
-        partitions.
+        Returns the surviving scans plus the ``degraded`` marker (``None``
+        when every partition answered).  Fail-loud by default: any failed
+        partition fails the query with a :class:`ShardError` whose details
+        name the failed and the completed partitions.  With
+        ``allow_partial`` the failures are folded into the marker instead —
+        unless *every* targeted partition failed, in which case there is no
+        answer to degrade to and the error propagates regardless.
         """
         def traced_scan(partition_id: str) -> PartitionScan:
             # Scatter-pool threads carry the submitting request's trace, so
@@ -245,8 +272,9 @@ class ShardedIndex:
                     failed[partition_id] = str(error)
                 except Exception as error:  # noqa: BLE001 - reported per partition
                     failed[partition_id] = f"{type(error).__name__}: {error}"
-        self._record(scans, failed)
-        if failed:
+        degraded_query = bool(failed) and allow_partial and bool(scans)
+        self._record(scans, failed, degraded=degraded_query)
+        if failed and not degraded_query:
             completed = sorted(scans)
             raise ShardError(
                 f"{len(failed)} of {len(targets)} partition scans failed "
@@ -255,12 +283,22 @@ class ShardedIndex:
                 "cannot be answered exactly without them",
                 failed=failed, completed=completed,
             )
-        return [scans[partition_id] for partition_id in targets]
+        ordered = [scans[partition_id] for partition_id in targets
+                   if partition_id in scans]
+        if not degraded_query:
+            return ordered, None
+        return ordered, {
+            "answered": sorted(scans),
+            "missed": {pid: failed[pid] for pid in sorted(failed)},
+        }
 
-    def _record(self, scans: Dict[str, PartitionScan], failed: Dict[str, str]) -> None:
+    def _record(self, scans: Dict[str, PartitionScan], failed: Dict[str, str],
+                *, degraded: bool = False) -> None:
         with self._stats_lock:
             self._queries += 1
             self._scans += len(scans) + len(failed)
+            if degraded:
+                self._degraded += 1
             for partition_id, scan in scans.items():
                 stats = self._shard_stats.setdefault(partition_id, _ShardStats())
                 stats.scans += 1
@@ -302,6 +340,10 @@ class ShardedIndex:
             "repro_shard_scan_failures_total", "Failed partition scans, by partition.",
             ("partition",),
         ).set_callback(lambda: self._per_shard_totals("failures"))
+        registry.counter(
+            "repro_degraded_queries_total",
+            "Queries answered partially (allow_partial) after shard failures.",
+        ).set_function(locked("_degraded"))
         with self._stats_lock:
             self._roundtrip_histogram = registry.histogram(
                 "repro_shard_roundtrip_seconds",
@@ -338,6 +380,46 @@ class ShardedIndex:
                 "Shard requests retried once after a stale keep-alive socket.",
                 ("partition",),
             ).set_callback(per_shard("stale_retries"))
+        failover_stats = getattr(self.transport, "failover_stats", None)
+        if failover_stats is not None:
+            # Replica-aware transports only: the failover machinery's own
+            # counters, read at scrape time like the connection counters.
+            def per_partition(counter: str):
+                def read() -> Dict[Tuple[str, ...], float]:
+                    return {(partition_id,): float(stats.get(counter, 0))
+                            for partition_id, stats in failover_stats().items()}
+                return read
+
+            registry.counter(
+                "repro_shard_retries_total",
+                "Shard scan attempts retried after a replica failure, by partition.",
+                ("partition",),
+            ).set_callback(per_partition("retries"))
+            registry.counter(
+                "repro_shard_failovers_total",
+                "Scan retries that moved to a different replica, by partition.",
+                ("partition",),
+            ).set_callback(per_partition("failovers"))
+            registry.counter(
+                "repro_shard_hedges_total",
+                "Duplicate hedge requests issued to a second replica, by partition.",
+                ("partition",),
+            ).set_callback(per_partition("hedges"))
+            registry.counter(
+                "repro_shard_hedge_wins_total",
+                "Hedged scans where the duplicate answered first, by partition.",
+                ("partition",),
+            ).set_callback(per_partition("hedge_wins"))
+            registry.counter(
+                "repro_shard_circuit_opens_total",
+                "Replica circuit-breaker trips, by partition.",
+                ("partition",),
+            ).set_callback(per_partition("circuit_opens"))
+            registry.counter(
+                "repro_shard_circuit_shed_total",
+                "Scan attempts skipped because a replica circuit was open.",
+                ("partition",),
+            ).set_callback(per_partition("circuit_shed"))
 
     def _per_shard_totals(self, attribute: str) -> Dict[Tuple[str, ...], float]:
         with self._stats_lock:
@@ -393,14 +475,19 @@ class ShardedIndex:
                 partition_id: stats.to_dict()
                 for partition_id, stats in sorted(self._shard_stats.items())
             }
-            queries, scans = self._queries, self._scans
-        return {
+            queries, scans, degraded = self._queries, self._scans, self._degraded
+        statistics: Dict[str, object] = {
             "partitions": len(self._data_partitions),
             "queries": queries,
             "scans": scans,
+            "degraded_queries": degraded,
             "fan_out_mean": (scans / queries) if queries else 0.0,
             "per_shard": per_shard,
         }
+        failover_stats = getattr(self.transport, "failover_stats", None)
+        if failover_stats is not None:
+            statistics["failover"] = failover_stats()
+        return statistics
 
     # -- lifecycle ----------------------------------------------------------------------
 

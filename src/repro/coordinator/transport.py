@@ -1,29 +1,52 @@
-"""The HTTP shard transport: partition scans over real sockets.
+"""The HTTP shard transport: partition scans over real sockets, fault-tolerantly.
 
 :class:`HttpShardTransport` implements the
 :class:`~repro.cluster.transport.PartitionTransport` protocol against a
-:class:`~repro.coordinator.topology.ShardTopology` of live shard servers.
-Each shard gets one :class:`~repro.workloads.ServerClient`, whose
-keep-alive transport holds one persistent connection per (shard, thread)
-pair — the scatter pool's threads each reuse their own sockets, so a
-fan-out of N scans costs N round trips, not N handshakes.
+:class:`~repro.coordinator.topology.ShardTopology` of live shard servers,
+with one :class:`~repro.workloads.ServerClient` per *replica* (each holding
+one persistent keep-alive connection per thread).
 
-Failures — connection refused, timeouts, non-2xx shard responses — surface
-as :class:`~repro.errors.ShardError` naming the partition and shard URL, so
-the scatter layer can assemble a structured partial-failure report.
+Fault tolerance (see ``docs/robustness.md``):
+
+* **Per-replica circuit breakers** — every replica carries a
+  :class:`~repro.coordinator.replica.CircuitBreaker`; consecutive failures
+  trip it open, after which scans skip the replica instantly instead of
+  eating a connect timeout, and a half-open probe closes it once the
+  backend answers again.
+* **Failover retry** — a failed scan attempt is retried on the next
+  healthy replica (scans are idempotent reads) with capped exponential
+  backoff + deterministic jitter between attempts
+  (:class:`~repro.coordinator.replica.BackoffPolicy`).
+* **Hedging (opt-in)** — with ``hedge_delay`` set and a second healthy
+  replica available, a scan that has not answered within the delay gets a
+  duplicate sent to the next replica; the first successful answer wins and
+  the loser is abandoned.  Exactness is unaffected — both replicas serve
+  the same immutable snapshot partition.
+* **Fault injection (opt-in)** — a :class:`~repro.faults.FaultPlan`
+  consulted before every attempt (operation ``"scan"``, target
+  ``"partition@url"``), so chaos tests can break precisely this layer.
+
+Only when *every* replica of a partition has failed does the scan raise
+:class:`~repro.errors.ShardError` naming the partition and each replica's
+failure, for the scatter layer's structured partial-failure report.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Tuple
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.transport import PartitionScan
 from repro.core.cost import SearchCost
 from repro.core.knn import Neighbour
 from repro.core.point import LabeledPoint
+from repro.coordinator.replica import BackoffPolicy, CircuitBreaker, ReplicaSet, ReplicaState
 from repro.coordinator.topology import ShardTopology
 from repro.errors import ServerError, ShardError
+from repro.faults import FaultPlan, InjectedFault
 from repro.io.serialization import triple_from_dict
 from repro.workloads.http_client import ServerClient
 
@@ -31,26 +54,74 @@ __all__ = ["HttpShardTransport"]
 
 
 class HttpShardTransport:
-    """Scatter-gather scans against per-partition shard servers.
+    """Scatter-gather scans against per-partition shard replica sets.
 
     Parameters
     ----------
     topology:
-        Which shard serves which partition.
+        Which replicas serve which partition (first listed = preferred).
     timeout:
-        Per-scan HTTP timeout in seconds.  A shard that cannot answer
-        within it fails that scan with a :class:`ShardError` (the
-        coordinator reports the query as a partial failure rather than
-        hanging the whole fan-out).
+        Per-attempt HTTP timeout in seconds.
+    failure_threshold / reset_timeout:
+        Per-replica circuit-breaker tuning: consecutive failures that trip
+        a replica's circuit open, and how long it sheds before a half-open
+        probe (see :class:`CircuitBreaker`).
+    backoff:
+        The :class:`BackoffPolicy` applied between failover attempts
+        (default: 50 ms base, doubling, 2 s cap, 50 % jitter).
+    hedge_delay:
+        Seconds after which a scan still in flight is hedged to the next
+        healthy replica (``None`` disables hedging — the default).
+    fault_plan:
+        Optional :class:`FaultPlan` injected into every scan attempt.
+    clock / sleep:
+        Injectable time sources so tests can run the retry schedule
+        without real waiting.
     """
 
-    def __init__(self, topology: ShardTopology, *, timeout: float = 10.0):
+    def __init__(self, topology: ShardTopology, *, timeout: float = 10.0,
+                 failure_threshold: int = 3, reset_timeout: float = 5.0,
+                 backoff: Optional[BackoffPolicy] = None,
+                 hedge_delay: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        if hedge_delay is not None and hedge_delay < 0:
+            raise ShardError("hedge_delay must be non-negative")
         self.topology = topology
         self.timeout = timeout
-        self._clients: Dict[str, ServerClient] = {
-            partition_id: ServerClient(url, timeout=timeout)
-            for partition_id, url in topology.shards.items()
+        self.hedge_delay = hedge_delay
+        self.backoff = backoff or BackoffPolicy()
+        self.fault_plan = fault_plan
+        self._sleep = sleep
+        self._replica_sets: Dict[str, ReplicaSet] = {
+            partition_id: ReplicaSet(
+                partition_id, topology.replicas_of(partition_id),
+                breaker_factory=lambda: CircuitBreaker(
+                    failure_threshold=failure_threshold,
+                    reset_timeout=reset_timeout, clock=clock,
+                ),
+            )
+            for partition_id in topology.partition_ids
         }
+        self._clients: Dict[Tuple[str, str], ServerClient] = {
+            (partition_id, replica.url): ServerClient(replica.url, timeout=timeout)
+            for partition_id, replica_set in self._replica_sets.items()
+            for replica in replica_set.replicas
+        }
+        self._counters_lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {
+            name: Counter()
+            for name in ("retries", "failovers", "hedges", "hedge_wins",
+                         "circuit_shed", "exhausted")
+        }
+        # The hedge pool exists only when hedging is on; its threads issue
+        # the duplicate requests so the scatter thread can race the two.
+        self._hedge_pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=max(4, 2 * len(self._replica_sets)),
+                               thread_name_prefix="semtree-hedge")
+            if hedge_delay is not None else None
+        )
 
     # -- PartitionTransport -------------------------------------------------------------
 
@@ -59,53 +130,220 @@ class HttpShardTransport:
 
     def scan_knn(self, partition_id: str, query: LabeledPoint, k: int) -> PartitionScan:
         started = time.perf_counter()
-        payload = self._call(partition_id, "shard_knn",
-                             lambda client: client.shard_knn(query.coordinates, k))
+        payload = self._scan(
+            partition_id, "shard_knn",
+            lambda client: client.shard_knn(query.coordinates, k))
         return self._scan_from_payload(partition_id, payload,
                                        time.perf_counter() - started)
 
     def scan_range(self, partition_id: str, query: LabeledPoint,
                    radius: float) -> PartitionScan:
         started = time.perf_counter()
-        payload = self._call(partition_id, "shard_range",
-                             lambda client: client.shard_range(query.coordinates, radius))
+        payload = self._scan(
+            partition_id, "shard_range",
+            lambda client: client.shard_range(query.coordinates, radius))
         return self._scan_from_payload(partition_id, payload,
                                        time.perf_counter() - started)
 
     def close(self) -> None:
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=False)
         # close_all, not close: the persistent sockets live in the scatter
         # pool's worker threads, not in the thread tearing the transport down.
         for client in self._clients.values():
             client.close_all()
 
+    # -- health / stats read surfaces ---------------------------------------------------
+
+    def replica_health(self) -> Dict[str, Dict[str, object]]:
+        """Per-partition replica health for ``/v1/healthz`` and ``/v1/topology``.
+
+        ``{partition: {replicas, healthy, open, half_open, detail: [...]}}``
+        where ``detail`` lists each replica's URL, breaker state and
+        success/failure counters.
+        """
+        health: Dict[str, Dict[str, object]] = {}
+        for partition_id, replica_set in sorted(self._replica_sets.items()):
+            entry = replica_set.health()
+            entry["detail"] = [replica.to_dict() for replica in replica_set.replicas]
+            health[partition_id] = entry
+        return health
+
+    def failover_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-partition failover counters (retries, hedges, circuit opens)."""
+        with self._counters_lock:
+            counters = {name: dict(counter)
+                        for name, counter in self._counters.items()}
+        stats: Dict[str, Dict[str, int]] = {}
+        for partition_id, replica_set in self._replica_sets.items():
+            stats[partition_id] = {
+                name: counters[name].get(partition_id, 0) for name in counters
+            }
+            stats[partition_id]["circuit_opens"] = sum(
+                replica.breaker.opens for replica in replica_set.replicas
+            )
+        return stats
+
     def client_stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-partition transport counters (requests, reuse, retries).
+        """Per-partition transport counters, summed over the replicas.
 
         Surfaces whether the fan-out actually rides keep-alive sockets: a
         healthy steady state shows ``requests_reused`` tracking ``requests``
         and ``connections_opened`` stuck near the thread count.
         """
-        return {partition_id: client.stats()
-                for partition_id, client in self._clients.items()}
+        totals: Dict[str, Counter] = {}
+        for (partition_id, _url), client in self._clients.items():
+            totals.setdefault(partition_id, Counter()).update(client.stats())
+        return {partition_id: dict(counter)
+                for partition_id, counter in totals.items()}
 
-    # -- plumbing -----------------------------------------------------------------------
+    def _count(self, name: str, partition_id: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name][partition_id] += amount
 
-    def _call(self, partition_id: str, operation: str, call) -> Dict:
-        client = self._clients.get(partition_id)
-        if client is None:
+    # -- the scan retry/hedge loop ------------------------------------------------------
+
+    def _scan(self, partition_id: str, operation: str,
+              issue: Callable[[ServerClient], Dict]) -> Dict:
+        """One partition scan: try replicas in health order until one answers.
+
+        Scans are idempotent reads, so failing over to the next replica is
+        always safe.  Failures accumulate into one ShardError raised only
+        when every candidate has been tried.
+        """
+        replica_set = self._replica_sets.get(partition_id)
+        if replica_set is None:
             raise ShardError(
                 f"no shard serves partition {partition_id!r} "
                 f"(topology covers: {', '.join(self.topology.partition_ids)})",
                 failed={partition_id: "not in topology"},
             )
+        candidates = replica_set.candidates()
+        failures: List[str] = []
+        attempt = 0
+        index = 0
+        while index < len(candidates):
+            replica = candidates[index]
+            if not replica.breaker.allow():
+                # Open circuit (or a half-open probe already in flight):
+                # shed instantly and move on — no connect timeout burned.
+                self._count("circuit_shed", partition_id)
+                failures.append(f"{replica.url}: circuit open")
+                index += 1
+                continue
+            if attempt > 0:
+                self._count("retries", partition_id)
+                if index > 0:
+                    self._count("failovers", partition_id)
+                self._sleep(self.backoff.delay(attempt - 1))
+            hedge_candidates = candidates[index + 1:]
+            try:
+                if self._hedge_pool is not None and hedge_candidates:
+                    payload = self._attempt_hedged(
+                        partition_id, operation, issue, replica, hedge_candidates)
+                else:
+                    payload = self._attempt(partition_id, operation, issue, replica)
+            except (ServerError, InjectedFault) as error:
+                failures.append(f"{replica.url}: {error}")
+                attempt += 1
+                index += 1
+                continue
+            return payload
+        self._count("exhausted", partition_id)
+        raise ShardError(
+            f"{operation} on partition {partition_id} failed on every replica "
+            f"[{'; '.join(failures)}]",
+            failed={partition_id: "; ".join(failures)},
+        )
+
+    def _attempt(self, partition_id: str, operation: str,
+                 issue: Callable[[ServerClient], Dict],
+                 replica: ReplicaState) -> Dict:
+        """One request against one replica, with breaker + fault bookkeeping."""
+        if self.fault_plan is not None:
+            fault = self.fault_plan.decide("scan", f"{partition_id}@{replica.url}")
+            if fault is not None:
+                if fault.latency:
+                    self._sleep(fault.latency)
+                if fault.kind == "error":
+                    replica.failures += 1
+                    replica.breaker.record_failure()
+                    raise InjectedFault(
+                        f"injected connection reset talking to {replica.url}")
+                if fault.kind == "http_5xx":
+                    replica.failures += 1
+                    replica.breaker.record_failure()
+                    raise InjectedFault(
+                        f"injected HTTP {fault.status} from {replica.url}")
+        client = self._clients[(partition_id, replica.url)]
         try:
-            return call(client)
+            payload = issue(client)
         except ServerError as error:
-            raise ShardError(
-                f"{operation} on partition {partition_id} via {client.base_url} "
-                f"failed: {error}",
-                failed={partition_id: str(error)},
-            ) from error
+            if 400 <= error.status < 500:
+                # The replica answered: it is healthy, the *request* is bad.
+                # Fail the scan without poisoning the breaker or failing
+                # over — every replica would reject it identically.
+                replica.breaker.record_success()
+                raise ShardError(
+                    f"{operation} on partition {partition_id} via {replica.url} "
+                    f"rejected: {error}",
+                    failed={partition_id: str(error)},
+                ) from error
+            replica.failures += 1
+            replica.breaker.record_failure()
+            raise
+        replica.successes += 1
+        replica.breaker.record_success()
+        return payload
+
+    def _attempt_hedged(self, partition_id: str, operation: str,
+                        issue: Callable[[ServerClient], Dict],
+                        replica: ReplicaState,
+                        alternates: List[ReplicaState]) -> Dict:
+        """Race the replica against a late-started duplicate on the next one.
+
+        The primary request is given ``hedge_delay`` seconds to answer; past
+        that, a duplicate goes to the first alternate whose breaker allows
+        it, and whichever request *succeeds* first wins.  The loser is
+        cancelled if still queued, abandoned (its worker finishes into a
+        discarded future) if already on the wire — its breaker bookkeeping
+        still happens in :meth:`_attempt`, so a slow-loser failure counts.
+        """
+        assert self._hedge_pool is not None
+        primary: Future = self._hedge_pool.submit(
+            self._attempt, partition_id, operation, issue, replica)
+        try:
+            return primary.result(timeout=self.hedge_delay)
+        except TimeoutError:
+            pass
+        except (ServerError, InjectedFault):
+            raise
+        hedge_replica = next(
+            (candidate for candidate in alternates if candidate.breaker.allow()),
+            None)
+        if hedge_replica is None:
+            return primary.result()
+        self._count("hedges", partition_id)
+        hedge: Future = self._hedge_pool.submit(
+            self._attempt, partition_id, operation, issue, hedge_replica)
+        in_flight = {primary, hedge}
+        first_error: Optional[Exception] = None
+        while in_flight:
+            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                error = future.exception()
+                if error is None:
+                    for loser in in_flight:
+                        loser.cancel()
+                    if future is hedge:
+                        self._count("hedge_wins", partition_id)
+                    return future.result()
+                if first_error is None:
+                    first_error = error  # surface the primary-ish failure
+        assert first_error is not None
+        raise first_error
+
+    # -- payload plumbing ---------------------------------------------------------------
 
     def _scan_from_payload(self, partition_id: str, payload: Dict,
                            elapsed_seconds: float) -> PartitionScan:
@@ -114,9 +352,8 @@ class HttpShardTransport:
             # A misconfigured topology (shard booted with the wrong --shard)
             # would silently double-count one partition and drop another.
             raise ShardError(
-                f"topology mismatch: the shard at "
-                f"{self._clients[partition_id].base_url} serves partition "
-                f"{served!r}, not {partition_id!r}",
+                f"topology mismatch: a replica of partition {partition_id!r} "
+                f"serves partition {served!r}",
                 failed={partition_id: f"shard serves {served!r}"},
             )
         neighbours = tuple(
@@ -128,10 +365,11 @@ class HttpShardTransport:
             for match in payload.get("matches", ())
         )
         # elapsed_seconds is the *coordinator-observed* round trip (network
-        # hop included), matching what SimulatedClusterTransport reports —
-        # the per-shard latency gauges must point an operator at a slow
-        # shard path, not just at its server-side scan time (which the
-        # shard still reports in its own payload as latency_ms).
+        # hop, retries and hedges included), matching what
+        # SimulatedClusterTransport reports — the per-shard latency gauges
+        # must point an operator at a slow shard path, not just at its
+        # server-side scan time (which the shard still reports in its own
+        # payload as latency_ms).
         return PartitionScan(
             partition_id=partition_id,
             neighbours=neighbours,
@@ -145,4 +383,6 @@ class HttpShardTransport:
         )
 
     def __repr__(self) -> str:
-        return f"HttpShardTransport(shards={len(self._clients)}, timeout={self.timeout})"
+        return (f"HttpShardTransport(partitions={len(self._replica_sets)}, "
+                f"replicas={len(self._clients)}, timeout={self.timeout}, "
+                f"hedge_delay={self.hedge_delay})")

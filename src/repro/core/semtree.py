@@ -75,6 +75,12 @@ class SearchOutcome:
     search's fine-grained work counters
     (:class:`~repro.core.cost.SearchCost`); for a scatter-gather search it is
     the cluster-wide sum over every shard scanned.
+
+    ``degraded`` is ``None`` for a complete (exact) answer.  A sharded
+    search running in ``allow_partial`` mode sets it to a structured marker
+    ``{"answered": [partition_id, ...], "missed": {partition_id: reason}}``
+    when some partitions failed to answer — the matches then cover only the
+    answering partitions and must never be cached as the exact result.
     """
 
     matches: Tuple[SemanticMatch, ...]
@@ -83,6 +89,7 @@ class SearchOutcome:
     points_examined: int
     generation: int
     cost: SearchCost = field(default_factory=SearchCost)
+    degraded: Optional[Dict[str, object]] = None
 
 
 class SemTreeIndex:

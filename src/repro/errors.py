@@ -135,6 +135,31 @@ class ShardError(ReproError):
         super().__init__(message)
 
 
+class AdmissionError(ReproError):
+    """Raised when admission control rejects a query before execution.
+
+    Mapped to HTTP 503 with a ``Retry-After`` header: the request was
+    well-formed but the server is shedding load (queue full, the predicted
+    queue wait exceeds the query's deadline, or the client is over its
+    rate limit) and retrying later is the right move.
+
+    Attributes
+    ----------
+    reason:
+        Why the query was shed: ``"queue_full"``, ``"deadline"`` or
+        ``"rate_limit"``.
+    retry_after:
+        Seconds the client should wait before retrying (the value of the
+        ``Retry-After`` response header).
+    """
+
+    def __init__(self, message: str, *, reason: str = "queue_full",
+                 retry_after: float = 1.0):
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class ServerError(ReproError):
     """Raised by the HTTP client when the server reports a failure.
 
@@ -145,9 +170,14 @@ class ServerError(ReproError):
     kind:
         The error type the server reported (e.g. ``"SchemaError"``), or
         ``None`` when the response carried no structured error payload.
+    retry_after:
+        Seconds the server asked the client to wait before retrying (the
+        ``Retry-After`` response header), or ``None`` when absent.
     """
 
-    def __init__(self, message: str, status: int = 500, kind: str | None = None):
+    def __init__(self, message: str, status: int = 500, kind: str | None = None,
+                 retry_after: float | None = None):
         self.status = status
         self.kind = kind
+        self.retry_after = retry_after
         super().__init__(message)

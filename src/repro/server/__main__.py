@@ -38,6 +38,7 @@ import threading
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import IndexError_
+from repro.faults import FaultPlan
 from repro.obs.logging import configure_logging
 from repro.obs.profile import SamplingProfiler
 from repro.server.app import ServerApp
@@ -97,6 +98,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="run a continuous sampling profiler; read it back "
                              "at GET /v1/debug/profile")
+    parser.add_argument("--max-queue-depth", type=int, default=None,
+                        help="admission control: reject queries with 503 + "
+                             "Retry-After once this many are outstanding in the "
+                             "engine (default: unbounded)")
+    parser.add_argument("--client-rate", type=float, default=None,
+                        help="admission control: per-client (X-Client-Id header) "
+                             "sustained queries/second (default: unlimited)")
+    parser.add_argument("--client-burst", type=int, default=10,
+                        help="per-client token-bucket burst size (with "
+                             "--client-rate)")
+    parser.add_argument("--faults", default=None,
+                        help="fault-injection plan: JSON text or a path to a "
+                             "JSON file (default: $REPRO_FAULTS; testing only)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request log lines")
     return parser
@@ -127,9 +141,20 @@ def build_server(argv: Optional[Sequence[str]] = None) -> Tuple[SemTreeServer, a
         background_compaction=not args.no_background_compaction,
         slow_query_ms=args.slow_query_ms,
         profiler=SamplingProfiler().start() if args.profile else None,
+        max_queue_depth=args.max_queue_depth,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
     )
-    server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
+    server = SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet,
+                           fault_plan=_fault_plan(args))
     return server, args
+
+
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """The ``--faults`` plan when given, else whatever $REPRO_FAULTS says."""
+    if getattr(args, "faults", None) is not None:
+        return FaultPlan.from_source(args.faults)
+    return FaultPlan.from_env()
 
 
 def _build_shard_server(args: argparse.Namespace) -> SemTreeServer:
@@ -146,7 +171,8 @@ def _build_shard_server(args: argparse.Namespace) -> SemTreeServer:
         boot, slow_query_ms=args.slow_query_ms,
         profiler=SamplingProfiler().start() if args.profile else None,
     )
-    return SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet)
+    return SemTreeServer(app, host=args.host, port=args.port, quiet=args.quiet,
+                         fault_plan=_fault_plan(args))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

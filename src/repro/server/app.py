@@ -27,8 +27,8 @@ from __future__ import annotations
 import pathlib
 import threading
 import time
-from collections import Counter
-from typing import Any, Dict, Optional
+from collections import Counter, OrderedDict
+from typing import Any, Dict, List, Optional
 
 from repro import __version__
 from repro.errors import QueryError, ServerClosingError
@@ -41,13 +41,20 @@ from repro.obs.logging import SlowQueryLog
 from repro.obs.profile import SamplingProfiler, profile_endpoint
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import current_trace, span
+from repro.server.context import current_context
 from repro.server.schemas import (PartialInsertError, parse_insert_request,
                                   parse_query_request, render_results)
+from repro.service.admission import AdmissionController
 from repro.service.engine import QueryEngine
-from repro.service.planner import QueryKind
+from repro.service.planner import QueryKind, QuerySpec
 from repro.service.snapshot import config_to_dict
 
 __all__ = ["ServerApp"]
+
+#: Most remembered ``Idempotency-Key`` → response replays; least recently
+#: used keys fall out first.  Sized for the retry window the keys exist to
+#: cover (seconds, not sessions).
+IDEMPOTENCY_CACHE_LIMIT = 1024
 
 #: Zeroed latency sub-dictionaries, so the metrics schema is stable before
 #: the first sample lands.
@@ -67,6 +74,15 @@ def _query_shape(spec) -> Dict[str, Any]:
     if spec.deadline is not None:
         shape["deadline"] = spec.deadline
     return shape
+
+
+def _strictest_deadline(specs: List[QuerySpec],
+                        default: Optional[float]) -> Optional[float]:
+    """The tightest deadline in a batch (what admission judges the wait by)."""
+    deadlines = [spec.deadline if spec.deadline is not None else default
+                 for spec in specs]
+    bounded = [deadline for deadline in deadlines if deadline is not None]
+    return min(bounded) if bounded else None
 
 
 def _observe_slow_queries(log: SlowQueryLog, results) -> None:
@@ -104,6 +120,10 @@ class ServerApp:
     background_compaction:
         Run a :class:`BackgroundCompactor` so folds happen off the serving
         path (on by default, like a production deployment).
+    max_queue_depth / client_rate / client_burst:
+        Admission control (see :class:`AdmissionController`): bound on
+        outstanding searches, and per-``X-Client-Id`` token-bucket rate
+        limits.  Both default off — admission is opt-in.
     """
 
     def __init__(self, index: IngestingIndex, *, workers: int = 4,
@@ -115,7 +135,10 @@ class ServerApp:
                  registry: MetricsRegistry | None = None,
                  slow_query_ms: float | None = None,
                  profiler: SamplingProfiler | None = None,
-                 history_interval: float = 5.0):
+                 history_interval: float = 5.0,
+                 max_queue_depth: int | None = None,
+                 client_rate: float | None = None,
+                 client_burst: int = 10):
         if not isinstance(index, IngestingIndex):
             raise QueryError(
                 "ServerApp serves an IngestingIndex (wrap the built index so "
@@ -127,6 +150,12 @@ class ServerApp:
             cache_ttl=cache_ttl, cache_segmented=cache_segmented,
             default_deadline=default_deadline,
         )
+        self.admission = AdmissionController(
+            self.engine, max_queue_depth=max_queue_depth,
+            client_rate=client_rate, client_burst=client_burst,
+        )
+        self._idempotency_lock = threading.Lock()
+        self._idempotency: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self.checkpoint_path = (
             pathlib.Path(checkpoint_path) if checkpoint_path is not None else None
         )
@@ -154,6 +183,7 @@ class ServerApp:
         (callback-backed instruments), so the two formats cannot disagree.
         """
         self.engine.metrics.bind_registry(self.registry)
+        self.admission.bind_registry(self.registry)
         self.index.metrics.bind_registry(self.registry)
         obs_export.bind_cache(self.registry, self.engine.cache)
         obs_export.bind_runtime(self.registry, role="server", version=__version__)
@@ -231,6 +261,14 @@ class ServerApp:
         self._count(endpoint)
         with span("parse"):
             specs, batched = parse_query_request(body, kind)
+        if self.admission.enabled:
+            # After parsing (a malformed body should stay 400), before any
+            # engine work: a shed request must not consume a worker.
+            self.admission.admit(
+                queries=len(specs),
+                deadline=_strictest_deadline(specs, self.engine.default_deadline),
+                client_id=current_context().client_id,
+            )
         results = self.engine.execute_batch(specs)
         if self.slow_query_log.enabled:
             _observe_slow_queries(self.slow_query_log, results)
@@ -245,9 +283,23 @@ class ServerApp:
         Every accepted triple is durable (WAL-appended) and queryable before
         the response is sent.  The response reports the WAL sequence numbers
         so a client can correlate with checkpoints.
+
+        Sending an ``Idempotency-Key`` header makes the write safely
+        retryable: a replayed key returns the original response (flagged
+        ``"deduplicated": true``) instead of applying the batch again.
+        That is what lets the HTTP client retry an insert whose first
+        attempt died on a stale keep-alive socket *after* the server may
+        already have applied it.
         """
         self._check_open()
         self._count("insert")
+        idempotency_key = current_context().idempotency_key
+        if idempotency_key is not None:
+            with self._idempotency_lock:
+                replay = self._idempotency.get(idempotency_key)
+                if replay is not None:
+                    self._idempotency.move_to_end(idempotency_key)
+                    return {**replay, "deduplicated": True}
         inserts, batched = parse_insert_request(body)
         sequences: list = []
         try:
@@ -265,12 +317,21 @@ class ServerApp:
                 ) from error
             raise
         if batched:
-            return {
+            response = {
                 "accepted": len(sequences),
                 "first_seq": sequences[0],
                 "last_seq": sequences[-1],
             }
-        return {"seq": sequences[0], "delta_points": len(self.index.delta)}
+        else:
+            response = {"seq": sequences[0], "delta_points": len(self.index.delta)}
+        if idempotency_key is not None:
+            # Remember only fully applied batches: a partial failure must
+            # surface on the retry too, not replay as a success.
+            with self._idempotency_lock:
+                self._idempotency[idempotency_key] = response
+                while len(self._idempotency) > IDEMPOTENCY_CACHE_LIMIT:
+                    self._idempotency.popitem(last=False)
+        return response
 
     # -- observability endpoints --------------------------------------------------------
 
@@ -341,6 +402,7 @@ class ServerApp:
             "uptime_seconds": time.monotonic() - self._started,
             "requests": requests,
             "background_compaction": self.compactor is not None,
+            "admission": self.admission.snapshot(),
         }
 
         return json_ready({

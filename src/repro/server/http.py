@@ -26,11 +26,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import __version__
+from repro.faults import FaultPlan
 from repro.obs import export as obs_export
 from repro.obs import logging as obs_logging
 from repro.obs import prometheus as obs_prometheus
 from repro.obs.tracing import Trace, activate, current_trace, sanitize_trace_id, span
 from repro.server.app import ServerApp
+from repro.server.context import (CLIENT_ID_HEADER, IDEMPOTENCY_KEY_HEADER,
+                                  request_context)
 from repro.server.schemas import error_body, status_for
 
 __all__ = ["SemTreeServer", "MAX_BODY_BYTES"]
@@ -69,6 +72,7 @@ class _Handler(BaseHTTPRequestHandler):
     # Set per server class in SemTreeServer.__init__.
     app: ServerApp
     quiet: bool = True
+    fault_plan: Optional[FaultPlan] = None
 
     # -- connection lifecycle -----------------------------------------------------------
     # Keep-alive clients hold their connection open between requests; the
@@ -162,10 +166,16 @@ class _Handler(BaseHTTPRequestHandler):
         """
         trace = Trace(sanitize_trace_id(self.headers.get("X-Trace-Id")))
         self._last_status: Optional[int] = None
+        self._drip = None
         started = time.perf_counter()
         with activate(trace):
             with span("request", method=self.command, path=self._route()):
-                method_body(trace)
+                with request_context(
+                    client_id=self.headers.get(CLIENT_ID_HEADER),
+                    idempotency_key=self.headers.get(IDEMPOTENCY_KEY_HEADER),
+                ):
+                    if not self._inject_fault():
+                        method_body(trace)
         _access_log.info(
             "%s %s -> %s", self.command, self._route(), self._last_status,
             extra={
@@ -178,6 +188,43 @@ class _Handler(BaseHTTPRequestHandler):
                 "trace_id": trace.trace_id,
             },
         )
+
+    def _inject_fault(self) -> bool:
+        """Consult the server's fault plan for this request (chaos runs only).
+
+        Returns True when the fault fully handled the request (the app must
+        not run).  Latency and slow-drip faults let the request proceed —
+        the former after sleeping here, the latter by arming ``_drip`` so
+        :meth:`_send_body` dribbles the response out.
+        """
+        if self.fault_plan is None:
+            return False
+        fault = self.fault_plan.decide("handle", self._route())
+        if fault is None:
+            return False
+        if fault.kind == "latency":
+            time.sleep(fault.latency)
+            return False
+        if fault.kind == "slow_drip":
+            self._drip = fault
+            return False
+        if fault.kind == "http_5xx":
+            self._close_if_body_pending()
+            self._send_json(fault.status, {"error": {
+                "type": "InjectedFault",
+                "message": f"injected HTTP {fault.status} "
+                           f"(fault plan, {self._route()})",
+            }})
+            return True
+        # "error": a mid-request connection reset — shut the socket without
+        # a response so the client sees exactly what a crashed peer causes.
+        self._last_status = -1
+        self.close_connection = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        return True
 
     def _debug_trace_requested(self) -> bool:
         value = self.headers.get("X-Debug-Trace", "")
@@ -205,7 +252,7 @@ class _Handler(BaseHTTPRequestHandler):
                 with span("handle", endpoint=route):
                     payload = param_handler(self._query_params())
             except Exception as error:  # noqa: BLE001 - every failure becomes a body
-                self._send_json(status_for(error), error_body(error))
+                self._send_error(error)
                 return
             if isinstance(payload, tuple):
                 content_type, text = payload
@@ -225,7 +272,7 @@ class _Handler(BaseHTTPRequestHandler):
             with span("handle", endpoint=route):
                 payload = handler()
         except Exception as error:  # noqa: BLE001 - every failure becomes a body
-            self._send_json(status_for(error), error_body(error))
+            self._send_error(error)
             return
         self._send_json(200, self._attach_debug(payload, trace))
 
@@ -244,7 +291,7 @@ class _Handler(BaseHTTPRequestHandler):
             with span("handle", endpoint=route):
                 payload = handler(body)
         except Exception as error:  # noqa: BLE001 - every failure becomes a body
-            self._send_json(status_for(error), error_body(error))
+            self._send_error(error)
             return
         self._send_json(200, self._attach_debug(payload, trace))
 
@@ -261,7 +308,7 @@ class _Handler(BaseHTTPRequestHandler):
             with span("handle", endpoint="/v1/metrics"):
                 text = renderer()
         except Exception as error:  # noqa: BLE001 - every failure becomes a body
-            self._send_json(status_for(error), error_body(error))
+            self._send_error(error)
             return
         self._send_text(200, text, obs_prometheus.CONTENT_TYPE)
 
@@ -351,16 +398,30 @@ class _Handler(BaseHTTPRequestHandler):
                 "type": "InvalidJSON", "message": str(error),
             }})
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_error(self, error: Exception) -> None:
+        """One failed request's response: status, error body, Retry-After.
+
+        Admission rejections (and anything else carrying a ``retry_after``
+        attribute) get the standard ``Retry-After`` header so well-behaved
+        clients back off instead of hammering an overloaded server.
+        """
+        retry_after = getattr(error, "retry_after", None)
+        self._send_json(status_for(error), error_body(error),
+                        retry_after=retry_after)
+
+    def _send_json(self, status: int, payload: Dict[str, Any], *,
+                   retry_after: Optional[float] = None) -> None:
         with span("serialize"):
             body = json.dumps(payload).encode("utf-8")
-            self._send_body(status, body, "application/json")
+            self._send_body(status, body, "application/json",
+                            retry_after=retry_after)
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         with span("serialize"):
             self._send_body(status, text.encode("utf-8"), content_type)
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(self, status: int, body: bytes, content_type: str, *,
+                   retry_after: Optional[float] = None) -> None:
         self._last_status = status
         record = getattr(self.server, "record_wire_bytes", None)
         if record is not None:
@@ -368,6 +429,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # HTTP wants delta-seconds as a non-negative integer; round up
+            # so "0.4s" does not become an immediate (pointless) retry.
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
         trace = current_trace()
         if trace is not None:
             self.send_header("X-Trace-Id", trace.trace_id)
@@ -376,6 +441,22 @@ class _Handler(BaseHTTPRequestHandler):
             # it does not reuse a socket we are about to shut.
             self.send_header("Connection", "close")
         self.end_headers()
+        drip = getattr(self, "_drip", None)
+        if drip is not None and body:
+            # A slow-drip fault: the body leaves in small chunks with the
+            # fault's latency spread across the gaps — a pathologically
+            # slow peer, as seen by the client's socket reads.  Each pause
+            # precedes its chunk so the full latency lands before the last
+            # byte: the client's read blocks for at least ``drip.latency``.
+            chunks = max(2, min(8, len(body)))
+            pause = drip.latency / chunks if drip.latency else 0.0
+            size = -(-len(body) // chunks)
+            for start in range(0, len(body), size):
+                if pause:
+                    time.sleep(pause)
+                self.wfile.write(body[start:start + size])
+                self.wfile.flush()
+            return
         self.wfile.write(body)
 
     # -- logging ------------------------------------------------------------------------
@@ -406,6 +487,9 @@ class SemTreeServer(ThreadingHTTPServer):
         Per-request socket timeout in seconds (see ``_Handler.timeout``);
         it bounds stalled readers *and* how long shutdown can wait on an
         idle keep-alive connection.
+    fault_plan:
+        Optional fault-injection plan for chaos runs (defaults to whatever
+        ``$REPRO_FAULTS`` carries, usually nothing); see :mod:`repro.faults`.
 
     Use :meth:`serve_background` for an in-process server (tests, examples,
     benchmarks) and ``serve_forever()`` on the main thread for a real
@@ -420,12 +504,19 @@ class SemTreeServer(ThreadingHTTPServer):
     daemon_threads = False
 
     def __init__(self, app: ServerApp, *, host: str = "127.0.0.1", port: int = 0,
-                 quiet: bool = True, request_timeout: float = 30.0):
+                 quiet: bool = True, request_timeout: float = 30.0,
+                 fault_plan: Optional[FaultPlan] = None):
+        # Chaos runs poison subprocess servers through $REPRO_FAULTS; an
+        # explicitly passed plan (tests) wins over the environment.
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
         handler = type("_BoundHandler", (_Handler,), {
             "app": app, "quiet": quiet, "timeout": request_timeout,
+            "fault_plan": fault_plan,
         })
         super().__init__((host, port), handler)
         self.app = app
+        self.fault_plan = fault_plan
         self._serve_thread: Optional[threading.Thread] = None
         self.draining = False
         self._handlers_lock = threading.Lock()

@@ -27,7 +27,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.cost import SearchCost
-from repro.errors import ReproError, SchemaError, ServerClosingError, ShardError
+from repro.errors import (AdmissionError, ReproError, SchemaError,
+                          ServerClosingError, ShardError)
 from repro.io.serialization import match_to_dict, term_from_dict, triple_to_dict
 from repro.rdf.terms import Term, term_from_text
 from repro.rdf.triple import Triple, TriplePattern
@@ -148,8 +149,8 @@ def parse_pattern(payload: Any, field: str = "pattern") -> TriplePattern:
 # -- query requests ------------------------------------------------------------------------
 
 _QUERY_FIELDS = {
-    QueryKind.KNN: ("triple", "k", "pattern", "deadline"),
-    QueryKind.RANGE: ("triple", "radius", "pattern", "deadline"),
+    QueryKind.KNN: ("triple", "k", "pattern", "deadline", "allow_partial"),
+    QueryKind.RANGE: ("triple", "radius", "pattern", "deadline", "allow_partial"),
 }
 
 
@@ -171,17 +172,26 @@ def _parse_query(payload: Any, kind: QueryKind, field: str) -> QuerySpec:
             raise SchemaError("a deadline must be a positive number of seconds",
                               field=f"{field}.deadline")
 
+    allow_partial = payload.get("allow_partial", False)
+    if not isinstance(allow_partial, bool):
+        raise SchemaError(
+            f"expected a boolean, got {type(allow_partial).__name__}",
+            field=f"{field}.allow_partial",
+        )
+
     try:
         if kind is QueryKind.KNN:
             k = payload.get("k", 3)
             if isinstance(k, bool) or not isinstance(k, int):
                 raise SchemaError(f"expected an integer, got {type(k).__name__}",
                                   field=f"{field}.k")
-            return QuerySpec.k_nearest(triple, k, pattern=pattern, deadline=deadline)
+            return QuerySpec.k_nearest(triple, k, pattern=pattern, deadline=deadline,
+                                       allow_partial=allow_partial)
         if "radius" not in payload:
             raise SchemaError("missing required field 'radius'", field=field)
         radius = _number(payload["radius"], f"{field}.radius")
-        return QuerySpec.range_query(triple, radius, pattern=pattern, deadline=deadline)
+        return QuerySpec.range_query(triple, radius, pattern=pattern,
+                                     deadline=deadline, allow_partial=allow_partial)
     except SchemaError:
         raise
     except ReproError as error:
@@ -327,14 +337,22 @@ class PartialInsertError(RuntimeError):
 # -- responses -----------------------------------------------------------------------------
 
 def render_result(result: QueryResult) -> Dict[str, Any]:
-    """One served query as a JSON-native dictionary (see ``docs/server.md``)."""
-    return {
+    """One served query as a JSON-native dictionary (see ``docs/server.md``).
+
+    ``degraded`` appears only on partial answers (``allow_partial`` queries
+    that lost partitions): a complete answer has no key, so clients can
+    treat its presence as the degradation signal.
+    """
+    payload = {
         "matches": [match_to_dict(match) for match in result.matches],
         "cached": result.cached,
         "timed_out": result.timed_out,
         "error": result.error,
         "latency_ms": result.latency_seconds * 1000.0,
     }
+    if result.degraded is not None:
+        payload["degraded"] = result.degraded
+    return payload
 
 
 def render_results(results: List[QueryResult], batched: bool) -> Dict[str, Any]:
@@ -385,11 +403,13 @@ def status_for(error: Exception) -> int:
     Client-caused failures — malformed payloads, invalid parameters, unknown
     vocabulary terms — are :class:`~repro.errors.ReproError` subclasses and
     map to ``400``; a request reaching a shutting-down server is ``503``
-    (retryable, not the client's fault); a scatter-gather that lost one or
-    more shard backends is ``502`` (the front end is healthy, a backend is
-    not); anything else is a server-side ``500``.
+    (retryable, not the client's fault), as is one shed by admission
+    control (which additionally carries a ``Retry-After`` hint); a
+    scatter-gather that lost one or more shard backends is ``502`` (the
+    front end is healthy, a backend is not); anything else is a
+    server-side ``500``.
     """
-    if isinstance(error, ServerClosingError):
+    if isinstance(error, (ServerClosingError, AdmissionError)):
         return 503
     if isinstance(error, ShardError):
         return 502
@@ -407,4 +427,10 @@ def error_body(error: Exception) -> Dict[str, Any]:
     details = getattr(error, "details", None)
     if isinstance(details, dict):
         payload["error"]["details"] = details
+    reason = getattr(error, "reason", None)
+    if isinstance(reason, str):
+        payload["error"]["reason"] = reason
+    retry_after = getattr(error, "retry_after", None)
+    if isinstance(retry_after, (int, float)):
+        payload["error"]["retry_after"] = float(retry_after)
     return payload

@@ -39,6 +39,7 @@ Design notes
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -88,6 +89,11 @@ class QueryResult:
     #: Work counters of the search behind this result (``None`` when no
     #: search ran for this spec — a cache hit or an in-batch duplicate).
     cost: Optional[SearchCost] = field(default=None, compare=False, repr=False)
+    #: ``None`` for a complete answer; the structured partial-answer marker
+    #: (``{"answered": [...], "missed": {...}}``) when an ``allow_partial``
+    #: query lost partitions.  Degraded results are never cached.
+    degraded: Optional[Dict[str, object]] = field(default=None, compare=False,
+                                                  repr=False)
 
     @property
     def ok(self) -> bool:
@@ -115,6 +121,7 @@ class _Execution:
     completed_at: float
     generation: int
     cost: SearchCost = field(default_factory=SearchCost)
+    degraded: Optional[Dict[str, object]] = None
 
 
 class QueryEngine:
@@ -155,6 +162,12 @@ class QueryEngine:
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="semtree-query"
         )
+        # Admission control reads these: searches submitted but not yet
+        # finished (queue depth + in-flight), and a smoothed execution time
+        # to predict how long a newly queued search would wait.
+        self._outstanding_lock = threading.Lock()
+        self._outstanding = 0
+        self._execution_ewma = 0.0
         self._closed = False
 
     # -- serving ------------------------------------------------------------------------
@@ -214,6 +227,8 @@ class QueryEngine:
                 else:
                     outcomes.append(None)
                     submitted_at = time.perf_counter()
+                    with self._outstanding_lock:
+                        self._outstanding += 1
                     pending[position] = (
                         self._executor.submit(self._traced_run, planned,
                                               trace_context, submitted_at),
@@ -241,7 +256,12 @@ class QueryEngine:
             except Exception as error:  # noqa: BLE001 - surfaced per query
                 outcomes[position] = ("error", error)
                 continue
-            self.cache.put(planned.cache_key, execution.matches, execution.generation)
+            if execution.degraded is None:
+                # A degraded answer is exact only over the partitions that
+                # survived — caching it would serve the gap to every later
+                # (possibly fail-loud) query under the shared cache key.
+                self.cache.put(planned.cache_key, execution.matches,
+                               execution.generation)
             outcomes[position] = ("executed", (execution,
                                                execution.completed_at - submitted_at))
 
@@ -292,6 +312,7 @@ class QueryEngine:
                             latency_seconds=execution.elapsed if is_first else 0.0,
                             visited_partitions=execution.visited_partitions,
                             cost=execution.cost if is_first else None,
+                            degraded=execution.degraded,
                         )
                         self._record(
                             result,
@@ -326,6 +347,7 @@ class QueryEngine:
                 latency_seconds=execution.elapsed,
                 visited_partitions=execution.visited_partitions,
                 cost=execution.cost,
+                degraded=execution.degraded,
             ))
         return results
 
@@ -347,14 +369,26 @@ class QueryEngine:
         """
         started = time.perf_counter()
         self.metrics.record_queue_wait(started - submitted_at)
-        with resume_context(trace_context):
-            record_span("queue_wait", submitted_at, started)
-            with span("execute", kind=planned.spec.kind.value):
-                execution = self._run(planned)
-                # The cost counters only exist once the search ran, so they
-                # are merged into the execute span post-hoc.
-                annotate_span(cost=execution.cost.to_dict())
-                return execution
+        try:
+            with resume_context(trace_context):
+                record_span("queue_wait", submitted_at, started)
+                with span("execute", kind=planned.spec.kind.value):
+                    execution = self._run(planned)
+                    # The cost counters only exist once the search ran, so they
+                    # are merged into the execute span post-hoc.
+                    annotate_span(cost=execution.cost.to_dict())
+                    return execution
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._outstanding_lock:
+                self._outstanding -= 1
+                # EWMA, not a window: O(1), and 0.2 weights the last ~10
+                # searches — fresh enough to track a load shift, smooth
+                # enough that one outlier does not whipsaw admission.
+                if self._execution_ewma == 0.0:
+                    self._execution_ewma = elapsed
+                else:
+                    self._execution_ewma += 0.2 * (elapsed - self._execution_ewma)
 
     def _run(self, planned: PlannedQuery) -> _Execution:
         """One index search (worker-thread body); deterministic per planned query.
@@ -364,10 +398,23 @@ class QueryEngine:
         """
         spec = planned.spec
         started = time.perf_counter()
+        # allow_partial only reaches indexes that declare they can honour it
+        # (the sharded coordinator); a local index has no partitions to lose
+        # and keeps its unchanged two-argument search signature.
+        partial = spec.allow_partial and getattr(self.index, "supports_partial", False)
         if spec.kind is QueryKind.KNN:
-            outcome = self.index.search_k_nearest(planned.point, self._fetch_size(spec))
+            if partial:
+                outcome = self.index.search_k_nearest(
+                    planned.point, self._fetch_size(spec), allow_partial=True)
+            else:
+                outcome = self.index.search_k_nearest(planned.point,
+                                                      self._fetch_size(spec))
         else:
-            outcome = self.index.search_range(planned.point, spec.radius)
+            if partial:
+                outcome = self.index.search_range(planned.point, spec.radius,
+                                                  allow_partial=True)
+            else:
+                outcome = self.index.search_range(planned.point, spec.radius)
         completed_at = time.perf_counter()
         return _Execution(
             matches=outcome.matches,
@@ -378,6 +425,7 @@ class QueryEngine:
             completed_at=completed_at,
             generation=outcome.generation,
             cost=outcome.cost,
+            degraded=getattr(outcome, "degraded", None),
         )
 
     def _finalise(self, planned: PlannedQuery, raw: Tuple[SemanticMatch, ...],
@@ -417,6 +465,8 @@ class QueryEngine:
         if future.cancelled() or future.exception() is not None:
             return
         execution = future.result()
+        if execution.degraded is not None:
+            return
         self.cache.put(key, execution.matches, execution.generation)
 
     def _record(self, result: QueryResult,
@@ -427,7 +477,32 @@ class QueryEngine:
             failed=result.error is not None and not result.timed_out,
             visited_partitions=visited_partitions,
             cost=result.cost if not result.cached else None,
+            degraded=result.degraded is not None,
         )
+
+    # -- admission read surface ---------------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Searches submitted to the pool but not yet finished (queued + running)."""
+        with self._outstanding_lock:
+            return self._outstanding
+
+    def mean_execution_seconds(self) -> float:
+        """Smoothed (EWMA) search execution time; 0.0 until a search has run."""
+        with self._outstanding_lock:
+            return self._execution_ewma
+
+    def predicted_wait_seconds(self) -> float:
+        """Expected queue wait for a search submitted right now.
+
+        Work-conserving estimate: everything outstanding, spread over the
+        worker pool, at the smoothed per-search execution time.  Crude on
+        purpose — admission control needs a stable signal that grows
+        linearly with backlog, not an exact schedule.
+        """
+        with self._outstanding_lock:
+            queued_ahead = max(0, self._outstanding - self.workers)
+            return (queued_ahead / self.workers) * self._execution_ewma
 
     # -- observability ------------------------------------------------------------------
 

@@ -98,6 +98,7 @@ class ServiceMetrics:
         self._partition_loads: Counter = Counter()
         self._cost_totals: Counter = Counter()
         self._overlay_retries = 0
+        self._degraded = 0
         self._latency_family = None
         self._queue_wait_histogram = None
         self._distance_family = None
@@ -107,7 +108,7 @@ class ServiceMetrics:
     def record(self, kind: str, latency_seconds: float, *, cached: bool,
                timed_out: bool = False, failed: bool = False,
                visited_partitions: Iterable[str] = (),
-               cost=None) -> None:
+               cost=None, degraded: bool = False) -> None:
         """Record one served query.
 
         ``visited_partitions`` are the identities of the partitions the tree
@@ -138,6 +139,8 @@ class ServiceMetrics:
                 self._timeouts += 1
             if failed:
                 self._errors += 1
+            if degraded:
+                self._degraded += 1
             executed_ok = not cached and not timed_out and not failed
             if executed_ok:
                 self._latencies.append(latency_seconds)
@@ -220,6 +223,10 @@ class ServiceMetrics:
             "repro_overlay_retries_total",
             "Overlay rechecks forced by a compaction racing a read.",
         ).set_function(locked("_overlay_retries"))
+        registry.counter(
+            "repro_queries_degraded_total",
+            "Queries answered partially (allow_partial) after shard failures.",
+        ).set_function(locked("_degraded"))
         with self._lock:
             self._latency_family = registry.histogram(
                 "repro_query_latency_seconds",
@@ -275,6 +282,7 @@ class ServiceMetrics:
                 "served_from_cache": self._served_from_cache,
                 "timeouts": self._timeouts,
                 "errors": self._errors,
+                "degraded": self._degraded,
                 "overlay_retries": self._overlay_retries,
                 "wall_seconds": elapsed,
                 "qps": queries / elapsed if elapsed > 0 else 0.0,

@@ -82,6 +82,12 @@ class QuerySpec:
         of the result (k-NN queries over-fetch to compensate).
     deadline:
         Optional per-query time budget in seconds, enforced by the engine.
+    allow_partial:
+        Opt-in graceful degradation for sharded serving: when partitions
+        fail, accept an answer from the surviving ones (marked with a
+        structured ``degraded`` field) instead of an error.  The default
+        stays fail-loud, and a local index ignores the flag (it has no
+        partitions to lose).  Degraded results are never cached.
     """
 
     triple: Triple
@@ -90,6 +96,7 @@ class QuerySpec:
     radius: float = 0.0
     pattern: Optional[TriplePattern] = None
     deadline: Optional[float] = None
+    allow_partial: bool = False
 
     def __post_init__(self) -> None:
         if self.kind is QueryKind.KNN and self.k < 1:
@@ -102,18 +109,21 @@ class QuerySpec:
     @classmethod
     def k_nearest(cls, triple: Triple, k: int = 3, *,
                   pattern: TriplePattern | None = None,
-                  deadline: float | None = None) -> "QuerySpec":
+                  deadline: float | None = None,
+                  allow_partial: bool = False) -> "QuerySpec":
         """A k-NN query spec."""
         return cls(triple=triple, kind=QueryKind.KNN, k=k, pattern=pattern,
-                   deadline=deadline)
+                   deadline=deadline, allow_partial=allow_partial)
 
     @classmethod
     def range_query(cls, triple: Triple, radius: float, *,
                     pattern: TriplePattern | None = None,
-                    deadline: float | None = None) -> "QuerySpec":
+                    deadline: float | None = None,
+                    allow_partial: bool = False) -> "QuerySpec":
         """A range query spec."""
         return cls(triple=triple, kind=QueryKind.RANGE, radius=radius,
-                   pattern=pattern, deadline=deadline)
+                   pattern=pattern, deadline=deadline,
+                   allow_partial=allow_partial)
 
 
 @dataclass(frozen=True, slots=True)
@@ -172,10 +182,15 @@ class QueryPlanner:
                 point = self.index.embed_query(spec.triple)
                 point_of[spec.triple] = point
             planned = self._plan_with_point(spec, point)
-            position = position_of.get(planned.cache_key)
+            # Dedup within the batch on (cache key, allow_partial): the two
+            # modes share the *cache* (cached entries are always exact) but
+            # must not share an in-flight execution — a degraded answer for
+            # a partial-tolerant spec would leak into an exact query's result.
+            dedup_key = (planned.cache_key, spec.allow_partial)
+            position = position_of.get(dedup_key)
             if position is None:
                 position = len(unique)
-                position_of[planned.cache_key] = position
+                position_of[dedup_key] = position
                 unique.append(planned)
             assignment.append(position)
         return unique, assignment

@@ -56,6 +56,17 @@ _IDEMPOTENT_POST_PATHS = frozenset(
 )
 
 
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """The ``Retry-After`` header as seconds (the servers only emit the
+    integer-seconds form), or ``None`` when absent/unparseable."""
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
 def _pattern_payload(pattern: TriplePattern) -> Dict[str, Any]:
     payload: Dict[str, Any] = {}
     for position in ("subject", "predicate", "object"):
@@ -178,14 +189,22 @@ class ServerClient:
 
     def request(self, method: str, path: str,
                 body: Optional[Dict[str, Any]] = None, *,
-                headers: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
-        """One HTTP round trip; non-2xx responses raise :class:`ServerError`."""
+                headers: Optional[Dict[str, str]] = None,
+                idempotent: Optional[bool] = None) -> Dict[str, Any]:
+        """One HTTP round trip; non-2xx responses raise :class:`ServerError`.
+
+        ``idempotent`` overrides the path-based safe-to-retry inference — an
+        insert carrying an ``Idempotency-Key`` sets it true (the server
+        deduplicates a replay), everything else relies on the default.
+        """
         data = json.dumps(body).encode("utf-8") if body is not None else None
         # http.client derives Content-Length from the bytes body; GETs carry
         # no body and no length header (a "Content-Length: 0" would make the
         # server treat the request as having an unread body and drop the
         # keep-alive connection).
-        idempotent = method in ("GET", "HEAD") or path in _IDEMPOTENT_POST_PATHS
+        if idempotent is None:
+            idempotent = (method in ("GET", "HEAD")
+                          or path in _IDEMPOTENT_POST_PATHS)
         response, raw = self._round_trip(method, f"{self._path_prefix}{path}",
                                          data, self._headers(headers),
                                          idempotent=idempotent)
@@ -194,10 +213,12 @@ class ServerClient:
                 payload = json.loads(raw).get("error", {})
             except (json.JSONDecodeError, AttributeError):
                 payload = {}
+            retry_after = _parse_retry_after(response.getheader("Retry-After"))
             raise ServerError(
                 payload.get("message",
                             raw.decode("utf-8", "replace") or response.reason),
                 status=response.status, kind=payload.get("type"),
+                retry_after=retry_after,
             )
         try:
             return json.loads(raw)
@@ -273,23 +294,29 @@ class ServerClient:
     @staticmethod
     def knn_payload(triple: Triple, k: int = 3, *,
                     pattern: TriplePattern | None = None,
-                    deadline: float | None = None) -> Dict[str, Any]:
+                    deadline: float | None = None,
+                    allow_partial: bool = False) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"triple": triple_to_dict(triple), "k": k}
         if pattern is not None:
             payload["pattern"] = _pattern_payload(pattern)
         if deadline is not None:
             payload["deadline"] = deadline
+        if allow_partial:
+            payload["allow_partial"] = True
         return payload
 
     @staticmethod
     def range_payload(triple: Triple, radius: float, *,
                       pattern: TriplePattern | None = None,
-                      deadline: float | None = None) -> Dict[str, Any]:
+                      deadline: float | None = None,
+                      allow_partial: bool = False) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"triple": triple_to_dict(triple), "radius": radius}
         if pattern is not None:
             payload["pattern"] = _pattern_payload(pattern)
         if deadline is not None:
             payload["deadline"] = deadline
+        if allow_partial:
+            payload["allow_partial"] = True
         return payload
 
     # -- endpoints ----------------------------------------------------------------------
@@ -317,15 +344,22 @@ class ServerClient:
         """``POST /v1/range`` with a batch of query payloads; returns the results."""
         return self.request("POST", "/v1/range", {"queries": list(payloads)})["results"]
 
-    def insert(self, triple: Triple, *, document_id: str | None = None) -> Dict[str, Any]:
-        """``POST /v1/insert`` with one triple; returns ``{"seq": ..., ...}``."""
+    def insert(self, triple: Triple, *, document_id: str | None = None,
+               idempotency_key: str | None = None) -> Dict[str, Any]:
+        """``POST /v1/insert`` with one triple; returns ``{"seq": ..., ...}``.
+
+        With ``idempotency_key``, the server deduplicates replays of the
+        same key — which is what makes the stale-socket retry (and any
+        caller-level retry loop) safe for this write.
+        """
         payload: Dict[str, Any] = {"triple": triple_to_dict(triple)}
         if document_id is not None:
             payload["document_id"] = document_id
-        return self.request("POST", "/v1/insert", payload)
+        return self._insert_request(payload, idempotency_key)
 
     def insert_many(self, triples: Sequence[Triple], *,
-                    document_id: str | None = None) -> Dict[str, Any]:
+                    document_id: str | None = None,
+                    idempotency_key: str | None = None) -> Dict[str, Any]:
         """``POST /v1/insert`` with a batch; returns the acceptance summary."""
         inserts: List[Dict[str, Any]] = []
         for triple in triples:
@@ -333,7 +367,19 @@ class ServerClient:
             if document_id is not None:
                 entry["document_id"] = document_id
             inserts.append(entry)
-        return self.request("POST", "/v1/insert", {"inserts": inserts})
+        return self._insert_request({"inserts": inserts}, idempotency_key)
+
+    def _insert_request(self, payload: Dict[str, Any],
+                        idempotency_key: str | None) -> Dict[str, Any]:
+        if idempotency_key is None:
+            return self.request("POST", "/v1/insert", payload)
+        return self.request(
+            "POST", "/v1/insert", payload,
+            headers={"Idempotency-Key": idempotency_key},
+            # The key makes a replay a no-op server-side, so the transport's
+            # one-shot stale-socket retry becomes safe for this write.
+            idempotent=True,
+        )
 
     # -- shard endpoints (partition scans over raw coordinates) -------------------------
 

@@ -1,0 +1,160 @@
+"""Failure-matrix unit tests: circuit breaker, backoff, replica selection.
+
+Everything here runs on a fake clock — open→half-open→closed transitions
+and the backoff schedule are pinned down without a single real sleep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coordinator.replica import (
+    BackoffPolicy, CircuitBreaker, ReplicaSet,
+    CLOSED, HALF_OPEN, OPEN,
+)
+from repro.errors import ShardError
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, clock, *, threshold=3, reset=5.0):
+        return CircuitBreaker(failure_threshold=threshold,
+                              reset_timeout=reset, clock=clock)
+
+    def test_starts_closed_and_allows(self):
+        breaker = self.make(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.opens == 0
+
+    def test_trips_open_at_consecutive_threshold(self):
+        breaker = self.make(FakeClock(), threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker = self.make(FakeClock(), threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED, "non-consecutive failures must not trip"
+
+    def test_open_half_opens_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow(), "one probe goes through after the reset window"
+        assert not breaker.allow(), "only one probe until the first resolves"
+
+    def test_successful_probe_closes_the_circuit(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() and breaker.allow()
+
+    def test_failed_probe_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=3, reset=1.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe fails: straight back to open
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 2
+
+    def test_validation(self):
+        with pytest.raises(ShardError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ShardError):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestBackoffPolicy:
+    def test_schedule_without_jitter_is_exact(self):
+        policy = BackoffPolicy(base=0.05, cap=2.0, multiplier=2.0, jitter=0.0)
+        assert [policy.delay(n) for n in range(7)] == pytest.approx(
+            [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0])
+
+    def test_cap_bounds_every_delay(self):
+        policy = BackoffPolicy(base=1.0, cap=3.0, multiplier=10.0, jitter=0.0)
+        assert policy.delay(50) == 3.0
+
+    def test_jitter_scales_within_the_window_and_is_seeded(self):
+        a = BackoffPolicy(base=0.1, multiplier=2.0, jitter=0.5, seed=7)
+        b = BackoffPolicy(base=0.1, multiplier=2.0, jitter=0.5, seed=7)
+        delays_a = [a.delay(n) for n in range(8)]
+        delays_b = [b.delay(n) for n in range(8)]
+        assert delays_a == delays_b, "same seed, same schedule"
+        for attempt, delay in enumerate(delays_a):
+            raw = min(2.0, 0.1 * 2 ** attempt)
+            assert raw * 0.5 <= delay <= raw
+
+    def test_validation(self):
+        with pytest.raises(ShardError):
+            BackoffPolicy(base=-1.0)
+        with pytest.raises(ShardError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ShardError):
+            BackoffPolicy(jitter=1.5)
+
+
+class TestReplicaSet:
+    def make(self, urls, clock=None, threshold=1):
+        clock = clock or FakeClock()
+        return ReplicaSet("P0", urls, breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=threshold, reset_timeout=5.0, clock=clock))
+
+    def test_candidates_prefer_the_primary_while_healthy(self):
+        replica_set = self.make(["http://a", "http://b"])
+        assert [r.url for r in replica_set.candidates()] == ["http://a", "http://b"]
+
+    def test_open_circuit_demotes_a_replica(self):
+        replica_set = self.make(["http://a", "http://b"])
+        replica_set.replicas[0].breaker.record_failure()
+        assert [r.url for r in replica_set.candidates()] == ["http://b", "http://a"]
+
+    def test_all_open_still_yields_every_replica(self):
+        replica_set = self.make(["http://a", "http://b"])
+        for replica in replica_set.replicas:
+            replica.breaker.record_failure()
+        assert len(replica_set.candidates()) == 2, "fail-open, never zero"
+
+    def test_health_counts_states(self):
+        clock = FakeClock()
+        replica_set = self.make(["http://a", "http://b"], clock=clock)
+        replica_set.replicas[1].breaker.record_failure()
+        health = replica_set.health()
+        assert health == {"replicas": 2, "healthy": 1, "open": 1, "half_open": 0}
+        clock.advance(6.0)  # past the reset window: open reads as half-open
+        health = replica_set.health()
+        assert health["half_open"] == 1 and health["open"] == 0
+
+    def test_empty_replica_set_is_rejected(self):
+        with pytest.raises(ShardError):
+            self.make([])

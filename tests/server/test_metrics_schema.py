@@ -19,7 +19,7 @@ SNAKE_CASE = re.compile(r"^[a-z0-9_]+$")
 
 SERVING_KEYS = {
     "queries", "executed", "served_from_cache", "timeouts", "errors",
-    "overlay_retries", "wall_seconds", "qps", "queries_by_kind",
+    "degraded", "overlay_retries", "wall_seconds", "qps", "queries_by_kind",
     "partition_loads", "cost", "latency_ms", "queue_wait_ms", "workers",
 }
 LATENCY_KEYS = {"mean", "p50", "p90", "p99", "max"}
@@ -34,7 +34,9 @@ INGEST_KEYS = {
 }
 COMPACTION_KEYS = {"mean", "max", "last"}
 INDEX_KEYS = {"generation", "points", "tree_points", "kernel", "dimensions"}
-SERVER_KEYS = {"uptime_seconds", "requests", "background_compaction"}
+SERVER_KEYS = {"uptime_seconds", "requests", "background_compaction", "admission"}
+ADMISSION_KEYS = {"enabled", "max_queue_depth", "client_rate", "admitted",
+                  "shed", "shed_total", "tracked_clients"}
 
 
 def walk_keys(payload, path=""):
@@ -60,6 +62,7 @@ class TestMetricsSchema:
         assert set(metrics["ingest"]["compaction_ms"]) == COMPACTION_KEYS
         assert set(metrics["index"]) == INDEX_KEYS
         assert set(metrics["server"]) == SERVER_KEYS
+        assert set(metrics["server"]["admission"]) == ADMISSION_KEYS
 
     def test_schema_is_identical_under_traffic(self, make_server):
         _, client = make_server(compaction_threshold=4)
