@@ -1,25 +1,34 @@
-"""Server throughput — HTTP round-trip QPS and latency vs client concurrency.
+"""Server throughput — HTTP round-trip QPS and latency, per transport.
 
-The process-level front end puts a socket, JSON codec and thread-per-
-connection handling in front of the `QueryEngine`; this benchmark measures
-what that costs and how it scales with concurrent clients.  It boots a real
-:class:`~repro.server.http.SemTreeServer` on an ephemeral loopback port,
-replays a mixed k-NN/range wire workload through the
-:func:`~repro.workloads.http_client.generate_load` driver and reports, per
-client-thread count (1 / 4 / 8):
+The process-level front end puts a socket, HTTP framing and JSON codec in
+front of the `QueryEngine`; this benchmark measures what that costs per
+transport and how it scales with concurrent clients.  It boots both HTTP
+front ends — the thread-per-connection ``SemTreeServer`` and the
+:mod:`selectors` event-loop ``AsyncSemTreeServer`` (with its wire-byte
+cache on, as the single-node CLI deploys it) — on ephemeral loopback
+ports, replays the same mixed k-NN/range wire workload through the
+:func:`~repro.workloads.http_client.generate_load` driver and reports,
+per client-thread count (1 / 4 / 8) and per transport:
 
 * aggregate QPS over the whole run,
 * client-observed latency percentiles (p50/p90/p99, ms),
-* the server-side cache hit rate after the run.
+* the engine result-cache and (async) wire-cache hit rates.
+
+Methodology: each server gets one untimed warmup pass, then the sweep
+measures *steady state* — caches stay warm between points, exactly as a
+long-running deployment serves.  The driver pre-encodes every payload and
+never decodes success bodies, so client CPU stays out of the measurement.
 
 Shape expectations encoded below: answers served over HTTP are identical
-to direct in-process engine calls, and a repeated workload hits the result
-cache.  Absolute numbers depend on the host; the JSON twin
+to direct in-process engine calls on both transports, and at 8 client
+threads the async transport must sustain at least twice the threaded QPS
+with a p99 no worse.  Absolute numbers depend on the host; the JSON twin
 (``BENCH_server_throughput.json``) records the trajectory in git.
 
 Quick mode (``SERVER_BENCH_QUICK=1``, used by the CI perf-smoke job)
-shrinks the workload and the thread sweep so the file doubles as a smoke
-test that the server stack works under concurrent HTTP load.
+shrinks the workload and the thread sweep and drops the 2x floor (smoke
+runners are too noisy to gate on a ratio) so the file doubles as a smoke
+test that both server stacks work under concurrent HTTP load.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ from repro.ingest import IngestingIndex
 from repro.requirements import (GeneratorConfig, RequirementsGenerator,
                                 build_requirement_distance,
                                 build_requirement_vocabularies)
-from repro.server import ServerApp, SemTreeServer
+from repro.server import ServerApp, create_server
 from repro.service.planner import QuerySpec
 from repro.workloads import generate_load, query_payloads
 
@@ -46,6 +55,13 @@ QUICK = bool(os.environ.get("SERVER_BENCH_QUICK"))
 THREAD_COUNTS: Tuple[int, ...] = (1, 2) if QUICK else (1, 4, 8)
 REQUEST_COUNT = 64 if QUICK else 512
 ENGINE_WORKERS = 4
+
+#: How the two series are booted; the async transport runs with its
+#: loop-side wire cache, matching the single-node CLI's default.
+TRANSPORT_KWARGS = {
+    "threaded": {},
+    "async": {"wire_cache": True},
+}
 
 
 def _build_corpus_index() -> Tuple[SemTreeIndex, List]:
@@ -69,35 +85,50 @@ def _build_corpus_index() -> Tuple[SemTreeIndex, List]:
     return index, triples
 
 
-def _boot_server(tmp_path) -> Tuple[SemTreeServer, List]:
-    index, triples = _build_corpus_index()
-    live = IngestingIndex(index, tmp_path / "bench-wal.jsonl")
+def _boot_server(tmp_path, transport: str, index: SemTreeIndex):
+    live = IngestingIndex(index, tmp_path / f"bench-wal-{transport}.jsonl")
     app = ServerApp(live, workers=ENGINE_WORKERS, background_compaction=False)
-    return SemTreeServer(app).serve_background(), triples
+    server = create_server(app, transport=transport,
+                           **TRANSPORT_KWARGS[transport])
+    return server.serve_background()
 
 
-def _measure(server: SemTreeServer, payloads, threads: int) -> Dict[str, float]:
-    # clear() drops entries but preserves counters, so the per-point hit
-    # rate must be computed from the counter deltas of this run alone.
-    server.app.engine.cache.clear()
-    before = server.app.engine.cache.stats
+def _measure(server, payloads, threads: int) -> Dict[str, float]:
+    """One steady-state run: QPS, latency and the per-run cache hit rates."""
+    engine_before = server.app.engine.cache.stats
+    wire_before = _wire_stats(server)
     summary = generate_load(server.url, payloads, threads=threads)
-    after = server.app.engine.cache.stats
-    lookups = after.lookups - before.lookups
+    engine_after = server.app.engine.cache.stats
+    wire_after = _wire_stats(server)
+    lookups = engine_after.lookups - engine_before.lookups
     summary["cache_hit_rate"] = (
-        (after.hits - before.hits) / lookups if lookups else 0.0
+        (engine_after.hits - engine_before.hits) / lookups if lookups else 0.0
+    )
+    wire_total = (wire_after["hits"] - wire_before["hits"] +
+                  wire_after["misses"] - wire_before["misses"])
+    summary["wire_cache_hit_rate"] = (
+        (wire_after["hits"] - wire_before["hits"]) / wire_total
+        if wire_total else 0.0
     )
     return summary
 
 
-# -- pytest-benchmark case ----------------------------------------------------------------
+def _wire_stats(server) -> Dict[str, int]:
+    stats = getattr(server, "wire_cache_stats", None)
+    return stats() if stats is not None else {"hits": 0, "misses": 0}
+
+
+# -- pytest-benchmark cases ---------------------------------------------------------------
 
 @pytest.mark.benchmark(group="server-throughput")
-def test_http_round_trips(benchmark, tmp_path):
-    server, triples = _boot_server(tmp_path)
+@pytest.mark.parametrize("transport", ["threaded", "async"])
+def test_http_round_trips(benchmark, tmp_path, transport):
+    index, triples = _build_corpus_index()
+    server = _boot_server(tmp_path, transport, index)
     payloads = query_payloads(triples, REQUEST_COUNT, k=3, radius=0.15,
                               repeat_fraction=0.3, seed=17)
     with server:
+        generate_load(server.url, payloads, threads=2)  # warm caches
         benchmark.pedantic(
             lambda: generate_load(server.url, payloads, threads=4),
             rounds=2 if QUICK else 3, iterations=1,
@@ -107,49 +138,76 @@ def test_http_round_trips(benchmark, tmp_path):
 # -- the report itself --------------------------------------------------------------------
 
 def test_report_server_throughput(results_dir, tmp_path):
-    server, triples = _boot_server(tmp_path)
+    index, triples = _build_corpus_index()
     payloads = query_payloads(triples, REQUEST_COUNT, k=3, radius=0.15,
                               repeat_fraction=0.3, seed=17)
 
-    with server:
-        # Correctness first: HTTP answers must equal direct engine answers.
-        from repro.workloads import ServerClient
-        client = ServerClient(server.url)
-        engine = server.app.engine
-        for path, body in payloads[:16]:
-            wire = client.request("POST", path, body)
-            triple = next(t for t in triples
-                          if str(t) == wire_text(body))
-            if path.endswith("knn"):
-                spec = QuerySpec.k_nearest(triple, body["k"])
-            else:
-                spec = QuerySpec.range_query(triple, body["radius"])
-            direct = engine.execute_sequential([spec])[0]
-            assert [m["distance"] for m in wire["matches"]] == pytest.approx(
-                [m.distance for m in direct.matches]
+    experiment = Experiment(
+        experiment_id="server_throughput",
+        description="HTTP front-end throughput per transport: QPS and "
+                    f"client-observed latency over {REQUEST_COUNT} mixed "
+                    "k-NN/range requests, vs concurrent client threads",
+        swept_parameter="client_threads",
+    )
+
+    for transport in ("threaded", "async"):
+        server = _boot_server(tmp_path, transport, index)
+        with server:
+            _assert_wire_matches_engine(server, payloads, triples)
+            generate_load(server.url, payloads, threads=2)  # warmup pass
+            experiment.run_sweep(
+                transport, THREAD_COUNTS,
+                lambda threads: _measure(server, payloads, int(threads)),
             )
 
-        experiment = Experiment(
-            experiment_id="server_throughput",
-            description="HTTP front-end throughput: QPS and client-observed "
-                        f"latency over {REQUEST_COUNT} mixed k-NN/range requests, "
-                        "vs concurrent client threads",
-            swept_parameter="client_threads",
-        )
-        experiment.run_sweep(
-            "server", THREAD_COUNTS,
-            lambda threads: _measure(server, payloads, int(threads)),
-        )
+        series = experiment.series[transport]
+        # Every sweep point must have completed the full workload ...
+        assert all(count == len(payloads)
+                   for count in series.values("requests"))
+        # ... with the repeated queries served out of the right cache.
+        if transport == "threaded":
+            assert all(rate > 0.0 for rate in series.values("cache_hit_rate"))
+        else:
+            assert all(rate > 0.5
+                       for rate in series.values("wire_cache_hit_rate"))
 
-        series = experiment.series["server"]
-        # The workload repeats ~30% of its queries: the cache must be hit ...
-        assert all(rate > 0.0 for rate in series.values("cache_hit_rate"))
-        # ... and every sweep point must have completed the full workload.
-        assert all(count == len(payloads) for count in series.values("requests"))
+    threaded_qps = experiment.series["threaded"].values("qps")[-1]
+    async_qps = experiment.series["async"].values("qps")[-1]
+    threaded_p99 = experiment.series["threaded"].values("latency_ms_p99")[-1]
+    async_p99 = experiment.series["async"].values("latency_ms_p99")[-1]
+    if not QUICK:
+        # The acceptance floor for making the event loop the default
+        # transport: twice the threaded QPS at 8 client threads, p99 no
+        # worse.  (Quick mode still runs both sweeps but does not gate on
+        # the ratio — smoke runners are too noisy for that.)
+        assert async_qps >= 2.0 * threaded_qps, \
+            f"async {async_qps:.0f} qps < 2x threaded {threaded_qps:.0f} qps"
+        assert async_p99 <= threaded_p99, \
+            f"async p99 {async_p99:.2f}ms worse than threaded {threaded_p99:.2f}ms"
 
     write_report(results_dir, experiment,
                  ["qps", "latency_ms_p50", "latency_ms_p90", "latency_ms_p99",
-                  "cache_hit_rate"])
+                  "cache_hit_rate", "wire_cache_hit_rate"])
+
+
+def _assert_wire_matches_engine(server, payloads, triples) -> None:
+    """Correctness preamble: HTTP answers equal direct engine answers."""
+    from repro.workloads import ServerClient
+
+    client = ServerClient(server.url)
+    engine = server.app.engine
+    for path, body in payloads[:16]:
+        wire = client.request("POST", path, body)
+        triple = next(t for t in triples if str(t) == wire_text(body))
+        if path.endswith("knn"):
+            spec = QuerySpec.k_nearest(triple, body["k"])
+        else:
+            spec = QuerySpec.range_query(triple, body["radius"])
+        direct = engine.execute_sequential([spec])[0]
+        assert [m["distance"] for m in wire["matches"]] == pytest.approx(
+            [m.distance for m in direct.matches]
+        )
+    client.close_all()
 
 
 def wire_text(body) -> str:

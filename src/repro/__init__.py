@@ -35,7 +35,7 @@ from repro.service.engine import QueryEngine, QueryResult
 from repro.service.planner import QueryKind, QuerySpec
 from repro.service.snapshot import load_index, save_index
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "SemTreeIndex",

@@ -231,6 +231,25 @@ class ServerApp:
             "/v1/history": self.history_payload,
         }
 
+    # -- wire-cache hooks (consumed by repro.server.async_http) -------------------------
+
+    def wire_cacheable_routes(self) -> frozenset:
+        """Read-only endpoints whose byte-identical answers may be cached
+        at the transport layer (same request body → same response body,
+        for as long as :meth:`wire_cache_epoch` holds still)."""
+        return frozenset({"/v1/knn", "/v1/range"})
+
+    def wire_cache_epoch(self) -> tuple:
+        """A value that changes whenever any cached answer could change.
+
+        ``(tree generation, last WAL sequence)``: the generation moves per
+        compaction, the WAL sequence per insert — so a wire-cached answer
+        is valid exactly while both stand still.  (The engine's own result
+        cache can survive inserts by overlaying delta matches; a cache of
+        serialised response bytes cannot, hence the stricter key.)
+        """
+        return (self.index.generation, self.index.wal.last_seq)
+
     # -- bookkeeping --------------------------------------------------------------------
 
     def _count(self, endpoint: str) -> None:

@@ -1,4 +1,4 @@
-"""The HTTP transport: a threading stdlib server over :class:`ServerApp`.
+"""The threaded HTTP transport: one handler thread per connection.
 
 One :class:`SemTreeServer` binds one :class:`~repro.server.app.ServerApp`
 to a host/port.  It is built on :class:`http.server.ThreadingHTTPServer` —
@@ -6,464 +6,160 @@ one thread per connection, which composes with the engine's worker pool and
 the ingest layer's reader/writer locking (inserts and queries already
 interleave safely in-process; HTTP threads are just more callers).
 
-The transport is deliberately dumb: route, read the JSON body, call the
-app, serialise the reply.  Every error — malformed JSON, schema violations,
-vocabulary misses, engine failures — becomes a structured JSON error body
-(:func:`repro.server.schemas.error_body`) with the status picked by
-:func:`~repro.server.schemas.status_for`; the transport itself only adds
-the routing errors (404/405), the body-size guard (413) and the
-content-type check (415).
+All framing and request handling is shared with the event-loop transport
+(:mod:`repro.server.async_http`) through :mod:`repro.server.protocol`: the
+handler below only moves bytes — a blocking ``recv`` loop feeding the
+incremental :class:`~repro.server.protocol.RequestParser`, a blocking
+``sendall`` for the :class:`~repro.server.protocol.WireResponse` the shared
+:class:`~repro.server.protocol.Dispatcher` produced.  Every status, error
+body, header and close decision comes from the shared layer, so the two
+transports cannot drift apart.
+
+**Drain semantics** (pinned by ``tests/server/test_shutdown_drain.py``):
+:meth:`SemTreeServer.close` stops accepting, force-closes *idle*
+keep-alive connections, lets every *in-flight* request run to completion
+and write its response, and only then tears the app down (checkpointing
+the WAL position).  A SIGTERM mid-request therefore never loses an
+accepted request: the idle→busy flip happens under the server's handler
+lock the moment a request's first bytes arrive, and the shutdown sweep
+shuts idle sockets under the same lock — a request either wins the race
+(marked busy, drained) or loses it (socket shut before the app ever sees
+it); it is never aborted mid-execution.
 """
 
 from __future__ import annotations
 
-import json
 import socket
+import socketserver
 import threading
 import time
-import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional, Tuple
+from http.server import ThreadingHTTPServer
+from typing import Dict, Optional
 
-from repro import __version__
 from repro.faults import FaultPlan
 from repro.obs import export as obs_export
-from repro.obs import logging as obs_logging
-from repro.obs import prometheus as obs_prometheus
-from repro.obs.tracing import Trace, activate, current_trace, sanitize_trace_id, span
 from repro.server.app import ServerApp
-from repro.server.context import (CLIENT_ID_HEADER, IDEMPOTENCY_KEY_HEADER,
-                                  request_context)
-from repro.server.schemas import error_body, status_for
+from repro.server.protocol import (MAX_BODY_BYTES, Dispatcher, RequestParser,
+                                   WireResponse, shut_socket)
 
 __all__ = ["SemTreeServer", "MAX_BODY_BYTES"]
 
-#: Largest request body accepted, in bytes (a 4096-triple insert batch fits
-#: comfortably; anything bigger should be split).
-MAX_BODY_BYTES = 8 * 1024 * 1024
-
-#: Header values accepted as "yes" for the ``X-Debug-Trace`` opt-in.
-_DEBUG_TRACE_VALUES = frozenset({"1", "true", "yes", "on"})
-
-_access_log = obs_logging.get_logger("repro.access")
+#: Bytes pulled per blocking socket read.
+_RECV_SIZE = 64 * 1024
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes one connection's requests into the bound :class:`ServerApp`."""
+class _Handler(socketserver.StreamRequestHandler):
+    """Moves one connection's bytes through the shared protocol layer."""
 
-    server_version = f"repro-semtree/{__version__}"
-    protocol_version = "HTTP/1.1"
-
-    #: Socket timeout per request, seconds.  Bounds how long a handler
-    #: thread can sit in a blocking read (a client that sends headers and
+    #: Socket timeout per blocking read, seconds.  Bounds how long a
+    #: handler thread can sit waiting (a client that sends headers and
     #: then stalls mid-body, or an idle keep-alive connection) — without
     #: it, each such socket would pin a handler thread forever and an idle
-    #: keep-alive client would block the shutdown join indefinitely.
-    #: ``handle_one_request`` turns the timeout into connection close.
+    #: keep-alive client would block the shutdown join indefinitely.  A
+    #: timeout closes the connection silently, exactly as before.
     timeout = 30.0
 
     #: Disable Nagle's algorithm on accepted sockets.  The request/response
     #: exchange here is small writes in both directions; Nagle batching
     #: interacts with the peer's delayed ACKs into a ~40 ms stall per
     #: exchange, which was the bulk of the 44 ms per-request floor the
-    #: benchmarks measured (ROADMAP Open item 1).
+    #: benchmarks measured (ROADMAP Open item 1, before PR 6).
     disable_nagle_algorithm = True
-
-    # Set per server class in SemTreeServer.__init__.
-    app: ServerApp
-    quiet: bool = True
-    fault_plan: Optional[FaultPlan] = None
 
     # -- connection lifecycle -----------------------------------------------------------
     # Keep-alive clients hold their connection open between requests; the
-    # handler thread then blocks awaiting the next request line.  So that
-    # shutdown does not have to sit out the full socket timeout per idle
-    # connection, each handler registers itself with the server and flags
-    # when it is busy serving a request: close() force-closes the idle ones
-    # (unblocking their reads immediately) and lets the busy ones drain.
-    # The idle→busy flip happens under the server's handler lock the moment
-    # a request line arrives, and the shutdown sweep shuts idle sockets
-    # under the same lock — so a request that won the race is drained, one
-    # that lost it fails before the app ever sees it.
+    # handler thread then blocks awaiting the next request's bytes.  So
+    # that shutdown does not have to sit out the full socket timeout per
+    # idle connection, each handler registers itself with the server and
+    # flags when it is busy serving a request: close() force-closes the
+    # idle ones (unblocking their reads immediately) and lets the busy
+    # ones drain.
 
     _busy = False
 
     def handle(self) -> None:
-        register = getattr(self.server, "track_handler", None)
-        if register is None:  # pragma: no cover - plain ThreadingHTTPServer
-            super().handle()
-            return
-        register(self)
+        server: SemTreeServer = self.server  # type: ignore[assignment]
+        server.track_handler(self)
         try:
-            super().handle()
+            while True:
+                self._busy = False
+                keep_alive = self._serve_one(server)
+                if not keep_alive or server.draining:
+                    break
         finally:
-            self.server.untrack_handler(self)
-
-    def handle_one_request(self) -> None:
-        """One request, with idle/busy tracking around the blocking read."""
-        lock = getattr(self.server, "_handlers_lock", None)
-        if lock is None:  # pragma: no cover - plain ThreadingHTTPServer
-            super().handle_one_request()
-            return
-        original_readline = self.rfile.readline
-
-        def tracking_readline(limit: int = -1) -> bytes:
-            data = original_readline(limit)
-            if data and not self._busy:
-                with lock:
-                    self._busy = True
-            return data
-
-        self.rfile.readline = tracking_readline
-        try:
-            super().handle_one_request()
-        finally:
-            self.rfile.readline = original_readline
             self._busy = False
-            if getattr(self.server, "draining", False):
-                # The server is shutting down: do not return to an idle
-                # blocking read this connection's client may never end.
-                self.close_connection = True
+            server.untrack_handler(self)
 
-    # -- routing ------------------------------------------------------------------------
-    # The app owns its routing tables (ServerApp, ShardApp and
-    # CoordinatorApp each expose their own endpoints); the transport just
-    # dispatches into them.
-
-    @property
-    def _post_routes(self) -> Dict[str, Callable[[Any], Dict[str, Any]]]:
-        return self.app.post_routes()
-
-    @property
-    def _get_routes(self) -> Dict[str, Callable[[], Dict[str, Any]]]:
-        return self.app.get_routes()
-
-    @property
-    def _get_param_routes(self) -> Dict[str, Callable[[Dict[str, str]], Any]]:
-        """GET endpoints that consume the query string (optional per app).
-
-        A handler here receives the parsed query parameters and returns
-        either a JSON-native dictionary or a ``(content_type, text)`` pair
-        for non-JSON payloads (a collapsed-stack profile, for instance).
-        """
-        table = getattr(self.app, "get_param_routes", None)
-        return table() if table is not None else {}
-
-    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
-        self._observe_request(self._handle_get)
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
-        self._observe_request(self._handle_post)
-
-    # -- request observability ----------------------------------------------------------
-
-    def _observe_request(self, method_body: Callable[[Trace], None]) -> None:
-        """Run one request under a fresh trace and emit the access log line.
-
-        The trace id is the client's ``X-Trace-Id`` when plausible (how the
-        coordinator stitches its id through the shard fleet) or freshly
-        generated; every response echoes it back in the same header.
-        """
-        trace = Trace(sanitize_trace_id(self.headers.get("X-Trace-Id")))
-        self._last_status: Optional[int] = None
-        self._drip = None
-        started = time.perf_counter()
-        with activate(trace):
-            with span("request", method=self.command, path=self._route()):
-                with request_context(
-                    client_id=self.headers.get(CLIENT_ID_HEADER),
-                    idempotency_key=self.headers.get(IDEMPOTENCY_KEY_HEADER),
-                ):
-                    if not self._inject_fault():
-                        method_body(trace)
-        _access_log.info(
-            "%s %s -> %s", self.command, self._route(), self._last_status,
-            extra={
-                "event": "http_request",
-                "method": self.command,
-                "path": self._route(),
-                "status": self._last_status,
-                "duration_ms": (time.perf_counter() - started) * 1000.0,
-                "client": f"{self.client_address[0]}:{self.client_address[1]}",
-                "trace_id": trace.trace_id,
-            },
-        )
-
-    def _inject_fault(self) -> bool:
-        """Consult the server's fault plan for this request (chaos runs only).
-
-        Returns True when the fault fully handled the request (the app must
-        not run).  Latency and slow-drip faults let the request proceed —
-        the former after sleeping here, the latter by arming ``_drip`` so
-        :meth:`_send_body` dribbles the response out.
-        """
-        if self.fault_plan is None:
-            return False
-        fault = self.fault_plan.decide("handle", self._route())
-        if fault is None:
-            return False
-        if fault.kind == "latency":
-            time.sleep(fault.latency)
-            return False
-        if fault.kind == "slow_drip":
-            self._drip = fault
-            return False
-        if fault.kind == "http_5xx":
-            self._close_if_body_pending()
-            self._send_json(fault.status, {"error": {
-                "type": "InjectedFault",
-                "message": f"injected HTTP {fault.status} "
-                           f"(fault plan, {self._route()})",
-            }})
-            return True
-        # "error": a mid-request connection reset — shut the socket without
-        # a response so the client sees exactly what a crashed peer causes.
-        self._last_status = -1
-        self.close_connection = True
-        try:
-            self.connection.shutdown(socket.SHUT_RDWR)
-        except OSError:  # pragma: no cover - already gone
-            pass
-        return True
-
-    def _debug_trace_requested(self) -> bool:
-        value = self.headers.get("X-Debug-Trace", "")
-        return value.strip().lower() in _DEBUG_TRACE_VALUES
-
-    def _attach_debug(self, payload: Dict[str, Any], trace: Trace) -> Dict[str, Any]:
-        """Add the ``debug.trace`` section when the client opted in.
-
-        The span tree is rendered here, before serialisation, so the
-        ``serialize`` span of *this* request necessarily reports itself
-        in-progress; its cost is visible as the request/handle gap instead.
-        """
-        if self._debug_trace_requested() and isinstance(payload, dict):
-            return {**payload, "debug": {"trace": trace.to_dict()}}
-        return payload
-
-    def _handle_get(self, trace: Trace) -> None:
-        # GETs never read a body; if a client sent one anyway, the unread
-        # bytes must not be parsed as the next request on this connection.
-        self._close_if_body_pending()
-        route = self._route()
-        param_handler = self._get_param_routes.get(route)
-        if param_handler is not None:
+    def _serve_one(self, server: "SemTreeServer") -> bool:
+        """Frame and answer one request; True keeps the connection open."""
+        dispatcher = server.dispatcher
+        parser = RequestParser()
+        client = "%s:%s" % self.client_address[:2]
+        early = False
+        while True:
+            if parser.state == "paused":
+                assert parser.request is not None
+                if dispatcher.needs_body(parser.request):
+                    parser.begin_body()
+                    continue
+                early = True
+                break
+            if parser.state in ("complete", "error"):
+                break
             try:
-                with span("handle", endpoint=route):
-                    payload = param_handler(self._query_params())
-            except Exception as error:  # noqa: BLE001 - every failure becomes a body
-                self._send_error(error)
-                return
-            if isinstance(payload, tuple):
-                content_type, text = payload
-                self._send_text(200, text, content_type)
+                data = self.connection.recv(_RECV_SIZE)
+            except socket.timeout:
+                # A stalled or idle peer: close silently (no bytes of a
+                # response could be trusted to arrive anyway).
+                return False
+            except OSError:
+                return False
+            if not data:
+                if parser.started:
+                    self._write(dispatcher.truncated_response(client))
+                return False
+            if not self._busy:
+                # The idle→busy flip races the shutdown sweep; both sides
+                # take the handlers lock, so the request is either drained
+                # or never dispatched (see _close_idle_connections).
+                with server._handlers_lock:
+                    self._busy = True
+            parser.feed(data)
+        if parser.state == "error":
+            assert parser.error is not None
+            return self._write(dispatcher.framing_response(parser.error, client))
+        request = parser.request
+        assert request is not None
+        if parser.remainder and not (early and request.body_indicated):
+            # Bytes beyond the framed request arrived before we answered:
+            # the client is pipelining, which this server rejects.  (An
+            # early-dispatched request with a declared body is different —
+            # the leftover bytes are its unread body, and the dispatcher
+            # already forces those responses to close the connection.)
+            return self._write(dispatcher.pipelining_response(client))
+        response = dispatcher.dispatch(request, client)
+        if response.reset:
+            shut_socket(self.connection)
+            return False
+        return self._write(response)
+
+    def _write(self, response: WireResponse) -> bool:
+        """Send one response; True when the connection may be reused."""
+        try:
+            if response.drip is not None and response.body:
+                # A slow-drip fault: the body leaves in small chunks with
+                # the fault's latency spread across the gaps — a
+                # pathologically slow peer, as seen by the client's reads.
+                self.connection.sendall(response.encode_head())
+                for pause, chunk in response.drip_chunks():
+                    if pause:
+                        time.sleep(pause)
+                    self.connection.sendall(chunk)
             else:
-                self._send_json(200, self._attach_debug(payload, trace))
-            return
-        handler = self._get_routes.get(route)
-        if handler is None:
-            self._send_routing_error()
-            return
-        requested_format = self._query_params().get("format")
-        if route == "/v1/metrics" and requested_format not in (None, "json"):
-            self._send_metrics_exposition(requested_format)
-            return
-        try:
-            with span("handle", endpoint=route):
-                payload = handler()
-        except Exception as error:  # noqa: BLE001 - every failure becomes a body
-            self._send_error(error)
-            return
-        self._send_json(200, self._attach_debug(payload, trace))
-
-    def _handle_post(self, trace: Trace) -> None:
-        route = self._route()
-        handler = self._post_routes.get(route)
-        if handler is None:
-            self._send_routing_error()
-            return
-        with span("read_body"):
-            body, failure = self._read_json_body()
-        if failure is not None:
-            self._send_json(*failure)
-            return
-        try:
-            with span("handle", endpoint=route):
-                payload = handler(body)
-        except Exception as error:  # noqa: BLE001 - every failure becomes a body
-            self._send_error(error)
-            return
-        self._send_json(200, self._attach_debug(payload, trace))
-
-    def _send_metrics_exposition(self, requested_format: str) -> None:
-        renderer = getattr(self.app, "metrics_prometheus", None)
-        if requested_format != "prometheus" or renderer is None:
-            self._send_json(400, {"error": {
-                "type": "QueryError",
-                "message": f"unknown metrics format {requested_format!r}; "
-                           "expected 'json' or 'prometheus'",
-            }})
-            return
-        try:
-            with span("handle", endpoint="/v1/metrics"):
-                text = renderer()
-        except Exception as error:  # noqa: BLE001 - every failure becomes a body
-            self._send_error(error)
-            return
-        self._send_text(200, text, obs_prometheus.CONTENT_TYPE)
-
-    def _route(self) -> str:
-        return self.path.split("?", 1)[0].rstrip("/") or "/"
-
-    def _query_params(self) -> Dict[str, str]:
-        """The request's query-string parameters (last value wins)."""
-        if "?" not in self.path:
-            return {}
-        parsed = urllib.parse.parse_qs(self.path.split("?", 1)[1],
-                                       keep_blank_values=True)
-        return {key: values[-1] for key, values in parsed.items()}
-
-    def _send_routing_error(self) -> None:
-        self._close_if_body_pending()
-        known = (set(self._post_routes) | set(self._get_routes)
-                 | set(self._get_param_routes))
-        if self._route() in known:
-            self._send_json(405, {"error": {
-                "type": "MethodNotAllowed",
-                "message": f"{self.command} is not supported on {self._route()}",
-            }})
-        else:
-            self._send_json(404, {"error": {
-                "type": "NotFound",
-                "message": f"unknown endpoint {self._route()!r}; "
-                           "see docs/server.md for the API reference",
-            }})
-
-    # -- body plumbing ------------------------------------------------------------------
-
-    def _close_if_body_pending(self) -> None:
-        """Close after responding when an unread request body is on the socket.
-
-        Any error path that skips reading the body must not let the
-        connection be reused: the unread bytes would be parsed as the next
-        request line and desync every subsequent exchange.
-        """
-        if self.headers.get("Content-Length") or self.headers.get("Transfer-Encoding"):
-            self.close_connection = True
-
-    def _read_json_body(self) -> Tuple[Any, Optional[Tuple[int, Dict[str, Any]]]]:
-        content_type = self.headers.get("Content-Type", "application/json")
-        if "json" not in content_type:
-            self._close_if_body_pending()
-            return None, (415, {"error": {
-                "type": "UnsupportedMediaType",
-                "message": f"expected application/json, got {content_type!r}",
-            }})
-        # Bodies whose framing we cannot (chunked) or will not (missing
-        # length) read would desync the keep-alive connection — the unread
-        # bytes would be parsed as the next request line — so those error
-        # paths also close the connection.
-        if self.headers.get("Transfer-Encoding"):
-            self.close_connection = True
-            return None, (501, {"error": {
-                "type": "NotImplemented",
-                "message": "chunked transfer encoding is not supported; "
-                           "send a Content-Length",
-            }})
-        raw_length = self.headers.get("Content-Length")
-        try:
-            length = int(raw_length) if raw_length is not None else -1
-        except ValueError:
-            length = -1
-        if length < 0:
-            self.close_connection = True
-            return None, (411, {"error": {
-                "type": "LengthRequired",
-                "message": "a valid Content-Length header is required",
-            }})
-        if length > MAX_BODY_BYTES:
-            self.close_connection = True
-            return None, (413, {"error": {
-                "type": "PayloadTooLarge",
-                "message": f"request body exceeds {MAX_BODY_BYTES} bytes",
-            }})
-        raw = self.rfile.read(length)
-        record = getattr(self.server, "record_wire_bytes", None)
-        if record is not None:
-            record("in", len(raw))
-        try:
-            return json.loads(raw or b"null"), None
-        except json.JSONDecodeError as error:
-            return None, (400, {"error": {
-                "type": "InvalidJSON", "message": str(error),
-            }})
-
-    def _send_error(self, error: Exception) -> None:
-        """One failed request's response: status, error body, Retry-After.
-
-        Admission rejections (and anything else carrying a ``retry_after``
-        attribute) get the standard ``Retry-After`` header so well-behaved
-        clients back off instead of hammering an overloaded server.
-        """
-        retry_after = getattr(error, "retry_after", None)
-        self._send_json(status_for(error), error_body(error),
-                        retry_after=retry_after)
-
-    def _send_json(self, status: int, payload: Dict[str, Any], *,
-                   retry_after: Optional[float] = None) -> None:
-        with span("serialize"):
-            body = json.dumps(payload).encode("utf-8")
-            self._send_body(status, body, "application/json",
-                            retry_after=retry_after)
-
-    def _send_text(self, status: int, text: str, content_type: str) -> None:
-        with span("serialize"):
-            self._send_body(status, text.encode("utf-8"), content_type)
-
-    def _send_body(self, status: int, body: bytes, content_type: str, *,
-                   retry_after: Optional[float] = None) -> None:
-        self._last_status = status
-        record = getattr(self.server, "record_wire_bytes", None)
-        if record is not None:
-            record("out", len(body))
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        if retry_after is not None:
-            # HTTP wants delta-seconds as a non-negative integer; round up
-            # so "0.4s" does not become an immediate (pointless) retry.
-            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
-        trace = current_trace()
-        if trace is not None:
-            self.send_header("X-Trace-Id", trace.trace_id)
-        if self.close_connection:
-            # Framing-error paths set close_connection; tell the client so
-            # it does not reuse a socket we are about to shut.
-            self.send_header("Connection", "close")
-        self.end_headers()
-        drip = getattr(self, "_drip", None)
-        if drip is not None and body:
-            # A slow-drip fault: the body leaves in small chunks with the
-            # fault's latency spread across the gaps — a pathologically
-            # slow peer, as seen by the client's socket reads.  Each pause
-            # precedes its chunk so the full latency lands before the last
-            # byte: the client's read blocks for at least ``drip.latency``.
-            chunks = max(2, min(8, len(body)))
-            pause = drip.latency / chunks if drip.latency else 0.0
-            size = -(-len(body) // chunks)
-            for start in range(0, len(body), size):
-                if pause:
-                    time.sleep(pause)
-                self.wfile.write(body[start:start + size])
-                self.wfile.flush()
-            return
-        self.wfile.write(body)
-
-    # -- logging ------------------------------------------------------------------------
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
-        if not self.quiet:
-            super().log_message(format, *args)
+                self.connection.sendall(response.encode())
+        except OSError:
+            return False
+        return not response.close
 
 
 class SemTreeServer(ThreadingHTTPServer):
@@ -481,11 +177,12 @@ class SemTreeServer(ThreadingHTTPServer):
         Bind address; ``port=0`` picks an ephemeral port (read it back from
         :attr:`bound_port` — this is what the tests and benchmarks do).
     quiet:
-        Suppress the stdlib per-request log lines (on by default).
+        Reserved for transport chatter (the structured access log on
+        ``repro.access`` is always emitted; see :mod:`repro.obs.logging`).
 
     request_timeout:
-        Per-request socket timeout in seconds (see ``_Handler.timeout``);
-        it bounds stalled readers *and* how long shutdown can wait on an
+        Per-read socket timeout in seconds (see ``_Handler.timeout``); it
+        bounds stalled readers *and* how long shutdown can wait on an
         idle keep-alive connection.
     fault_plan:
         Optional fault-injection plan for chaos runs (defaults to whatever
@@ -495,7 +192,15 @@ class SemTreeServer(ThreadingHTTPServer):
     benchmarks) and ``serve_forever()`` on the main thread for a real
     deployment (:mod:`repro.server.__main__` does the latter, with signal
     handlers for graceful shutdown).
+
+    Prefer constructing through :func:`repro.server.create_server`, which
+    picks this transport or the event-loop one
+    (:class:`~repro.server.async_http.AsyncSemTreeServer`) from the
+    ``--transport`` flag / ``$REPRO_TRANSPORT``.
     """
+
+    #: Transport name, as accepted by ``create_server``.
+    transport = "threaded"
 
     # Handler threads must be non-daemon: ThreadingMixIn only *tracks*
     # non-daemon threads (socketserver._Threads.append skips daemon ones),
@@ -511,12 +216,14 @@ class SemTreeServer(ThreadingHTTPServer):
         if fault_plan is None:
             fault_plan = FaultPlan.from_env()
         handler = type("_BoundHandler", (_Handler,), {
-            "app": app, "quiet": quiet, "timeout": request_timeout,
-            "fault_plan": fault_plan,
+            "timeout": request_timeout,
         })
         super().__init__((host, port), handler)
         self.app = app
+        self.quiet = quiet
         self.fault_plan = fault_plan
+        self.dispatcher = Dispatcher(app, quiet=quiet, fault_plan=fault_plan,
+                                     record_wire_bytes=self.record_wire_bytes)
         self._serve_thread: Optional[threading.Thread] = None
         self.draining = False
         self._handlers_lock = threading.Lock()
@@ -526,8 +233,12 @@ class SemTreeServer(ThreadingHTTPServer):
         registry = getattr(app, "registry", None)
         if registry is not None:
             obs_export.bind_wire_bytes(registry, self.wire_bytes)
+            registry.gauge(
+                "repro_open_connections",
+                "Live HTTP connections held by the transport.",
+            ).set_function(lambda: float(len(self._live_handlers)))
 
-    # -- wire accounting (fed by _Handler) ----------------------------------------------
+    # -- wire accounting (fed by the shared Dispatcher) ---------------------------------
 
     def record_wire_bytes(self, direction: str, count: int) -> None:
         with self._wire_lock:
@@ -540,11 +251,11 @@ class SemTreeServer(ThreadingHTTPServer):
 
     # -- connection tracking (see _Handler.handle) --------------------------------------
 
-    def track_handler(self, handler: BaseHTTPRequestHandler) -> None:
+    def track_handler(self, handler: _Handler) -> None:
         with self._handlers_lock:
             self._live_handlers.add(handler)
 
-    def untrack_handler(self, handler: BaseHTTPRequestHandler) -> None:
+    def untrack_handler(self, handler: _Handler) -> None:
         with self._handlers_lock:
             self._live_handlers.discard(handler)
 
@@ -553,13 +264,13 @@ class SemTreeServer(ThreadingHTTPServer):
 
         A handler that is mid-request (``_busy``) is left alone — it drains
         normally and closes its connection afterwards because ``draining``
-        is set.  Idle handlers are blocked reading a request line that may
+        is set.  Idle handlers are blocked reading a request that may
         never come; shutting their socket read side makes that read return
         EOF immediately.  The whole sweep runs under the handlers lock, the
-        same lock a handler takes to flip idle→busy when a request line
-        arrives — so a request either wins the race (marked busy, drained)
-        or loses it (socket shut before the app ever sees it); it is never
-        aborted mid-execution.
+        same lock a handler takes to flip idle→busy when a request's first
+        bytes arrive — so a request either wins the race (marked busy,
+        drained) or loses it (socket shut before the app ever sees it); it
+        is never aborted mid-execution.
         """
         with self._handlers_lock:
             for handler in self._live_handlers:
@@ -593,7 +304,13 @@ class SemTreeServer(ThreadingHTTPServer):
         return self
 
     def close(self, *, checkpoint: bool | None = None) -> Optional[int]:
-        """Stop accepting, drain, shut the app down (checkpoint-on-exit).
+        """Stop accepting, drain in-flight requests, shut the app down.
+
+        The drain contract: every request whose first bytes arrived before
+        the shutdown sweep completes fully — handler runs, response bytes
+        written — before ``app.close(checkpoint=...)`` tears down the
+        engine and checkpoints the WAL position.  Idle keep-alive
+        connections (no request in flight) are force-closed immediately.
 
         Returns the checkpointed ``wal_seq`` (see :meth:`ServerApp.close`).
         """

@@ -187,6 +187,26 @@ class AdmissionController:
         with self._lock:
             self._admitted += queries
 
+    def shed_transport_overflow(self, *, pending: int) -> AdmissionError:
+        """Count and build the rejection for a request shed at *enqueue* time.
+
+        The event-loop transport calls this before submitting a request to
+        its worker pool: once the pool already holds ``max_queue_depth``
+        requests, queueing more only manufactures timeouts — the same
+        judgement :meth:`admit` makes from inside a worker, made one hop
+        earlier (before the submit and its context switch are paid for).
+        The rejection is counted under the ``queue_full`` reason so both
+        shed points roll up into one ``repro_requests_shed_total`` series.
+        """
+        self._count_shed("queue_full", 1)
+        return AdmissionError(
+            f"the transport queue is full ({pending} requests pending, "
+            f"depth limit {self.max_queue_depth})",
+            reason="queue_full",
+            retry_after=max(MIN_RETRY_AFTER,
+                            self.engine.predicted_wait_seconds()),
+        )
+
     def _bucket_for(self, client_id: str) -> TokenBucket:
         with self._lock:
             bucket = self._buckets.get(client_id)

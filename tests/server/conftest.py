@@ -13,7 +13,7 @@ from server_corpus import ALL_TRIPLES, BASE_TRIPLES
 from repro.core import SemTreeConfig, SemTreeIndex
 from repro.ingest import IngestingIndex
 from repro.requirements import build_requirement_distance, build_requirement_vocabularies
-from repro.server import ServerApp, SemTreeServer
+from repro.server import ServerApp, create_server
 from repro.server.bootstrap import vocabulary_hints
 from repro.workloads import ServerClient
 
@@ -60,9 +60,40 @@ def make_server(make_base, tmp_path):
                               compaction_threshold=compaction_threshold)
         app_kwargs.setdefault("checkpoint_path", tmp_path / "snapshot.json")
         app = ServerApp(live, **app_kwargs)
-        server = SemTreeServer(app).serve_background()
+        server = create_server(app).serve_background()
         started.append(server)
         return server, ServerClient(server.url)
+
+    yield start
+    for server in started:
+        if not server.app.closed:
+            server.close(checkpoint=False)
+
+
+@pytest.fixture
+def make_transport_server(make_base, tmp_path):
+    """Like ``make_server``, but with an explicit transport choice.
+
+    The protocol-conformance tests (fuzz, slow clients, drain, wire
+    oracle) boot *both* transports side by side and compare them, so they
+    cannot rely on the environment-driven default ``make_server`` uses.
+    Returns ``start(transport, **kwargs) -> server``; ``server_kwargs``
+    are forwarded to :func:`create_server`, everything else to
+    :class:`ServerApp`.
+    """
+    started = []
+
+    def start(transport, *, compaction_threshold: int = 64,
+              server_kwargs=None, **app_kwargs):
+        tag = f"{transport}-{len(started)}"
+        live = IngestingIndex(make_base(), tmp_path / f"wal-{tag}.jsonl",
+                              compaction_threshold=compaction_threshold)
+        app_kwargs.setdefault("checkpoint_path", tmp_path / f"snapshot-{tag}.json")
+        app = ServerApp(live, **app_kwargs)
+        server = create_server(app, transport=transport, **(server_kwargs or {}))
+        server.serve_background()
+        started.append(server)
+        return server
 
     yield start
     for server in started:
